@@ -1,0 +1,49 @@
+// Ablation: the aggregation parameter K (§2.3 — "each update takes place
+// after AdaSGD receives K gradients"). Larger K averages more gradients
+// per model update: fewer, smoother updates per gradient budget, and less
+// staleness per update clock.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fleet/core/online_trainer.hpp"
+#include "fleet/nn/zoo.hpp"
+
+using namespace fleet;
+
+int main() {
+  data::SyntheticImageConfig data_cfg = data::SyntheticImageConfig::mnist_like();
+  data_cfg.noise_stddev = 0.25f;
+  const auto split = data::generate_synthetic_images(data_cfg);
+  stats::Rng rng(2);
+  const auto users =
+      data::partition_noniid_shards(split.train.labels(), 100, 2, rng);
+  const stats::GaussianDistribution d1(6.0, 2.0);
+
+  const std::size_t gradients = bench::scaled(1600);
+  bench::header(
+      "Ablation: aggregation parameter K (AdaSGD, D1, same gradient budget)");
+  bench::row({"K", "model_updates", "final_accuracy"});
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    core::ControlledRunConfig cfg;
+    cfg.aggregator.scheme = learning::Scheme::kAdaSgd;
+    cfg.aggregator.aggregation_k = k;
+    cfg.staleness = &d1;
+    cfg.learning_rate = 0.10f;
+    cfg.steps = gradients;
+    cfg.mini_batch = 32;
+    cfg.eval_every = gradients;
+    cfg.seed = 7;
+    auto model = nn::zoo::small_cnn(1, 14, 14, 10);
+    model->init(9);
+    const auto result =
+        core::run_controlled(*model, split.train, users, split.test, cfg);
+    bench::row({std::to_string(k),
+                std::to_string(result.curve.back().step),
+                bench::fmt(result.final_accuracy, 3)});
+  }
+  std::cout << "\nK=1 maximizes update frequency (the paper's default for "
+               "online learning);\nlarge K trades freshness for smoothness "
+               "— with a fixed gradient budget the\nupdate count drops "
+               "1/K and convergence slows.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fleet::bench {
+
+double scale() {
+  const char* env = std::getenv("FLEET_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double value = std::atof(env);
+  return value > 0.0 ? value : 1.0;
+}
+
+std::size_t scaled(std::size_t steps, std::size_t floor_value) {
+  const auto scaled_steps =
+      static_cast<std::size_t>(static_cast<double>(steps) * scale());
+  return std::max(scaled_steps, floor_value);
+}
+
+void header(const std::string& title) {
+  std::cout << "\n" << title << "\n"
+            << std::string(title.size(), '-') << "\n";
+}
+
+void row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) std::cout << "  ";
+    std::cout << cells[i];
+  }
+  std::cout << "\n";
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << value;
+  return os.str();
+}
+
+}  // namespace fleet::bench

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fleet::bench {
+
+/// Scale factor for experiment sizes, read from FLEET_BENCH_SCALE
+/// (default 1.0). 0.2 makes every bench a smoke run; 2-4 tightens curves
+/// toward the paper's full step counts.
+double scale();
+
+/// steps * scale(), at least `floor_value`.
+std::size_t scaled(std::size_t steps, std::size_t floor_value = 50);
+
+/// Print an underlined section header.
+void header(const std::string& title);
+
+/// Print one row of space-separated columns.
+void row(const std::vector<std::string>& cells);
+
+std::string fmt(double value, int precision = 4);
+
+}  // namespace fleet::bench

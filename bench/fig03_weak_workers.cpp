@@ -1,0 +1,80 @@
+// Figure 3: the motivation for lower-bounding the mini-batch size.
+// A CNN is trained on a CIFAR-10-like dataset by synchronous fleets of
+// "strong" workers (large mini-batch) optionally joined by "weak" workers
+// (mini-batch of 1). The paper's observation: 2 weak workers cancel the
+// benefit of 10 strong ones; accuracy falls to single-strong-worker level.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fleet/core/online_trainer.hpp"
+#include "fleet/nn/zoo.hpp"
+
+using namespace fleet;
+
+int main() {
+  bench::header("Figure 3: weak workers perturb synchronous training");
+  std::cout << "CIFAR-10-like prototype dataset (substitution, DESIGN.md par.3);"
+            << "\nstrong mini-batch=64, weak mini-batch=1 (paper: 128 and 1, "
+               "10 strong workers).\n";
+
+  data::SyntheticImageConfig data_cfg = data::SyntheticImageConfig::cifar10_like();
+  data_cfg.height = 10;
+  data_cfg.width = 10;
+  data_cfg.noise_stddev = 0.5f;  // CIFAR-10 is the hardest of their tasks
+  data_cfg.n_train = 4000;
+  data_cfg.n_test = 800;
+  const auto split = data::generate_synthetic_images(data_cfg);
+
+  const std::size_t kStrong = 64;
+  const std::size_t kWeak = 1;
+  struct Mix {
+    std::string label;
+    std::size_t strong;
+    std::size_t weak;
+  };
+  const std::vector<Mix> mixes{
+      {"1_strong", 1, 0},
+      {"6_strong", 6, 0},
+      {"6_strong_2_weak", 6, 2},
+      {"6_strong_4_weak", 6, 4},
+  };
+
+  const std::size_t steps = bench::scaled(400);
+  std::vector<std::vector<core::CurvePoint>> curves;
+  for (const Mix& mix : mixes) {
+    core::SynchronousMixConfig cfg;
+    cfg.worker_batch_sizes.assign(mix.strong, kStrong);
+    cfg.worker_batch_sizes.insert(cfg.worker_batch_sizes.end(), mix.weak,
+                                  kWeak);
+    cfg.steps = steps;
+    cfg.learning_rate = 0.15f;
+    cfg.eval_every = std::max<std::size_t>(steps / 8, 1);
+    cfg.seed = 1;
+    auto model = nn::zoo::small_cnn(data_cfg.channels, data_cfg.height,
+                                    data_cfg.width, data_cfg.n_classes);
+    model->init(3);
+    curves.push_back(
+        core::run_synchronous_mix(*model, split.train, split.test, cfg));
+  }
+
+  bench::header("accuracy vs step");
+  std::vector<std::string> head{"step"};
+  for (const Mix& mix : mixes) head.push_back(mix.label);
+  bench::row(head);
+  for (std::size_t p = 0; p < curves[0].size(); ++p) {
+    std::vector<std::string> cells{std::to_string(curves[0][p].step)};
+    for (const auto& curve : curves) {
+      cells.push_back(bench::fmt(curve[p].accuracy, 3));
+    }
+    bench::row(cells);
+  }
+
+  const double all_strong = curves[1].back().accuracy;
+  const double one_strong = curves[0].back().accuracy;
+  const double with_2_weak = curves[2].back().accuracy;
+  bench::header("paper-shape check");
+  std::cout << "6 strong (" << bench::fmt(all_strong, 3)
+            << ") > 6 strong + 2 weak (" << bench::fmt(with_2_weak, 3)
+            << ") ~ 1 strong (" << bench::fmt(one_strong, 3) << ")\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 4: computation time and energy consumption vs mini-batch size on
+// Galaxy S7, Xperia E3 and Honor 10. The relation is linear with a
+// device-specific slope; for hot-running devices (Honor 10, Galaxy S7) the
+// slope changes with temperature, visible as hysteresis between the "up"
+// sweep and the post-cool-down "down" sweep.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fleet/device/allocation.hpp"
+#include "fleet/device/catalog.hpp"
+
+using namespace fleet;
+
+namespace {
+
+struct SweepPoint {
+  std::size_t n;
+  double time_s;
+  double energy_pct;
+  double temp_c;
+};
+
+std::vector<SweepPoint> sweep(device::DeviceSim& device,
+                              const std::vector<std::size_t>& batches) {
+  std::vector<SweepPoint> points;
+  const auto alloc = device::fleet_allocation(device.spec());
+  for (std::size_t n : batches) {
+    const device::TaskExecution exec = device.run_task(n, alloc);
+    points.push_back({n, exec.time_s, exec.energy_pct,
+                      device.temperature_c()});
+  }
+  return points;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 4: per-device linearity of time & energy in n");
+  const std::vector<std::string> devices{"Galaxy S7", "Xperia E3", "Honor 10"};
+
+  for (const std::string& name : devices) {
+    device::DeviceSim device(device::spec(name), 11);
+    // Up sweep: increasing n back-to-back (device heats up)...
+    std::vector<std::size_t> up;
+    const std::size_t max_n = name == "Xperia E3" ? 800 : 3200;
+    for (std::size_t n = max_n / 16; n <= max_n; n += max_n / 16) {
+      up.push_back(n);
+    }
+    const auto up_points = sweep(device, up);
+    // ...then cool down and sweep back down.
+    device.idle(1800.0);
+    std::vector<std::size_t> down(up.rbegin(), up.rend());
+    const auto down_points = sweep(device, down);
+
+    bench::header(name);
+    bench::row({"phase", "n", "time_s", "energy_pct", "temp_C"});
+    for (const auto& p : up_points) {
+      bench::row({"up", std::to_string(p.n), bench::fmt(p.time_s, 3),
+                  bench::fmt(p.energy_pct, 4), bench::fmt(p.temp_c, 1)});
+    }
+    for (const auto& p : down_points) {
+      bench::row({"down", std::to_string(p.n), bench::fmt(p.time_s, 3),
+                  bench::fmt(p.energy_pct, 4), bench::fmt(p.temp_c, 1)});
+    }
+    // Linearity summary: slope at small n vs large n within the up sweep.
+    const auto& first = up_points.front();
+    const auto& last = up_points.back();
+    std::cout << "slope(up,start)=" << bench::fmt(first.time_s / first.n * 1e3, 4)
+              << " ms/sample, slope(up,end)="
+              << bench::fmt(last.time_s / last.n * 1e3, 4) << " ms/sample\n";
+  }
+  std::cout << "\nShape check: Honor 10 < Galaxy S7 << Xperia E3 in slope;"
+            << "\nhot devices show a steeper end-of-up-sweep slope (throttling).\n";
+  return 0;
+}

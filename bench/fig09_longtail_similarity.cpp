@@ -1,0 +1,112 @@
+// Figure 9: long-tail staleness + similarity-based boosting. All gradients
+// carrying class 0 are forced to staleness 4*tau_thres = 48 (D1 setup, so
+// tau_thres = 12). AdaSGD's similarity boost recovers class-0 knowledge
+// much faster than DynSGD; panel (b) is the CDF of applied dampening
+// weights with the tau_thres/2 and tau_thres anchors.
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "fleet/core/online_trainer.hpp"
+#include "fleet/learning/dampening.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/stats/histogram.hpp"
+
+using namespace fleet;
+
+int main() {
+  data::SyntheticImageConfig data_cfg = data::SyntheticImageConfig::mnist_like();
+  data_cfg.noise_stddev = 0.25f;
+  const auto split = data::generate_synthetic_images(data_cfg);
+  stats::Rng rng(2);
+  // "This setup essentially captures the case where a particular label is
+  // only present in stragglers" (§3.2): class 0 lives on dedicated users
+  // (who will all be stragglers); everyone else gets the usual 2-shard
+  // non-IID split of the remaining classes.
+  std::vector<std::size_t> class0_indices;
+  std::vector<std::size_t> other_indices;
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    (split.train.label(i) == 0 ? class0_indices : other_indices).push_back(i);
+  }
+  std::vector<int> other_labels;
+  for (std::size_t i : other_indices) {
+    other_labels.push_back(split.train.label(i));
+  }
+  auto users = data::partition_noniid_shards(other_labels, 90, 2, rng);
+  for (auto& user : users) {
+    for (std::size_t& idx : user) idx = other_indices[idx];
+  }
+  const std::size_t class0_users = 10;
+  for (std::size_t u = 0; u < class0_users; ++u) {
+    std::vector<std::size_t> local;
+    for (std::size_t i = u; i < class0_indices.size(); i += class0_users) {
+      local.push_back(class0_indices[i]);
+    }
+    users.push_back(std::move(local));
+  }
+
+  const stats::GaussianDistribution d1(6.0, 2.0);
+  const std::size_t steps = bench::scaled(2400);
+
+  std::map<std::string, core::ControlledRunResult> results;
+  for (const auto& [label, scheme] :
+       std::vector<std::pair<std::string, learning::Scheme>>{
+           {"AdaSGD", learning::Scheme::kAdaSgd},
+           {"DynSGD", learning::Scheme::kDynSgd},
+           {"SSGD_ideal", learning::Scheme::kSsgd}}) {
+    core::ControlledRunConfig cfg;
+    cfg.aggregator.scheme = scheme;
+    // §3.2: "we employ the non-IID MNIST dataset, D1 (thus tau_thres is
+    // 12)" — pinned, since the injected stragglers would otherwise drag
+    // the online percentile up to 48.
+    cfg.aggregator.fixed_tau_thres = 12.0;
+    cfg.staleness = scheme == learning::Scheme::kSsgd ? nullptr : &d1;
+    cfg.longtail_class = scheme == learning::Scheme::kSsgd ? -1 : 0;
+    cfg.longtail_staleness = 48.0;  // 4 * tau_thres
+    cfg.eval_class = 0;
+    cfg.learning_rate = 0.04f;
+    cfg.steps = steps;
+    cfg.mini_batch = 32;
+    cfg.eval_every = std::max<std::size_t>(steps / 8, 1);
+    cfg.seed = 7;
+    auto model = nn::zoo::small_cnn(1, data_cfg.height, data_cfg.width,
+                                    data_cfg.n_classes);
+    model->init(9);
+    results.emplace(label, core::run_controlled(*model, split.train, users,
+                                                split.test, cfg));
+  }
+
+  bench::header("Figure 9(a): accuracy for class 0 vs step");
+  bench::row({"step", "AdaSGD", "DynSGD", "SSGD_ideal"});
+  const auto& reference = results.at("AdaSGD").curve;
+  for (std::size_t p = 0; p < reference.size(); ++p) {
+    bench::row({std::to_string(reference[p].request),
+                bench::fmt(results.at("AdaSGD").curve[p].class_accuracy, 3),
+                bench::fmt(results.at("DynSGD").curve[p].class_accuracy, 3),
+                bench::fmt(results.at("SSGD_ideal").curve[p].class_accuracy,
+                           3)});
+  }
+
+  bench::header("Figure 9(b): CDF of applied gradient scaling factors");
+  bench::row({"weight", "AdaSGD_cdf", "DynSGD_cdf"});
+  const stats::EmpiricalCdf ada_cdf(results.at("AdaSGD").weights);
+  const stats::EmpiricalCdf dyn_cdf(results.at("DynSGD").weights);
+  for (double w = 0.01; w <= 1.0; w *= 1.6) {
+    bench::row({bench::fmt(w, 4), bench::fmt(ada_cdf.fraction_below(w), 3),
+                bench::fmt(dyn_cdf.fraction_below(w), 3)});
+  }
+  bench::row({bench::fmt(1.0, 4), bench::fmt(ada_cdf.fraction_below(1.0), 3),
+              bench::fmt(dyn_cdf.fraction_below(1.0), 3)});
+
+  const learning::ExponentialDampening damp(12.0);
+  bench::header("anchors (tau_thres = 12)");
+  std::cout << "Lambda(tau_thres/2) = " << bench::fmt(damp.factor(6.0), 3)
+            << " (both schemes agree here: 1/(6+1) = 0.143)\n"
+            << "Lambda(tau_thres)   = " << bench::fmt(damp.factor(12.0), 3)
+            << "\n";
+  std::cout << "\nShape check: AdaSGD's class-0 curve rises while DynSGD's "
+               "stays flat;\nboosted stragglers appear as AdaSGD mass at the "
+               "tau_thres/2 anchor (0.143)\ndespite tau=48, where DynSGD "
+               "leaves them at 1/49 = 0.02.\n";
+  return 0;
+}

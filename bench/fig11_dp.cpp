@@ -1,0 +1,102 @@
+// Figure 11: staleness awareness with differential privacy. MNIST-like IID
+// data, staleness D2 = N(12,4); gradients are clipped and perturbed as in
+// DP-SGD. epsilon is measured with the moments accountant at
+// delta = 1/N^2. Smaller epsilon (more noise) slows both schemes; AdaSGD
+// keeps its advantage over DynSGD at every privacy level.
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "fleet/core/online_trainer.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/privacy/rdp_accountant.hpp"
+
+using namespace fleet;
+
+int main() {
+  data::SyntheticImageConfig data_cfg = data::SyntheticImageConfig::mnist_like();
+  data_cfg.noise_stddev = 0.25f;
+  // Larger corpus => smaller sampling ratio q, as in the paper
+  // (q = 100/60000 there; 32/12000 here).
+  data_cfg.n_train = 12000;
+  data_cfg.n_test = 1500;
+  const auto split = data::generate_synthetic_images(data_cfg);
+  stats::Rng rng(2);
+  const auto users = data::partition_iid(split.train.size(), 100, rng);
+  const stats::GaussianDistribution d2(12.0, 4.0);
+
+  const std::size_t steps = bench::scaled(1600);
+  const std::size_t mini_batch = 32;
+  const double q = static_cast<double>(mini_batch) /
+                   static_cast<double>(split.train.size());
+  const double delta = 1.0 / (static_cast<double>(split.train.size()) *
+                              static_cast<double>(split.train.size()));
+
+  // Noise levels: none, then sigmas chosen by the accountant to hit the
+  // paper's privacy budgets eps = 13.66 and eps = 1.75 at delta = 1/N^2.
+  std::vector<double> sigmas{0.0};
+  std::vector<std::string> labels{"no_DP"};
+  for (double target_eps : {13.66, 1.75}) {
+    const double sigma =
+        privacy::noise_for_epsilon(q, steps, delta, target_eps);
+    sigmas.push_back(sigma);
+    labels.push_back("eps=" + bench::fmt(target_eps, 2));
+    std::cout << "accountant: eps=" << target_eps << " -> sigma="
+              << bench::fmt(sigma, 3) << "\n";
+  }
+
+  std::map<std::string, core::ControlledRunResult> results;
+  std::vector<std::string> columns;
+  for (const auto& [name, scheme] :
+       std::vector<std::pair<std::string, learning::Scheme>>{
+           {"AdaSGD", learning::Scheme::kAdaSgd},
+           {"DynSGD", learning::Scheme::kDynSgd}}) {
+    for (std::size_t s = 0; s < sigmas.size(); ++s) {
+      core::ControlledRunConfig cfg;
+      cfg.aggregator.scheme = scheme;
+      cfg.staleness = &d2;
+      cfg.learning_rate = 0.10f;
+      cfg.steps = steps;
+      cfg.mini_batch = mini_batch;
+      cfg.eval_every = std::max<std::size_t>(steps / 8, 1);
+      cfg.seed = 3;
+      if (sigmas[s] > 0.0) {
+        cfg.dp.clip_norm = 2.0;
+        cfg.dp.noise_multiplier = sigmas[s];
+      }
+      auto model = nn::zoo::small_cnn(1, data_cfg.height, data_cfg.width,
+                                      data_cfg.n_classes);
+      model->init(5);
+      const std::string column = name + "_" + labels[s];
+      columns.push_back(column);
+      results.emplace(column, core::run_controlled(*model, split.train, users,
+                                                   split.test, cfg));
+    }
+  }
+
+  bench::header("Figure 11: accuracy vs step under differential privacy");
+  std::cout << "q=" << bench::fmt(q, 5) << " delta=" << delta
+            << " clip C=2.0; sigma in {1.0, 3.0}\n";
+  std::vector<std::string> head{"step"};
+  for (const auto& c : columns) head.push_back(c);
+  bench::row(head);
+  const auto& reference = results.at(columns[0]).curve;
+  for (std::size_t p = 0; p < reference.size(); ++p) {
+    std::vector<std::string> cells{std::to_string(reference[p].request)};
+    for (const auto& c : columns) {
+      cells.push_back(bench::fmt(results.at(c).curve[p].accuracy, 3));
+    }
+    bench::row(cells);
+  }
+
+  bench::header("paper-shape check");
+  for (std::size_t s = 0; s < sigmas.size(); ++s) {
+    const double ada = results.at(columns[s]).final_accuracy;
+    const double dyn = results.at(columns[3 + s]).final_accuracy;
+    std::cout << labels[s] << ": AdaSGD " << bench::fmt(ada, 3) << " vs DynSGD "
+              << bench::fmt(dyn, 3)
+              << (ada >= dyn ? "  (AdaSGD ahead)" : "  (!)") << "\n";
+  }
+  std::cout << "Smaller epsilon (more noise) slows convergence for both.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks for FLeet's hot paths: gradient
+// computation (the workload I-Prof sizes), aggregation weighting, the
+// profiler prediction path and the similarity computation.
+#include <benchmark/benchmark.h>
+
+#include "fleet/data/synthetic_images.hpp"
+#include "fleet/device/catalog.hpp"
+#include "fleet/learning/aggregator.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/privacy/gaussian_mechanism.hpp"
+#include "fleet/profiler/iprof.hpp"
+#include "fleet/profiler/training_data.hpp"
+
+namespace {
+
+using namespace fleet;
+
+void BM_GradientMnistCnn(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  auto model = nn::zoo::mnist_cnn();
+  model->init(1);
+  data::SyntheticImageConfig cfg;
+  cfg.height = 28;
+  cfg.width = 28;
+  cfg.n_train = 256;
+  cfg.n_test = 1;
+  const auto split = data::generate_synthetic_images(cfg);
+  stats::Rng rng(2);
+  const nn::Batch batch = split.train.sample_batch(batch_size, rng);
+  std::vector<float> grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->gradient(batch, grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_GradientMnistCnn)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_GradientSmallCnn(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  auto model = nn::zoo::small_cnn(1, 14, 14, 10);
+  model->init(1);
+  data::SyntheticImageConfig cfg = data::SyntheticImageConfig::mnist_like();
+  cfg.n_train = 512;
+  cfg.n_test = 1;
+  const auto split = data::generate_synthetic_images(cfg);
+  stats::Rng rng(2);
+  const nn::Batch batch = split.train.sample_batch(batch_size, rng);
+  std::vector<float> grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->gradient(batch, grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_GradientSmallCnn)->Arg(32)->Arg(128);
+
+void BM_AggregatorSubmit(benchmark::State& state) {
+  learning::AsyncAggregator::Config cfg;
+  cfg.scheme = learning::Scheme::kAdaSgd;
+  learning::AsyncAggregator agg(12000, 10, cfg);
+  learning::WorkerUpdate update;
+  update.gradient.assign(12000, 0.01f);
+  update.staleness = 6.0;
+  update.label_dist = stats::LabelDistribution(10);
+  update.label_dist.add(3, 100);
+  update.mini_batch = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.submit(update));
+  }
+}
+BENCHMARK(BM_AggregatorSubmit);
+
+void BM_IProfPredict(benchmark::State& state) {
+  profiler::IProf iprof{profiler::IProf::Config{}};
+  iprof.pretrain(profiler::collect_profile_dataset(device::training_fleet(),
+                                                   profiler::Slo{}, 5));
+  device::DeviceSim device(device::spec("Galaxy S7"), 1);
+  const auto features = device.features();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iprof.predict_batch(features, "Galaxy S7"));
+  }
+}
+BENCHMARK(BM_IProfPredict);
+
+void BM_PrivatizeGradient(benchmark::State& state) {
+  privacy::DpConfig cfg;
+  cfg.clip_norm = 1.0;
+  cfg.noise_multiplier = 1.0;
+  stats::Rng rng(1);
+  std::vector<float> gradient(static_cast<std::size_t>(state.range(0)), 0.01f);
+  for (auto _ : state) {
+    privacy::privatize_gradient(gradient, cfg, 100, rng);
+    benchmark::DoNotOptimize(gradient.data());
+  }
+}
+BENCHMARK(BM_PrivatizeGradient)->Arg(12000)->Arg(120000);
+
+void BM_DeviceTask(benchmark::State& state) {
+  device::DeviceSim device(device::spec("Galaxy S7"), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.run_task(1000, {4, 0}));
+    device.idle(60.0);
+  }
+}
+BENCHMARK(BM_DeviceTask);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Profiler demo: watch I-Prof learn a device. The cold-start model serves
+// the first request of a never-seen phone; every observation then updates
+// the per-device-model passive-aggressive regressor, driving the measured
+// task time toward the SLO.
+#include <iomanip>
+#include <iostream>
+
+#include "fleet/device/allocation.hpp"
+#include "fleet/device/catalog.hpp"
+#include "fleet/profiler/iprof.hpp"
+#include "fleet/profiler/training_data.hpp"
+
+using namespace fleet;
+
+int main(int argc, char** argv) {
+  const std::string device_name = argc > 1 ? argv[1] : "Galaxy S7";
+  const double slo_s = argc > 2 ? std::stod(argv[2]) : 3.0;
+
+  profiler::IProf::Config cfg;
+  cfg.slo.latency_s = slo_s;
+  cfg.slo.energy_pct = 100.0;  // latency-only demo
+  profiler::IProf iprof(cfg);
+  iprof.pretrain(profiler::collect_profile_dataset(device::training_fleet(),
+                                                   profiler::Slo{}, 3));
+  std::cout << "cold-start model trained on " << device::training_fleet().size()
+            << " training devices; target device: " << device_name
+            << ", latency SLO " << slo_s << " s\n\n";
+
+  device::DeviceSim device(device::spec(device_name), 17);
+  const auto alloc = device::fleet_allocation(device.spec());
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "req  model        n      time_s  |err|_s  temp_C\n";
+  for (int request = 0; request < 15; ++request) {
+    const auto features = device.features();
+    const std::size_t n = iprof.predict_batch(features, device_name);
+    const device::TaskExecution exec = device.run_task(n, alloc);
+
+    profiler::Observation ob;
+    ob.device_model = device_name;
+    ob.features = features;
+    ob.mini_batch = n;
+    ob.time_s = exec.time_s;
+    ob.energy_pct = exec.energy_pct;
+    iprof.observe(ob);
+
+    std::cout << std::setw(3) << request << "  "
+              << (request == 0 ? "cold-start " : "personalized") << " "
+              << std::setw(6) << n << "  " << exec.time_s << "   "
+              << std::abs(exec.time_s - slo_s) << "    "
+              << device.temperature_c() << "\n";
+    device.idle(90.0);
+  }
+  std::cout << "\nThe per-device PA model converges within a few requests;\n"
+               "try './profiler_demo \"Xperia E3\" 1.5' for a slow phone.\n";
+  return 0;
+}

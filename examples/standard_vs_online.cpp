@@ -1,0 +1,90 @@
+// Standard FL vs Online FL, end to end on the image task.
+//
+// Standard FL: synchronous FedAvg rounds that can only run when devices
+// are idle + charging + on WiFi (in practice: at night), so the model
+// updates once per day. Online FL: the FLeet middleware trains whenever
+// data arrives, with I-Prof bounding the per-task work and AdaSGD
+// absorbing the resulting staleness. Same data, same virtual duration.
+#include <iostream>
+#include <memory>
+
+#include "fleet/core/simulation.hpp"
+#include "fleet/core/standard_fl.hpp"
+#include "fleet/data/partition.hpp"
+#include "fleet/data/synthetic_images.hpp"
+#include "fleet/device/catalog.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/profiler/iprof.hpp"
+#include "fleet/profiler/training_data.hpp"
+
+using namespace fleet;
+
+int main() {
+  data::SyntheticImageConfig data_cfg;
+  data_cfg.n_classes = 6;
+  data_cfg.n_train = 1800;
+  data_cfg.n_test = 400;
+  const auto split = data::generate_synthetic_images(data_cfg);
+  stats::Rng rng(1);
+  const auto users = data::partition_iid(split.train.size(), 12, rng);
+  const double duration_s = 3.0 * 24.0 * 3600.0;  // three virtual days
+
+  // --- Standard FL: one nightly FedAvg round. ----------------------------
+  auto standard_model = nn::zoo::small_cnn(1, 14, 14, 6);
+  standard_model->init(42);
+  core::StandardFlConfig std_cfg;
+  std_cfg.duration_s = duration_s;
+  std_cfg.round_period_s = 25.0 * 3600.0;  // lands in the night window
+  std_cfg.devices_per_round = 8;
+  std_cfg.local_steps = 20;
+  std_cfg.learning_rate = 0.1f;
+  const auto std_result = core::run_standard_fl(
+      *standard_model, split.train, users, split.test, std_cfg);
+
+  // --- Online FL: the FLeet middleware, continuously. ---------------------
+  auto online_model = nn::zoo::small_cnn(1, 14, 14, 6);
+  online_model->init(42);
+  auto iprof = std::make_unique<profiler::IProf>(profiler::IProf::Config{});
+  iprof->pretrain(profiler::collect_profile_dataset(device::training_fleet(),
+                                                    profiler::Slo{}, 7));
+  core::ServerConfig server_cfg;
+  server_cfg.learning_rate = 0.02f;
+  core::FleetServer server(*online_model, std::move(iprof), server_cfg);
+  const auto phones = device::aws_fleet();
+  std::vector<core::FleetWorker> workers;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    auto replica = nn::zoo::small_cnn(1, 14, 14, 6);
+    replica->init(42);
+    workers.emplace_back(static_cast<int>(u), std::move(replica), split.train,
+                         users[u], device::spec(phones[u % phones.size()]),
+                         500 + u);
+  }
+  core::FleetSimulation::Config sim_cfg;
+  sim_cfg.duration_s = duration_s;
+  sim_cfg.think_time_mean_s = 600.0;  // a learning task every ~10 minutes
+  core::FleetSimulation sim(server, workers, sim_cfg);
+  const auto online_stats = sim.run();
+
+  std::cout << "three virtual days, same users and data\n\n"
+            << "Standard FL: " << std_result.rounds << " nightly rounds, "
+            << std_result.participating_devices << " device-rounds\n"
+            << "  accuracy after each night:";
+  for (double acc : std_result.round_accuracy) std::cout << " " << acc;
+  std::cout << "\n\nOnline FL (FLeet): " << online_stats.model_updates
+            << " asynchronous updates, max staleness "
+            << [&] {
+                 double m = 0.0;
+                 for (double tau : online_stats.staleness_values) {
+                   m = std::max(m, tau);
+                 }
+                 return m;
+               }()
+            << "\n  final accuracy: "
+            << data::evaluate_accuracy(*online_model, split.test)
+            << " (standard: " << std_result.final_accuracy << ")\n\n"
+            << "The point of the paper's Fig 1: Online FL incorporates "
+               "fresh data within\nminutes instead of the next morning — "
+               "and with I-Prof + AdaSGD it does so\nwithout wrecking "
+               "either the battery or the model.\n";
+  return 0;
+}

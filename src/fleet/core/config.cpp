@@ -1,0 +1,29 @@
+#include "fleet/core/config.hpp"
+
+#include <stdexcept>
+
+namespace fleet::core {
+
+void validate(const ServerConfig& config) {
+  if (config.learning_rate <= 0.0f) {
+    throw std::invalid_argument("ServerConfig: learning_rate must be > 0");
+  }
+  if (config.aggregator.aggregation_k == 0) {
+    throw std::invalid_argument("ServerConfig: aggregation K must be >= 1");
+  }
+  if (config.controller.size_percentile < 0.0 ||
+      config.controller.size_percentile > 100.0) {
+    throw std::invalid_argument(
+        "ServerConfig: size_percentile outside [0,100]");
+  }
+  if (config.controller.similarity_percentile < 0.0 ||
+      config.controller.similarity_percentile > 100.0) {
+    throw std::invalid_argument(
+        "ServerConfig: similarity_percentile outside [0,100]");
+  }
+  if (config.slo.latency_s <= 0.0 || config.slo.energy_pct <= 0.0) {
+    throw std::invalid_argument("ServerConfig: non-positive SLO");
+  }
+}
+
+}  // namespace fleet::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "fleet/learning/aggregator.hpp"
+#include "fleet/profiler/features.hpp"
+
+namespace fleet::core {
+
+/// Controller admission thresholds (Fig 2, step 4). Thresholds are
+/// percentiles over the history of past requests, matching the A/B-style
+/// gradual threshold setting of §2.4 and the sweep of Fig 15.
+struct ControllerConfig {
+  /// Reject requests whose mini-batch bound falls below this percentile of
+  /// past bounds (0 disables size-based pruning).
+  double size_percentile = 0.0;
+  /// Reject requests whose similarity exceeds this percentile of past
+  /// similarities (100 disables similarity-based pruning).
+  double similarity_percentile = 100.0;
+  /// Admission decisions are unconditioned until this much history exists.
+  std::size_t min_history = 20;
+  /// Hard floor: mini-batch bounds below this are always rejected.
+  std::size_t absolute_min_batch = 1;
+};
+
+/// Everything the FLeet server needs (§2.1).
+struct ServerConfig {
+  learning::AsyncAggregator::Config aggregator;
+  ControllerConfig controller;
+  profiler::Slo slo;
+  float learning_rate = 5e-4f;
+};
+
+/// Throws std::invalid_argument on out-of-range settings.
+void validate(const ServerConfig& config);
+
+}  // namespace fleet::core

@@ -1,0 +1,43 @@
+#include "fleet/core/controller.hpp"
+
+namespace fleet::core {
+
+Controller::Controller(const ControllerConfig& config) : config_(config) {}
+
+double Controller::size_threshold() const {
+  if (sizes_.count() < config_.min_history) return 0.0;
+  return sizes_.percentile(config_.size_percentile, 0.0);
+}
+
+double Controller::similarity_threshold() const {
+  if (similarities_.count() < config_.min_history) return 1.0;
+  return similarities_.percentile(config_.similarity_percentile, 1.0);
+}
+
+Controller::Decision Controller::admit(std::size_t mini_batch,
+                                       double similarity) {
+  Decision decision;
+  if (mini_batch < config_.absolute_min_batch) {
+    decision.admitted = false;
+    decision.reason = "mini-batch below absolute floor";
+  } else if (sizes_.count() >= config_.min_history &&
+             static_cast<double>(mini_batch) < size_threshold()) {
+    decision.admitted = false;
+    decision.reason = "mini-batch below size percentile threshold";
+  } else if (similarities_.count() >= config_.min_history &&
+             similarity > similarity_threshold()) {
+    decision.admitted = false;
+    decision.reason = "similarity above percentile threshold";
+  }
+  // Record after deciding so a request is not judged against itself.
+  sizes_.add(static_cast<double>(mini_batch));
+  similarities_.add(similarity);
+  if (decision.admitted) {
+    ++admitted_;
+  } else {
+    ++rejected_;
+  }
+  return decision;
+}
+
+}  // namespace fleet::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "fleet/data/tweet_stream.hpp"
+#include "fleet/device/device_model.hpp"
+
+namespace fleet::core {
+
+/// Online-vs-Standard FL comparison on the hashtag recommender (§3.1,
+/// Fig 6).
+///
+/// Both setups perform the *same* gradient computations over the same
+/// per-user mini-batches; they differ only in when updates reach the model:
+///  - Online FL retrains at the end of every chunk (1 hour) on that chunk's
+///    data and serves the fresh model for the next chunk.
+///  - Standard FL retrains once per day (nightly, when devices idle/charge)
+///    on the previous day's data and serves that model all next day.
+/// A "most popular" baseline recommends the top-k hashtags of the training
+/// data seen so far in the shard. Models reset at each shard boundary, and
+/// evaluation is the F1-score @ top-5 per chunk.
+struct HashtagExperimentConfig {
+  std::size_t embed_dim = 16;
+  std::size_t hidden_dim = 24;
+  std::size_t max_bptt = 16;
+  float learning_rate = 0.08f;
+  double chunk_hours = 1.0;
+  double shard_days = 2.0;
+  double standard_period_hours = 24.0;
+  std::size_t top_k = 5;
+  std::uint64_t seed = 11;
+};
+
+struct ChunkScore {
+  double start_hour = 0.0;
+  std::size_t n_eval_tweets = 0;
+  double f1_online = 0.0;
+  double f1_standard = 0.0;
+  double f1_popular = 0.0;
+};
+
+struct HashtagExperimentResult {
+  std::vector<ChunkScore> chunks;
+  /// Mean of per-chunk ratios f1_online / f1_standard over chunks where
+  /// standard is non-zero — the "quality boost" headline (2.3x in Fig 6).
+  double mean_boost = 0.0;
+  double mean_f1_online = 0.0;
+  double mean_f1_standard = 0.0;
+  double mean_f1_popular = 0.0;
+};
+
+HashtagExperimentResult run_online_vs_standard(
+    const data::TweetStream& stream, const HashtagExperimentConfig& config);
+
+/// §3.1 energy table: replay the online updates' mini-batches through the
+/// Raspberry-Pi-like worker model and report daily energy (mWh).
+struct EnergyImpact {
+  double avg_daily_mwh = 0.0;
+  double median_daily_mwh = 0.0;
+  double p99_daily_mwh = 0.0;
+  double max_daily_mwh = 0.0;
+  double idle_power_w = 0.0;
+  double power_batch1_w = 0.0;
+  double power_batch100_w = 0.0;
+};
+
+EnergyImpact measure_energy_impact(const data::TweetStream& stream,
+                                   std::uint64_t seed = 3);
+
+}  // namespace fleet::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "fleet/core/config.hpp"
+#include "fleet/data/partition.hpp"
+#include "fleet/data/synthetic_images.hpp"
+#include "fleet/learning/aggregator.hpp"
+#include "fleet/privacy/gaussian_mechanism.hpp"
+#include "fleet/privacy/label_privacy.hpp"
+#include "fleet/stats/distributions.hpp"
+
+namespace fleet::core {
+
+/// Controlled-staleness training harness used by the §3.2 experiments
+/// (Figs 8-11 and 15): like the paper, staleness is *imposed* from a chosen
+/// distribution so SGD variants can be compared precisely. At global step t
+/// a random user computes a gradient against the parameter snapshot from
+/// step t - tau (tau sampled), and the aggregator weights it per scheme.
+struct ControlledRunConfig {
+  learning::AsyncAggregator::Config aggregator;
+  float learning_rate = 5e-4f;
+  std::size_t steps = 2000;          // number of worker requests
+  std::size_t mini_batch = 100;      // fixed size (paper default, §3.2)
+  /// Staleness source; nullptr means zero staleness (SSGD uses this).
+  const stats::Distribution* staleness = nullptr;
+  /// Fig 9: force this staleness on gradients carrying `longtail_class`.
+  int longtail_class = -1;
+  double longtail_staleness = 48.0;
+  /// Fig 15: draw the mini-batch size from N(batch_mean, batch_stddev)
+  /// instead of `mini_batch` when batch_stddev > 0.
+  double batch_mean = 0.0;
+  double batch_stddev = 0.0;
+  /// Controller thresholds (percentile-based; see Fig 15).
+  ControllerConfig controller;
+  /// Differential privacy (Fig 11); noise_multiplier 0 disables.
+  privacy::DpConfig dp;
+  /// DP release of the per-task label distribution (§5 future work,
+  /// implemented in fleet::privacy); epsilon <= 0 disables.
+  privacy::LabelPrivacyConfig label_privacy;
+  std::size_t eval_every = 250;
+  /// Also track accuracy restricted to this class (Fig 9a); -1 disables.
+  int eval_class = -1;
+  std::size_t history_window = 96;   // parameter snapshots kept (>= max tau)
+  std::uint64_t seed = 1;
+};
+
+struct CurvePoint {
+  std::size_t request = 0;   // worker requests issued so far
+  std::size_t step = 0;      // model updates applied so far
+  double accuracy = 0.0;
+  double class_accuracy = -1.0;
+};
+
+struct ControlledRunResult {
+  std::vector<CurvePoint> curve;
+  std::vector<double> weights;   // dampening weights applied (Fig 9b)
+  std::size_t tasks_executed = 0;
+  std::size_t tasks_rejected = 0;
+  double final_accuracy = 0.0;
+};
+
+/// Run the harness on an image model. `model` must be freshly initialized;
+/// it is trained in place.
+ControlledRunResult run_controlled(nn::TrainableModel& model,
+                                   const data::Dataset& train,
+                                   const data::Partition& users,
+                                   const data::Dataset& test,
+                                   const ControlledRunConfig& config);
+
+/// Synchronous mixed-capability training (Fig 3): every step, each worker
+/// contributes one gradient on its own mini-batch size and the model takes
+/// the uniform average. Weak workers (tiny batches) inject gradient noise.
+struct SynchronousMixConfig {
+  std::vector<std::size_t> worker_batch_sizes;  // one entry per worker
+  float learning_rate = 5e-4f;
+  std::size_t steps = 1500;
+  std::size_t eval_every = 100;
+  std::uint64_t seed = 1;
+};
+
+std::vector<CurvePoint> run_synchronous_mix(nn::TrainableModel& model,
+                                            const data::Dataset& train,
+                                            const data::Dataset& test,
+                                            const SynchronousMixConfig& config);
+
+}  // namespace fleet::core

@@ -1,0 +1,72 @@
+#include "fleet/core/server.hpp"
+
+#include <stdexcept>
+
+namespace fleet::core {
+
+FleetServer::FleetServer(nn::TrainableModel& model,
+                         std::unique_ptr<profiler::Profiler> profiler,
+                         const ServerConfig& config)
+    : model_(model),
+      profiler_(std::move(profiler)),
+      config_(config),
+      controller_(config.controller),
+      aggregator_(model.parameter_count(), model.n_classes(),
+                  config.aggregator) {
+  if (profiler_ == nullptr) {
+    throw std::invalid_argument("FleetServer: null profiler");
+  }
+}
+
+TaskAssignment FleetServer::handle_request(
+    const profiler::DeviceFeatures& features, const std::string& device_model,
+    const stats::LabelDistribution& label_info) {
+  TaskAssignment assignment;
+  const std::size_t bound = profiler_->predict_batch(features, device_model);
+  const double similarity = aggregator_.similarity().similarity(label_info);
+  const Controller::Decision decision = controller_.admit(bound, similarity);
+  if (!decision.admitted) {
+    assignment.accepted = false;
+    assignment.reject_reason = decision.reason;
+    return assignment;
+  }
+  assignment.accepted = true;
+  assignment.model_version = version_;
+  assignment.mini_batch = bound;
+  assignment.parameters = model_.parameters();
+  return assignment;
+}
+
+GradientReceipt FleetServer::handle_gradient(
+    std::size_t task_version, std::vector<float> gradient,
+    const stats::LabelDistribution& label_info, std::size_t mini_batch,
+    const std::optional<profiler::Observation>& feedback) {
+  if (task_version > version_) {
+    throw std::invalid_argument(
+        "FleetServer::handle_gradient: task version from the future");
+  }
+  GradientReceipt receipt;
+  receipt.staleness = static_cast<double>(version_ - task_version);
+  receipt.similarity = aggregator_.similarity().similarity(label_info);
+
+  learning::WorkerUpdate update;
+  update.gradient = std::move(gradient);
+  update.staleness = receipt.staleness;
+  update.label_dist = label_info;
+  update.mini_batch = mini_batch;
+  receipt.weight = aggregator_.weight_for(update);
+
+  if (auto summed = aggregator_.submit(update)) {
+    model_.apply_gradient(*summed, config_.learning_rate);
+    ++version_;
+    receipt.model_updated = true;
+  }
+  receipt.version = version_;
+
+  if (feedback.has_value()) {
+    profiler_->observe(*feedback);
+  }
+  return receipt;
+}
+
+}  // namespace fleet::core

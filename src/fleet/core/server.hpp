@@ -1,0 +1,72 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fleet/core/controller.hpp"
+#include "fleet/nn/model.hpp"
+#include "fleet/profiler/features.hpp"
+
+namespace fleet::core {
+
+/// What the server hands a worker for one learning task (Fig 2, steps 2-4).
+struct TaskAssignment {
+  bool accepted = false;
+  std::string reject_reason;
+  std::size_t model_version = 0;   // logical clock t_i the task starts from
+  std::size_t mini_batch = 0;      // I-Prof's workload bound
+  std::vector<float> parameters;   // model snapshot theta^(t_i)
+};
+
+/// Server's acknowledgment of a received gradient (step 5).
+struct GradientReceipt {
+  bool model_updated = false;
+  double weight = 0.0;       // min(1, Lambda(tau)/sim) actually applied
+  double staleness = 0.0;    // tau_i in model updates
+  double similarity = 0.0;   // sim(x_i)
+  std::size_t version = 0;   // server clock after handling this gradient
+};
+
+/// The FLeet server (§2.1): profiler + controller + AdaSGD aggregation
+/// around a global model. Single-threaded by design — the discrete-event
+/// simulation serializes handler calls, like the HTTP server serializes
+/// stream handling in the original implementation.
+class FleetServer {
+ public:
+  FleetServer(nn::TrainableModel& model,
+              std::unique_ptr<profiler::Profiler> profiler,
+              const ServerConfig& config);
+
+  /// Steps 1-4 of the protocol: device info + label info in, size bound and
+  /// model snapshot out (or a rejection).
+  TaskAssignment handle_request(const profiler::DeviceFeatures& features,
+                                const std::string& device_model,
+                                const stats::LabelDistribution& label_info);
+
+  /// Step 5: gradient in; dampen, maybe update the model. `feedback`
+  /// carries the measured task cost back into the profiler.
+  GradientReceipt handle_gradient(
+      std::size_t task_version, std::vector<float> gradient,
+      const stats::LabelDistribution& label_info, std::size_t mini_batch,
+      const std::optional<profiler::Observation>& feedback = std::nullopt);
+
+  /// Logical clock t: number of model updates so far.
+  std::size_t version() const { return version_; }
+
+  const Controller& controller() const { return controller_; }
+  const learning::AsyncAggregator& aggregator() const { return aggregator_; }
+  profiler::Profiler& profiler() { return *profiler_; }
+  nn::TrainableModel& model() { return model_; }
+
+ private:
+  nn::TrainableModel& model_;
+  std::unique_ptr<profiler::Profiler> profiler_;
+  ServerConfig config_;
+  Controller controller_;
+  learning::AsyncAggregator aggregator_;
+  std::size_t version_ = 0;
+};
+
+}  // namespace fleet::core

@@ -1,0 +1,95 @@
+#include "fleet/core/standard_fl.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::core {
+
+bool AvailabilityModel::is_night(double time_s) const {
+  const double hour = std::fmod(time_s / 3600.0, 24.0);
+  if (night_start_hour > night_end_hour) {
+    return hour >= night_start_hour || hour < night_end_hour;
+  }
+  return hour >= night_start_hour && hour < night_end_hour;
+}
+
+bool AvailabilityModel::available(double time_s, stats::Rng& rng) const {
+  return rng.bernoulli(is_night(time_s) ? night_probability
+                                        : day_probability);
+}
+
+StandardFlResult run_standard_fl(nn::TrainableModel& model,
+                                 const data::Dataset& train,
+                                 const data::Partition& users,
+                                 const data::Dataset& test,
+                                 const StandardFlConfig& config) {
+  if (users.empty()) {
+    throw std::invalid_argument("run_standard_fl: no users");
+  }
+  if (config.devices_per_round == 0 || config.local_steps == 0) {
+    throw std::invalid_argument("run_standard_fl: zero-sized round config");
+  }
+  stats::Rng rng(config.seed);
+  StandardFlResult result;
+  std::vector<float> scratch_grad;
+
+  // Rounds start in the middle of the first night window so the canonical
+  // configuration actually finds devices.
+  for (double t = config.round_period_s; t <= config.duration_s;
+       t += config.round_period_s) {
+    // Device selection: only currently-available devices are eligible.
+    std::vector<std::size_t> selected;
+    for (std::size_t u = 0; u < users.size(); ++u) {
+      if (config.availability.available(t, rng)) selected.push_back(u);
+    }
+    rng.shuffle(selected);
+    if (selected.size() > config.devices_per_round) {
+      selected.resize(config.devices_per_round);
+    }
+    if (selected.empty()) {
+      ++result.skipped_rounds;
+      continue;
+    }
+
+    // FedAvg: each device trains locally from the same global snapshot;
+    // the server averages the parameter deltas.
+    const std::vector<float> global = model.parameters();
+    std::vector<double> delta_sum(global.size(), 0.0);
+    for (std::size_t u : selected) {
+      model.set_parameters(global);
+      const auto& local = users[u];
+      for (std::size_t step = 0; step < config.local_steps; ++step) {
+        const std::size_t batch_size =
+            std::min(config.mini_batch, local.size());
+        const auto picks =
+            rng.sample_without_replacement(local.size(), batch_size);
+        std::vector<std::size_t> indices(batch_size);
+        for (std::size_t i = 0; i < batch_size; ++i) {
+          indices[i] = local[picks[i]];
+        }
+        const nn::Batch batch = train.make_batch(indices);
+        model.gradient(batch, scratch_grad);
+        model.apply_gradient(scratch_grad, config.learning_rate);
+      }
+      const std::vector<float> local_params = model.parameters();
+      for (std::size_t i = 0; i < global.size(); ++i) {
+        delta_sum[i] += static_cast<double>(local_params[i]) - global[i];
+      }
+    }
+    std::vector<float> averaged(global.size());
+    const double inv = 1.0 / static_cast<double>(selected.size());
+    for (std::size_t i = 0; i < global.size(); ++i) {
+      averaged[i] = global[i] + static_cast<float>(delta_sum[i] * inv);
+    }
+    model.set_parameters(averaged);
+
+    ++result.rounds;
+    result.participating_devices += selected.size();
+    result.round_accuracy.push_back(data::evaluate_accuracy(model, test));
+  }
+  result.final_accuracy =
+      result.round_accuracy.empty() ? 0.0 : result.round_accuracy.back();
+  return result;
+}
+
+}  // namespace fleet::core

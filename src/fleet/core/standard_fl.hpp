@@ -1,0 +1,58 @@
+#pragma once
+
+#include "fleet/data/partition.hpp"
+#include "fleet/data/synthetic_images.hpp"
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::core {
+
+/// Device availability under Standard FL's constraint (§1): a device is
+/// eligible only while idle, charging and on unmetered WiFi — which for
+/// most phones means overnight. Availability is a diurnal probability,
+/// high at night and low during the day; Google's reported effect is that
+/// day-time rounds see a small, skewed population.
+struct AvailabilityModel {
+  double night_probability = 0.8;  // eligible during the night window
+  double day_probability = 0.04;   // eligible during the day
+  double night_start_hour = 23.0;
+  double night_end_hour = 6.0;
+
+  bool is_night(double time_s) const;
+  bool available(double time_s, stats::Rng& rng) const;
+};
+
+/// Synchronous Standard-FL training (FedAvg, McMahan et al.): at each
+/// round the server samples available devices, ships the model, averages
+/// the returned gradients and applies one update. Rounds fire on a fixed
+/// period (24 h by default, matching "with most devices available at
+/// night the model is generally updated every 24 hours").
+struct StandardFlConfig {
+  double round_period_s = 24.0 * 3600.0;
+  double duration_s = 10.0 * 24.0 * 3600.0;
+  std::size_t devices_per_round = 20;
+  std::size_t mini_batch = 32;
+  /// Local SGD steps each selected device performs per round.
+  std::size_t local_steps = 5;
+  float learning_rate = 0.05f;
+  AvailabilityModel availability;
+  std::uint64_t seed = 1;
+};
+
+struct StandardFlResult {
+  std::size_t rounds = 0;
+  std::size_t participating_devices = 0;  // across all rounds
+  std::size_t skipped_rounds = 0;         // no eligible devices
+  std::vector<double> round_accuracy;     // after each round
+  double final_accuracy = 0.0;
+};
+
+/// Run Standard FL over a user partition. Devices perform FedAvg-style
+/// local training (local_steps mini-batch steps) and the server averages
+/// the resulting model deltas.
+StandardFlResult run_standard_fl(nn::TrainableModel& model,
+                                 const data::Dataset& train,
+                                 const data::Partition& users,
+                                 const data::Dataset& test,
+                                 const StandardFlConfig& config);
+
+}  // namespace fleet::core

@@ -1,0 +1,76 @@
+#include "fleet/core/worker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fleet::core {
+
+FleetWorker::FleetWorker(int user_id,
+                         std::unique_ptr<nn::TrainableModel> replica,
+                         const data::Dataset& dataset,
+                         std::vector<std::size_t> local_indices,
+                         const device::DeviceSpec& device_spec,
+                         std::uint64_t seed)
+    : user_id_(user_id),
+      replica_(std::move(replica)),
+      dataset_(dataset),
+      local_indices_(std::move(local_indices)),
+      device_(device_spec, seed),
+      rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  if (replica_ == nullptr) {
+    throw std::invalid_argument("FleetWorker: null model replica");
+  }
+  if (local_indices_.empty()) {
+    throw std::invalid_argument("FleetWorker: empty local dataset");
+  }
+}
+
+profiler::DeviceFeatures FleetWorker::device_info() {
+  return device_.features();
+}
+
+stats::LabelDistribution FleetWorker::label_info() const {
+  stats::LabelDistribution ld(dataset_.n_classes());
+  for (std::size_t idx : local_indices_) {
+    ld.add(dataset_.label(idx));
+  }
+  return ld;
+}
+
+FleetWorker::ExecutionResult FleetWorker::execute(
+    const TaskAssignment& assignment) {
+  if (!assignment.accepted) {
+    throw std::invalid_argument("FleetWorker::execute: rejected assignment");
+  }
+  const std::size_t n = std::min(assignment.mini_batch, local_indices_.size());
+  if (n == 0) {
+    throw std::invalid_argument("FleetWorker::execute: zero mini-batch");
+  }
+  // Mini-batch drawn uniformly from the local dataset (§2.3).
+  const auto picks = rng_.sample_without_replacement(local_indices_.size(), n);
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = local_indices_[picks[i]];
+  const nn::Batch batch = dataset_.make_batch(indices);
+
+  ExecutionResult result;
+  result.mini_batch = n;
+  result.minibatch_labels =
+      stats::LabelDistribution::from_labels(batch.labels, dataset_.n_classes());
+
+  replica_->set_parameters(assignment.parameters);
+  result.loss = replica_->gradient(batch, result.gradient);
+
+  // Charge the device: features snapshot first (request-time state), then
+  // the task execution itself.
+  const profiler::DeviceFeatures features = device_.features();
+  result.execution =
+      device_.run_task(n, device::fleet_allocation(device_.spec()));
+  result.observation.device_model = device_.model_name();
+  result.observation.features = features;
+  result.observation.mini_batch = n;
+  result.observation.time_s = result.execution.time_s;
+  result.observation.energy_pct = result.execution.energy_pct;
+  return result;
+}
+
+}  // namespace fleet::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fleet/core/server.hpp"
+#include "fleet/data/dataset.hpp"
+#include "fleet/device/allocation.hpp"
+#include "fleet/device/device_model.hpp"
+
+namespace fleet::core {
+
+/// A FLeet worker: the library embedded in the mobile ML application
+/// (Fig 2, right side). Owns the local data slice, a simulated device and a
+/// private model replica used to compute gradients on server-provided
+/// parameters. User data never leaves the worker — only gradients and label
+/// *indices* do, matching the paper's privacy posture.
+class FleetWorker {
+ public:
+  FleetWorker(int user_id, std::unique_ptr<nn::TrainableModel> replica,
+              const data::Dataset& dataset,
+              std::vector<std::size_t> local_indices,
+              const device::DeviceSpec& device_spec, std::uint64_t seed);
+
+  /// Step 1 of the protocol: device info + label info.
+  profiler::DeviceFeatures device_info();
+  stats::LabelDistribution label_info() const;
+
+  struct ExecutionResult {
+    std::vector<float> gradient;
+    stats::LabelDistribution minibatch_labels{1};
+    std::size_t mini_batch = 0;
+    double loss = 0.0;
+    device::TaskExecution execution;       // measured time/energy
+    profiler::Observation observation;     // profiler feedback payload
+  };
+
+  /// Execute an accepted assignment: sample a local mini-batch of the
+  /// assigned size, compute the gradient at the given parameters, and
+  /// charge the simulated device for it.
+  ExecutionResult execute(const TaskAssignment& assignment);
+
+  int user_id() const { return user_id_; }
+  device::DeviceSim& device() { return device_; }
+  std::size_t local_size() const { return local_indices_.size(); }
+
+ private:
+  int user_id_;
+  std::unique_ptr<nn::TrainableModel> replica_;
+  const data::Dataset& dataset_;
+  std::vector<std::size_t> local_indices_;
+  device::DeviceSim device_;
+  stats::Rng rng_;
+};
+
+}  // namespace fleet::core

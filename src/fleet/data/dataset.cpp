@@ -1,0 +1,109 @@
+#include "fleet/data/dataset.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "fleet/stats/metrics.hpp"
+
+namespace fleet::data {
+
+Dataset::Dataset(std::vector<std::size_t> sample_shape, std::size_t n_classes)
+    : sample_shape_(std::move(sample_shape)),
+      sample_size_(tensor::Tensor::shape_size(sample_shape_)),
+      n_classes_(n_classes) {
+  if (sample_size_ == 0) throw std::invalid_argument("Dataset: empty shape");
+  if (n_classes == 0) throw std::invalid_argument("Dataset: 0 classes");
+}
+
+void Dataset::add_sample(std::span<const float> features, int label) {
+  if (features.size() != sample_size_) {
+    throw std::invalid_argument("Dataset::add_sample: feature size mismatch");
+  }
+  if (label < 0 || static_cast<std::size_t>(label) >= n_classes_) {
+    throw std::out_of_range("Dataset::add_sample: label out of range");
+  }
+  data_.insert(data_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+void Dataset::reserve(std::size_t n) {
+  data_.reserve(n * sample_size_);
+  labels_.reserve(n);
+}
+
+std::span<const float> Dataset::sample(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("Dataset::sample");
+  return {data_.data() + i * sample_size_, sample_size_};
+}
+
+nn::Batch Dataset::make_batch(std::span<const std::size_t> indices) const {
+  if (indices.empty()) {
+    throw std::invalid_argument("Dataset::make_batch: empty index list");
+  }
+  std::vector<std::size_t> shape;
+  shape.push_back(indices.size());
+  shape.insert(shape.end(), sample_shape_.begin(), sample_shape_.end());
+  nn::Batch batch{tensor::Tensor(std::move(shape)), {}};
+  batch.labels.reserve(indices.size());
+  float* out = batch.inputs.data();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const auto s = sample(indices[k]);
+    std::copy(s.begin(), s.end(), out + k * sample_size_);
+    batch.labels.push_back(labels_[indices[k]]);
+  }
+  return batch;
+}
+
+nn::Batch Dataset::sample_batch(std::size_t k, stats::Rng& rng) const {
+  if (k == 0) throw std::invalid_argument("Dataset::sample_batch: k=0");
+  k = std::min(k, size());
+  const auto indices = rng.sample_without_replacement(size(), k);
+  return make_batch(indices);
+}
+
+nn::Batch Dataset::all() const {
+  std::vector<std::size_t> indices(size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return make_batch(indices);
+}
+
+namespace {
+
+double evaluate_impl(nn::TrainableModel& model, const Dataset& dataset,
+                     int target_class, std::size_t chunk) {
+  if (dataset.size() == 0) return 0.0;
+  std::size_t correct = 0, total = 0;
+  const std::size_t n_classes = model.n_classes();
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < dataset.size(); start += chunk) {
+    const std::size_t stop = std::min(start + chunk, dataset.size());
+    indices.resize(stop - start);
+    std::iota(indices.begin(), indices.end(), start);
+    const nn::Batch batch = dataset.make_batch(indices);
+    const std::vector<float> scores = model.predict(batch.inputs);
+    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+      if (target_class >= 0 && batch.labels[i] != target_class) continue;
+      ++total;
+      const auto top = stats::top_k(
+          std::span<const float>(scores.data() + i * n_classes, n_classes), 1);
+      if (top[0] == static_cast<std::size_t>(batch.labels[i])) ++correct;
+    }
+  }
+  if (total == 0) return -1.0;
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double evaluate_accuracy(nn::TrainableModel& model, const Dataset& dataset,
+                         std::size_t chunk) {
+  return evaluate_impl(model, dataset, -1, chunk);
+}
+
+double evaluate_class_accuracy(nn::TrainableModel& model,
+                               const Dataset& dataset, int target_class,
+                               std::size_t chunk) {
+  return evaluate_impl(model, dataset, target_class, chunk);
+}
+
+}  // namespace fleet::data

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fleet/nn/model.hpp"
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::data {
+
+/// An in-memory labeled image dataset (NCHW, min-max scaled to [0,1] as the
+/// paper pre-processes its inputs).
+class Dataset {
+ public:
+  Dataset(std::vector<std::size_t> sample_shape, std::size_t n_classes);
+
+  void add_sample(std::span<const float> features, int label);
+  void reserve(std::size_t n);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t n_classes() const { return n_classes_; }
+  const std::vector<std::size_t>& sample_shape() const { return sample_shape_; }
+  std::size_t sample_size() const { return sample_size_; }
+
+  int label(std::size_t i) const { return labels_.at(i); }
+  const std::vector<int>& labels() const { return labels_; }
+  std::span<const float> sample(std::size_t i) const;
+
+  /// Gather the given sample indices into a training batch.
+  nn::Batch make_batch(std::span<const std::size_t> indices) const;
+
+  /// Batch of `k` samples drawn uniformly without replacement.
+  nn::Batch sample_batch(std::size_t k, stats::Rng& rng) const;
+
+  /// The whole dataset as one batch (for evaluation).
+  nn::Batch all() const;
+
+ private:
+  std::vector<std::size_t> sample_shape_;
+  std::size_t sample_size_;
+  std::size_t n_classes_;
+  std::vector<float> data_;
+  std::vector<int> labels_;
+};
+
+/// Top-1 accuracy of `model` on `dataset`, evaluated in chunks to bound
+/// peak memory.
+double evaluate_accuracy(nn::TrainableModel& model, const Dataset& dataset,
+                         std::size_t chunk = 256);
+
+/// Top-1 accuracy restricted to samples of one class (Fig 9a).
+double evaluate_class_accuracy(nn::TrainableModel& model,
+                               const Dataset& dataset, int target_class,
+                               std::size_t chunk = 256);
+
+}  // namespace fleet::data

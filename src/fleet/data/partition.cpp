@@ -1,0 +1,82 @@
+#include "fleet/data/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fleet::data {
+
+Partition partition_iid(std::size_t n_samples, std::size_t n_users,
+                        stats::Rng& rng) {
+  if (n_users == 0) throw std::invalid_argument("partition_iid: 0 users");
+  if (n_samples < n_users) {
+    throw std::invalid_argument("partition_iid: fewer samples than users");
+  }
+  std::vector<std::size_t> indices(n_samples);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.shuffle(indices);
+  Partition partition(n_users);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    partition[i % n_users].push_back(indices[i]);
+  }
+  return partition;
+}
+
+Partition partition_noniid_shards(const std::vector<int>& labels,
+                                  std::size_t n_users,
+                                  std::size_t shards_per_user,
+                                  stats::Rng& rng) {
+  if (n_users == 0 || shards_per_user == 0) {
+    throw std::invalid_argument("partition_noniid_shards: zero-sized config");
+  }
+  const std::size_t n_shards = n_users * shards_per_user;
+  if (labels.size() < n_shards) {
+    throw std::invalid_argument(
+        "partition_noniid_shards: fewer samples than shards");
+  }
+  // Sort indices by label (stable so ties keep dataset order).
+  std::vector<std::size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return labels[a] < labels[b];
+  });
+
+  std::vector<std::size_t> shard_ids(n_shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), 0);
+  rng.shuffle(shard_ids);
+
+  const std::size_t shard_size = labels.size() / n_shards;
+  Partition partition(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    for (std::size_t s = 0; s < shards_per_user; ++s) {
+      const std::size_t shard = shard_ids[u * shards_per_user + s];
+      const std::size_t begin = shard * shard_size;
+      // Last shard absorbs the remainder.
+      const std::size_t end =
+          (shard == n_shards - 1) ? labels.size() : begin + shard_size;
+      for (std::size_t i = begin; i < end; ++i) {
+        partition[u].push_back(order[i]);
+      }
+    }
+  }
+  return partition;
+}
+
+std::vector<std::vector<std::size_t>> partition_label_counts(
+    const Partition& partition, const std::vector<int>& labels,
+    std::size_t n_classes) {
+  std::vector<std::vector<std::size_t>> counts(
+      partition.size(), std::vector<std::size_t>(n_classes, 0));
+  for (std::size_t u = 0; u < partition.size(); ++u) {
+    for (std::size_t idx : partition[u]) {
+      const int label = labels.at(idx);
+      if (label < 0 || static_cast<std::size_t>(label) >= n_classes) {
+        throw std::out_of_range("partition_label_counts: label out of range");
+      }
+      ++counts[u][static_cast<std::size_t>(label)];
+    }
+  }
+  return counts;
+}
+
+}  // namespace fleet::data

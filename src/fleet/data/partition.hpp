@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "fleet/data/dataset.hpp"
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::data {
+
+/// Per-user index lists into a dataset.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// IID split: shuffle, deal round-robin.
+Partition partition_iid(std::size_t n_samples, std::size_t n_users,
+                        stats::Rng& rng);
+
+/// The standard FL non-IID decentralization scheme (McMahan et al., used in
+/// §3.2): sort sample indices by label, cut into
+/// `n_users * shards_per_user` contiguous shards, hand each user
+/// `shards_per_user` random shards — so each user holds examples of only a
+/// few labels.
+Partition partition_noniid_shards(const std::vector<int>& labels,
+                                  std::size_t n_users,
+                                  std::size_t shards_per_user,
+                                  stats::Rng& rng);
+
+/// Label histogram per user (for inspecting skew; also feeds LD(x_i)).
+std::vector<std::vector<std::size_t>> partition_label_counts(
+    const Partition& partition, const std::vector<int>& labels,
+    std::size_t n_classes);
+
+}  // namespace fleet::data

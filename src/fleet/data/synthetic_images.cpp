@@ -1,0 +1,157 @@
+#include "fleet/data/synthetic_images.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::data {
+
+SyntheticImageConfig SyntheticImageConfig::mnist_like() {
+  SyntheticImageConfig c;
+  c.n_classes = 10;
+  c.channels = 1;
+  c.height = 14;
+  c.width = 14;
+  c.n_train = 4000;
+  c.n_test = 1000;
+  c.seed = 42;
+  return c;
+}
+
+SyntheticImageConfig SyntheticImageConfig::emnist_like() {
+  SyntheticImageConfig c;
+  c.n_classes = 62;
+  c.channels = 1;
+  c.height = 14;
+  c.width = 14;
+  c.n_train = 9300;
+  c.n_test = 2480;
+  c.seed = 43;
+  return c;
+}
+
+SyntheticImageConfig SyntheticImageConfig::cifar10_like() {
+  SyntheticImageConfig c;
+  c.n_classes = 10;
+  c.channels = 3;
+  c.height = 16;
+  c.width = 16;
+  c.n_train = 5000;
+  c.n_test = 1000;
+  c.noise_stddev = 0.40f;
+  c.seed = 44;
+  return c;
+}
+
+SyntheticImageConfig SyntheticImageConfig::cifar100_like() {
+  SyntheticImageConfig c = cifar10_like();
+  c.n_classes = 100;
+  c.n_train = 10000;
+  c.n_test = 2000;
+  c.seed = 45;
+  return c;
+}
+
+namespace {
+
+/// Smooth prototype: random values on a coarse grid, bilinearly upsampled.
+/// Smoothness matters: it gives convolution kernels local structure to
+/// latch onto, like strokes/edges in the real datasets.
+std::vector<float> make_prototype(const SyntheticImageConfig& cfg,
+                                  stats::Rng& rng) {
+  const std::size_t coarse = 4;
+  std::vector<float> grid(cfg.channels * coarse * coarse);
+  for (float& g : grid) g = static_cast<float>(rng.uniform(0.0, 1.0));
+
+  std::vector<float> proto(cfg.channels * cfg.height * cfg.width);
+  for (std::size_t c = 0; c < cfg.channels; ++c) {
+    for (std::size_t y = 0; y < cfg.height; ++y) {
+      for (std::size_t x = 0; x < cfg.width; ++x) {
+        const double gy = static_cast<double>(y) /
+                          static_cast<double>(cfg.height - 1) *
+                          static_cast<double>(coarse - 1);
+        const double gx = static_cast<double>(x) /
+                          static_cast<double>(cfg.width - 1) *
+                          static_cast<double>(coarse - 1);
+        const auto y0 = static_cast<std::size_t>(gy);
+        const auto x0 = static_cast<std::size_t>(gx);
+        const std::size_t y1 = std::min(y0 + 1, coarse - 1);
+        const std::size_t x1 = std::min(x0 + 1, coarse - 1);
+        const auto fy = static_cast<float>(gy - static_cast<double>(y0));
+        const auto fx = static_cast<float>(gx - static_cast<double>(x0));
+        const float* g = grid.data() + c * coarse * coarse;
+        const float v = g[y0 * coarse + x0] * (1 - fy) * (1 - fx) +
+                        g[y0 * coarse + x1] * (1 - fy) * fx +
+                        g[y1 * coarse + x0] * fy * (1 - fx) +
+                        g[y1 * coarse + x1] * fy * fx;
+        proto[(c * cfg.height + y) * cfg.width + x] = v;
+      }
+    }
+  }
+  return proto;
+}
+
+void render_sample(const SyntheticImageConfig& cfg,
+                   const std::vector<float>& proto, stats::Rng& rng,
+                   std::vector<float>& out) {
+  const int dy = static_cast<int>(rng.uniform_int(-cfg.max_shift, cfg.max_shift));
+  const int dx = static_cast<int>(rng.uniform_int(-cfg.max_shift, cfg.max_shift));
+  out.resize(proto.size());
+  const auto h = static_cast<int>(cfg.height);
+  const auto w = static_cast<int>(cfg.width);
+  float lo = 1e30f, hi = -1e30f;
+  for (std::size_t c = 0; c < cfg.channels; ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        // Toroidal shift keeps all mass in frame.
+        const int sy = ((y + dy) % h + h) % h;
+        const int sx = ((x + dx) % w + w) % w;
+        float v = proto[(c * cfg.height + static_cast<std::size_t>(sy)) *
+                            cfg.width + static_cast<std::size_t>(sx)] +
+                  static_cast<float>(rng.gaussian(0.0, cfg.noise_stddev));
+        out[(c * cfg.height + static_cast<std::size_t>(y)) * cfg.width +
+            static_cast<std::size_t>(x)] = v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  // Min-max scaling, the paper's preprocessing step (§3.2).
+  const float range = std::max(hi - lo, 1e-6f);
+  for (float& v : out) v = (v - lo) / range;
+}
+
+}  // namespace
+
+TrainTestSplit generate_synthetic_images(const SyntheticImageConfig& cfg) {
+  if (cfg.n_classes == 0 || cfg.n_train == 0) {
+    throw std::invalid_argument("generate_synthetic_images: empty config");
+  }
+  stats::Rng rng(cfg.seed);
+  std::vector<std::vector<float>> prototypes;
+  prototypes.reserve(cfg.n_classes);
+  for (std::size_t c = 0; c < cfg.n_classes; ++c) {
+    prototypes.push_back(make_prototype(cfg, rng));
+  }
+
+  const std::vector<std::size_t> shape{cfg.channels, cfg.height, cfg.width};
+  TrainTestSplit split{Dataset(shape, cfg.n_classes),
+                       Dataset(shape, cfg.n_classes)};
+  split.train.reserve(cfg.n_train);
+  split.test.reserve(cfg.n_test);
+
+  std::vector<float> sample;
+  for (std::size_t i = 0; i < cfg.n_train + cfg.n_test; ++i) {
+    const auto label = static_cast<int>(i % cfg.n_classes);
+    render_sample(cfg, prototypes[static_cast<std::size_t>(label)], rng,
+                  sample);
+    if (i < cfg.n_train) {
+      split.train.add_sample(sample, label);
+    } else {
+      split.test.add_sample(sample, label);
+    }
+  }
+  return split;
+}
+
+}  // namespace fleet::data

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fleet/data/dataset.hpp"
+
+namespace fleet::data {
+
+/// Configuration for the procedural image datasets that stand in for
+/// MNIST / E-MNIST / CIFAR (substitution #1 in DESIGN.md §3).
+///
+/// Each class owns a fixed smooth random prototype; a sample is the
+/// prototype plus Gaussian pixel noise plus a small random translation,
+/// min-max scaled to [0,1]. This preserves what the paper's experiments
+/// measure — relative convergence of SGD variants on class-structured,
+/// optionally non-IID data — without shipping the original corpora.
+struct SyntheticImageConfig {
+  std::size_t n_classes = 10;
+  std::size_t channels = 1;
+  std::size_t height = 14;
+  std::size_t width = 14;
+  std::size_t n_train = 4000;
+  std::size_t n_test = 1000;
+  float noise_stddev = 0.30f;
+  int max_shift = 1;          // translation radius in pixels
+  std::uint64_t seed = 42;
+
+  /// Shape/cardinality presets mirroring the paper's datasets, scaled so a
+  /// full experiment runs in seconds on one core (see DESIGN.md §5).
+  static SyntheticImageConfig mnist_like();
+  static SyntheticImageConfig emnist_like();
+  static SyntheticImageConfig cifar10_like();
+  static SyntheticImageConfig cifar100_like();
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generate a train/test pair from the config (deterministic in seed).
+TrainTestSplit generate_synthetic_images(const SyntheticImageConfig& config);
+
+}  // namespace fleet::data

@@ -1,0 +1,147 @@
+#include "fleet/data/tweet_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace fleet::data {
+
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+
+struct HashtagProfile {
+  double birth_s = 0.0;
+  double lifetime_s = 1.0;
+  double peak_weight = 1.0;
+  std::vector<int> topic_words;
+};
+
+/// Popularity of a hashtag at time t: ramps up fast after birth, then
+/// decays exponentially with its lifetime.
+double popularity(const HashtagProfile& h, double t) {
+  if (t < h.birth_s) return 0.0;
+  const double age = t - h.birth_s;
+  const double ramp = 1.0 - std::exp(-age / (0.1 * h.lifetime_s));
+  return h.peak_weight * ramp * std::exp(-age / h.lifetime_s);
+}
+
+/// Diurnal activity modulation (fewer tweets at night), period 24 h.
+double diurnal(double t_s) {
+  const double hour_of_day = std::fmod(t_s / kSecondsPerHour, 24.0);
+  return 0.55 + 0.45 * std::sin((hour_of_day - 6.0) / 24.0 * 2.0 * M_PI);
+}
+
+}  // namespace
+
+TweetStream::TweetStream(const TweetStreamConfig& config) : config_(config) {
+  if (config.n_hashtags == 0 || config.vocab_size == 0 || config.n_users == 0) {
+    throw std::invalid_argument("TweetStream: zero-sized config");
+  }
+  if (config.topic_word_prob < 0.0 || config.topic_word_prob > 1.0) {
+    throw std::invalid_argument("TweetStream: topic_word_prob outside [0,1]");
+  }
+  stats::Rng rng(config.seed);
+  const double duration_s = config.days * 24.0 * kSecondsPerHour;
+
+  std::vector<HashtagProfile> profiles(config.n_hashtags);
+  for (auto& h : profiles) {
+    h.birth_s = rng.uniform(0.0, duration_s * 0.95);
+    h.lifetime_s =
+        rng.exponential(config.hashtag_lifetime_hours * kSecondsPerHour);
+    h.lifetime_s = std::max(h.lifetime_s, 0.5 * kSecondsPerHour);
+    h.peak_weight = 0.2 + rng.exponential(1.0);
+    for (std::size_t w = 0; w < config.topic_words_per_hashtag; ++w) {
+      h.topic_words.push_back(static_cast<int>(
+          rng.uniform_int(0, static_cast<std::int64_t>(config.vocab_size) - 1)));
+    }
+  }
+
+  // Homogeneous-rate Poisson arrivals thinned by the diurnal profile.
+  const double max_rate_per_s = config.tweets_per_hour / kSecondsPerHour;
+  double t = 0.0;
+  std::vector<double> weights(config.n_hashtags);
+  while (t < duration_s) {
+    t += rng.exponential(1.0 / max_rate_per_s);
+    if (t >= duration_s) break;
+    if (!rng.bernoulli(diurnal(t))) continue;
+
+    double total = 0.0;
+    for (std::size_t h = 0; h < config.n_hashtags; ++h) {
+      weights[h] = popularity(profiles[h], t);
+      total += weights[h];
+    }
+    if (total <= 1e-12) continue;  // nothing trending at this instant
+
+    Tweet tweet;
+    tweet.time_s = t;
+    tweet.user = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::int64_t>(config.n_users) - 1));
+    tweet.hashtags.push_back(static_cast<int>(rng.categorical(weights)));
+    if (rng.bernoulli(config.second_hashtag_prob)) {
+      const auto second = static_cast<int>(rng.categorical(weights));
+      if (second != tweet.hashtags[0]) tweet.hashtags.push_back(second);
+    }
+    for (std::size_t k = 0; k < config.tokens_per_tweet; ++k) {
+      const auto& topic =
+          profiles[static_cast<std::size_t>(
+                       tweet.hashtags[k % tweet.hashtags.size()])]
+              .topic_words;
+      if (rng.bernoulli(config.topic_word_prob)) {
+        tweet.tokens.push_back(topic[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(topic.size()) - 1))]);
+      } else {
+        tweet.tokens.push_back(static_cast<int>(rng.uniform_int(
+            0, static_cast<std::int64_t>(config.vocab_size) - 1)));
+      }
+    }
+    tweets_.push_back(std::move(tweet));
+  }
+  std::sort(tweets_.begin(), tweets_.end(),
+            [](const Tweet& a, const Tweet& b) { return a.time_s < b.time_s; });
+}
+
+std::vector<const Tweet*> TweetStream::window(double t0_s, double t1_s) const {
+  std::vector<const Tweet*> out;
+  for (const Tweet& tw : tweets_) {
+    if (tw.time_s >= t0_s && tw.time_s < t1_s) out.push_back(&tw);
+    if (tw.time_s >= t1_s) break;
+  }
+  return out;
+}
+
+std::vector<nn::SequenceSample> TweetStream::to_samples(
+    const std::vector<const Tweet*>& tweets) {
+  std::vector<nn::SequenceSample> samples;
+  for (const Tweet* tw : tweets) {
+    for (int hashtag : tw->hashtags) {
+      nn::SequenceSample s;
+      s.tokens = tw->tokens;
+      s.target = hashtag;
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+std::vector<std::size_t> TweetStream::most_popular(double t0_s, double t1_s,
+                                                   std::size_t k) const {
+  std::map<int, std::size_t> counts;
+  for (const Tweet* tw : window(t0_s, t1_s)) {
+    for (int h : tw->hashtags) ++counts[h];
+  }
+  std::vector<std::pair<std::size_t, int>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [hashtag, count] : counts) {
+    ranked.emplace_back(count, hashtag);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::vector<std::size_t> top;
+  for (std::size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    top.push_back(static_cast<std::size_t>(ranked[i].second));
+  }
+  return top;
+}
+
+}  // namespace fleet::data

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/nn/rnn.hpp"
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::data {
+
+/// One synthetic tweet: timestamp (seconds from stream start), author, word
+/// tokens and ground-truth hashtags.
+struct Tweet {
+  double time_s = 0.0;
+  int user = 0;
+  std::vector<int> tokens;
+  std::vector<int> hashtags;
+};
+
+/// Synthetic temporal hashtag stream standing in for the paper's 2.6M
+/// collected tweets (substitution #2 in DESIGN.md §3).
+///
+/// Hashtags are born throughout the stream, burst, then decay with a
+/// lifetime of hours — reproducing the "data becomes obsolete in a matter
+/// of hours" property (§1) that makes Online FL beat Standard FL in Fig 6.
+/// Each hashtag owns a topic vocabulary; tweet tokens are drawn mostly from
+/// the topic words of the tweet's hashtags, so content predicts hashtags.
+struct TweetStreamConfig {
+  std::size_t n_hashtags = 120;
+  std::size_t vocab_size = 400;
+  std::size_t topic_words_per_hashtag = 12;
+  std::size_t n_users = 60;
+  double days = 13.0;
+  double tweets_per_hour = 120.0;
+  double hashtag_lifetime_hours = 8.0;   // mean popularity half-life scale
+  double topic_word_prob = 0.80;         // P(token from the hashtag topic)
+  std::size_t tokens_per_tweet = 8;
+  double second_hashtag_prob = 0.25;
+  std::uint64_t seed = 7;
+};
+
+class TweetStream {
+ public:
+  explicit TweetStream(const TweetStreamConfig& config);
+
+  /// All tweets, sorted by time.
+  const std::vector<Tweet>& tweets() const { return tweets_; }
+  const TweetStreamConfig& config() const { return config_; }
+
+  /// Tweets with time in [t0, t1).
+  std::vector<const Tweet*> window(double t0_s, double t1_s) const;
+
+  /// Expand tweets into (token sequence, target hashtag) training samples,
+  /// one per hashtag occurrence.
+  static std::vector<nn::SequenceSample> to_samples(
+      const std::vector<const Tweet*>& tweets);
+
+  /// Hashtag ids ranked by frequency inside a window (the "most popular"
+  /// baseline of Fig 6).
+  std::vector<std::size_t> most_popular(double t0_s, double t1_s,
+                                        std::size_t k) const;
+
+ private:
+  TweetStreamConfig config_;
+  std::vector<Tweet> tweets_;
+};
+
+}  // namespace fleet::data

@@ -1,0 +1,11 @@
+#include "fleet/device/allocation.hpp"
+
+namespace fleet::device {
+
+CoreAllocation fleet_allocation(const DeviceSpec& spec) {
+  // big.LITTLE: big cores only. Symmetric chips keep all their cores in
+  // n_big (n_little == 0), so "all cores" is the same expression.
+  return {spec.n_big, 0};
+}
+
+}  // namespace fleet::device

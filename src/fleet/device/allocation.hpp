@@ -1,0 +1,14 @@
+#pragma once
+
+#include "fleet/device/device_model.hpp"
+
+namespace fleet::device {
+
+/// FLeet's resource-allocation scheme (§2.4): schedule the gradient
+/// computation on the "big" cores only for ARM big.LITTLE chips (big cores
+/// finish compute-bound work faster and hence cheaper), and on all cores
+/// for symmetric ARMv7 chips (energy per workload is constant there, so
+/// maximum parallelism just finishes sooner).
+CoreAllocation fleet_allocation(const DeviceSpec& spec);
+
+}  // namespace fleet::device

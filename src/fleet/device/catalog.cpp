@@ -1,0 +1,199 @@
+#include "fleet/device/catalog.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace fleet::device {
+
+namespace {
+
+DeviceSpec base_spec(std::string name) {
+  DeviceSpec s;
+  s.model_name = std::move(name);
+  return s;
+}
+
+/// Flagship tier (2017+): fast big.LITTLE octa-core, runs cool.
+DeviceSpec flagship(std::string name, double perf, double big_ghz,
+                    double little_ghz, double mem_mb, double battery) {
+  DeviceSpec s = base_spec(std::move(name));
+  s.n_big = 4;
+  s.n_little = 4;
+  s.big_core_ghz = big_ghz;
+  s.little_core_ghz = little_ghz;
+  s.perf_per_ghz = perf;
+  s.total_memory_mb = mem_mb;
+  s.battery_mwh = battery;
+  s.big_core_power_w = 0.95;
+  s.little_core_power_w = 0.25;
+  s.thermal.throttle_start_c = 42.0;
+  s.thermal.throttle_slope = 0.03;
+  return s;
+}
+
+/// Mid-range tier: big.LITTLE or symmetric, moderate speed.
+DeviceSpec midrange(std::string name, double perf, double big_ghz,
+                    double little_ghz, double mem_mb, double battery) {
+  DeviceSpec s = base_spec(std::move(name));
+  s.n_big = 4;
+  s.n_little = 4;
+  s.big_core_ghz = big_ghz;
+  s.little_core_ghz = little_ghz;
+  s.perf_per_ghz = perf;
+  s.total_memory_mb = mem_mb;
+  s.battery_mwh = battery;
+  s.big_core_power_w = 0.75;
+  s.little_core_power_w = 0.22;
+  s.thermal.throttle_start_c = 40.0;
+  s.thermal.throttle_slope = 0.04;
+  return s;
+}
+
+/// Legacy tier: symmetric ARMv7 quad (n_little = 0), slow and small.
+DeviceSpec legacy(std::string name, double perf, double ghz, double mem_mb,
+                  double battery) {
+  DeviceSpec s = base_spec(std::move(name));
+  s.n_big = 4;
+  s.n_little = 0;
+  s.big_core_ghz = ghz;
+  s.little_core_ghz = 0.0;
+  s.perf_per_ghz = perf;
+  s.total_memory_mb = mem_mb;
+  s.battery_mwh = battery;
+  s.big_core_power_w = 0.55;
+  s.thermal.throttle_start_c = 39.0;
+  s.thermal.throttle_slope = 0.05;
+  return s;
+}
+
+std::map<std::string, DeviceSpec> build_catalog() {
+  std::map<std::string, DeviceSpec> c;
+  const auto put = [&c](DeviceSpec s) { c.emplace(s.model_name, std::move(s)); };
+
+  // --- Lab fleet (Figs 4, 13, 14, Table 2) --------------------------------
+  {
+    // Galaxy S7: the Fig 4 reference; mild throttling under sustained load.
+    DeviceSpec s = flagship("Galaxy S7", 35.0, 2.3, 1.6, 4096, 11000);
+    s.thermal.throttle_start_c = 38.0;
+    s.thermal.throttle_slope = 0.045;
+    put(s);
+  }
+  {
+    // Honor 10: fastest of the lab fleet but runs hot — high variance near
+    // the top of the "up" sweep in Fig 4(b).
+    // Honor 10: fastest of the lab fleet when cool, but an aggressive
+    // thermal governor bites hard under sustained load — the source of the
+    // Fig 4(b) "up" variance and of Table 2's 255% cross-device error.
+    DeviceSpec s = flagship("Honor 10", 60.0, 2.36, 1.8, 4096, 12700);
+    s.quirk = 1.05;
+    s.thermal.throttle_start_c = 33.0;
+    s.thermal.throttle_slope = 0.30;
+    s.thermal.heat_per_watt = 0.50;
+    s.thermal.cooling_rate = 0.045;
+    s.thermal.hot_noise = 0.012;
+    put(s);
+  }
+  {
+    DeviceSpec s = flagship("Galaxy S8", 48.0, 2.35, 1.9, 4096, 11550);
+    put(s);
+  }
+  {
+    DeviceSpec s = flagship("Honor 9", 42.0, 2.36, 1.84, 4096, 12320);
+    s.thermal.throttle_start_c = 35.0;
+    s.thermal.throttle_slope = 0.12;
+    s.thermal.heat_per_watt = 0.38;
+    put(s);
+  }
+  put(legacy("Galaxy S4 mini", 11.0, 1.7, 1536, 7030));
+  {
+    DeviceSpec s = legacy("Xperia E3", 7.0, 1.2, 1024, 8800);
+    s.quirk = 0.9;
+    put(s);
+  }
+
+  // --- AWS Device Farm fleet (Fig 12a, log-in order) ----------------------
+  put(flagship("Galaxy S6", 30.0, 2.1, 1.5, 3072, 9870));
+  put(flagship("Galaxy S6 Edge", 31.0, 2.1, 1.5, 3072, 9880));
+  put(midrange("Nexus 6", 18.0, 2.7, 0.0, 3072, 12460));
+  put(legacy("MotoG3", 9.0, 1.4, 2048, 9240));
+  put(midrange("Moto G (4)", 14.0, 1.5, 1.2, 2048, 11550));
+  put(flagship("Galaxy Note5", 32.0, 2.1, 1.5, 4096, 11550));
+  put(midrange("XT1096", 13.0, 2.5, 0.0, 2048, 8960));
+  put(midrange("Galaxy S5", 16.0, 2.5, 0.0, 2048, 10640));
+  put(midrange("SM-N900P", 15.0, 2.3, 0.0, 3072, 12200));
+  put(midrange("Nexus 5", 12.0, 2.3, 0.0, 2048, 8470));
+  put(legacy("Lenovo TB-8504F", 10.0, 1.4, 2048, 18500));
+  put(legacy("Venue 8", 8.5, 1.6, 1024, 15600));
+  put(legacy("Moto G (2nd Gen)", 8.0, 1.2, 1024, 8140));
+  put(flagship("Pixel", 44.0, 2.15, 1.6, 4096, 10660));
+  put(flagship("HTC U11", 50.0, 2.45, 1.9, 4096, 11550));
+  put(flagship("SM-G950U1", 47.0, 2.35, 1.9, 4096, 11550));
+  put(midrange("XT1254", 20.0, 2.7, 0.0, 3072, 14780));
+  put(midrange("HTC One A9", 19.0, 1.5, 1.2, 3072, 7770));
+  put(flagship("LG-H910", 40.0, 2.15, 1.6, 4096, 12320));
+  put(flagship("LG-H830", 36.0, 2.3, 1.6, 4096, 10780));
+
+  // --- §3.1 worker --------------------------------------------------------
+  {
+    // Raspberry Pi 4: calibrated to the paper's measurements — 1.9 W idle,
+    // 2.1-2.3 W active, 5.6 s at batch 1 vs 8.4 s at batch 100.
+    DeviceSpec s = base_spec("Raspberry Pi 4");
+    s.n_big = 4;
+    s.n_little = 0;
+    s.big_core_ghz = 1.5;
+    s.perf_per_ghz = 5.9;
+    s.total_memory_mb = 4096;
+    s.battery_mwh = 11000;  // hypothetical phone-class battery for % figures
+    s.idle_power_w = 1.9;
+    s.big_core_power_w = 0.1;
+    s.task_overhead_s = 5.57;
+    s.execution_noise = 0.02;
+    put(s);
+  }
+  return c;
+}
+
+const std::map<std::string, DeviceSpec>& catalog() {
+  static const std::map<std::string, DeviceSpec> c = build_catalog();
+  return c;
+}
+
+}  // namespace
+
+const DeviceSpec& spec(const std::string& model_name) {
+  const auto it = catalog().find(model_name);
+  if (it == catalog().end()) {
+    throw std::invalid_argument("device::spec: unknown model " + model_name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> catalog_names() {
+  std::vector<std::string> names;
+  names.reserve(catalog().size());
+  for (const auto& [name, _] : catalog()) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> aws_fleet() {
+  return {"Galaxy S6",   "Galaxy S6 Edge", "Nexus 6",
+          "MotoG3",      "Moto G (4)",     "Galaxy Note5",
+          "XT1096",      "Galaxy S5",      "SM-N900P",
+          "Nexus 5",     "Lenovo TB-8504F", "Venue 8",
+          "Moto G (2nd Gen)", "Pixel",     "HTC U11",
+          "SM-G950U1",   "XT1254",         "HTC One A9",
+          "Galaxy S7",   "LG-H910",        "LG-H830"};
+}
+
+std::vector<std::string> lab_fleet() {
+  return {"Honor 10", "Galaxy S8", "Galaxy S7", "Galaxy S4 mini", "Xperia E3"};
+}
+
+std::vector<std::string> training_fleet() {
+  return {"Galaxy S6", "Nexus 5",        "Pixel",        "Honor 9",
+          "Galaxy S5", "Moto G (4)",     "Galaxy Note5", "HTC One A9",
+          "Venue 8",   "Xperia E3",      "Galaxy S4 mini", "XT1096",
+          "LG-H830",   "Lenovo TB-8504F", "HTC U11"};
+}
+
+}  // namespace fleet::device

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/device/device_model.hpp"
+
+namespace fleet::device {
+
+/// Named device specs for the phones used in the paper's evaluation
+/// (Figs 4, 12, 13, 14 and Table 2). Throughput/energy parameters are
+/// plausible per-tier values calibrated so the *relations* the paper
+/// reports hold: flagship >> mid-range >> legacy, Honor 10 runs hot with
+/// high variance when throttling, Xperia E3 is an order of magnitude
+/// slower than Galaxy S7 (Fig 4).
+const DeviceSpec& spec(const std::string& model_name);
+
+/// Every model in the catalog.
+std::vector<std::string> catalog_names();
+
+/// The 21 AWS Device Farm phones of Fig 12(a), in their log-in order.
+std::vector<std::string> aws_fleet();
+
+/// The 5 lab phones of the energy experiments (Fig 13/14), log-in order.
+std::vector<std::string> lab_fleet();
+
+/// The 15 devices used to pre-train the cold-start models (§3.3 says 15
+/// separate AWS devices; we reuse catalog specs with distinct seeds).
+std::vector<std::string> training_fleet();
+
+}  // namespace fleet::device

@@ -1,0 +1,121 @@
+#include "fleet/device/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::device {
+
+std::vector<double> DeviceFeatures::latency_features() const {
+  // The per-sample slope is inverse in aggregate clock speed, so the
+  // inverse-frequency term lets a *linear* model fit the heterogeneous
+  // fleet without extrapolating to negative slopes on fast devices.
+  const double inv_freq = 10.0 / std::max(cpu_max_freq_sum_ghz, 0.1);
+  // Available memory enters as a bounded ratio so its request-to-request
+  // fluctuation cannot dominate the online regressors.
+  const double avail_ratio =
+      available_memory_mb / std::max(total_memory_mb, 1.0);
+  return {1.0,
+          avail_ratio,
+          total_memory_mb / 1024.0,
+          temperature_c / 10.0,
+          cpu_max_freq_sum_ghz,
+          inv_freq};
+}
+
+std::vector<double> DeviceFeatures::energy_features() const {
+  auto f = latency_features();
+  f.push_back(energy_per_cpu_s * 1e4);
+  return f;
+}
+
+DeviceSim::DeviceSim(DeviceSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), thermal_(spec_.thermal), rng_(seed) {
+  if (spec_.n_big < 0 || spec_.n_little < 0 ||
+      (spec_.n_big == 0 && spec_.n_little == 0)) {
+    throw std::invalid_argument("DeviceSim: device needs at least one core");
+  }
+  if (spec_.perf_per_ghz <= 0.0 || spec_.battery_mwh <= 0.0) {
+    throw std::invalid_argument("DeviceSim: non-positive performance/battery");
+  }
+}
+
+double DeviceSim::throughput(const CoreAllocation& alloc) const {
+  if (alloc.empty()) {
+    throw std::invalid_argument("DeviceSim::throughput: empty allocation");
+  }
+  if (alloc.n_big > spec_.n_big || alloc.n_little > spec_.n_little) {
+    throw std::invalid_argument(
+        "DeviceSim::throughput: allocation exceeds core topology");
+  }
+  const double effective_ghz =
+      static_cast<double>(alloc.n_big) * spec_.big_core_ghz +
+      static_cast<double>(alloc.n_little) * spec_.little_core_ghz *
+          spec_.little_speed_ratio;
+  return spec_.perf_per_ghz * spec_.quirk * effective_ghz *
+         thermal_.throttle_factor();
+}
+
+double DeviceSim::power(const CoreAllocation& alloc) const {
+  return spec_.idle_power_w +
+         static_cast<double>(alloc.n_big) * spec_.big_core_power_w +
+         static_cast<double>(alloc.n_little) * spec_.little_core_power_w;
+}
+
+DeviceFeatures DeviceSim::features(stats::Rng* rng) {
+  stats::Rng* r = rng != nullptr ? rng : &rng_;
+  DeviceFeatures f;
+  f.total_memory_mb = spec_.total_memory_mb;
+  // Background apps make free memory fluctuate between requests.
+  f.available_memory_mb = spec_.total_memory_mb * r->uniform(0.25, 0.65);
+  f.temperature_c = thermal_.temperature_c();
+  f.cpu_max_freq_sum_ghz =
+      static_cast<double>(spec_.n_big) * spec_.big_core_ghz +
+      static_cast<double>(spec_.n_little) * spec_.little_core_ghz;
+  // Battery %-points per busy core-second at big-core power:
+  // J per core-second / J of battery capacity * 100.
+  f.energy_per_cpu_s =
+      spec_.big_core_power_w * 100.0 / (spec_.battery_mwh * 3.6);
+  return f;
+}
+
+TaskExecution DeviceSim::run_task(std::size_t n, const CoreAllocation& alloc) {
+  if (n == 0) throw std::invalid_argument("DeviceSim::run_task: n=0");
+  const double rate = throughput(alloc);  // samples/s at current temperature
+  const double noise_sd = spec_.execution_noise + thermal_.noise_stddev();
+  const double noise = std::max(0.5, rng_.gaussian(1.0, noise_sd));
+  const double compute_s =
+      (static_cast<double>(n) / rate) * noise + spec_.task_overhead_s;
+
+  const double watts = power(alloc);
+  thermal_.advance(compute_s, watts);
+
+  TaskExecution exec;
+  exec.mini_batch = n;
+  exec.time_s = compute_s;
+  exec.avg_power_w = watts;
+  const double joules = watts * compute_s;
+  exec.energy_mwh = joules / 3.6;
+  exec.energy_pct = exec.energy_mwh / spec_.battery_mwh * 100.0;
+  exec.cpu_time_s =
+      compute_s * static_cast<double>(alloc.n_big + alloc.n_little);
+  battery_used_pct_ += exec.energy_pct;
+  return exec;
+}
+
+void DeviceSim::idle(double dt_s) {
+  thermal_.advance(dt_s, 0.0);
+}
+
+std::vector<CoreAllocation> DeviceSim::allowed_allocations() const {
+  std::vector<CoreAllocation> allocs;
+  for (int b = 0; b <= spec_.n_big; ++b) {
+    for (int l = 0; l <= spec_.n_little; ++l) {
+      if (b == 0 && l == 0) continue;
+      allocs.push_back({b, l});
+    }
+  }
+  return allocs;
+}
+
+}  // namespace fleet::device

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/device/thermal.hpp"
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::device {
+
+/// Static description of a phone model (substitution #3 in DESIGN.md §3).
+struct DeviceSpec {
+  std::string model_name;
+
+  // Core topology. n_little == 0 models symmetric (non-big.LITTLE) chips.
+  int n_big = 4;
+  int n_little = 4;
+  double big_core_ghz = 2.3;
+  double little_core_ghz = 1.6;
+  double little_speed_ratio = 0.40;  // little-core throughput vs big @ equal GHz
+
+  // Throughput: samples/s = perf_per_ghz * quirk * effective_ghz * throttle.
+  double perf_per_ghz = 55.0;
+  double quirk = 1.0;  // vendor/SoC efficiency residual
+
+  double total_memory_mb = 4096.0;
+
+  // Energy model.
+  double battery_mwh = 11000.0;
+  double idle_power_w = 0.6;
+  double big_core_power_w = 0.85;     // per busy big core
+  double little_core_power_w = 0.22;  // per busy little core
+
+  double task_overhead_s = 0.15;  // fixed JNI/setup cost per learning task
+  double execution_noise = 0.04;  // relative stddev of run-to-run variation
+
+  ThermalParams thermal;
+};
+
+/// Which cores a learning task runs on.
+struct CoreAllocation {
+  int n_big = 0;
+  int n_little = 0;
+
+  bool empty() const { return n_big == 0 && n_little == 0; }
+};
+
+/// Snapshot of what the (stock, non-rooted) Android API exposes — the exact
+/// feature set I-Prof consumes (§2.2).
+struct DeviceFeatures {
+  double available_memory_mb = 0.0;
+  double total_memory_mb = 0.0;
+  double temperature_c = 0.0;
+  double cpu_max_freq_sum_ghz = 0.0;
+  double energy_per_cpu_s = 0.0;  // battery %-points per busy core-second
+
+  /// Feature vector for the computation-time predictor: bias + the four
+  /// compute-power features.
+  std::vector<double> latency_features() const;
+  /// Energy predictor adds the energy-efficiency feature (§2.2).
+  std::vector<double> energy_features() const;
+
+  static std::size_t latency_feature_count() { return 6; }
+  static std::size_t energy_feature_count() { return 7; }
+};
+
+/// Result of executing one learning task on the simulated device.
+struct TaskExecution {
+  double time_s = 0.0;        // wall-clock computation time
+  double energy_pct = 0.0;    // battery %-points consumed
+  double energy_mwh = 0.0;
+  double avg_power_w = 0.0;
+  double cpu_time_s = 0.0;    // busy core-seconds
+  std::size_t mini_batch = 0;
+};
+
+/// Stateful simulated device: thermals, battery and run-to-run noise evolve
+/// across tasks, reproducing the up/down hysteresis of Fig 4.
+class DeviceSim {
+ public:
+  DeviceSim(DeviceSpec spec, std::uint64_t seed);
+
+  const DeviceSpec& spec() const { return spec_; }
+  const std::string& model_name() const { return spec_.model_name; }
+
+  /// Features as sampled at request time (available memory fluctuates with
+  /// simulated background activity).
+  DeviceFeatures features(stats::Rng* rng = nullptr);
+
+  /// Execute a learning task of `n` samples on the given cores. Updates
+  /// temperature and battery state.
+  TaskExecution run_task(std::size_t n, const CoreAllocation& alloc);
+
+  /// Let the device idle (cool down) for dt seconds.
+  void idle(double dt_s);
+
+  /// Ground-truth throughput (samples/s) for an allocation at the current
+  /// temperature, before noise. Exposed for tests and for CALOREE profiling.
+  double throughput(const CoreAllocation& alloc) const;
+
+  /// Active power draw (watts) for an allocation.
+  double power(const CoreAllocation& alloc) const;
+
+  double temperature_c() const { return thermal_.temperature_c(); }
+  double battery_pct_used() const { return battery_used_pct_; }
+
+  /// All distinct core allocations the OS permits (used by CALOREE).
+  std::vector<CoreAllocation> allowed_allocations() const;
+
+ private:
+  DeviceSpec spec_;
+  ThermalModel thermal_;
+  stats::Rng rng_;
+  double battery_used_pct_ = 0.0;
+};
+
+}  // namespace fleet::device

@@ -1,0 +1,41 @@
+#include "fleet/device/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::device {
+
+ThermalModel::ThermalModel(const ThermalParams& params)
+    : params_(params), temperature_c_(params.ambient_c) {
+  if (params.cooling_rate <= 0.0) {
+    throw std::invalid_argument("ThermalModel: cooling_rate must be > 0");
+  }
+}
+
+void ThermalModel::advance(double dt_s, double power_w) {
+  if (dt_s < 0.0) throw std::invalid_argument("ThermalModel: negative dt");
+  // Integrate in sub-steps small relative to the cooling time constant so
+  // long tasks don't overshoot the equilibrium temperature.
+  double remaining = dt_s;
+  const double max_step = 0.5 / params_.cooling_rate;
+  while (remaining > 0.0) {
+    const double step = std::min(remaining, max_step);
+    const double heat = params_.heat_per_watt * power_w;
+    const double cool = params_.cooling_rate * (temperature_c_ - params_.ambient_c);
+    temperature_c_ += step * (heat - cool);
+    remaining -= step;
+  }
+}
+
+double ThermalModel::throttle_factor() const {
+  const double over = std::max(0.0, temperature_c_ - params_.throttle_start_c);
+  return 1.0 / (1.0 + params_.throttle_slope * over);
+}
+
+double ThermalModel::noise_stddev() const {
+  const double over = std::max(0.0, temperature_c_ - params_.throttle_start_c);
+  return params_.hot_noise * over;
+}
+
+}  // namespace fleet::device

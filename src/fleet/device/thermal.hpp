@@ -1,0 +1,46 @@
+#pragma once
+
+namespace fleet::device {
+
+/// First-order thermal model of a phone SoC.
+///
+/// Temperature relaxes toward ambient plus a power-dependent equilibrium:
+///   dT/dt = heat_per_watt * P - cooling_rate * (T - ambient).
+/// Above `throttle_start_c` the governor reduces clock speed, which is what
+/// bends the time-vs-mini-batch line of Fig 4 for Honor 10 / Galaxy S7 and
+/// produces the up/down hysteresis the paper observes.
+struct ThermalParams {
+  double ambient_c = 25.0;
+  // Steady-state excess temperature is heat_per_watt / cooling_rate deg per
+  // watt; the defaults give ~5 C/W (a 4 W sustained load settles ~45 C),
+  // with a ~20 s time constant — typical for phone SoCs.
+  double heat_per_watt = 0.25;    // deg C per second per watt
+  double cooling_rate = 0.05;     // fraction of excess temperature shed per s
+  double throttle_start_c = 38.0;
+  double throttle_slope = 0.05;   // slowdown per degree above start
+  double hot_noise = 0.0;         // extra execution-noise stddev when hot
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(const ThermalParams& params);
+
+  double temperature_c() const { return temperature_c_; }
+
+  /// Advance the model by dt seconds while dissipating `power_w`.
+  void advance(double dt_s, double power_w);
+
+  /// Multiplicative slowdown in (0, 1]: 1 when cool.
+  double throttle_factor() const;
+
+  /// Extra relative execution-time noise contributed by heat.
+  double noise_stddev() const;
+
+  const ThermalParams& params() const { return params_; }
+
+ private:
+  ThermalParams params_;
+  double temperature_c_;
+};
+
+}  // namespace fleet::device

@@ -1,0 +1,108 @@
+#include "fleet/learning/aggregator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fleet::learning {
+
+AsyncAggregator::AsyncAggregator(std::size_t parameter_count,
+                                 std::size_t n_classes, const Config& config)
+    : config_(config),
+      parameter_count_(parameter_count),
+      staleness_(config.s_percent, /*bootstrap_count=*/30,
+                 config.staleness_window),
+      similarity_(n_classes),
+      accumulator_(parameter_count, 0.0f) {
+  if (parameter_count == 0) {
+    throw std::invalid_argument("AsyncAggregator: zero parameters");
+  }
+  if (config.aggregation_k == 0) {
+    throw std::invalid_argument("AsyncAggregator: K must be >= 1");
+  }
+}
+
+double AsyncAggregator::tau_thres() const {
+  if (config_.fixed_tau_thres > 0.0) return config_.fixed_tau_thres;
+  return staleness_.tau_thres();
+}
+
+double AsyncAggregator::dampening_factor(double staleness) const {
+  switch (config_.scheme) {
+    case Scheme::kAdaSgd: {
+      // Bootstrap phase: fall back to the inverse dampening, as §2.3
+      // prescribes until past staleness values are representative.
+      if (config_.fixed_tau_thres <= 0.0 && !staleness_.bootstrapped()) {
+        return InverseDampening().factor(staleness);
+      }
+      return ExponentialDampening(tau_thres()).factor(staleness);
+    }
+    case Scheme::kDynSgd:
+      return InverseDampening().factor(staleness);
+    case Scheme::kFedAvg:
+    case Scheme::kSsgd:
+      return 1.0;
+  }
+  throw std::logic_error("AsyncAggregator: unknown scheme");
+}
+
+double AsyncAggregator::weight_for(const WorkerUpdate& update) const {
+  const double lambda = dampening_factor(update.staleness);
+  double weight = lambda;
+  if (config_.scheme == Scheme::kAdaSgd && config_.similarity_boost) {
+    const double sim = similarity_.similarity(update.label_dist);
+    // min(1, Lambda / sim): novel data (small sim) boosts the weight back
+    // up (§2.3).
+    weight = sim <= 1e-12 ? 1.0 : std::min(1.0, lambda / sim);
+    // A *straggler's* boost is capped at the tau_thres/2 anchor — the
+    // weight of a median-staleness gradient (the operating point Fig 5
+    // annotates at ~0.1). Novel data justifies treating a very stale
+    // gradient like a typical one, but restoring it to full weight would
+    // reinject exactly the staleness noise the dampening protects
+    // against.
+    const double thres = tau_thres();
+    if (update.staleness > thres) {
+      const double cap = ExponentialDampening(thres).factor(thres / 2.0);
+      weight = std::min(weight, std::max(lambda, cap));
+    }
+  } else if (config_.scheme == Scheme::kFedAvg) {
+    // Gradient averaging across the aggregation window.
+    weight = 1.0 / static_cast<double>(config_.aggregation_k);
+  }
+  return weight;
+}
+
+std::optional<std::vector<float>> AsyncAggregator::submit(
+    const WorkerUpdate& update) {
+  if (update.gradient.size() != parameter_count_) {
+    throw std::invalid_argument("AsyncAggregator::submit: gradient size");
+  }
+  const double weight = weight_for(update);
+  weight_log_.push_back(weight);
+  // Only non-straggler gradients (tau <= tau_thres, the s% the system
+  // expects to arrive in time, §2.3) count toward LD_global, weighted by
+  // the factor they were applied with. A straggler's data has not been
+  // reliably incorporated, so its labels must stay "novel" — otherwise the
+  // boost could never recover a class that lives only on stragglers
+  // (Fig 9a).
+  if (update.staleness <= tau_thres()) {
+    similarity_.record_used(update.label_dist, weight);
+  }
+  staleness_.observe(update.staleness);
+
+  const auto w = static_cast<float>(weight);
+  for (std::size_t i = 0; i < parameter_count_; ++i) {
+    accumulator_[i] += w * update.gradient[i];
+  }
+  if (++pending_ < config_.aggregation_k) return std::nullopt;
+  return flush();
+}
+
+std::optional<std::vector<float>> AsyncAggregator::flush() {
+  if (pending_ == 0) return std::nullopt;
+  std::vector<float> result(parameter_count_, 0.0f);
+  result.swap(accumulator_);
+  pending_ = 0;
+  return result;
+}
+
+}  // namespace fleet::learning

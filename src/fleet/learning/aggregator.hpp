@@ -1,0 +1,91 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fleet/learning/dampening.hpp"
+#include "fleet/learning/similarity.hpp"
+#include "fleet/learning/staleness.hpp"
+#include "fleet/stats/label_distribution.hpp"
+
+namespace fleet::learning {
+
+/// A gradient as received from a worker, together with the metadata the
+/// server needs to weight it (Fig 2, step 5).
+struct WorkerUpdate {
+  std::vector<float> gradient;
+  double staleness = 0.0;                   // tau_i = t - t_i
+  stats::LabelDistribution label_dist{1};   // LD(x_i) of the local data
+  std::size_t mini_batch = 0;
+};
+
+/// Server-side gradient aggregation implementing Eq. 3:
+///
+///   theta_{t+1} = theta_t - lr * sum_{i<K} min(1, Lambda(tau_i)/sim(x_i))
+///                                 * G(theta_{t_i}, xi_i)
+///
+/// Scheme selects the dampening: AdaSGD (exponential + similarity boost),
+/// DynSGD (inverse, no boost), FedAvg (uniform average, staleness-unaware),
+/// SSGD (weight 1 each; callers guarantee zero staleness). The aggregator
+/// buffers weighted gradients until K have arrived, then hands back the
+/// summed update for the caller to apply with its learning rate.
+class AsyncAggregator {
+ public:
+  struct Config {
+    Scheme scheme = Scheme::kAdaSgd;
+    std::size_t aggregation_k = 1;  // K in §2.3
+    double s_percent = 99.7;        // expected % of non-stragglers
+    bool similarity_boost = true;   // AdaSGD's boosting term
+    std::size_t staleness_window = 4096;
+    /// Pin tau_thres to a fixed value instead of estimating it from the
+    /// observed staleness percentile (> 0 enables). The paper does this in
+    /// controlled experiments, e.g. "D1, thus tau_thres is 12" in §3.2 —
+    /// with injected stragglers the online percentile would absorb them.
+    double fixed_tau_thres = 0.0;
+  };
+
+  AsyncAggregator(std::size_t parameter_count, std::size_t n_classes,
+                  const Config& config);
+
+  /// Weight this update would receive right now (pure query; submit() does
+  /// the bookkeeping).
+  double weight_for(const WorkerUpdate& update) const;
+
+  /// Submit a gradient. Returns the summed weighted update when the K-th
+  /// gradient arrives, std::nullopt otherwise.
+  std::optional<std::vector<float>> submit(const WorkerUpdate& update);
+
+  /// Flush whatever is buffered regardless of K (std::nullopt when empty).
+  /// §2.3: "the aggregation parameter K can be either fixed or based on a
+  /// time window (e.g., update the model every 1 hour)" — a time-window
+  /// deployment calls flush() on its timer.
+  std::optional<std::vector<float>> flush();
+
+  /// Gradients currently buffered toward the next update.
+  std::size_t pending() const { return pending_; }
+
+  /// Dampening weights applied so far (Fig 9b plots their CDF).
+  const std::vector<double>& weight_log() const { return weight_log_; }
+
+  const StalenessTracker& staleness() const { return staleness_; }
+  const SimilarityTracker& similarity() const { return similarity_; }
+  const Config& config() const { return config_; }
+
+  /// Current tau_thres-derived dampening curve value (for inspection).
+  double dampening_factor(double staleness) const;
+
+  /// Effective tau_thres: the fixed override when configured, otherwise
+  /// the s-th percentile of observed staleness.
+  double tau_thres() const;
+
+ private:
+  Config config_;
+  std::size_t parameter_count_;
+  StalenessTracker staleness_;
+  SimilarityTracker similarity_;
+  std::vector<float> accumulator_;
+  std::size_t pending_ = 0;
+  std::vector<double> weight_log_;
+};
+
+}  // namespace fleet::learning

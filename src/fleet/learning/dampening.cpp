@@ -1,0 +1,42 @@
+#include "fleet/learning/dampening.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::learning {
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kAdaSgd: return "AdaSGD";
+    case Scheme::kDynSgd: return "DynSGD";
+    case Scheme::kFedAvg: return "FedAvg";
+    case Scheme::kSsgd: return "SSGD";
+  }
+  throw std::invalid_argument("scheme_name: unknown scheme");
+}
+
+ExponentialDampening::ExponentialDampening(double tau_thres)
+    : tau_thres_(tau_thres) {
+  if (tau_thres <= 0.0) {
+    throw std::invalid_argument("ExponentialDampening: tau_thres must be > 0");
+  }
+  const double half = tau_thres / 2.0;
+  // Intersection with the inverse curve at tau_thres/2 (see class comment).
+  beta_ = std::log(half + 1.0) / half;
+}
+
+double ExponentialDampening::factor(double staleness) const {
+  if (staleness < 0.0) {
+    throw std::invalid_argument("ExponentialDampening: negative staleness");
+  }
+  return std::exp(-beta_ * staleness);
+}
+
+double InverseDampening::factor(double staleness) const {
+  if (staleness < 0.0) {
+    throw std::invalid_argument("InverseDampening: negative staleness");
+  }
+  return 1.0 / (staleness + 1.0);
+}
+
+}  // namespace fleet::learning

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace fleet::learning {
+
+/// SGD variants evaluated in §3.2.
+enum class Scheme {
+  kAdaSgd,   // exponential staleness dampening + similarity boost (ours)
+  kDynSgd,   // inverse dampening 1/(tau+1) (Jiang et al., SIGMOD'17)
+  kFedAvg,   // staleness-unaware gradient averaging
+  kSsgd,     // synchronous ideal (no staleness by construction)
+};
+
+std::string scheme_name(Scheme scheme);
+
+/// Staleness-to-weight mapping Lambda(tau) (Fig 5).
+class Dampening {
+ public:
+  virtual ~Dampening() = default;
+  virtual double factor(double staleness) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// AdaSGD's exponential dampening: Lambda(tau) = exp(-beta * tau), with
+/// beta chosen so the curve meets DynSGD's inverse curve at tau_thres / 2:
+///   exp(-beta * tau_thres/2) = 1 / (tau_thres/2 + 1)
+///   => beta = ln(tau_thres/2 + 1) / (tau_thres/2).
+/// tau_thres is the s-th percentile of past staleness values (§2.3). The
+/// hypothesis: perturbation from stale gradients grows exponentially, not
+/// linearly, with staleness.
+class ExponentialDampening final : public Dampening {
+ public:
+  explicit ExponentialDampening(double tau_thres);
+
+  double factor(double staleness) const override;
+  std::string name() const override { return "AdaSGD-exponential"; }
+
+  double beta() const { return beta_; }
+  double tau_thres() const { return tau_thres_; }
+
+ private:
+  double tau_thres_;
+  double beta_;
+};
+
+/// DynSGD's inverse dampening: Lambda(tau) = 1 / (tau + 1).
+class InverseDampening final : public Dampening {
+ public:
+  double factor(double staleness) const override;
+  std::string name() const override { return "DynSGD-inverse"; }
+};
+
+/// Staleness-unaware: Lambda(tau) = 1 (FedAvg / plain async SGD).
+class NoDampening final : public Dampening {
+ public:
+  double factor(double) const override { return 1.0; }
+  std::string name() const override { return "none"; }
+};
+
+}  // namespace fleet::learning

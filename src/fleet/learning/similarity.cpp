@@ -1,0 +1,50 @@
+#include "fleet/learning/similarity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::learning {
+
+SimilarityTracker::SimilarityTracker(std::size_t n_classes)
+    : counts_(n_classes, 0.0) {
+  if (n_classes == 0) {
+    throw std::invalid_argument("SimilarityTracker: n_classes=0");
+  }
+}
+
+double SimilarityTracker::similarity(
+    const stats::LabelDistribution& local) const {
+  if (local.n_classes() != counts_.size()) {
+    throw std::invalid_argument("SimilarityTracker: class count mismatch");
+  }
+  if (total_ <= 0.0) return 0.0;
+  double bc = 0.0;
+  for (std::size_t c = 0; c < counts_.size(); ++c) {
+    bc += std::sqrt(local.probability(c) * counts_[c] / total_);
+  }
+  return std::min(1.0, bc);
+}
+
+void SimilarityTracker::record_used(const stats::LabelDistribution& local,
+                                    double weight) {
+  if (local.n_classes() != counts_.size()) {
+    throw std::invalid_argument("SimilarityTracker: class count mismatch");
+  }
+  if (weight < 0.0) {
+    throw std::invalid_argument("SimilarityTracker: negative weight");
+  }
+  for (std::size_t c = 0; c < counts_.size(); ++c) {
+    counts_[c] += weight * static_cast<double>(local.count(c));
+  }
+  total_ += weight * static_cast<double>(local.total());
+}
+
+double SimilarityTracker::global_probability(std::size_t label) const {
+  if (label >= counts_.size()) {
+    throw std::out_of_range("SimilarityTracker::global_probability");
+  }
+  if (total_ <= 0.0) return 0.0;
+  return counts_[label] / total_;
+}
+
+}  // namespace fleet::learning

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "fleet/stats/label_distribution.hpp"
+
+namespace fleet::learning {
+
+/// Similarity-based boosting state (§2.3, Eq. 4).
+///
+/// Keeps the global label distribution LD_global over previously *used*
+/// samples and scores an incoming learning task's label distribution by
+/// the Bhattacharyya coefficient against it. Low similarity (unseen or
+/// rare labels) boosts the gradient weight.
+///
+/// Interpretation note (see DESIGN.md): samples are accumulated into
+/// LD_global weighted by the dampening weight their gradient was applied
+/// with. A gradient that was effectively nullified by staleness dampening
+/// did not contribute knowledge, so its labels must stay "novel" —
+/// otherwise the long-tail experiment of Fig 9(a) could not recover
+/// straggler-only classes, because their first (discarded) gradients
+/// would mark the class as seen.
+class SimilarityTracker {
+ public:
+  explicit SimilarityTracker(std::size_t n_classes);
+
+  /// sim(x_i) = BC(LD(x_i), LD_global), in [0, 1]. Before any sample has
+  /// been used, every task is maximally novel: returns 0.
+  double similarity(const stats::LabelDistribution& local) const;
+
+  /// Record that a gradient computed on this label distribution was
+  /// applied with the given weight.
+  void record_used(const stats::LabelDistribution& local,
+                   double weight = 1.0);
+
+  /// Normalized mass of a label in LD_global.
+  double global_probability(std::size_t label) const;
+  double total_weight() const { return total_; }
+  std::size_t n_classes() const { return counts_.size(); }
+
+ private:
+  std::vector<double> counts_;  // weighted per-label sample counts
+  double total_ = 0.0;
+};
+
+}  // namespace fleet::learning

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "fleet/stats/quantile.hpp"
+
+namespace fleet::learning {
+
+/// Tracks observed staleness values and derives tau_thres as the s-th
+/// percentile (§2.3). `s` is a *system* parameter — the expected percentage
+/// of non-stragglers — not an ML hyperparameter. During the bootstrap phase
+/// (before `bootstrap_count` observations) callers are expected to use
+/// DynSGD's dampening, as the paper prescribes.
+class StalenessTracker {
+ public:
+  explicit StalenessTracker(double s_percent = 99.7,
+                            std::size_t bootstrap_count = 30,
+                            std::size_t window = 4096);
+
+  void observe(double staleness);
+
+  /// s-th percentile of past staleness values, floored at 2 so the
+  /// exponential dampening stays well-defined early on.
+  double tau_thres() const;
+
+  bool bootstrapped() const { return quantile_.count() >= bootstrap_count_; }
+  double s_percent() const { return s_percent_; }
+  std::size_t count() const { return quantile_.count(); }
+
+ private:
+  double s_percent_;
+  std::size_t bootstrap_count_;
+  stats::RunningQuantile quantile_;
+};
+
+}  // namespace fleet::learning

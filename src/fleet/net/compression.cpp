@@ -1,0 +1,50 @@
+#include "fleet/net/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::net {
+
+QuantizedGradient quantize_gradient(std::span<const float> gradient) {
+  if (gradient.empty()) {
+    throw std::invalid_argument("quantize_gradient: empty gradient");
+  }
+  float max_abs = 0.0f;
+  for (float g : gradient) max_abs = std::max(max_abs, std::abs(g));
+  QuantizedGradient q;
+  q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  q.values.reserve(gradient.size());
+  for (float g : gradient) {
+    const float scaled = g / q.scale;
+    const auto v = static_cast<std::int8_t>(
+        std::clamp(std::lround(scaled), -127L, 127L));
+    q.values.push_back(v);
+  }
+  return q;
+}
+
+std::vector<float> dequantize_gradient(const QuantizedGradient& quantized) {
+  std::vector<float> out;
+  out.reserve(quantized.values.size());
+  for (std::int8_t v : quantized.values) {
+    out.push_back(static_cast<float>(v) * quantized.scale);
+  }
+  return out;
+}
+
+double quantization_error(std::span<const float> gradient,
+                          const QuantizedGradient& quantized) {
+  if (gradient.size() != quantized.values.size()) {
+    throw std::invalid_argument("quantization_error: size mismatch");
+  }
+  const auto restored = dequantize_gradient(quantized);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(gradient[i]) - restored[i]));
+  }
+  return worst;
+}
+
+}  // namespace fleet::net

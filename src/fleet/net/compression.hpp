@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fleet::net {
+
+/// Uniform symmetric int8 quantization of gradient vectors.
+///
+/// §4 notes that communication-reduction techniques are orthogonal to the
+/// online property and "can be adapted for AdaSGD and plugged into FLeet";
+/// this is the standard plug: workers upload 8-bit gradients (4x smaller),
+/// the server dequantizes before aggregation. Quantization error behaves
+/// like bounded gradient noise, which the SGD variants already tolerate.
+struct QuantizedGradient {
+  float scale = 0.0f;           // max |g| / 127
+  std::vector<std::int8_t> values;
+
+  std::size_t byte_size() const {
+    return sizeof(scale) + values.size();
+  }
+};
+
+/// Quantize to int8 with a per-tensor scale.
+QuantizedGradient quantize_gradient(std::span<const float> gradient);
+
+/// Reconstruct the float gradient.
+std::vector<float> dequantize_gradient(const QuantizedGradient& quantized);
+
+/// Max absolute reconstruction error (= scale/2 bound, for tests/benches).
+double quantization_error(std::span<const float> gradient,
+                          const QuantizedGradient& quantized);
+
+}  // namespace fleet::net

@@ -1,0 +1,47 @@
+#include "fleet/net/network_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fleet::net {
+
+NetworkModel::NetworkModel(const Config& config) : config_(config) {
+  if (config.lte_fraction < 0.0 || config.lte_fraction > 1.0) {
+    throw std::invalid_argument("NetworkModel: lte_fraction outside [0,1]");
+  }
+  if (config.lte_latency_s <= 0.0 || config.hspa_latency_s <= 0.0) {
+    throw std::invalid_argument("NetworkModel: non-positive latency");
+  }
+}
+
+double NetworkModel::sample_transfer_s(stats::Rng& rng) const {
+  const Technology tech = rng.bernoulli(config_.lte_fraction)
+                              ? Technology::kLte4G
+                              : Technology::kHspa3G;
+  return sample_transfer_s(tech, rng);
+}
+
+double NetworkModel::sample_transfer_s(Technology tech,
+                                       stats::Rng& rng) const {
+  const double base = tech == Technology::kLte4G ? config_.lte_latency_s
+                                                 : config_.hspa_latency_s;
+  return std::max(0.05, base * rng.gaussian(1.0, config_.jitter));
+}
+
+RoundTripModel::RoundTripModel(double minimum_s, double mean_s)
+    : minimum_s_(minimum_s), mean_s_(mean_s) {
+  if (mean_s <= minimum_s || minimum_s < 0.0) {
+    throw std::invalid_argument("RoundTripModel: invalid parameters");
+  }
+}
+
+double RoundTripModel::sample_s(stats::Rng& rng) const {
+  return minimum_s_ + rng.exponential(mean_s_ - minimum_s_);
+}
+
+RoundTripModel RoundTripModel::paper_default() {
+  // §3.1: min = 6 + 1.1 = 7.1 s, mean = ((6+1.1) + (6+3.8)) / 2 = 8.45 s.
+  return RoundTripModel(7.1, 8.45);
+}
+
+}  // namespace fleet::net

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::net {
+
+/// Mobile network technologies with the one-way latencies the paper uses in
+/// §3.1 for a 123,330-parameter model: 1.1 s on 4G LTE, 3.8 s on 3G HSPA+.
+enum class Technology { kLte4G, kHspa3G };
+
+/// Transfer-latency model for model download + gradient upload.
+///
+/// The paper assumes the round trip (compute + network) follows a shifted
+/// exponential; the network part here is per-technology with multiplicative
+/// jitter, and a worker population mixes technologies.
+class NetworkModel {
+ public:
+  struct Config {
+    double lte_latency_s = 1.1;    // download+upload, 4G
+    double hspa_latency_s = 3.8;   // download+upload, 3G
+    double lte_fraction = 0.5;     // share of requests on 4G
+    double jitter = 0.15;          // relative stddev of latency noise
+  };
+
+  explicit NetworkModel(const Config& config);
+
+  /// Latency of one model-download + gradient-upload exchange.
+  double sample_transfer_s(stats::Rng& rng) const;
+
+  /// Latency for a fixed technology.
+  double sample_transfer_s(Technology tech, stats::Rng& rng) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// The end-to-end round-trip model of §3.1: shifted exponential with
+/// minimum = compute_min + fastest network, mean = compute_mean + average
+/// network (7.1 s and 8.45 s with the paper's numbers).
+class RoundTripModel {
+ public:
+  RoundTripModel(double minimum_s, double mean_s);
+  double sample_s(stats::Rng& rng) const;
+  double minimum_s() const { return minimum_s_; }
+  double mean_s() const { return mean_s_; }
+
+  /// The paper's instantiation (6 s compute + {1.1, 3.8} s network).
+  static RoundTripModel paper_default();
+
+ private:
+  double minimum_s_;
+  double mean_s_;
+};
+
+}  // namespace fleet::net

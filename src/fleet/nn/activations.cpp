@@ -1,0 +1,76 @@
+#include "fleet/nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  Tensor out = input;
+  mask_.assign(out.size(), false);
+  float* p = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (p[i] > 0.0f) {
+      mask_[i] = true;
+    } else {
+      p[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (grad_output.size() != mask_.size()) {
+    throw std::invalid_argument("ReLU::backward: shape mismatch");
+  }
+  Tensor grad = grad_output;
+  float* p = grad.data();
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (!mask_[i]) p[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out = input;
+  float* p = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i) p[i] = std::tanh(p[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (grad_output.size() != cached_output_.size()) {
+    throw std::invalid_argument("Tanh::backward: shape mismatch");
+  }
+  Tensor grad = grad_output;
+  float* p = grad.data();
+  const float* o = cached_output_.data();
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    p[i] *= 1.0f - o[i] * o[i];
+  }
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  Tensor out = input;
+  const std::size_t batch = input.dim(0);
+  out.reshape({batch, input.size() / batch});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  grad.reshape(input_shape_);
+  return grad;
+}
+
+std::vector<std::size_t> Flatten::output_shape(
+    const std::vector<std::size_t>& input_shape) const {
+  std::size_t n = 1;
+  for (std::size_t d : input_shape) n *= d;
+  return {n};
+}
+
+}  // namespace fleet::nn

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "fleet/nn/layer.hpp"
+
+namespace fleet::nn {
+
+/// Rectified linear unit, elementwise.
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override {
+    return input_shape;
+  }
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::vector<bool> mask_;
+};
+
+/// Hyperbolic tangent, elementwise (used by the Elman RNN).
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override {
+    return input_shape;
+  }
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Flattens per-sample features to a vector; pure shape bookkeeping.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace fleet::nn

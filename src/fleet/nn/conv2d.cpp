@@ -1,0 +1,149 @@
+#include "fleet/nn/conv2d.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "fleet/tensor/ops.hpp"
+
+namespace fleet::nn {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_h, std::size_t kernel_w,
+               std::size_t stride_h, std::size_t stride_w)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kh_(kernel_h),
+      kw_(kernel_w),
+      sh_(stride_h),
+      sw_(stride_w),
+      weights_({out_channels, in_channels, kernel_h, kernel_w}),
+      bias_({out_channels}),
+      grad_weights_({out_channels, in_channels, kernel_h, kernel_w}),
+      grad_bias_({out_channels}) {
+  if (in_channels == 0 || out_channels == 0 || kernel_h == 0 || kernel_w == 0 ||
+      stride_h == 0 || stride_w == 0) {
+    throw std::invalid_argument("Conv2D: zero-sized configuration");
+  }
+}
+
+void Conv2D::init(stats::Rng& rng) {
+  const auto fan_in = static_cast<float>(in_c_ * kh_ * kw_);
+  const auto fan_out = static_cast<float>(out_c_ * kh_ * kw_);
+  const float limit = std::sqrt(6.0f / (fan_in + fan_out));
+  tensor::fill_uniform(weights_, rng, limit);
+  bias_.fill(0.0f);
+}
+
+std::vector<std::size_t> Conv2D::output_shape(
+    const std::vector<std::size_t>& input_shape) const {
+  if (input_shape.size() != 3 || input_shape[0] != in_c_) {
+    throw std::invalid_argument("Conv2D::output_shape: expected [" +
+                                std::to_string(in_c_) + ",h,w]");
+  }
+  const std::size_t h = input_shape[1], w = input_shape[2];
+  if (h < kh_ || w < kw_) {
+    throw std::invalid_argument("Conv2D::output_shape: input below kernel");
+  }
+  return {out_c_, (h - kh_) / sh_ + 1, (w - kw_) / sw_ + 1};
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_c_) {
+    throw std::invalid_argument("Conv2D::forward: expected NCHW with C=" +
+                                std::to_string(in_c_));
+  }
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = (h - kh_) / sh_ + 1;
+  const std::size_t ow = (w - kw_) / sw_ + 1;
+  Tensor out({batch, out_c_, oh, ow});
+
+  const float* pin = input.data();
+  const float* pw = weights_.data();
+  const float* pb = bias_.data();
+  float* pout = out.data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = pb[oc];
+          const std::size_t iy0 = oy * sh_;
+          const std::size_t ix0 = ox * sw_;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            const float* in_ch = pin + ((b * in_c_ + ic) * h) * w;
+            const float* w_ch = pw + ((oc * in_c_ + ic) * kh_) * kw_;
+            for (std::size_t ky = 0; ky < kh_; ++ky) {
+              const float* in_row = in_ch + (iy0 + ky) * w + ix0;
+              const float* w_row = w_ch + ky * kw_;
+              for (std::size_t kx = 0; kx < kw_; ++kx) {
+                acc += in_row[kx] * w_row[kx];
+              }
+            }
+          }
+          pout[((b * out_c_ + oc) * oh + oy) * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.dim(0);
+  const std::size_t h = cached_input_.dim(2), w = cached_input_.dim(3);
+  const std::size_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  if (grad_output.dim(0) != batch || grad_output.dim(1) != out_c_) {
+    throw std::invalid_argument("Conv2D::backward: shape mismatch");
+  }
+  Tensor grad_input({batch, in_c_, h, w});
+
+  const float* pin = cached_input_.data();
+  const float* pw = weights_.data();
+  const float* pgo = grad_output.data();
+  float* pgw = grad_weights_.data();
+  float* pgb = grad_bias_.data();
+  float* pgi = grad_input.data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = pgo[((b * out_c_ + oc) * oh + oy) * ow + ox];
+          if (g == 0.0f) continue;
+          pgb[oc] += g;
+          const std::size_t iy0 = oy * sh_;
+          const std::size_t ix0 = ox * sw_;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            const float* in_ch = pin + ((b * in_c_ + ic) * h) * w;
+            float* gi_ch = pgi + ((b * in_c_ + ic) * h) * w;
+            const float* w_ch = pw + ((oc * in_c_ + ic) * kh_) * kw_;
+            float* gw_ch = pgw + ((oc * in_c_ + ic) * kh_) * kw_;
+            for (std::size_t ky = 0; ky < kh_; ++ky) {
+              const float* in_row = in_ch + (iy0 + ky) * w + ix0;
+              float* gi_row = gi_ch + (iy0 + ky) * w + ix0;
+              const float* w_row = w_ch + ky * kw_;
+              float* gw_row = gw_ch + ky * kw_;
+              for (std::size_t kx = 0; kx < kw_; ++kx) {
+                gw_row[kx] += g * in_row[kx];
+                gi_row[kx] += g * w_row[kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string Conv2D::name() const {
+  std::ostringstream os;
+  os << "Conv2D(" << in_c_ << "->" << out_c_ << ", " << kh_ << "x" << kw_
+     << ", stride " << sh_ << "x" << sw_ << ")";
+  return os.str();
+}
+
+}  // namespace fleet::nn

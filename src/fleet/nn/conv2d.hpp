@@ -1,0 +1,38 @@
+#pragma once
+
+#include "fleet/nn/layer.hpp"
+
+namespace fleet::nn {
+
+/// 2-D convolution, valid padding, NCHW layout.
+///
+/// Matches the kernels of Table 1 in the paper (e.g., 5x5x8 stride 1x1 for
+/// the MNIST network). Weights are [out_c, in_c, kh, kw].
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_h, std::size_t kernel_w, std::size_t stride_h = 1,
+         std::size_t stride_w = 1);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> parameters() override { return {&weights_, &bias_}; }
+  std::vector<Tensor*> gradients() override {
+    return {&grad_weights_, &grad_bias_};
+  }
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override;
+  std::string name() const override;
+  void init(stats::Rng& rng) override;
+
+ private:
+  std::size_t in_c_, out_c_, kh_, kw_, sh_, sw_;
+  Tensor weights_;
+  Tensor bias_;
+  Tensor grad_weights_;
+  Tensor grad_bias_;
+  Tensor cached_input_;  // [batch, in_c, h, w]
+};
+
+}  // namespace fleet::nn

@@ -1,0 +1,83 @@
+#include "fleet/nn/dense.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "fleet/tensor/ops.hpp"
+
+namespace fleet::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weights_({in_features, out_features}),
+      bias_({out_features}),
+      grad_weights_({in_features, out_features}),
+      grad_bias_({out_features}) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("Dense: zero-sized layer");
+  }
+}
+
+void Dense::init(stats::Rng& rng) {
+  // Glorot-uniform keeps activations stable across the small CNNs of
+  // Table 1 without needing batch normalization.
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(in_ + out_));
+  tensor::fill_uniform(weights_, rng, limit);
+  bias_.fill(0.0f);
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  const std::size_t batch = input.dim(0);
+  const std::size_t features = input.size() / batch;
+  if (features != in_) {
+    throw std::invalid_argument("Dense::forward: expected " +
+                                std::to_string(in_) + " features, got " +
+                                std::to_string(features));
+  }
+  cached_input_ = input;
+  cached_input_.reshape({batch, in_});
+  Tensor out = tensor::matmul(cached_input_, weights_);
+  float* po = out.data();
+  const float* pb = bias_.data();
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) po[i * out_ + j] += pb[j];
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.dim(0);
+  if (grad_output.dim(0) != batch || grad_output.dim(1) != out_) {
+    throw std::invalid_argument("Dense::backward: shape mismatch");
+  }
+  // dW += x^T dY ; db += column sums of dY ; dX = dY W^T.
+  Tensor dw = tensor::matmul_at_b(cached_input_, grad_output);
+  tensor::axpy(1.0f, dw, grad_weights_);
+  const float* pg = grad_output.data();
+  float* pdb = grad_bias_.data();
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) pdb[j] += pg[i * out_ + j];
+  }
+  return tensor::matmul_a_bt(grad_output, weights_);
+}
+
+std::vector<std::size_t> Dense::output_shape(
+    const std::vector<std::size_t>& input_shape) const {
+  std::size_t features = 1;
+  for (std::size_t d : input_shape) features *= d;
+  if (features != in_) {
+    throw std::invalid_argument("Dense::output_shape: feature mismatch");
+  }
+  return {out_};
+}
+
+std::string Dense::name() const {
+  std::ostringstream os;
+  os << "Dense(" << in_ << "->" << out_ << ")";
+  return os.str();
+}
+
+}  // namespace fleet::nn

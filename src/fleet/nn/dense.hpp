@@ -1,0 +1,38 @@
+#pragma once
+
+#include "fleet/nn/layer.hpp"
+
+namespace fleet::nn {
+
+/// Fully connected layer: y = x W + b, with x [batch, in], W [in, out].
+/// Accepts higher-rank inputs by flattening per-sample features.
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> parameters() override { return {&weights_, &bias_}; }
+  std::vector<Tensor*> gradients() override {
+    return {&grad_weights_, &grad_bias_};
+  }
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override;
+  std::string name() const override;
+  void init(stats::Rng& rng) override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Tensor weights_;       // [in, out]
+  Tensor bias_;          // [out]
+  Tensor grad_weights_;
+  Tensor grad_bias_;
+  Tensor cached_input_;  // [batch, in]
+};
+
+}  // namespace fleet::nn

@@ -1,0 +1,15 @@
+#include "fleet/nn/layer.hpp"
+
+namespace fleet::nn {
+
+std::size_t Layer::parameter_count() {
+  std::size_t n = 0;
+  for (Tensor* p : parameters()) n += p->size();
+  return n;
+}
+
+void Layer::zero_grad() {
+  for (Tensor* g : gradients()) g->fill(0.0f);
+}
+
+}  // namespace fleet::nn

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/stats/rng.hpp"
+#include "fleet/tensor/tensor.hpp"
+
+namespace fleet::nn {
+
+using tensor::Tensor;
+
+/// Base class for differentiable layers.
+///
+/// Data layout: activations are [batch, features...] row-major; images are
+/// NCHW. forward() caches whatever backward() needs; backward() receives
+/// dL/d(output), accumulates dL/d(params) into the layer's gradient buffers
+/// and returns dL/d(input). Layers are used strictly in
+/// forward-then-backward order by Sequential.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& input) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameter tensors (empty for stateless layers).
+  virtual std::vector<Tensor*> parameters() { return {}; }
+  /// Gradient buffers, parallel to parameters().
+  virtual std::vector<Tensor*> gradients() { return {}; }
+
+  /// Per-sample output shape given a per-sample input shape.
+  virtual std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Initialize parameters (default: nothing to initialize).
+  virtual void init(stats::Rng&) {}
+
+  std::size_t parameter_count();
+  void zero_grad();
+};
+
+}  // namespace fleet::nn

@@ -1,0 +1,66 @@
+#include "fleet/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::nn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax: rank-2 logits required");
+  }
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  Tensor probs = logits;
+  float* p = probs.data();
+  for (std::size_t i = 0; i < batch; ++i) {
+    float* row = p + i * classes;
+    const float mx = *std::max_element(row, row + classes);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < classes; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    for (std::size_t j = 0; j < classes; ++j) row[j] /= sum;
+  }
+  return probs;
+}
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const int> labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: shape mismatch");
+  }
+  const std::size_t classes = logits.dim(1);
+  probs_ = softmax(logits);
+  labels_.assign(labels.begin(), labels.end());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= classes) {
+      throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
+    }
+    const float p = std::max(probs_[i * classes + static_cast<std::size_t>(y)],
+                             1e-12f);
+    loss -= std::log(static_cast<double>(p));
+  }
+  return loss / static_cast<double>(labels.size());
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (labels_.empty()) {
+    throw std::logic_error("SoftmaxCrossEntropy::backward before forward");
+  }
+  const std::size_t batch = labels_.size();
+  const std::size_t classes = probs_.dim(1);
+  Tensor grad = probs_;
+  float* p = grad.data();
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    p[i * classes + static_cast<std::size_t>(labels_[i])] -= 1.0f;
+    for (std::size_t j = 0; j < classes; ++j) p[i * classes + j] *= inv_batch;
+  }
+  return grad;
+}
+
+}  // namespace fleet::nn

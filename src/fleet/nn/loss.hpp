@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+
+#include "fleet/tensor/tensor.hpp"
+
+namespace fleet::nn {
+
+using tensor::Tensor;
+
+/// Softmax + cross-entropy, fused for numerical stability.
+///
+/// forward() returns mean loss over the batch; backward() returns
+/// dL/d(logits) already divided by the batch size, so the resulting
+/// parameter gradient is the mini-batch average — the quantity FLeet
+/// workers ship to the server.
+class SoftmaxCrossEntropy {
+ public:
+  double forward(const Tensor& logits, std::span<const int> labels);
+  Tensor backward() const;
+
+  /// Row-wise softmax probabilities from the last forward() call.
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// Row-wise softmax (utility for inference paths).
+Tensor softmax(const Tensor& logits);
+
+}  // namespace fleet::nn

@@ -1,0 +1,153 @@
+#include "fleet/nn/model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fleet::nn {
+
+Sequential::Sequential(std::vector<std::size_t> input_shape,
+                       std::size_t n_classes)
+    : input_shape_(std::move(input_shape)), n_classes_(n_classes) {
+  if (n_classes == 0) throw std::invalid_argument("Sequential: 0 classes");
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  if (layer == nullptr) throw std::invalid_argument("Sequential::add: null");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Sequential::init(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  // Validate shape propagation once, at init time, so a mis-stacked network
+  // fails fast rather than on the first batch.
+  std::vector<std::size_t> shape = input_shape_;
+  for (const auto& layer : layers_) {
+    shape = layer->output_shape(shape);
+    layer->init(rng);
+  }
+  std::size_t out = 1;
+  for (std::size_t d : shape) out *= d;
+  if (out != n_classes_) {
+    throw std::invalid_argument(
+        "Sequential::init: network emits " + std::to_string(out) +
+        " values per sample, expected " + std::to_string(n_classes_));
+  }
+}
+
+std::size_t Sequential::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer->parameter_count();
+  return n;
+}
+
+std::vector<float> Sequential::parameters() const {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) {
+      flat.insert(flat.end(), p->data(), p->data() + p->size());
+    }
+  }
+  return flat;
+}
+
+void Sequential::set_parameters(std::span<const float> flat) {
+  if (flat.size() != parameter_count()) {
+    throw std::invalid_argument("Sequential::set_parameters: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (const auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) {
+      std::copy(flat.begin() + static_cast<long>(offset),
+                flat.begin() + static_cast<long>(offset + p->size()),
+                p->data());
+      offset += p->size();
+    }
+  }
+}
+
+void Sequential::zero_grad() {
+  for (const auto& layer : layers_) layer->zero_grad();
+}
+
+Tensor Sequential::forward_all(const Tensor& inputs) {
+  Tensor x = inputs;
+  for (const auto& layer : layers_) x = layer->forward(x);
+  if (x.rank() != 2) {
+    // Final conv/pool stacks emit NCHW; collapse to [batch, features].
+    const std::size_t batch = x.dim(0);
+    x.reshape({batch, x.size() / batch});
+  }
+  return x;
+}
+
+double Sequential::gradient(const Batch& batch, std::vector<float>& grad_out) {
+  if (batch.size() == 0) {
+    throw std::invalid_argument("Sequential::gradient: empty batch");
+  }
+  zero_grad();
+  Tensor logits = forward_all(batch.inputs);
+  const double loss = loss_.forward(logits, batch.labels);
+  Tensor grad = loss_.backward();
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+  grad_out.clear();
+  grad_out.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    for (Tensor* g : layer->gradients()) {
+      grad_out.insert(grad_out.end(), g->data(), g->data() + g->size());
+    }
+  }
+  return loss;
+}
+
+void Sequential::apply_gradient(std::span<const float> grad, float lr) {
+  if (grad.size() != parameter_count()) {
+    throw std::invalid_argument("Sequential::apply_gradient: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (const auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) {
+      float* pp = p->data();
+      for (std::size_t i = 0; i < p->size(); ++i) {
+        pp[i] -= lr * grad[offset + i];
+      }
+      offset += p->size();
+    }
+  }
+}
+
+std::vector<float> Sequential::predict(const Tensor& inputs) {
+  Tensor logits = forward_all(inputs);
+  return std::vector<float>(logits.data(), logits.data() + logits.size());
+}
+
+double Sequential::train_step(const Batch& batch, float lr) {
+  std::vector<float> grad;
+  const double loss = gradient(batch, grad);
+  apply_gradient(grad, lr);
+  return loss;
+}
+
+double Sequential::evaluate_loss(const Batch& batch) {
+  Tensor logits = forward_all(batch.inputs);
+  SoftmaxCrossEntropy loss;
+  return loss.forward(logits, batch.labels);
+}
+
+std::string Sequential::summary() const {
+  std::ostringstream os;
+  std::vector<std::size_t> shape = input_shape_;
+  os << "Input " << Tensor::shape_string(shape) << "\n";
+  for (const auto& layer : layers_) {
+    shape = layer->output_shape(shape);
+    os << "  " << layer->name() << " -> " << Tensor::shape_string(shape)
+       << "  params=" << layer->parameter_count() << "\n";
+  }
+  os << "Total parameters: " << parameter_count() << "\n";
+  return os.str();
+}
+
+}  // namespace fleet::nn

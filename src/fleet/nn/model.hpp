@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fleet/nn/layer.hpp"
+#include "fleet/nn/loss.hpp"
+
+namespace fleet::nn {
+
+/// A labeled mini-batch of image-like samples (NCHW inputs).
+struct Batch {
+  Tensor inputs;
+  std::vector<int> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Interface every FLeet-trainable model implements. The federated core
+/// exchanges *flat* parameter/gradient vectors (what the wire protocol of
+/// Fig 2 ships), so models expose their state that way.
+class TrainableModel {
+ public:
+  virtual ~TrainableModel() = default;
+
+  virtual std::size_t parameter_count() const = 0;
+  virtual std::vector<float> parameters() const = 0;
+  virtual void set_parameters(std::span<const float> flat) = 0;
+
+  /// Mean loss over the batch; gradient (mini-batch average) is written to
+  /// `grad_out`, resized to parameter_count().
+  virtual double gradient(const Batch& batch, std::vector<float>& grad_out) = 0;
+
+  /// Apply params -= lr * grad.
+  virtual void apply_gradient(std::span<const float> grad, float lr) = 0;
+
+  /// Logits for a batch of inputs, row-major [n, classes].
+  virtual std::vector<float> predict(const Tensor& inputs) = 0;
+
+  virtual std::size_t n_classes() const = 0;
+};
+
+/// Feed-forward stack of layers with a softmax-cross-entropy head.
+class Sequential final : public TrainableModel {
+ public:
+  Sequential(std::vector<std::size_t> input_shape, std::size_t n_classes);
+
+  /// Append a layer; returns *this for fluent building.
+  Sequential& add(std::unique_ptr<Layer> layer);
+  /// Initialize all parameters with the given seed.
+  void init(std::uint64_t seed);
+
+  std::size_t parameter_count() const override;
+  std::vector<float> parameters() const override;
+  void set_parameters(std::span<const float> flat) override;
+  double gradient(const Batch& batch, std::vector<float>& grad_out) override;
+  void apply_gradient(std::span<const float> grad, float lr) override;
+  std::vector<float> predict(const Tensor& inputs) override;
+  std::size_t n_classes() const override { return n_classes_; }
+
+  /// Convenience: one local SGD step on a batch; returns the loss.
+  double train_step(const Batch& batch, float lr);
+
+  /// Mean loss without touching gradients.
+  double evaluate_loss(const Batch& batch);
+
+  /// Human-readable per-layer summary (used by bench/table1_models).
+  std::string summary() const;
+
+  const std::vector<std::size_t>& input_shape() const { return input_shape_; }
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  void zero_grad();
+  Tensor forward_all(const Tensor& inputs);
+
+  std::vector<std::size_t> input_shape_;  // per-sample, e.g. {1,28,28}
+  std::size_t n_classes_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  SoftmaxCrossEntropy loss_;
+};
+
+}  // namespace fleet::nn

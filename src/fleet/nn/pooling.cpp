@@ -1,0 +1,92 @@
+#include "fleet/nn/pooling.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fleet::nn {
+
+MaxPool2D::MaxPool2D(std::size_t kernel_h, std::size_t kernel_w,
+                     std::size_t stride_h, std::size_t stride_w)
+    : kh_(kernel_h), kw_(kernel_w), sh_(stride_h), sw_(stride_w) {
+  if (kernel_h == 0 || kernel_w == 0 || stride_h == 0 || stride_w == 0) {
+    throw std::invalid_argument("MaxPool2D: zero-sized configuration");
+  }
+}
+
+std::vector<std::size_t> MaxPool2D::output_shape(
+    const std::vector<std::size_t>& input_shape) const {
+  if (input_shape.size() != 3) {
+    throw std::invalid_argument("MaxPool2D::output_shape: expected [c,h,w]");
+  }
+  const std::size_t h = input_shape[1], w = input_shape[2];
+  if (h < kh_ || w < kw_) {
+    throw std::invalid_argument("MaxPool2D::output_shape: input below kernel");
+  }
+  return {input_shape[0], (h - kh_) / sh_ + 1, (w - kw_) / sw_ + 1};
+}
+
+Tensor MaxPool2D::forward(const Tensor& input) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("MaxPool2D::forward: NCHW input required");
+  }
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0), c = input.dim(1);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = (h - kh_) / sh_ + 1;
+  const std::size_t ow = (w - kw_) / sw_ + 1;
+  Tensor out({batch, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+
+  const float* pin = input.data();
+  float* pout = out.data();
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* in_ch = pin + ((b * c + ch) * h) * w;
+      const std::size_t base = ((b * c + ch) * h) * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < kh_; ++ky) {
+            const std::size_t iy = oy * sh_ + ky;
+            for (std::size_t kx = 0; kx < kw_; ++kx) {
+              const std::size_t ix = ox * sw_ + kx;
+              const float v = in_ch[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = base + iy * w + ix;
+              }
+            }
+          }
+          pout[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (grad_output.size() != argmax_.size()) {
+    throw std::invalid_argument("MaxPool2D::backward: shape mismatch");
+  }
+  Tensor grad_input(input_shape_);
+  float* pgi = grad_input.data();
+  const float* pgo = grad_output.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    pgi[argmax_[i]] += pgo[i];
+  }
+  return grad_input;
+}
+
+std::string MaxPool2D::name() const {
+  std::ostringstream os;
+  os << "MaxPool2D(" << kh_ << "x" << kw_ << ", stride " << sh_ << "x" << sw_
+     << ")";
+  return os.str();
+}
+
+}  // namespace fleet::nn

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "fleet/nn/layer.hpp"
+
+namespace fleet::nn {
+
+/// Max pooling, NCHW, valid padding. Kernel and stride as in Table 1
+/// (e.g., 3x3 pool with 3x3 stride for the MNIST net).
+class MaxPool2D final : public Layer {
+ public:
+  MaxPool2D(std::size_t kernel_h, std::size_t kernel_w, std::size_t stride_h,
+            std::size_t stride_w);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t kh_, kw_, sh_, sw_;
+  std::vector<std::size_t> argmax_;         // flat input index per output cell
+  std::vector<std::size_t> input_shape_;    // [batch, c, h, w]
+};
+
+}  // namespace fleet::nn

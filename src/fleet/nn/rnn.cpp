@@ -1,0 +1,242 @@
+#include "fleet/nn/rnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fleet/nn/loss.hpp"
+#include "fleet/stats/rng.hpp"
+#include "fleet/tensor/ops.hpp"
+
+namespace fleet::nn {
+
+struct RnnClassifier::Workspace {
+  std::vector<int> tokens;             // truncated to max_bptt
+  std::vector<std::vector<float>> hs;  // hs[t] = hidden state after step t
+  std::vector<float> logits;
+};
+
+RnnClassifier::RnnClassifier(std::size_t vocab_size, std::size_t embed_dim,
+                             std::size_t hidden_dim, std::size_t n_classes,
+                             std::size_t max_bptt_steps)
+    : vocab_(vocab_size),
+      embed_(embed_dim),
+      hidden_(hidden_dim),
+      n_classes_(n_classes),
+      max_bptt_(max_bptt_steps),
+      embedding_({vocab_size, embed_dim}),
+      wx_({embed_dim, hidden_dim}),
+      wh_({hidden_dim, hidden_dim}),
+      bh_({hidden_dim}),
+      wo_({hidden_dim, n_classes}),
+      bo_({n_classes}) {
+  if (vocab_size == 0 || embed_dim == 0 || hidden_dim == 0 || n_classes == 0 ||
+      max_bptt_steps == 0) {
+    throw std::invalid_argument("RnnClassifier: zero-sized configuration");
+  }
+}
+
+void RnnClassifier::init(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const auto lim = [](std::size_t fan_in, std::size_t fan_out) {
+    return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  };
+  tensor::fill_uniform(embedding_, rng, 0.1f);
+  tensor::fill_uniform(wx_, rng, lim(embed_, hidden_));
+  tensor::fill_uniform(wh_, rng, lim(hidden_, hidden_));
+  bh_.fill(0.0f);
+  tensor::fill_uniform(wo_, rng, lim(hidden_, n_classes_));
+  bo_.fill(0.0f);
+}
+
+std::size_t RnnClassifier::parameter_count() const {
+  return embedding_.size() + wx_.size() + wh_.size() + bh_.size() +
+         wo_.size() + bo_.size();
+}
+
+std::vector<float> RnnClassifier::parameters() const {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (const Tensor* t : {&embedding_, &wx_, &wh_, &bh_, &wo_, &bo_}) {
+    flat.insert(flat.end(), t->data(), t->data() + t->size());
+  }
+  return flat;
+}
+
+void RnnClassifier::set_parameters(std::span<const float> flat) {
+  if (flat.size() != parameter_count()) {
+    throw std::invalid_argument("RnnClassifier::set_parameters: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (Tensor* t : {&embedding_, &wx_, &wh_, &bh_, &wo_, &bo_}) {
+    std::copy(flat.begin() + static_cast<long>(offset),
+              flat.begin() + static_cast<long>(offset + t->size()), t->data());
+    offset += t->size();
+  }
+}
+
+void RnnClassifier::check_token(int token) const {
+  if (token < 0 || static_cast<std::size_t>(token) >= vocab_) {
+    throw std::out_of_range("RnnClassifier: token id out of vocabulary");
+  }
+}
+
+void RnnClassifier::forward_sequence(std::span<const int> tokens,
+                                     Workspace& ws) {
+  if (tokens.empty()) {
+    throw std::invalid_argument("RnnClassifier: empty token sequence");
+  }
+  // Keep only the most recent max_bptt tokens (truncated BPTT).
+  const std::size_t start =
+      tokens.size() > max_bptt_ ? tokens.size() - max_bptt_ : 0;
+  ws.tokens.assign(tokens.begin() + static_cast<long>(start), tokens.end());
+  const std::size_t steps = ws.tokens.size();
+
+  ws.hs.assign(steps + 1, std::vector<float>(hidden_, 0.0f));
+  for (std::size_t t = 0; t < steps; ++t) {
+    check_token(ws.tokens[t]);
+    const float* e =
+        embedding_.data() + static_cast<std::size_t>(ws.tokens[t]) * embed_;
+    const std::vector<float>& prev = ws.hs[t];
+    std::vector<float>& cur = ws.hs[t + 1];
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      float acc = bh_[j];
+      for (std::size_t i = 0; i < embed_; ++i) acc += e[i] * wx_[i * hidden_ + j];
+      for (std::size_t i = 0; i < hidden_; ++i) {
+        acc += prev[i] * wh_[i * hidden_ + j];
+      }
+      cur[j] = std::tanh(acc);
+    }
+  }
+  ws.logits.assign(n_classes_, 0.0f);
+  const std::vector<float>& hT = ws.hs[steps];
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    float acc = bo_[c];
+    for (std::size_t i = 0; i < hidden_; ++i) acc += hT[i] * wo_[i * n_classes_ + c];
+    ws.logits[c] = acc;
+  }
+}
+
+std::vector<float> RnnClassifier::scores(std::span<const int> tokens) {
+  Workspace ws;
+  forward_sequence(tokens, ws);
+  return ws.logits;
+}
+
+double RnnClassifier::gradient(std::span<const SequenceSample> batch,
+                               std::vector<float>& grad_out) {
+  if (batch.empty()) {
+    throw std::invalid_argument("RnnClassifier::gradient: empty batch");
+  }
+  grad_out.assign(parameter_count(), 0.0f);
+  // Gradient buffer offsets in flat layout.
+  const std::size_t off_emb = 0;
+  const std::size_t off_wx = off_emb + embedding_.size();
+  const std::size_t off_wh = off_wx + wx_.size();
+  const std::size_t off_bh = off_wh + wh_.size();
+  const std::size_t off_wo = off_bh + bh_.size();
+  const std::size_t off_bo = off_wo + wo_.size();
+
+  double total_loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch.size());
+  Workspace ws;
+  std::vector<float> probs(n_classes_);
+  std::vector<float> dh(hidden_), dpre(hidden_), dh_next(hidden_);
+
+  for (const SequenceSample& sample : batch) {
+    if (sample.target < 0 ||
+        static_cast<std::size_t>(sample.target) >= n_classes_) {
+      throw std::out_of_range("RnnClassifier::gradient: target out of range");
+    }
+    forward_sequence(sample.tokens, ws);
+    const std::size_t steps = ws.tokens.size();
+
+    // Softmax cross-entropy on the final logits.
+    const float mx = *std::max_element(ws.logits.begin(), ws.logits.end());
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < n_classes_; ++c) {
+      probs[c] = std::exp(ws.logits[c] - mx);
+      denom += probs[c];
+    }
+    for (std::size_t c = 0; c < n_classes_; ++c) probs[c] /= denom;
+    const auto target = static_cast<std::size_t>(sample.target);
+    total_loss -= std::log(std::max(probs[target], 1e-12f));
+
+    // d logits
+    std::vector<float> dlogits = probs;
+    dlogits[target] -= 1.0f;
+
+    // Output layer grads + dL/dh_T.
+    const std::vector<float>& hT = ws.hs[steps];
+    std::fill(dh.begin(), dh.end(), 0.0f);
+    for (std::size_t c = 0; c < n_classes_; ++c) {
+      const float g = dlogits[c] * inv_batch;
+      grad_out[off_bo + c] += g;
+      for (std::size_t i = 0; i < hidden_; ++i) {
+        grad_out[off_wo + i * n_classes_ + c] += g * hT[i];
+      }
+    }
+    for (std::size_t i = 0; i < hidden_; ++i) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < n_classes_; ++c) {
+        acc += dlogits[c] * wo_[i * n_classes_ + c];
+      }
+      dh[i] = acc;  // not yet scaled by inv_batch; applied at write time below
+    }
+
+    // BPTT.
+    for (std::size_t t = steps; t-- > 0;) {
+      const std::vector<float>& h = ws.hs[t + 1];
+      const std::vector<float>& hprev = ws.hs[t];
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        dpre[j] = dh[j] * (1.0f - h[j] * h[j]);
+      }
+      const float* e =
+          embedding_.data() + static_cast<std::size_t>(ws.tokens[t]) * embed_;
+      float* gemb = grad_out.data() + off_emb +
+                    static_cast<std::size_t>(ws.tokens[t]) * embed_;
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float g = dpre[j] * inv_batch;
+        grad_out[off_bh + j] += g;
+        for (std::size_t i = 0; i < embed_; ++i) {
+          grad_out[off_wx + i * hidden_ + j] += g * e[i];
+        }
+        for (std::size_t i = 0; i < hidden_; ++i) {
+          grad_out[off_wh + i * hidden_ + j] += g * hprev[i];
+        }
+      }
+      // dL/d e_t  and  dL/d h_{t-1}
+      for (std::size_t i = 0; i < embed_; ++i) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < hidden_; ++j) {
+          acc += dpre[j] * wx_[i * hidden_ + j];
+        }
+        gemb[i] += acc * inv_batch;
+      }
+      std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+      for (std::size_t i = 0; i < hidden_; ++i) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < hidden_; ++j) {
+          acc += dpre[j] * wh_[i * hidden_ + j];
+        }
+        dh_next[i] = acc;
+      }
+      dh.swap(dh_next);
+    }
+  }
+  return total_loss / static_cast<double>(batch.size());
+}
+
+void RnnClassifier::apply_gradient(std::span<const float> grad, float lr) {
+  if (grad.size() != parameter_count()) {
+    throw std::invalid_argument("RnnClassifier::apply_gradient: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (Tensor* t : {&embedding_, &wx_, &wh_, &bh_, &wo_, &bo_}) {
+    float* p = t->data();
+    for (std::size_t i = 0; i < t->size(); ++i) p[i] -= lr * grad[offset + i];
+    offset += t->size();
+  }
+}
+
+}  // namespace fleet::nn

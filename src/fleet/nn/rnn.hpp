@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fleet/tensor/tensor.hpp"
+
+namespace fleet::nn {
+
+using tensor::Tensor;
+
+/// A tokenized tweet: word ids plus the target hashtag id. Tweets carrying
+/// several hashtags are expanded into one sample per hashtag upstream.
+struct SequenceSample {
+  std::vector<int> tokens;
+  int target = 0;
+};
+
+/// Embedding + Elman RNN + dense softmax head — the hashtag recommender of
+/// §3.1 (the paper uses a small TensorFlow RNN with 123,330 parameters; this
+/// is the same architecture family with configurable sizes).
+///
+///   h_t = tanh(E[x_t] Wx + h_{t-1} Wh + bh),  logits = h_T Wo + bo.
+///
+/// Exposes the same flat parameter/gradient interface as Sequential so the
+/// federated core can treat both uniformly.
+class RnnClassifier {
+ public:
+  RnnClassifier(std::size_t vocab_size, std::size_t embed_dim,
+                std::size_t hidden_dim, std::size_t n_classes,
+                std::size_t max_bptt_steps = 32);
+
+  void init(std::uint64_t seed);
+
+  std::size_t parameter_count() const;
+  std::vector<float> parameters() const;
+  void set_parameters(std::span<const float> flat);
+
+  /// Mean loss over the mini-batch; averaged gradient into grad_out.
+  double gradient(std::span<const SequenceSample> batch,
+                  std::vector<float>& grad_out);
+
+  void apply_gradient(std::span<const float> grad, float lr);
+
+  /// Class scores (logits) for one token sequence.
+  std::vector<float> scores(std::span<const int> tokens);
+
+  std::size_t n_classes() const { return n_classes_; }
+  std::size_t vocab_size() const { return vocab_; }
+
+ private:
+  struct Workspace;  // per-sequence forward cache
+  void forward_sequence(std::span<const int> tokens, Workspace& ws);
+  void check_token(int token) const;
+
+  std::size_t vocab_, embed_, hidden_, n_classes_, max_bptt_;
+  Tensor embedding_;  // [vocab, embed]
+  Tensor wx_;         // [embed, hidden]
+  Tensor wh_;         // [hidden, hidden]
+  Tensor bh_;         // [hidden]
+  Tensor wo_;         // [hidden, classes]
+  Tensor bo_;         // [classes]
+};
+
+}  // namespace fleet::nn

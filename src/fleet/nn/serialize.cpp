@@ -1,0 +1,69 @@
+#include "fleet/nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fleet::nn {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'L', 'T', '1'};
+}
+
+void save_parameters(const std::vector<float>& parameters,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("save_parameters: cannot open " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t count = parameters.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(parameters.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  if (!out) {
+    throw std::runtime_error("save_parameters: write failed for " + path);
+  }
+}
+
+std::vector<float> load_parameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_parameters: cannot open " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) {
+    throw std::runtime_error("load_parameters: truncated header in " + path);
+  }
+  std::vector<float> parameters(count);
+  in.read(reinterpret_cast<char*>(parameters.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) {
+    throw std::runtime_error("load_parameters: truncated payload in " + path);
+  }
+  return parameters;
+}
+
+void save_model(const TrainableModel& model, const std::string& path) {
+  save_parameters(model.parameters(), path);
+}
+
+void load_model(TrainableModel& model, const std::string& path) {
+  const std::vector<float> parameters = load_parameters(path);
+  if (parameters.size() != model.parameter_count()) {
+    throw std::runtime_error(
+        "load_model: checkpoint has " + std::to_string(parameters.size()) +
+        " parameters, model expects " +
+        std::to_string(model.parameter_count()));
+  }
+  model.set_parameters(parameters);
+}
+
+}  // namespace fleet::nn

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/nn/model.hpp"
+
+namespace fleet::nn {
+
+/// Minimal binary checkpoint format for flat parameter vectors:
+/// magic "FLT1" + u64 count + float32[count], little-endian. The FLeet
+/// server persists the global model between sessions with this (the
+/// original implementation serializes parameters over Kryo streams; this
+/// is the at-rest equivalent).
+void save_parameters(const std::vector<float>& parameters,
+                     const std::string& path);
+
+std::vector<float> load_parameters(const std::string& path);
+
+/// Convenience wrappers for anything with parameters()/set_parameters().
+void save_model(const TrainableModel& model, const std::string& path);
+void load_model(TrainableModel& model, const std::string& path);
+
+}  // namespace fleet::nn

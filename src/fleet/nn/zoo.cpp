@@ -1,0 +1,91 @@
+#include "fleet/nn/zoo.hpp"
+
+#include "fleet/nn/activations.hpp"
+#include "fleet/nn/conv2d.hpp"
+#include "fleet/nn/dense.hpp"
+#include "fleet/nn/pooling.hpp"
+
+namespace fleet::nn::zoo {
+
+std::unique_ptr<Sequential> mnist_cnn() {
+  auto model = std::make_unique<Sequential>(
+      std::vector<std::size_t>{1, 28, 28}, 10);
+  model->add(std::make_unique<Conv2D>(1, 8, 5, 5, 1, 1));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2D>(3, 3, 3, 3));
+  model->add(std::make_unique<Conv2D>(8, 48, 5, 5, 1, 1));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2D>(2, 2, 2, 2));
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Dense>(2 * 2 * 48, 10));
+  return model;
+}
+
+std::unique_ptr<Sequential> emnist_cnn() {
+  auto model = std::make_unique<Sequential>(
+      std::vector<std::size_t>{1, 28, 28}, 62);
+  model->add(std::make_unique<Conv2D>(1, 10, 5, 5, 1, 1));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2D>(2, 2, 2, 2));
+  model->add(std::make_unique<Conv2D>(10, 10, 5, 5, 1, 1));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2D>(2, 2, 2, 2));
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Dense>(4 * 4 * 10, 15));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Dense>(15, 62));
+  return model;
+}
+
+std::unique_ptr<Sequential> cifar_cnn(std::size_t n_classes) {
+  auto model = std::make_unique<Sequential>(
+      std::vector<std::size_t>{3, 32, 32}, n_classes);
+  model->add(std::make_unique<Conv2D>(3, 16, 3, 3, 1, 1));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2D>(3, 3, 2, 2));
+  model->add(std::make_unique<Conv2D>(16, 64, 3, 3, 1, 1));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2D>(4, 4, 4, 4));
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Dense>(3 * 3 * 64, 384));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Dense>(384, 192));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Dense>(192, n_classes));
+  return model;
+}
+
+std::unique_ptr<Sequential> small_cnn(std::size_t channels, std::size_t height,
+                                      std::size_t width, std::size_t n_classes,
+                                      std::size_t conv_filters) {
+  auto model = std::make_unique<Sequential>(
+      std::vector<std::size_t>{channels, height, width}, n_classes);
+  model->add(std::make_unique<Conv2D>(channels, conv_filters, 3, 3, 1, 1));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2D>(2, 2, 2, 2));
+  const std::size_t oh = (height - 3 + 1 - 2) / 2 + 1;
+  const std::size_t ow = (width - 3 + 1 - 2) / 2 + 1;
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Dense>(conv_filters * oh * ow, n_classes));
+  return model;
+}
+
+std::unique_ptr<Sequential> mlp(std::size_t input_dim, std::size_t hidden,
+                                std::size_t n_classes) {
+  auto model = std::make_unique<Sequential>(
+      std::vector<std::size_t>{input_dim}, n_classes);
+  model->add(std::make_unique<Dense>(input_dim, hidden));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Dense>(hidden, n_classes));
+  return model;
+}
+
+std::unique_ptr<Sequential> linear(std::size_t input_dim,
+                                   std::size_t n_classes) {
+  auto model = std::make_unique<Sequential>(
+      std::vector<std::size_t>{input_dim}, n_classes);
+  model->add(std::make_unique<Dense>(input_dim, n_classes));
+  return model;
+}
+
+}  // namespace fleet::nn::zoo

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+
+#include "fleet/nn/model.hpp"
+
+namespace fleet::nn::zoo {
+
+/// The exact CNNs of Table 1 in the paper.
+///
+/// MNIST:    28x28x1 -> Conv 5x5x8 /1 -> Pool 3x3 /3 -> Conv 5x5x48 /1
+///           -> Pool 2x2 /2 -> FC 10
+/// E-MNIST:  28x28x1 -> Conv 5x5x10 /1 -> Pool 2x2 /2 -> Conv 5x5x10 /1
+///           -> Pool 2x2 /2 -> FC 15 -> FC 62
+/// CIFAR:    32x32x3 -> Conv 3x3x16 /1 -> Pool 3x3 /2 -> Conv 3x3x64 /1
+///           -> Pool 4x4 /4 -> FC 384 -> FC 192 -> FC n_classes
+std::unique_ptr<Sequential> mnist_cnn();
+std::unique_ptr<Sequential> emnist_cnn();
+std::unique_ptr<Sequential> cifar_cnn(std::size_t n_classes = 100);
+
+/// Reduced-scale CNN used by the experiment benches: same conv-pool-dense
+/// shape as the paper's networks but sized for seconds-scale simulated runs
+/// (our substrate executes gradients for thousands of simulated devices on
+/// one laptop core; see DESIGN.md §5 "shape, not absolute numbers").
+std::unique_ptr<Sequential> small_cnn(std::size_t channels, std::size_t height,
+                                      std::size_t width,
+                                      std::size_t n_classes,
+                                      std::size_t conv_filters = 6);
+
+/// One-hidden-layer MLP (for fast unit tests).
+std::unique_ptr<Sequential> mlp(std::size_t input_dim, std::size_t hidden,
+                                std::size_t n_classes);
+
+/// Logistic regression (linear softmax model).
+std::unique_ptr<Sequential> linear(std::size_t input_dim,
+                                   std::size_t n_classes);
+
+}  // namespace fleet::nn::zoo

@@ -1,0 +1,38 @@
+#include "fleet/privacy/gaussian_mechanism.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::privacy {
+
+double clip_l2(std::span<float> gradient, double clip_norm) {
+  if (clip_norm <= 0.0) {
+    throw std::invalid_argument("clip_l2: clip_norm must be > 0");
+  }
+  double norm_sq = 0.0;
+  for (float g : gradient) {
+    norm_sq += static_cast<double>(g) * static_cast<double>(g);
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (norm > clip_norm) {
+    const auto scale = static_cast<float>(clip_norm / norm);
+    for (float& g : gradient) g *= scale;
+  }
+  return norm;
+}
+
+void privatize_gradient(std::span<float> gradient, const DpConfig& config,
+                        std::size_t mini_batch, stats::Rng& rng) {
+  if (mini_batch == 0) {
+    throw std::invalid_argument("privatize_gradient: mini_batch=0");
+  }
+  clip_l2(gradient, config.clip_norm);
+  if (config.noise_multiplier <= 0.0) return;
+  const double stddev = config.noise_multiplier * config.clip_norm /
+                        static_cast<double>(mini_batch);
+  for (float& g : gradient) {
+    g += static_cast<float>(rng.gaussian(0.0, stddev));
+  }
+}
+
+}  // namespace fleet::privacy

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::privacy {
+
+/// DP-SGD style gradient perturbation (Abadi et al., CCS'16), applied to
+/// the mini-batch-averaged gradient a FLeet worker ships (§3.2 "we perturb
+/// the gradients as in [2]"):
+///   g <- clip_L2(g, C);  g <- g + N(0, (sigma * C / B)^2) per coordinate,
+/// where B is the mini-batch size (noise calibrated to the sum then scaled
+/// to the average).
+struct DpConfig {
+  double clip_norm = 0.0;         // C; 0 disables the mechanism entirely
+  double noise_multiplier = 0.0;  // sigma; 0 disables noise (clip only)
+};
+
+/// Scale `gradient` down to L2 norm at most `clip_norm`.
+/// Returns the pre-clipping norm.
+double clip_l2(std::span<float> gradient, double clip_norm);
+
+/// Clip then add Gaussian noise; the full mechanism.
+void privatize_gradient(std::span<float> gradient, const DpConfig& config,
+                        std::size_t mini_batch, stats::Rng& rng);
+
+}  // namespace fleet::privacy

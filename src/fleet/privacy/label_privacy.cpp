@@ -1,0 +1,54 @@
+#include "fleet/privacy/label_privacy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::privacy {
+
+double laplace_noise(double scale, stats::Rng& rng) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("laplace_noise: scale must be > 0");
+  }
+  // Inverse-CDF sampling: u in (-1/2, 1/2).
+  const double u = rng.uniform(-0.5, 0.5);
+  const double magnitude = std::log(1.0 - 2.0 * std::abs(u));
+  return (u >= 0.0 ? -1.0 : 1.0) * scale * magnitude;
+}
+
+stats::LabelDistribution privatize_label_distribution(
+    const stats::LabelDistribution& ld, const LabelPrivacyConfig& config,
+    stats::Rng& rng) {
+  if (config.epsilon <= 0.0) return ld;
+  const double scale = 1.0 / config.epsilon;
+  stats::LabelDistribution noisy(ld.n_classes());
+  for (std::size_t c = 0; c < ld.n_classes(); ++c) {
+    const double perturbed =
+        static_cast<double>(ld.count(c)) + laplace_noise(scale, rng);
+    const auto rounded = static_cast<long long>(std::llround(perturbed));
+    if (rounded > 0) {
+      noisy.add(static_cast<int>(c), static_cast<std::size_t>(rounded));
+    }
+  }
+  if (noisy.total() == 0) {
+    // Degenerate all-noise case: release a uniform singleton so the
+    // similarity computation stays defined.
+    noisy.add(static_cast<int>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(ld.n_classes()) - 1)),
+              1);
+  }
+  return noisy;
+}
+
+double label_distribution_l1(const stats::LabelDistribution& a,
+                             const stats::LabelDistribution& b) {
+  if (a.n_classes() != b.n_classes()) {
+    throw std::invalid_argument("label_distribution_l1: class mismatch");
+  }
+  double l1 = 0.0;
+  for (std::size_t c = 0; c < a.n_classes(); ++c) {
+    l1 += std::abs(a.probability(c) - b.probability(c));
+  }
+  return l1;
+}
+
+}  // namespace fleet::privacy

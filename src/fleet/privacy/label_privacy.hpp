@@ -1,0 +1,36 @@
+#pragma once
+
+#include "fleet/stats/label_distribution.hpp"
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::privacy {
+
+/// Differentially-private release of a worker's label distribution.
+///
+/// The paper notes (§5) that transferring the label distribution leaks
+/// information about the user's data and plans "noise addition techniques
+/// for bounding this leakage" as future work. This implements that
+/// extension: each per-label count is released through the Laplace
+/// mechanism with sensitivity 1 (one sample added/removed changes one
+/// count by 1), giving epsilon-DP per released histogram.
+struct LabelPrivacyConfig {
+  /// Privacy budget per released histogram; <= 0 disables the mechanism.
+  double epsilon = 0.0;
+};
+
+/// Laplace(0, b) sample.
+double laplace_noise(double scale, stats::Rng& rng);
+
+/// Perturb the counts of `ld` with Laplace(1/epsilon) noise, rounding to
+/// non-negative integers. The result always carries at least one sample
+/// so downstream similarity math stays well-defined.
+stats::LabelDistribution privatize_label_distribution(
+    const stats::LabelDistribution& ld, const LabelPrivacyConfig& config,
+    stats::Rng& rng);
+
+/// L1 distance between the normalized distributions (distortion metric
+/// for the privacy/utility trade-off studied in the ablation bench).
+double label_distribution_l1(const stats::LabelDistribution& a,
+                             const stats::LabelDistribution& b);
+
+}  // namespace fleet::privacy

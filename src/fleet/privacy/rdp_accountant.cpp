@@ -1,0 +1,113 @@
+#include "fleet/privacy/rdp_accountant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fleet::privacy {
+
+namespace {
+
+double log_binomial(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+/// log(sum exp(xs)) without overflow.
+double log_sum_exp(const std::vector<double>& xs) {
+  const double mx = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double x : xs) s += std::exp(x - mx);
+  return mx + std::log(s);
+}
+
+}  // namespace
+
+std::vector<int> RdpAccountant::default_orders() {
+  std::vector<int> orders;
+  for (int a = 2; a <= 64; ++a) orders.push_back(a);
+  for (int a = 72; a <= 256; a += 8) orders.push_back(a);
+  return orders;
+}
+
+RdpAccountant::RdpAccountant(double q, double sigma, std::vector<int> orders)
+    : q_(q), sigma_(sigma),
+      orders_(orders.empty() ? default_orders() : std::move(orders)) {
+  if (q <= 0.0 || q > 1.0) {
+    throw std::invalid_argument("RdpAccountant: q outside (0,1]");
+  }
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("RdpAccountant: sigma must be > 0");
+  }
+  for (int a : orders_) {
+    if (a < 2) throw std::invalid_argument("RdpAccountant: order < 2");
+  }
+}
+
+double RdpAccountant::rdp_at_order(int alpha) const {
+  if (alpha < 2) throw std::invalid_argument("rdp_at_order: alpha < 2");
+  // Full-batch case: plain Gaussian mechanism, rdp = alpha / (2 sigma^2).
+  if (q_ >= 1.0) {
+    return static_cast<double>(alpha) / (2.0 * sigma_ * sigma_);
+  }
+  std::vector<double> terms;
+  terms.reserve(static_cast<std::size_t>(alpha) + 1);
+  const double log_q = std::log(q_);
+  const double log_1mq = std::log1p(-q_);
+  for (int k = 0; k <= alpha; ++k) {
+    const double log_coef = log_binomial(alpha, k) +
+                            static_cast<double>(k) * log_q +
+                            static_cast<double>(alpha - k) * log_1mq;
+    const double moment = static_cast<double>(k) *
+                          static_cast<double>(k - 1) /
+                          (2.0 * sigma_ * sigma_);
+    terms.push_back(log_coef + moment);
+  }
+  const double log_moment = log_sum_exp(terms);
+  return std::max(0.0, log_moment / (static_cast<double>(alpha) - 1.0));
+}
+
+double RdpAccountant::epsilon(double delta) const {
+  if (delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("RdpAccountant::epsilon: delta outside (0,1)");
+  }
+  if (steps_ == 0) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (int alpha : orders_) {
+    const double rdp = rdp_at_order(alpha) * static_cast<double>(steps_);
+    const double eps =
+        rdp + std::log(1.0 / delta) / (static_cast<double>(alpha) - 1.0);
+    best = std::min(best, eps);
+  }
+  return best;
+}
+
+double compute_epsilon(double q, double sigma, std::size_t steps,
+                       double delta) {
+  RdpAccountant acc(q, sigma);
+  acc.step(steps);
+  return acc.epsilon(delta);
+}
+
+double noise_for_epsilon(double q, std::size_t steps, double delta,
+                         double target_epsilon, double tolerance) {
+  if (target_epsilon <= 0.0) {
+    throw std::invalid_argument("noise_for_epsilon: epsilon must be > 0");
+  }
+  double lo = 0.05, hi = 200.0;
+  if (compute_epsilon(q, hi, steps, delta) > target_epsilon) {
+    throw std::runtime_error("noise_for_epsilon: target unreachable");
+  }
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (compute_epsilon(q, mid, steps, delta) > target_epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace fleet::privacy

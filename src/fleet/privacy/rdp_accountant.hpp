@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fleet::privacy {
+
+/// Moments accountant for the subsampled Gaussian mechanism (§3.2 / Fig 11
+/// measures epsilon "with the moments accountant approach [2]").
+///
+/// Implemented as a Renyi-DP accountant at integer orders: the alpha-th
+/// moment of the privacy loss of the Poisson-subsampled Gaussian with
+/// sampling ratio q and noise multiplier sigma is bounded by
+///
+///   rdp(alpha) = 1/(alpha-1) * log( sum_{k=0..alpha} C(alpha,k)
+///                (1-q)^(alpha-k) q^k exp(k(k-1)/(2 sigma^2)) )
+///
+/// (Abadi et al.'s integer-moment bound / Mironov et al. 2019). Moments
+/// compose additively over steps, and
+///   epsilon(delta) = min_alpha [ steps * rdp(alpha) + log(1/delta)/(alpha-1) ].
+class RdpAccountant {
+ public:
+  /// q: sampling ratio (mini-batch / N), sigma: noise multiplier.
+  RdpAccountant(double q, double sigma, std::vector<int> orders = {});
+
+  /// Record `n` mechanism invocations (SGD steps).
+  void step(std::size_t n = 1) { steps_ += n; }
+  std::size_t steps() const { return steps_; }
+
+  /// Privacy loss epsilon for the given delta over all recorded steps.
+  double epsilon(double delta) const;
+
+  /// Per-step RDP at one integer order (exposed for tests).
+  double rdp_at_order(int alpha) const;
+
+  static std::vector<int> default_orders();
+
+ private:
+  double q_;
+  double sigma_;
+  std::vector<int> orders_;
+  std::size_t steps_ = 0;
+};
+
+/// Convenience: epsilon after `steps` iterations.
+double compute_epsilon(double q, double sigma, std::size_t steps,
+                       double delta);
+
+/// Inverse: smallest noise multiplier sigma (within tolerance) whose
+/// epsilon(delta) after `steps` is at most `target_epsilon`.
+double noise_for_epsilon(double q, std::size_t steps, double delta,
+                         double target_epsilon, double tolerance = 1e-3);
+
+}  // namespace fleet::privacy

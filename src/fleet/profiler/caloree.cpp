@@ -1,0 +1,147 @@
+#include "fleet/profiler/caloree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::profiler {
+
+const PerfPoint& PerformanceHashTable::fastest() const {
+  if (hull.empty()) throw std::logic_error("PerformanceHashTable: empty");
+  return hull.back();
+}
+
+PerformanceHashTable profile_device(device::DeviceSim& device,
+                                    std::size_t probe_batch) {
+  std::vector<PerfPoint> points;
+  for (const device::CoreAllocation& alloc : device.allowed_allocations()) {
+    PerfPoint p;
+    p.alloc = alloc;
+    // Profile by measuring a probe task (as CALOREE does offline); let the
+    // device cool between probes so the table reflects nominal speeds.
+    const device::TaskExecution exec = device.run_task(probe_batch, alloc);
+    p.rate = static_cast<double>(probe_batch) / exec.time_s;
+    p.power = exec.avg_power_w;
+    points.push_back(p);
+    device.idle(120.0);
+  }
+  std::sort(points.begin(), points.end(),
+            [](const PerfPoint& a, const PerfPoint& b) {
+              if (a.rate != b.rate) return a.rate < b.rate;
+              return a.power < b.power;
+            });
+
+  // Lower convex hull in the (rate, power) plane: keep points where power
+  // grows slower than linearly between neighbours (energy-optimal mixtures
+  // lie on this hull).
+  PerformanceHashTable pht;
+  for (const PerfPoint& p : points) {
+    // Dominated: something at least as fast with no more power.
+    if (!pht.hull.empty() && p.power >= pht.hull.back().power &&
+        p.rate <= pht.hull.back().rate) {
+      continue;
+    }
+    while (pht.hull.size() >= 2) {
+      const PerfPoint& a = pht.hull[pht.hull.size() - 2];
+      const PerfPoint& b = pht.hull[pht.hull.size() - 1];
+      const double slope_ab = (b.power - a.power) / (b.rate - a.rate + 1e-12);
+      const double slope_ap = (p.power - a.power) / (p.rate - a.rate + 1e-12);
+      if (slope_ap <= slope_ab) {
+        pht.hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    if (!pht.hull.empty() && p.rate <= pht.hull.back().rate) continue;
+    pht.hull.push_back(p);
+  }
+  if (pht.hull.empty()) {
+    throw std::runtime_error("profile_device: no usable configurations");
+  }
+  return pht;
+}
+
+CaloreeController::CaloreeController(PerformanceHashTable pht)
+    : CaloreeController(std::move(pht), Config()) {}
+
+CaloreeController::CaloreeController(PerformanceHashTable pht, Config config)
+    : pht_(std::move(pht)), config_(config) {
+  if (pht_.hull.empty()) {
+    throw std::invalid_argument("CaloreeController: empty PHT");
+  }
+  if (config.control_periods == 0) {
+    throw std::invalid_argument("CaloreeController: zero control periods");
+  }
+}
+
+std::size_t CaloreeController::pick_config(double required_rate,
+                                           double speed_scale) const {
+  // Energy-minimal single config meeting the required rate: hull points are
+  // sorted by rate, so the first fast-enough one is cheapest. Falls back to
+  // the fastest when the deadline is (believed) unreachable.
+  for (std::size_t i = 0; i < pht_.hull.size(); ++i) {
+    if (pht_.hull[i].rate * speed_scale >= required_rate) return i;
+  }
+  return pht_.hull.size() - 1;
+}
+
+CaloreeController::Result CaloreeController::run(device::DeviceSim& device,
+                                                 std::size_t n_samples,
+                                                 double deadline_s) {
+  if (n_samples == 0) {
+    throw std::invalid_argument("CaloreeController::run: empty workload");
+  }
+  if (deadline_s <= 0.0) {
+    throw std::invalid_argument("CaloreeController::run: non-positive deadline");
+  }
+  Result result;
+  double remaining = static_cast<double>(n_samples);
+  double speed_scale = 1.0;  // learned actual/believed rate ratio
+  const double dt = deadline_s / static_cast<double>(config_.control_periods);
+  std::size_t previous_config = pht_.hull.size();  // sentinel: none yet
+
+  const auto dispatch = [&](std::size_t hull_idx, double samples) {
+    const auto chunk = static_cast<std::size_t>(std::ceil(
+        std::min(remaining, std::max(samples, config_.min_chunk))));
+    if (chunk == 0) return;
+    const device::TaskExecution exec =
+        device.run_task(chunk, pht_.hull[hull_idx].alloc);
+    result.time_s += exec.time_s;
+    result.energy_pct += exec.energy_pct;
+    remaining -= static_cast<double>(chunk);
+    // CALOREE's lightweight learner: exponentially-weighted multiplicative
+    // correction of believed speeds from observed progress.
+    const double observed_rate = static_cast<double>(chunk) / exec.time_s;
+    const double ratio = observed_rate / (pht_.hull[hull_idx].rate + 1e-12);
+    speed_scale = 0.5 * speed_scale + 0.5 * ratio;
+    if (previous_config != hull_idx) {
+      if (previous_config != pht_.hull.size()) ++result.config_switches;
+      previous_config = hull_idx;
+    }
+  };
+
+  for (std::size_t period = 0; period + 1 < config_.control_periods;
+       ++period) {
+    if (remaining <= 0.0) break;
+    const double time_left = deadline_s - result.time_s;
+    if (time_left <= 0.0) break;  // already late: fall through to catch-up
+    // Work that must complete this period to stay on schedule.
+    const double required_rate = remaining / time_left;
+    const std::size_t idx = pick_config(required_rate, speed_scale);
+    dispatch(idx, required_rate * std::min(dt, time_left));
+  }
+  // Last period (or catch-up): dispatch everything left in one task at the
+  // config the schedule calls for.
+  if (remaining > 0.0) {
+    const double time_left = deadline_s - result.time_s;
+    const double required_rate = time_left > 1e-6
+                                     ? remaining / time_left
+                                     : pht_.hull.back().rate * 1e9;
+    dispatch(pick_config(required_rate, speed_scale), remaining);
+  }
+  result.deadline_error_pct =
+      std::abs(result.time_s - deadline_s) / deadline_s * 100.0;
+  return result;
+}
+
+}  // namespace fleet::profiler

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "fleet/device/device_model.hpp"
+
+namespace fleet::profiler {
+
+/// One profiled configuration point: a core allocation with its measured
+/// throughput (samples/s) and power (W).
+struct PerfPoint {
+  device::CoreAllocation alloc;
+  double rate = 0.0;
+  double power = 0.0;
+};
+
+/// CALOREE's performance hash table: the energy-optimal (lower convex hull)
+/// subset of configurations, sorted by increasing rate (§3.4).
+struct PerformanceHashTable {
+  std::vector<PerfPoint> hull;
+
+  /// Fastest configuration the PHT believes in.
+  const PerfPoint& fastest() const;
+};
+
+/// Measure every allowed core allocation on a (cold) device and keep the
+/// lower convex hull in the (rate, power) plane.
+PerformanceHashTable profile_device(device::DeviceSim& device,
+                                    std::size_t probe_batch = 256);
+
+/// CALOREE resource manager (Mishra et al., ASPLOS'18), simulated: given a
+/// workload of n samples and a deadline, it schedules a mixture of PHT
+/// configurations per control period so the workload finishes exactly at
+/// the deadline with minimal energy. A multiplicative speed estimate is
+/// updated from observed progress each period (its lightweight learner),
+/// but the *relative* speeds and the hull shape come from the PHT — which
+/// is what breaks when the PHT was collected on a different device model
+/// (Table 2).
+class CaloreeController {
+ public:
+  struct Config {
+    std::size_t control_periods = 10;  // re-planning slots per deadline
+    double min_chunk = 8;              // samples per dispatch at least
+  };
+
+  explicit CaloreeController(PerformanceHashTable pht);
+  CaloreeController(PerformanceHashTable pht, Config config);
+
+  struct Result {
+    double time_s = 0.0;
+    double energy_pct = 0.0;
+    double deadline_error_pct = 0.0;  // |time - deadline| / deadline * 100
+    std::size_t config_switches = 0;
+  };
+
+  /// Execute the workload on `device` against `deadline_s`.
+  Result run(device::DeviceSim& device, std::size_t n_samples,
+             double deadline_s);
+
+  const PerformanceHashTable& pht() const { return pht_; }
+
+ private:
+  /// Cheapest hull config whose believed rate (scaled by the learned
+  /// `speed_scale`) meets `required_rate`; fastest config if none does.
+  std::size_t pick_config(double required_rate, double speed_scale) const;
+
+  PerformanceHashTable pht_;
+  Config config_;
+};
+
+}  // namespace fleet::profiler

@@ -1,0 +1,21 @@
+#include "fleet/profiler/features.hpp"
+
+#include <stdexcept>
+
+namespace fleet::profiler {
+
+double Observation::alpha_time() const {
+  if (mini_batch == 0) {
+    throw std::logic_error("Observation::alpha_time: mini_batch=0");
+  }
+  return time_s / static_cast<double>(mini_batch);
+}
+
+double Observation::alpha_energy() const {
+  if (mini_batch == 0) {
+    throw std::logic_error("Observation::alpha_energy: mini_batch=0");
+  }
+  return energy_pct / static_cast<double>(mini_batch);
+}
+
+}  // namespace fleet::profiler

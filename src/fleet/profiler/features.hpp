@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+
+#include "fleet/device/device_model.hpp"
+
+namespace fleet::profiler {
+
+using device::DeviceFeatures;
+
+/// Service level objectives a learning task must respect (§2.2). The paper
+/// evaluates a 3 s computation-time SLO (Fig 12) and a 0.075 %-battery
+/// energy SLO (Fig 13).
+struct Slo {
+  double latency_s = 3.0;
+  double energy_pct = 0.075;
+};
+
+/// One profiling observation: the features a device reported at request
+/// time, and the measured cost of the learning task it then executed.
+struct Observation {
+  std::string device_model;
+  DeviceFeatures features;
+  std::size_t mini_batch = 0;
+  double time_s = 0.0;
+  double energy_pct = 0.0;
+
+  /// Observed per-sample slopes (alpha in §2.2).
+  double alpha_time() const;
+  double alpha_energy() const;
+};
+
+/// Abstract mini-batch-size profiler so I-Prof and the MAUI baseline are
+/// interchangeable in the request path and in the benches.
+class Profiler {
+ public:
+  virtual ~Profiler() = default;
+
+  /// Offline bootstrap on the training-device dataset (§2.2).
+  virtual void pretrain(const std::vector<Observation>& observations) = 0;
+
+  /// Largest mini-batch predicted to satisfy the SLO for this request.
+  virtual std::size_t predict_batch(const DeviceFeatures& features,
+                                    const std::string& device_model) = 0;
+
+  /// Post-execution feedback.
+  virtual void observe(const Observation& observation) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fleet::profiler

@@ -1,0 +1,159 @@
+#include "fleet/profiler/iprof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::profiler {
+
+namespace {
+
+// Absolute floors for slope predictions (seconds / battery-% per sample);
+// the effective floor is raised to a fraction of the smallest slope ever
+// observed, so a bad extrapolation cannot produce an unbounded mini-batch.
+constexpr double kMinAlphaTime = 1e-6;
+constexpr double kMinAlphaEnergy = 1e-9;
+constexpr double kFloorFraction = 0.25;
+
+}  // namespace
+
+IProf::IProf(const Config& config)
+    : config_(config),
+      cold_time_(DeviceFeatures::latency_feature_count()),
+      cold_energy_(DeviceFeatures::energy_feature_count()) {
+  if (config.slo.latency_s <= 0.0 || config.slo.energy_pct <= 0.0) {
+    throw std::invalid_argument("IProf: non-positive SLO");
+  }
+  if (config.max_batch == 0) throw std::invalid_argument("IProf: max_batch=0");
+}
+
+void IProf::pretrain(const std::vector<Observation>& observations) {
+  if (observations.empty()) {
+    throw std::invalid_argument("IProf::pretrain: no observations");
+  }
+  for (const Observation& ob : observations) {
+    add_cold_observation(ob);
+  }
+  cold_time_.fit();
+  cold_energy_.fit();
+  cold_fitted_ = true;
+}
+
+double IProf::cold_alpha_time(const DeviceFeatures& features) const {
+  if (!cold_fitted_) {
+    throw std::logic_error("IProf: predict before pretrain");
+  }
+  return cold_time_.predict(features.latency_features());
+}
+
+double IProf::cold_alpha_energy(const DeviceFeatures& features) const {
+  if (!cold_fitted_) {
+    throw std::logic_error("IProf: predict before pretrain");
+  }
+  return cold_energy_.predict(features.energy_features());
+}
+
+void IProf::add_cold_observation(const Observation& ob) {
+  // Weight for *relative* error: slopes span two orders of magnitude
+  // across the fleet, and a mis-sized first request on a fast device is
+  // as bad as one on a slow device.
+  const double wt = 1.0 / std::max(ob.alpha_time() * ob.alpha_time(), 1e-12);
+  const double we =
+      1.0 / std::max(ob.alpha_energy() * ob.alpha_energy(), 1e-18);
+  cold_time_.add_observation(ob.features.latency_features(), ob.alpha_time(),
+                             wt);
+  cold_energy_.add_observation(ob.features.energy_features(),
+                               ob.alpha_energy(), we);
+  min_alpha_time_ = std::min(min_alpha_time_, ob.alpha_time());
+  min_alpha_energy_ = std::min(min_alpha_energy_, ob.alpha_energy());
+}
+
+IProf::Personalized& IProf::personalized_for(const std::string& device_model) {
+  auto it = personalized_.find(device_model);
+  if (it == personalized_.end()) {
+    // Bootstrap the per-device-model PA regressors from the cold model's
+    // coefficients (§2.2: the cold-start model serves the first request).
+    it = personalized_
+             .emplace(device_model,
+                      Personalized{
+                          stats::PassiveAggressiveRegression(
+                              cold_time_.coefficients(), config_.epsilon_time),
+                          stats::PassiveAggressiveRegression(
+                              cold_energy_.coefficients(),
+                              config_.epsilon_energy)})
+             .first;
+  }
+  return it->second;
+}
+
+double IProf::predict_alpha_time(const DeviceFeatures& features,
+                                 const std::string& device_model) const {
+  const auto it = personalized_.find(device_model);
+  if (it != personalized_.end() && it->second.time.update_count() > 0) {
+    const double alpha = it->second.time.predict(features.latency_features());
+    // Stay within a margin of what this device model has demonstrated.
+    return std::clamp(alpha, kFloorFraction * it->second.min_alpha_time,
+                      4.0 * it->second.max_alpha_time);
+  }
+  const double alpha = cold_alpha_time(features);
+  return std::max(alpha,
+                  std::max(kMinAlphaTime, kFloorFraction * min_alpha_time_));
+}
+
+double IProf::predict_alpha_energy(const DeviceFeatures& features,
+                                   const std::string& device_model) const {
+  const auto it = personalized_.find(device_model);
+  if (it != personalized_.end() && it->second.energy.update_count() > 0) {
+    const double alpha =
+        it->second.energy.predict(features.energy_features());
+    return std::clamp(alpha, kFloorFraction * it->second.min_alpha_energy,
+                      4.0 * it->second.max_alpha_energy);
+  }
+  const double alpha = cold_alpha_energy(features);
+  return std::max(
+      alpha, std::max(kMinAlphaEnergy, kFloorFraction * min_alpha_energy_));
+}
+
+std::size_t IProf::predict_batch(const DeviceFeatures& features,
+                                 const std::string& device_model) {
+  const double alpha_t = predict_alpha_time(features, device_model);
+  const double alpha_e = predict_alpha_energy(features, device_model);
+  // Largest n respecting *both* SLOs (Eq. 1 applied per predictor).
+  const double n_time = config_.slo.latency_s / alpha_t;
+  const double n_energy = config_.slo.energy_pct / alpha_e;
+  const double n = std::floor(std::min(n_time, n_energy));
+  return static_cast<std::size_t>(std::clamp(
+      n, 1.0, static_cast<double>(config_.max_batch)));
+}
+
+bool IProf::has_personalized_model(const std::string& device_model) const {
+  return personalized_.count(device_model) > 0;
+}
+
+void IProf::observe(const Observation& observation) {
+  if (observation.mini_batch == 0) {
+    throw std::invalid_argument("IProf::observe: mini_batch=0");
+  }
+  Personalized& model = personalized_for(observation.device_model);
+  model.time.update(observation.features.latency_features(),
+                    observation.alpha_time());
+  model.energy.update(observation.features.energy_features(),
+                      observation.alpha_energy());
+  model.min_alpha_time = std::min(model.min_alpha_time, observation.alpha_time());
+  model.max_alpha_time = std::max(model.max_alpha_time, observation.alpha_time());
+  model.min_alpha_energy =
+      std::min(model.min_alpha_energy, observation.alpha_energy());
+  model.max_alpha_energy =
+      std::max(model.max_alpha_energy, observation.alpha_energy());
+
+  // Append to the cold dataset and periodically re-fit, mirroring I-Prof's
+  // periodic cold-start re-training on newly collected device data.
+  add_cold_observation(observation);
+  if (++observations_since_refit_ >= config_.retrain_interval) {
+    cold_time_.fit();
+    cold_energy_.fit();
+    observations_since_refit_ = 0;
+  }
+}
+
+}  // namespace fleet::profiler

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "fleet/profiler/features.hpp"
+#include "fleet/stats/regression.hpp"
+
+namespace fleet::profiler {
+
+/// I-Prof: FLeet's lightweight ML-based profiler (§2.2).
+///
+/// Two predictors (computation time, energy), each estimating the
+/// per-sample slope alpha from device features. Prediction of the
+/// mini-batch bound: n = max(1, SLO / alpha), jointly for both SLOs.
+///
+/// - Cold start: an OLS linear model over device features, pre-trained on
+///   an offline dataset from training devices and periodically re-fit as
+///   new data arrives.
+/// - Personalization: per device-model passive-aggressive regressors with
+///   epsilon-insensitive loss, bootstrapped from the cold model on the
+///   first observation of that model.
+class IProf final : public Profiler {
+ public:
+  struct Config {
+    Slo slo;
+    /// PA insensitivity bands, in slope units (seconds per sample and
+    /// battery-% per sample). The paper uses 0.1 and 6e-5 in its units
+    /// (§3.2/§3.3); our simulated slopes are ~3e-3 s/sample for a Galaxy
+    /// S7, so the bands scale accordingly — energy slopes are ~100x
+    /// smaller than time slopes, preserving the paper's ratio rationale.
+    double epsilon_time = 1e-4;
+    double epsilon_energy = 5e-7;
+    std::size_t max_batch = 16384;
+    std::size_t retrain_interval = 64;  // cold-model re-fit cadence
+  };
+
+  explicit IProf(const Config& config);
+
+  void pretrain(const std::vector<Observation>& observations) override;
+  std::size_t predict_batch(const DeviceFeatures& features,
+                            const std::string& device_model) override;
+  void observe(const Observation& observation) override;
+  std::string name() const override { return "I-Prof"; }
+
+  /// Predicted per-sample slopes (exposed for tests and Fig 12/13 analysis).
+  double predict_alpha_time(const DeviceFeatures& features,
+                            const std::string& device_model) const;
+  double predict_alpha_energy(const DeviceFeatures& features,
+                              const std::string& device_model) const;
+
+  bool has_personalized_model(const std::string& device_model) const;
+  const Config& config() const { return config_; }
+
+ private:
+  struct Personalized {
+    stats::PassiveAggressiveRegression time;
+    stats::PassiveAggressiveRegression energy;
+    // Observed slope envelope for this device model; personalized
+    // predictions are clamped into a margin around it so one noisy
+    // feature cannot blow up the workload bound.
+    double min_alpha_time = 1e9;
+    double max_alpha_time = 0.0;
+    double min_alpha_energy = 1e9;
+    double max_alpha_energy = 0.0;
+  };
+
+  double cold_alpha_time(const DeviceFeatures& features) const;
+  double cold_alpha_energy(const DeviceFeatures& features) const;
+  void add_cold_observation(const Observation& ob);
+  Personalized& personalized_for(const std::string& device_model);
+
+  Config config_;
+  stats::OlsRegression cold_time_;
+  stats::OlsRegression cold_energy_;
+  bool cold_fitted_ = false;
+  std::size_t observations_since_refit_ = 0;
+  std::map<std::string, Personalized> personalized_;
+  // Smallest slopes ever observed; used to floor predictions so a bad
+  // extrapolation cannot emit an unbounded mini-batch.
+  double min_alpha_time_ = 1e9;
+  double min_alpha_energy_ = 1e9;
+};
+
+}  // namespace fleet::profiler

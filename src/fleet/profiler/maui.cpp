@@ -1,0 +1,56 @@
+#include "fleet/profiler/maui.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::profiler {
+
+MauiProfiler::MauiProfiler(const Config& config) : config_(config) {
+  if (config.slo.latency_s <= 0.0 || config.slo.energy_pct <= 0.0) {
+    throw std::invalid_argument("MauiProfiler: non-positive SLO");
+  }
+}
+
+void MauiProfiler::pretrain(const std::vector<Observation>& observations) {
+  if (observations.empty()) {
+    throw std::invalid_argument("MauiProfiler::pretrain: no observations");
+  }
+  for (const Observation& ob : observations) observe(ob);
+}
+
+void MauiProfiler::observe(const Observation& observation) {
+  if (observation.mini_batch == 0) {
+    throw std::invalid_argument("MauiProfiler::observe: mini_batch=0");
+  }
+  const auto n = static_cast<double>(observation.mini_batch);
+  sum_tn_ += observation.time_s * n;
+  sum_en_ += observation.energy_pct * n;
+  sum_nn_ += n * n;
+}
+
+double MauiProfiler::theta_time() const {
+  if (sum_nn_ <= 0.0) {
+    throw std::logic_error("MauiProfiler: predict before any observation");
+  }
+  return sum_tn_ / sum_nn_;
+}
+
+double MauiProfiler::theta_energy() const {
+  if (sum_nn_ <= 0.0) {
+    throw std::logic_error("MauiProfiler: predict before any observation");
+  }
+  return sum_en_ / sum_nn_;
+}
+
+std::size_t MauiProfiler::predict_batch(const DeviceFeatures&,
+                                        const std::string&) {
+  const double alpha_t = std::max(theta_time(), 1e-6);
+  const double alpha_e = std::max(theta_energy(), 1e-9);
+  const double n = std::floor(std::min(config_.slo.latency_s / alpha_t,
+                                       config_.slo.energy_pct / alpha_e));
+  return static_cast<std::size_t>(
+      std::clamp(n, 1.0, static_cast<double>(config_.max_batch)));
+}
+
+}  // namespace fleet::profiler

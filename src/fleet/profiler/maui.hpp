@@ -1,0 +1,40 @@
+#pragma once
+
+#include "fleet/profiler/features.hpp"
+
+namespace fleet::profiler {
+
+/// The MAUI profiler baseline, adapted as in §3.3: a single global linear
+/// model through the origin per target — time = theta_t * n and
+/// energy = theta_e * n — with the workload size (mini-batch) replacing CPU
+/// cycles. Fit by least squares over all observations from all devices;
+/// no device features, no personalization. This is exactly what makes it
+/// inaccurate on a heterogeneous fleet (Figs 12-13).
+class MauiProfiler final : public Profiler {
+ public:
+  struct Config {
+    Slo slo;
+    std::size_t max_batch = 16384;
+  };
+
+  explicit MauiProfiler(const Config& config);
+
+  void pretrain(const std::vector<Observation>& observations) override;
+  std::size_t predict_batch(const DeviceFeatures& features,
+                            const std::string& device_model) override;
+  void observe(const Observation& observation) override;
+  std::string name() const override { return "MAUI"; }
+
+  double theta_time() const;
+  double theta_energy() const;
+
+ private:
+  Config config_;
+  // Least squares through the origin: theta = sum(y*n) / sum(n^2),
+  // maintained incrementally.
+  double sum_tn_ = 0.0;
+  double sum_en_ = 0.0;
+  double sum_nn_ = 0.0;
+};
+
+}  // namespace fleet::profiler

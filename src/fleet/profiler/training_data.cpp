@@ -1,0 +1,40 @@
+#include "fleet/profiler/training_data.hpp"
+
+#include "fleet/device/allocation.hpp"
+#include "fleet/device/catalog.hpp"
+
+namespace fleet::profiler {
+
+std::vector<Observation> collect_profile_dataset(
+    const std::vector<std::string>& device_models, const Slo& slo,
+    std::uint64_t seed) {
+  std::vector<Observation> dataset;
+  std::uint64_t device_seed = seed;
+  for (const std::string& name : device_models) {
+    device::DeviceSim device(device::spec(name), ++device_seed);
+    const device::CoreAllocation alloc =
+        device::fleet_allocation(device.spec());
+    std::size_t batch = 16;
+    for (int probe = 0; probe < 40; ++probe) {
+      Observation ob;
+      ob.device_model = name;
+      ob.features = device.features();
+      const device::TaskExecution exec = device.run_task(batch, alloc);
+      ob.mini_batch = batch;
+      ob.time_s = exec.time_s;
+      ob.energy_pct = exec.energy_pct;
+      // Tiny warm-up probes are dominated by the fixed task overhead and
+      // would teach the linear slope model the wrong relation; keep only
+      // probes long enough that t ~ alpha * n holds.
+      if (exec.time_s >= 0.4 * slo.latency_s) {
+        dataset.push_back(ob);
+      }
+      device.idle(60.0);
+      if (exec.time_s >= 2.0 * slo.latency_s) break;
+      batch = batch + batch / 2;  // geometric sweep, ~1.5x per probe
+    }
+  }
+  return dataset;
+}
+
+}  // namespace fleet::profiler

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/profiler/features.hpp"
+
+namespace fleet::profiler {
+
+/// Build the offline cold-start dataset of §2.2/§3.3: execute learning
+/// tasks on each training device with mini-batch sizes growing from small
+/// until the computation time reaches twice the latency SLO, recording
+/// (device features, measured time/energy) for each task. Devices cool
+/// down between probes.
+std::vector<Observation> collect_profile_dataset(
+    const std::vector<std::string>& device_models, const Slo& slo,
+    std::uint64_t seed);
+
+}  // namespace fleet::profiler

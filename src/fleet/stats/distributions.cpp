@@ -1,0 +1,87 @@
+#include "fleet/stats/distributions.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fleet::stats {
+
+GaussianDistribution::GaussianDistribution(double mean, double stddev,
+                                           double floor)
+    : mean_(mean), stddev_(stddev), floor_(floor) {
+  if (stddev < 0.0) {
+    throw std::invalid_argument("GaussianDistribution: negative stddev");
+  }
+}
+
+double GaussianDistribution::sample(Rng& rng) const {
+  return std::max(floor_, rng.gaussian(mean_, stddev_));
+}
+
+std::string GaussianDistribution::describe() const {
+  std::ostringstream os;
+  os << "N(" << mean_ << ", " << stddev_ << ")";
+  return os.str();
+}
+
+ShiftedExponentialDistribution::ShiftedExponentialDistribution(double minimum,
+                                                               double mean)
+    : minimum_(minimum), mean_(mean) {
+  if (mean <= minimum) {
+    throw std::invalid_argument(
+        "ShiftedExponentialDistribution: mean must exceed minimum");
+  }
+}
+
+double ShiftedExponentialDistribution::sample(Rng& rng) const {
+  return minimum_ + rng.exponential(mean_ - minimum_);
+}
+
+std::string ShiftedExponentialDistribution::describe() const {
+  std::ostringstream os;
+  os << "min+Exp(min=" << minimum_ << ", mean=" << mean_ << ")";
+  return os.str();
+}
+
+std::string ConstantDistribution::describe() const {
+  std::ostringstream os;
+  os << "Const(" << value_ << ")";
+  return os.str();
+}
+
+LongTailGaussianDistribution::LongTailGaussianDistribution(
+    double mean, double stddev, double tail_prob, double tail_start,
+    double tail_mean)
+    : body_(mean, stddev),
+      tail_prob_(tail_prob),
+      tail_start_(tail_start),
+      tail_mean_(tail_mean) {
+  if (tail_prob < 0.0 || tail_prob > 1.0) {
+    throw std::invalid_argument(
+        "LongTailGaussianDistribution: tail_prob outside [0,1]");
+  }
+  if (tail_mean <= tail_start) {
+    throw std::invalid_argument(
+        "LongTailGaussianDistribution: tail_mean must exceed tail_start");
+  }
+}
+
+double LongTailGaussianDistribution::sample(Rng& rng) const {
+  if (rng.bernoulli(tail_prob_)) {
+    return tail_start_ + rng.exponential(tail_mean_ - tail_start_);
+  }
+  return body_.sample(rng);
+}
+
+double LongTailGaussianDistribution::mean() const {
+  return (1.0 - tail_prob_) * body_.mean() + tail_prob_ * tail_mean_;
+}
+
+std::string LongTailGaussianDistribution::describe() const {
+  std::ostringstream os;
+  os << body_.describe() << " + " << tail_prob_ << "*tail(" << tail_start_
+     << "," << tail_mean_ << ")";
+  return os.str();
+}
+
+}  // namespace fleet::stats

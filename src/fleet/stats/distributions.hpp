@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::stats {
+
+/// A sampleable non-negative distribution. Used for staleness and latency
+/// models, which the paper draws from Gaussians (D1, D2) and shifted
+/// exponentials (round-trip latency, §3.1).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Draw one sample (implementations clamp to their natural support).
+  virtual double sample(Rng& rng) const = 0;
+  virtual double mean() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+/// Gaussian clipped below at `floor` (staleness cannot be negative).
+class GaussianDistribution final : public Distribution {
+ public:
+  GaussianDistribution(double mean, double stddev, double floor = 0.0);
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double stddev() const { return stddev_; }
+  std::string describe() const override;
+
+ private:
+  double mean_;
+  double stddev_;
+  double floor_;
+};
+
+/// Exponential shifted by a minimum value: min + Exp(mean - min).
+/// Matches §3.1: round-trip latency with a 7.1 s floor and 8.45 s mean.
+class ShiftedExponentialDistribution final : public Distribution {
+ public:
+  ShiftedExponentialDistribution(double minimum, double mean);
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double minimum() const { return minimum_; }
+  std::string describe() const override;
+
+ private:
+  double minimum_;
+  double mean_;
+};
+
+/// Point mass (useful for deterministic tests).
+class ConstantDistribution final : public Distribution {
+ public:
+  explicit ConstantDistribution(double value) : value_(value) {}
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  std::string describe() const override;
+
+ private:
+  double value_;
+};
+
+/// Gaussian body with an occasional long tail, as observed for staleness in
+/// Fig 7: with probability `tail_prob` the sample is drawn from a shifted
+/// exponential tail instead of the Gaussian body.
+class LongTailGaussianDistribution final : public Distribution {
+ public:
+  LongTailGaussianDistribution(double mean, double stddev, double tail_prob,
+                               double tail_start, double tail_mean);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+ private:
+  GaussianDistribution body_;
+  double tail_prob_;
+  double tail_start_;
+  double tail_mean_;
+};
+
+}  // namespace fleet::stats

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fleet::stats {
+
+/// Fixed-bin histogram over [lo, hi); used to plot the staleness
+/// distribution of Fig 7 and the dampening-factor CDF of Fig 9(b).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t total_count() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+
+  /// Probability mass of a bin (count / total).
+  double probability(std::size_t bin) const;
+
+  /// Render "center probability" rows, one per non-empty bin.
+  std::string to_rows() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Empirical CDF utility: sorted copy + quantile/fraction-below queries.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> values);
+
+  /// x such that a `q` fraction of samples are <= x (q in [0,1]).
+  double quantile(double q) const;
+  /// Fraction of samples <= x.
+  double fraction_below(double x) const;
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace fleet::stats

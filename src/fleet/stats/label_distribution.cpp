@@ -1,0 +1,86 @@
+#include "fleet/stats/label_distribution.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::stats {
+
+LabelDistribution::LabelDistribution(std::size_t n_classes)
+    : counts_(n_classes, 0) {
+  if (n_classes == 0) {
+    throw std::invalid_argument("LabelDistribution: n_classes=0");
+  }
+}
+
+LabelDistribution LabelDistribution::from_counts(
+    std::span<const std::size_t> counts) {
+  LabelDistribution ld(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ld.add(static_cast<int>(i), counts[i]);
+  }
+  return ld;
+}
+
+LabelDistribution LabelDistribution::from_labels(std::span<const int> labels,
+                                                 std::size_t n_classes) {
+  LabelDistribution ld(n_classes);
+  for (int label : labels) ld.add(label);
+  return ld;
+}
+
+void LabelDistribution::add(int label, std::size_t count) {
+  if (label < 0 || static_cast<std::size_t>(label) >= counts_.size()) {
+    throw std::out_of_range("LabelDistribution::add: label out of range");
+  }
+  counts_[static_cast<std::size_t>(label)] += count;
+  total_ += count;
+}
+
+void LabelDistribution::merge(const LabelDistribution& other) {
+  if (other.n_classes() != n_classes()) {
+    throw std::invalid_argument("LabelDistribution::merge: class mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double LabelDistribution::probability(std::size_t label) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(label)) /
+         static_cast<double>(total_);
+}
+
+std::vector<double> LabelDistribution::probabilities() const {
+  std::vector<double> probs(counts_.size(), 0.0);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    probs[i] = probability(i);
+  }
+  return probs;
+}
+
+double bhattacharyya_coefficient(const LabelDistribution& p,
+                                 const LabelDistribution& q) {
+  if (p.n_classes() != q.n_classes()) {
+    throw std::invalid_argument("bhattacharyya: class mismatch");
+  }
+  const auto pp = p.probabilities();
+  const auto qq = q.probabilities();
+  return bhattacharyya_coefficient(pp, qq);
+}
+
+double bhattacharyya_coefficient(std::span<const double> p,
+                                 std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("bhattacharyya: size mismatch");
+  }
+  double bc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    bc += std::sqrt(p[i] * q[i]);
+  }
+  // Guard against floating-point drift slightly above 1.
+  return std::min(1.0, bc);
+}
+
+}  // namespace fleet::stats

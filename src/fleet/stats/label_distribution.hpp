@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fleet::stats {
+
+/// Discrete label distribution LD(x) over class indices (§2.3).
+///
+/// For a local dataset with 1 example of label 0 and 2 of label 1 out of 4
+/// classes, LD = [1/3, 2/3, 0, 0]. The server only ever sees label *indices*
+/// (never semantic label names), matching FLeet's privacy posture.
+class LabelDistribution {
+ public:
+  explicit LabelDistribution(std::size_t n_classes);
+
+  /// Build directly from label counts.
+  static LabelDistribution from_counts(std::span<const std::size_t> counts);
+  /// Build from a list of labels in [0, n_classes).
+  static LabelDistribution from_labels(std::span<const int> labels,
+                                       std::size_t n_classes);
+
+  void add(int label, std::size_t count = 1);
+  /// Merge another distribution's raw counts (used for LD_global, which the
+  /// paper computes over the aggregate of previously used samples).
+  void merge(const LabelDistribution& other);
+
+  std::size_t n_classes() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t label) const { return counts_.at(label); }
+
+  /// Normalized probability of a label (0 if no samples at all).
+  double probability(std::size_t label) const;
+  std::vector<double> probabilities() const;
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Bhattacharyya coefficient BC(p, q) = sum_i sqrt(p_i * q_i), in [0, 1].
+/// 1 means identical distributions, 0 means disjoint support. AdaSGD uses
+/// sim(x_i) = BC(LD(x_i), LD_global) as the similarity value (§2.3, Eq. 4).
+double bhattacharyya_coefficient(const LabelDistribution& p,
+                                 const LabelDistribution& q);
+
+/// Raw-vector overload for histogram-based (regression-task) distributions.
+double bhattacharyya_coefficient(std::span<const double> p,
+                                 std::span<const double> q);
+
+}  // namespace fleet::stats

@@ -1,0 +1,103 @@
+#include "fleet/stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace fleet::stats {
+
+namespace {
+
+std::size_t argmax_row(std::span<const float> scores, std::size_t row,
+                       std::size_t n_classes) {
+  const float* begin = scores.data() + row * n_classes;
+  return static_cast<std::size_t>(
+      std::max_element(begin, begin + n_classes) - begin);
+}
+
+}  // namespace
+
+double accuracy(std::span<const float> scores, std::span<const int> labels,
+                std::size_t n_classes) {
+  if (n_classes == 0) throw std::invalid_argument("accuracy: n_classes=0");
+  if (scores.size() != labels.size() * n_classes) {
+    throw std::invalid_argument("accuracy: shape mismatch");
+  }
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (argmax_row(scores, i, n_classes) ==
+        static_cast<std::size_t>(labels[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double class_accuracy(std::span<const float> scores,
+                      std::span<const int> labels, std::size_t n_classes,
+                      int target_class) {
+  if (scores.size() != labels.size() * n_classes) {
+    throw std::invalid_argument("class_accuracy: shape mismatch");
+  }
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != target_class) continue;
+    ++total;
+    if (argmax_row(scores, i, n_classes) ==
+        static_cast<std::size_t>(target_class)) {
+      ++correct;
+    }
+  }
+  if (total == 0) return -1.0;
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+std::vector<std::size_t> top_k(std::span<const float> scores, std::size_t k) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, scores.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return scores[a] > scores[b];
+                    });
+  order.resize(k);
+  return order;
+}
+
+PrecisionRecall precision_recall_at_k(std::span<const std::size_t> recommended,
+                                      std::span<const std::size_t> relevant) {
+  PrecisionRecall pr;
+  if (recommended.empty() || relevant.empty()) return pr;
+  const std::set<std::size_t> truth(relevant.begin(), relevant.end());
+  std::size_t hits = 0;
+  for (std::size_t item : recommended) {
+    if (truth.count(item) > 0) ++hits;
+  }
+  pr.precision = static_cast<double>(hits) /
+                 static_cast<double>(recommended.size());
+  pr.recall = static_cast<double>(hits) / static_cast<double>(truth.size());
+  if (pr.precision + pr.recall > 0.0) {
+    pr.f1 = 2.0 * pr.precision * pr.recall / (pr.precision + pr.recall);
+  }
+  return pr;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+}  // namespace fleet::stats

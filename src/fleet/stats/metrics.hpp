@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fleet::stats {
+
+/// Top-1 accuracy: fraction of rows whose argmax matches the label.
+/// `scores` is row-major [n_samples x n_classes].
+double accuracy(std::span<const float> scores, std::span<const int> labels,
+                std::size_t n_classes);
+
+/// Per-class top-1 accuracy (used by Fig 9a: accuracy for class 0 only).
+/// Returns -1 if no sample of `target_class` is present.
+double class_accuracy(std::span<const float> scores,
+                      std::span<const int> labels, std::size_t n_classes,
+                      int target_class);
+
+/// Indices of the k largest entries of `scores`, descending.
+std::vector<std::size_t> top_k(std::span<const float> scores, std::size_t k);
+
+/// Precision/recall/F1 at top-k for a multi-label recommendation:
+/// `recommended` are the predicted item ids (top-k), `relevant` the ground
+/// truth. Used by the hashtag recommender (Fig 6, F1-score @ top-5).
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+PrecisionRecall precision_recall_at_k(std::span<const std::size_t> recommended,
+                                      std::span<const std::size_t> relevant);
+
+/// Mean of a vector (0 on empty).
+double mean(std::span<const double> xs);
+
+/// Population standard deviation (0 on empty).
+double stddev(std::span<const double> xs);
+
+}  // namespace fleet::stats

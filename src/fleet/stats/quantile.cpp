@@ -1,0 +1,41 @@
+#include "fleet/stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::stats {
+
+RunningQuantile::RunningQuantile(std::size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("RunningQuantile: window=0");
+  values_.reserve(window);
+}
+
+void RunningQuantile::add(double value) {
+  if (!full_) {
+    values_.push_back(value);
+    if (values_.size() == window_) {
+      full_ = true;
+      next_ = 0;
+    }
+    return;
+  }
+  values_[next_] = value;
+  next_ = (next_ + 1) % window_;
+}
+
+double RunningQuantile::percentile(double p, double fallback) const {
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p not in [0,100]");
+  }
+  if (values_.empty()) return fallback;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace fleet::stats

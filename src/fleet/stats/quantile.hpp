@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fleet::stats {
+
+/// Running quantile tracker over a (bounded) window of observations.
+///
+/// AdaSGD estimates tau_thres as the s-th percentile of past staleness
+/// values (§2.3). The stream of staleness values is unbounded, so we keep a
+/// sliding window (default 4096 observations) and answer percentile queries
+/// over it. Exact within the window; O(window) memory.
+class RunningQuantile {
+ public:
+  explicit RunningQuantile(std::size_t window = 4096);
+
+  void add(double value);
+
+  /// Percentile in [0, 100]. Returns `fallback` until any value was added.
+  double percentile(double p, double fallback = 0.0) const;
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::size_t window_;
+  std::size_t next_ = 0;   // ring-buffer write position once full
+  bool full_ = false;
+  std::vector<double> values_;
+};
+
+}  // namespace fleet::stats

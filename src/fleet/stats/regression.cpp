@@ -1,0 +1,140 @@
+#include "fleet/stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::stats {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b,
+                                        std::size_t n) {
+  if (a.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-14) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= a[i * n + k] * x[k];
+    x[i] = s / a[i * n + i];
+  }
+  return x;
+}
+
+OlsRegression::OlsRegression(std::size_t n_features, double ridge)
+    : n_features_(n_features), ridge_(ridge), theta_(n_features, 0.0) {
+  if (n_features == 0) throw std::invalid_argument("OlsRegression: 0 features");
+}
+
+void OlsRegression::add_observation(std::span<const double> x, double y,
+                                    double weight) {
+  if (x.size() != n_features_) {
+    throw std::invalid_argument("OlsRegression: feature size mismatch");
+  }
+  if (weight <= 0.0) {
+    throw std::invalid_argument("OlsRegression: non-positive weight");
+  }
+  xs_.emplace_back(x.begin(), x.end());
+  ys_.push_back(y);
+  weights_.push_back(weight);
+}
+
+void OlsRegression::fit() {
+  if (ys_.empty()) {
+    throw std::runtime_error("OlsRegression::fit: no observations");
+  }
+  const std::size_t n = n_features_;
+  std::vector<double> xtx(n * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  for (std::size_t s = 0; s < ys_.size(); ++s) {
+    const auto& x = xs_[s];
+    const double w = weights_[s];
+    for (std::size_t i = 0; i < n; ++i) {
+      xty[i] += w * x[i] * ys_[s];
+      for (std::size_t j = 0; j < n; ++j) {
+        xtx[i * n + j] += w * x[i] * x[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) xtx[i * n + i] += ridge_;
+  theta_ = solve_linear_system(std::move(xtx), std::move(xty), n);
+}
+
+double OlsRegression::predict(std::span<const double> x) const {
+  return dot(x, theta_);
+}
+
+void OlsRegression::set_coefficients(std::vector<double> theta) {
+  if (theta.size() != n_features_) {
+    throw std::invalid_argument("OlsRegression: coefficient size mismatch");
+  }
+  theta_ = std::move(theta);
+}
+
+PassiveAggressiveRegression::PassiveAggressiveRegression(
+    std::vector<double> initial_theta, double epsilon)
+    : theta_(std::move(initial_theta)), epsilon_(epsilon) {
+  if (theta_.empty()) {
+    throw std::invalid_argument("PassiveAggressiveRegression: empty theta");
+  }
+  if (epsilon < 0.0) {
+    throw std::invalid_argument("PassiveAggressiveRegression: epsilon < 0");
+  }
+}
+
+double PassiveAggressiveRegression::predict(std::span<const double> x) const {
+  return dot(x, theta_);
+}
+
+double PassiveAggressiveRegression::update(std::span<const double> x,
+                                           double y) {
+  if (x.size() != theta_.size()) {
+    throw std::invalid_argument("PassiveAggressiveRegression: size mismatch");
+  }
+  const double prediction = predict(x);
+  const double error = y - prediction;
+  const double loss = std::max(0.0, std::abs(error) - epsilon_);
+  ++updates_;
+  if (loss == 0.0) return 0.0;  // passive: within the insensitive band
+  const double norm_sq = dot(x, x);
+  if (norm_sq <= 0.0) return loss;  // degenerate zero feature vector
+  const double scale = loss / norm_sq;
+  const double direction = (error > 0.0) ? 1.0 : -1.0;
+  for (std::size_t i = 0; i < theta_.size(); ++i) {
+    theta_[i] += scale * direction * x[i];
+  }
+  return loss;
+}
+
+}  // namespace fleet::stats

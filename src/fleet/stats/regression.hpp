@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fleet::stats {
+
+/// (Weighted) least squares over raw feature vectors.
+///
+/// Solves theta = argmin sum_i w_i (x_i . theta - y_i)^2 via the normal
+/// equations with a small ridge term for numerical safety. This is the
+/// cold-start model of I-Prof (§2.2): pre-trained offline on (device
+/// features, slope) pairs and periodically re-fit as new device data
+/// arrives. Weights let the caller optimize *relative* error (w = 1/y^2),
+/// which matters when slopes span two orders of magnitude across a
+/// heterogeneous fleet.
+class OlsRegression {
+ public:
+  explicit OlsRegression(std::size_t n_features, double ridge = 1e-8);
+
+  /// Accumulate one observation (kept so the model can be re-fit later,
+  /// mirroring I-Prof's periodic cold-start re-training).
+  void add_observation(std::span<const double> x, double y,
+                       double weight = 1.0);
+  std::size_t observation_count() const { return ys_.size(); }
+
+  /// Solve the normal equations over all observations seen so far.
+  /// Throws std::runtime_error if no observations are available.
+  void fit();
+
+  double predict(std::span<const double> x) const;
+  const std::vector<double>& coefficients() const { return theta_; }
+  void set_coefficients(std::vector<double> theta);
+  std::size_t n_features() const { return n_features_; }
+
+ private:
+  std::size_t n_features_;
+  double ridge_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+  std::vector<double> weights_;
+  std::vector<double> theta_;
+};
+
+/// Online passive-aggressive regression (Crammer et al. 2006, PA-I style)
+/// with epsilon-insensitive loss — the personalized per-device-model
+/// predictor of I-Prof (§2.2):
+///
+///   theta_{k+1} = theta_k + (f_k / ||x_k||^2) * v_k,
+///   v_k = sign(y_k - x_k . theta_k) * x_k,
+///   f(theta, x, y) = max(0, |x.theta - y| - epsilon).
+///
+/// Smaller epsilon => larger updates per observation (more aggressive).
+class PassiveAggressiveRegression {
+ public:
+  PassiveAggressiveRegression(std::vector<double> initial_theta,
+                              double epsilon);
+
+  double predict(std::span<const double> x) const;
+
+  /// One online update; returns the loss incurred before the update.
+  double update(std::span<const double> x, double y);
+
+  const std::vector<double>& coefficients() const { return theta_; }
+  double epsilon() const { return epsilon_; }
+  std::size_t update_count() const { return updates_; }
+
+ private:
+  std::vector<double> theta_;
+  double epsilon_;
+  std::size_t updates_ = 0;
+};
+
+/// Dot product helper shared by the regressors.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Solve the dense symmetric positive-definite system A x = b in place via
+/// Gaussian elimination with partial pivoting. A is row-major n x n.
+/// Exposed for testing.
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b,
+                                        std::size_t n);
+
+}  // namespace fleet::stats

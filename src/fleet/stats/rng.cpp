@@ -1,0 +1,43 @@
+#include "fleet/stats/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fleet::stats {
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("categorical: empty weight vector");
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("categorical: non-positive total weight");
+  }
+  double u = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) {
+    throw std::invalid_argument("sample_without_replacement: k > n");
+  }
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  // Partial Fisher-Yates: only the first k positions need to be finalized.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n - 1)));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace fleet::stats

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace fleet::stats {
+
+/// Deterministic random source used by every stochastic component.
+///
+/// Wraps a seeded mt19937_64. All simulation components take an Rng (or a
+/// seed) explicitly so experiments are reproducible run-to-run; there is no
+/// global generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian sample with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential sample with the given mean (= 1/rate).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Poisson sample with the given mean.
+  int poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Index sampled from an unnormalized weight vector.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// k distinct indices drawn uniformly from [0, n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derive an independent child generator (for parallel components).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fleet::stats

@@ -1,0 +1,141 @@
+#include "fleet/tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet::tensor {
+
+namespace {
+
+void require_rank2(const Tensor& t, const char* name) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(name) + ": rank-2 tensor required");
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul");
+  require_rank2(b, "matmul");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at_b(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_at_b");
+  require_rank2(b, "matmul_at_b");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul_at_b: inner dim mismatch");
+  }
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_a_bt");
+  require_rank2(b, "matmul_a_bt");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("matmul_a_bt: inner dim mismatch");
+  }
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float s = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      pc[i * n + j] = s;
+    }
+  }
+  return c;
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+}
+
+void scale(Tensor& x, float alpha) {
+  float* p = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) p[i] *= alpha;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("add: shape mismatch");
+  }
+  Tensor c = a;
+  axpy(1.0f, b, c);
+  return c;
+}
+
+double squared_norm(const Tensor& x) {
+  double s = 0.0;
+  const float* p = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    s += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+  }
+  return s;
+}
+
+void fill_gaussian(Tensor& x, stats::Rng& rng, float stddev) {
+  float* p = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    p[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+  }
+}
+
+void fill_uniform(Tensor& x, stats::Rng& rng, float limit) {
+  float* p = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    p[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("max_abs_diff: size mismatch");
+  }
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace fleet::tensor

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+
+#include "fleet/stats/rng.hpp"
+#include "fleet/tensor/tensor.hpp"
+
+namespace fleet::tensor {
+
+/// C = A (m x k) * B (k x n), row-major.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B where A is (k x m) — avoids materializing the transpose.
+Tensor matmul_at_b(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T where B is (n x k).
+Tensor matmul_a_bt(const Tensor& a, const Tensor& b);
+
+/// y += alpha * x (flat, sizes must match).
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+/// x *= alpha.
+void scale(Tensor& x, float alpha);
+
+/// Elementwise sum into a fresh tensor.
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// Sum of squares of all elements.
+double squared_norm(const Tensor& x);
+
+/// Fill with i.i.d. N(0, stddev^2) samples.
+void fill_gaussian(Tensor& x, stats::Rng& rng, float stddev);
+
+/// Fill with i.i.d. U(-limit, limit) samples (Glorot-style init).
+void fill_uniform(Tensor& x, stats::Rng& rng, float limit);
+
+/// Max absolute difference between two tensors (for tests).
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace fleet::tensor

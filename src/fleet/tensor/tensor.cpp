@@ -1,0 +1,71 @@
+#include "fleet/tensor/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace fleet::tensor {
+
+std::size_t Tensor::shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string Tensor::shape_string(const std::vector<std::size_t>& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << "x";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_size(shape_)) {
+    throw std::invalid_argument("Tensor: data size does not match shape " +
+                                shape_string(shape_));
+  }
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+float& Tensor::at2(std::size_t row, std::size_t col) {
+  if (rank() != 2) throw std::logic_error("Tensor::at2 requires rank 2");
+  if (row >= shape_[0] || col >= shape_[1]) {
+    throw std::out_of_range("Tensor::at2 out of range");
+  }
+  return data_[row * shape_[1] + col];
+}
+
+float Tensor::at2(std::size_t row, std::size_t col) const {
+  return const_cast<Tensor*>(this)->at2(row, col);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+  if (shape_size(shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch " +
+                                shape_string(shape));
+  }
+  shape_ = std::move(shape);
+}
+
+}  // namespace fleet::tensor

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fleet::tensor {
+
+/// Dense row-major float32 tensor.
+///
+/// This is the minimal linear-algebra substrate the FLeet CNN/RNN library
+/// (S2/S3 in DESIGN.md) is built on. It is deliberately simple: owning,
+/// value-semantic, contiguous storage, with shape checked at API boundaries.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<std::size_t> shape);
+  static Tensor full(std::vector<std::size_t> shape, float value);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t axis) const { return shape_.at(axis); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked element access.
+  float& at(std::size_t i) { return data_.at(i); }
+  float at(std::size_t i) const { return data_.at(i); }
+
+  /// 2-D indexed access (throws unless rank()==2).
+  float& at2(std::size_t row, std::size_t col);
+  float at2(std::size_t row, std::size_t col) const;
+
+  void fill(float value);
+  /// Reshape in place; total element count must be preserved.
+  void reshape(std::vector<std::size_t> shape);
+
+  /// Element count implied by a shape.
+  static std::size_t shape_size(const std::vector<std::size_t>& shape);
+  static std::string shape_string(const std::vector<std::size_t>& shape);
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fleet::tensor

@@ -1,0 +1,85 @@
+#include "fleet/core/hashtag_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::core {
+namespace {
+
+data::TweetStreamConfig small_stream_config() {
+  data::TweetStreamConfig cfg;
+  cfg.days = 4.0;
+  cfg.tweets_per_hour = 80.0;
+  cfg.n_hashtags = 40;
+  cfg.vocab_size = 150;
+  cfg.n_users = 20;
+  cfg.hashtag_lifetime_hours = 5.0;
+  return cfg;
+}
+
+HashtagExperimentConfig small_experiment_config() {
+  HashtagExperimentConfig cfg;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 12;
+  cfg.max_bptt = 8;
+  return cfg;
+}
+
+TEST(HashtagExperimentTest, ProducesPerChunkScores) {
+  data::TweetStream stream(small_stream_config());
+  const auto result =
+      run_online_vs_standard(stream, small_experiment_config());
+  EXPECT_GT(result.chunks.size(), 24u);  // ~ 4 days of hourly chunks
+  for (const ChunkScore& c : result.chunks) {
+    EXPECT_GE(c.f1_online, 0.0);
+    EXPECT_LE(c.f1_online, 1.0);
+    EXPECT_GE(c.f1_standard, 0.0);
+    EXPECT_LE(c.f1_standard, 1.0);
+    EXPECT_GE(c.f1_popular, 0.0);
+    EXPECT_LE(c.f1_popular, 1.0);
+  }
+}
+
+TEST(HashtagExperimentTest, OnlineBeatsStandardOnTemporalData) {
+  // The Fig 6 headline: hourly updates outperform daily ones on data whose
+  // value decays in hours.
+  data::TweetStream stream(small_stream_config());
+  const auto result =
+      run_online_vs_standard(stream, small_experiment_config());
+  EXPECT_GT(result.mean_f1_online, result.mean_f1_standard);
+  EXPECT_GT(result.mean_boost, 1.0);
+}
+
+TEST(HashtagExperimentTest, ModelsBeatPopularBaseline) {
+  data::TweetStream stream(small_stream_config());
+  const auto result =
+      run_online_vs_standard(stream, small_experiment_config());
+  EXPECT_GT(result.mean_f1_online, result.mean_f1_popular);
+}
+
+TEST(HashtagExperimentTest, DeterministicAcrossRuns) {
+  data::TweetStream stream(small_stream_config());
+  const auto a = run_online_vs_standard(stream, small_experiment_config());
+  const auto b = run_online_vs_standard(stream, small_experiment_config());
+  ASSERT_EQ(a.chunks.size(), b.chunks.size());
+  EXPECT_DOUBLE_EQ(a.mean_f1_online, b.mean_f1_online);
+  EXPECT_DOUBLE_EQ(a.mean_f1_standard, b.mean_f1_standard);
+}
+
+TEST(EnergyImpactTest, ReportsPlausibleDailyEnergy) {
+  data::TweetStreamConfig cfg = small_stream_config();
+  cfg.days = 2.0;
+  data::TweetStream stream(cfg);
+  const auto impact = measure_energy_impact(stream);
+  // Order statistics are ordered.
+  EXPECT_LE(impact.median_daily_mwh, impact.avg_daily_mwh * 3.0);
+  EXPECT_LE(impact.avg_daily_mwh, impact.p99_daily_mwh + 1e-9);
+  EXPECT_LE(impact.p99_daily_mwh, impact.max_daily_mwh + 1e-9);
+  // The §3.1 ballpark: single-digit to tens of mWh per user per day.
+  EXPECT_GT(impact.avg_daily_mwh, 0.1);
+  EXPECT_LT(impact.avg_daily_mwh, 300.0);
+  // Pi calibration surfaces in the power numbers.
+  EXPECT_NEAR(impact.idle_power_w, 1.9, 0.01);
+}
+
+}  // namespace
+}  // namespace fleet::core

@@ -1,0 +1,225 @@
+#include "fleet/core/online_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/nn/zoo.hpp"
+
+namespace fleet::core {
+namespace {
+
+struct TrainerFixture : ::testing::Test {
+  TrainerFixture() {
+    data::SyntheticImageConfig cfg;
+    cfg.n_classes = 4;
+    cfg.n_train = 800;
+    cfg.n_test = 200;
+    cfg.height = 12;
+    cfg.width = 12;
+    cfg.noise_stddev = 0.25f;
+    split = std::make_unique<data::TrainTestSplit>(
+        data::generate_synthetic_images(cfg));
+    stats::Rng rng(3);
+    users = data::partition_noniid_shards(split->train.labels(), 20, 2, rng);
+  }
+
+  std::unique_ptr<nn::Sequential> fresh_model() {
+    auto model = nn::zoo::small_cnn(1, 12, 12, 4, 6);
+    model->init(7);
+    return model;
+  }
+
+  ControlledRunConfig base_config() {
+    ControlledRunConfig cfg;
+    cfg.learning_rate = 0.08f;
+    cfg.steps = 800;
+    cfg.mini_batch = 20;
+    cfg.eval_every = 400;
+    cfg.seed = 5;
+    return cfg;
+  }
+
+  std::unique_ptr<data::TrainTestSplit> split;
+  data::Partition users;
+};
+
+TEST_F(TrainerFixture, SsgdLearnsTheTask) {
+  auto model = fresh_model();
+  ControlledRunConfig cfg = base_config();
+  cfg.aggregator.scheme = learning::Scheme::kSsgd;
+  const auto result =
+      run_controlled(*model, split->train, users, split->test, cfg);
+  EXPECT_GT(result.final_accuracy, 0.75);
+  EXPECT_EQ(result.tasks_executed, cfg.steps);
+  EXPECT_EQ(result.tasks_rejected, 0u);
+  // Accuracy improves over the run.
+  EXPECT_GT(result.curve.back().accuracy, result.curve.front().accuracy);
+}
+
+TEST_F(TrainerFixture, CurveHasEvalCadence) {
+  auto model = fresh_model();
+  ControlledRunConfig cfg = base_config();
+  cfg.aggregator.scheme = learning::Scheme::kSsgd;
+  cfg.eval_every = 100;
+  const auto result =
+      run_controlled(*model, split->train, users, split->test, cfg);
+  // 0, 100, ..., 800.
+  EXPECT_EQ(result.curve.size(), cfg.steps / 100 + 1);
+  EXPECT_EQ(result.curve[1].request, 100u);
+}
+
+TEST_F(TrainerFixture, StalenessAwareBeatsUnawareUnderStaleness) {
+  // The core §3.2 claim in miniature: with significant staleness, AdaSGD
+  // keeps learning while staleness-unaware FedAvg degrades or diverges.
+  const stats::GaussianDistribution staleness(8.0, 2.0);
+
+  ControlledRunConfig ada_cfg = base_config();
+  ada_cfg.steps = 700;
+  ada_cfg.aggregator.scheme = learning::Scheme::kAdaSgd;
+  ada_cfg.staleness = &staleness;
+  auto ada_model = fresh_model();
+  const auto ada =
+      run_controlled(*ada_model, split->train, users, split->test, ada_cfg);
+
+  ControlledRunConfig fed_cfg = base_config();
+  fed_cfg.steps = 700;
+  fed_cfg.aggregator.scheme = learning::Scheme::kFedAvg;
+  fed_cfg.staleness = &staleness;
+  auto fed_model = fresh_model();
+  const auto fed =
+      run_controlled(*fed_model, split->train, users, split->test, fed_cfg);
+
+  EXPECT_GT(ada.final_accuracy, fed.final_accuracy);
+}
+
+TEST_F(TrainerFixture, WeightsLoggedForEveryExecutedTask) {
+  auto model = fresh_model();
+  ControlledRunConfig cfg = base_config();
+  cfg.aggregator.scheme = learning::Scheme::kDynSgd;
+  const stats::GaussianDistribution staleness(4.0, 1.0);
+  cfg.staleness = &staleness;
+  const auto result =
+      run_controlled(*model, split->train, users, split->test, cfg);
+  EXPECT_EQ(result.weights.size(), result.tasks_executed);
+  for (double w : result.weights) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST_F(TrainerFixture, ControllerThresholdRejectsTasks) {
+  auto model = fresh_model();
+  ControlledRunConfig cfg = base_config();
+  cfg.aggregator.scheme = learning::Scheme::kSsgd;
+  cfg.batch_mean = 20.0;
+  cfg.batch_stddev = 7.0;
+  cfg.controller.size_percentile = 40.0;
+  cfg.controller.min_history = 20;
+  const auto result =
+      run_controlled(*model, split->train, users, split->test, cfg);
+  EXPECT_GT(result.tasks_rejected, 0u);
+  EXPECT_LT(result.tasks_rejected, cfg.steps);
+  EXPECT_EQ(result.tasks_executed + result.tasks_rejected, cfg.steps);
+}
+
+TEST_F(TrainerFixture, LongtailClassForcesStaleness) {
+  auto model = fresh_model();
+  ControlledRunConfig cfg = base_config();
+  cfg.aggregator.scheme = learning::Scheme::kDynSgd;
+  cfg.longtail_class = 0;
+  cfg.longtail_staleness = 40.0;
+  cfg.eval_class = 0;
+  const stats::ConstantDistribution no_staleness(0.0);
+  cfg.staleness = &no_staleness;
+  const auto result =
+      run_controlled(*model, split->train, users, split->test, cfg);
+  // Some gradients must have received the longtail dampening: with
+  // DynSGD weight = 1/(40+1) ~= 0.024.
+  bool found_small = false;
+  for (double w : result.weights) {
+    if (w < 0.05) found_small = true;
+  }
+  EXPECT_TRUE(found_small);
+  // Class accuracy tracked.
+  EXPECT_GE(result.curve.back().class_accuracy, 0.0);
+}
+
+TEST_F(TrainerFixture, DpNoiseSlowsButDoesNotBreakTraining) {
+  auto noisy_model = fresh_model();
+  ControlledRunConfig cfg = base_config();
+  cfg.aggregator.scheme = learning::Scheme::kSsgd;
+  cfg.dp.clip_norm = 1.0;
+  cfg.dp.noise_multiplier = 1.0;
+  const auto noisy =
+      run_controlled(*noisy_model, split->train, users, split->test, cfg);
+
+  auto clean_model = fresh_model();
+  ControlledRunConfig clean_cfg = base_config();
+  clean_cfg.aggregator.scheme = learning::Scheme::kSsgd;
+  const auto clean = run_controlled(*clean_model, split->train, users,
+                                    split->test, clean_cfg);
+  EXPECT_GT(noisy.final_accuracy, 0.3);  // still learns
+  EXPECT_GE(clean.final_accuracy, noisy.final_accuracy - 0.05);
+}
+
+TEST_F(TrainerFixture, LabelPrivacyStillLearns) {
+  // DP label release (the §5 extension) perturbs only the similarity
+  // signal, not the gradients; training itself must be unaffected.
+  auto model = fresh_model();
+  ControlledRunConfig cfg = base_config();
+  cfg.aggregator.scheme = learning::Scheme::kAdaSgd;
+  const stats::GaussianDistribution staleness(4.0, 1.0);
+  cfg.staleness = &staleness;
+  cfg.label_privacy.epsilon = 1.0;
+  const auto result =
+      run_controlled(*model, split->train, users, split->test, cfg);
+  EXPECT_GT(result.final_accuracy, 0.5);
+}
+
+TEST_F(TrainerFixture, AggregationKReducesUpdateCount) {
+  auto model = fresh_model();
+  ControlledRunConfig cfg = base_config();
+  cfg.aggregator.scheme = learning::Scheme::kSsgd;
+  cfg.aggregator.aggregation_k = 4;
+  const auto result =
+      run_controlled(*model, split->train, users, split->test, cfg);
+  EXPECT_EQ(result.curve.back().step, cfg.steps / 4);
+}
+
+TEST_F(TrainerFixture, RejectsEmptyUserList) {
+  auto model = fresh_model();
+  data::Partition empty;
+  EXPECT_THROW(run_controlled(*model, split->train, empty, split->test,
+                              base_config()),
+               std::invalid_argument);
+}
+
+TEST_F(TrainerFixture, SynchronousMixWeakWorkersHurt) {
+  // Fig 3 in miniature: adding batch-1 workers to ten batch-64 workers
+  // must not help (and typically hurts) vs strong-only.
+  SynchronousMixConfig strong;
+  strong.worker_batch_sizes.assign(6, 64);
+  strong.steps = 250;
+  strong.learning_rate = 0.08f;
+  strong.eval_every = 250;
+  auto strong_model = fresh_model();
+  const auto strong_curve = run_synchronous_mix(*strong_model, split->train,
+                                                split->test, strong);
+
+  SynchronousMixConfig mixed = strong;
+  mixed.worker_batch_sizes.insert(mixed.worker_batch_sizes.end(), 4, 1);
+  auto mixed_model = fresh_model();
+  const auto mixed_curve = run_synchronous_mix(*mixed_model, split->train,
+                                               split->test, mixed);
+  EXPECT_GE(strong_curve.back().accuracy + 0.02,
+            mixed_curve.back().accuracy);
+}
+
+TEST_F(TrainerFixture, SynchronousMixRejectsEmptyWorkerList) {
+  auto model = fresh_model();
+  SynchronousMixConfig cfg;
+  EXPECT_THROW(run_synchronous_mix(*model, split->train, split->test, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::core

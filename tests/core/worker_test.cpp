@@ -1,0 +1,114 @@
+#include "fleet/core/worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fleet/data/synthetic_images.hpp"
+#include "fleet/device/catalog.hpp"
+#include "fleet/nn/zoo.hpp"
+
+namespace fleet::core {
+namespace {
+
+struct WorkerFixture : ::testing::Test {
+  WorkerFixture()
+      : split(data::generate_synthetic_images([] {
+          data::SyntheticImageConfig cfg;
+          cfg.n_classes = 4;
+          cfg.n_train = 200;
+          cfg.n_test = 10;
+          return cfg;
+        }())) {}
+
+  FleetWorker make_worker(std::vector<std::size_t> indices) {
+    auto replica = nn::zoo::small_cnn(1, 14, 14, 4);
+    replica->init(1);
+    return FleetWorker(7, std::move(replica), split.train, std::move(indices),
+                       device::spec("Galaxy S7"), 3);
+  }
+
+  static TaskAssignment assignment_for(nn::TrainableModel& model,
+                                       std::size_t batch) {
+    TaskAssignment a;
+    a.accepted = true;
+    a.model_version = 0;
+    a.mini_batch = batch;
+    a.parameters = model.parameters();
+    return a;
+  }
+
+  data::TrainTestSplit split;
+};
+
+TEST_F(WorkerFixture, LabelInfoMatchesLocalData) {
+  // Give the worker only samples of class 0 and 1.
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    if (split.train.label(i) <= 1) indices.push_back(i);
+  }
+  FleetWorker worker = make_worker(indices);
+  const auto ld = worker.label_info();
+  EXPECT_GT(ld.count(0), 0u);
+  EXPECT_GT(ld.count(1), 0u);
+  EXPECT_EQ(ld.count(2), 0u);
+  EXPECT_EQ(ld.count(3), 0u);
+  EXPECT_EQ(ld.total(), indices.size());
+}
+
+TEST_F(WorkerFixture, ExecuteProducesGradientAndCosts) {
+  std::vector<std::size_t> indices(100);
+  std::iota(indices.begin(), indices.end(), 0);
+  FleetWorker worker = make_worker(indices);
+
+  auto reference = nn::zoo::small_cnn(1, 14, 14, 4);
+  reference->init(1);
+  const auto result = worker.execute(assignment_for(*reference, 32));
+  EXPECT_EQ(result.gradient.size(), reference->parameter_count());
+  EXPECT_EQ(result.mini_batch, 32u);
+  EXPECT_GT(result.loss, 0.0);
+  EXPECT_GT(result.execution.time_s, 0.0);
+  EXPECT_GT(result.execution.energy_pct, 0.0);
+  EXPECT_EQ(result.observation.mini_batch, 32u);
+  EXPECT_EQ(result.observation.device_model, "Galaxy S7");
+  EXPECT_EQ(result.minibatch_labels.total(), 32u);
+  // Gradient is non-trivial.
+  double norm = 0.0;
+  for (float g : result.gradient) norm += std::abs(g);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST_F(WorkerFixture, MiniBatchClampedToLocalData) {
+  std::vector<std::size_t> indices(10);
+  std::iota(indices.begin(), indices.end(), 0);
+  FleetWorker worker = make_worker(indices);
+  auto reference = nn::zoo::small_cnn(1, 14, 14, 4);
+  reference->init(1);
+  const auto result = worker.execute(assignment_for(*reference, 1000));
+  EXPECT_EQ(result.mini_batch, 10u);
+}
+
+TEST_F(WorkerFixture, RejectedAssignmentThrows) {
+  std::vector<std::size_t> indices(10);
+  std::iota(indices.begin(), indices.end(), 0);
+  FleetWorker worker = make_worker(indices);
+  TaskAssignment rejected;
+  rejected.accepted = false;
+  EXPECT_THROW(worker.execute(rejected), std::invalid_argument);
+}
+
+TEST_F(WorkerFixture, ConstructionRejectsBadArguments) {
+  auto replica = nn::zoo::small_cnn(1, 14, 14, 4);
+  replica->init(1);
+  EXPECT_THROW(FleetWorker(1, nullptr, split.train, {0},
+                           device::spec("Galaxy S7"), 1),
+               std::invalid_argument);
+  auto replica2 = nn::zoo::small_cnn(1, 14, 14, 4);
+  replica2->init(1);
+  EXPECT_THROW(FleetWorker(1, std::move(replica2), split.train, {},
+                           device::spec("Galaxy S7"), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::core

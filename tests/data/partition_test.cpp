@@ -1,0 +1,133 @@
+#include "fleet/data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fleet::data {
+namespace {
+
+std::vector<int> cyclic_labels(std::size_t n, int classes) {
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i) % classes;
+  }
+  return labels;
+}
+
+TEST(PartitionTest, IidCoversAllSamplesExactlyOnce) {
+  stats::Rng rng(1);
+  const auto partition = partition_iid(100, 7, rng);
+  EXPECT_EQ(partition.size(), 7u);
+  std::set<std::size_t> seen;
+  for (const auto& user : partition) {
+    for (std::size_t idx : user) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(PartitionTest, IidBalancedWithinOne) {
+  stats::Rng rng(2);
+  const auto partition = partition_iid(103, 10, rng);
+  for (const auto& user : partition) {
+    EXPECT_GE(user.size(), 10u);
+    EXPECT_LE(user.size(), 11u);
+  }
+}
+
+TEST(PartitionTest, NonIidCoversAllSamples) {
+  stats::Rng rng(3);
+  const auto labels = cyclic_labels(600, 10);
+  const auto partition = partition_noniid_shards(labels, 30, 2, rng);
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& user : partition) {
+    total += user.size();
+    for (std::size_t idx : user) seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), total);  // disjoint
+  EXPECT_EQ(total, 600u);         // complete
+}
+
+TEST(PartitionTest, NonIidUsersHoldFewLabels) {
+  // The McMahan scheme with 2 shards/user gives each user at most ~2-3
+  // distinct labels; that skew is what makes the data non-IID.
+  stats::Rng rng(4);
+  const auto labels = cyclic_labels(2000, 10);
+  const auto partition = partition_noniid_shards(labels, 50, 2, rng);
+  const auto counts = partition_label_counts(partition, labels, 10);
+  double avg_distinct = 0.0;
+  for (const auto& user : counts) {
+    avg_distinct += static_cast<double>(
+        std::count_if(user.begin(), user.end(),
+                      [](std::size_t c) { return c > 0; }));
+  }
+  avg_distinct /= static_cast<double>(counts.size());
+  EXPECT_LE(avg_distinct, 3.5);
+}
+
+TEST(PartitionTest, IidUsersHoldAllLabels) {
+  stats::Rng rng(5);
+  const auto labels = cyclic_labels(2000, 10);
+  const auto partition = partition_iid(2000, 20, rng);
+  const auto counts = partition_label_counts(partition, labels, 10);
+  for (const auto& user : counts) {
+    const auto distinct = std::count_if(
+        user.begin(), user.end(), [](std::size_t c) { return c > 0; });
+    EXPECT_GE(distinct, 8);
+  }
+}
+
+TEST(PartitionTest, RejectsDegenerateConfigs) {
+  stats::Rng rng(6);
+  EXPECT_THROW(partition_iid(10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(partition_iid(5, 10, rng), std::invalid_argument);
+  const auto labels = cyclic_labels(10, 2);
+  EXPECT_THROW(partition_noniid_shards(labels, 10, 2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(partition_noniid_shards(labels, 0, 2, rng),
+               std::invalid_argument);
+}
+
+TEST(PartitionTest, LabelCountsRejectOutOfRangeLabel) {
+  stats::Rng rng(7);
+  const std::vector<int> labels{0, 1, 9};
+  Partition partition{{0, 1, 2}};
+  EXPECT_THROW(partition_label_counts(partition, labels, 2),
+               std::out_of_range);
+}
+
+/// Parameterized sweep over user counts: both schemes must always produce
+/// disjoint, complete partitions.
+class PartitionPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionPropertyTest, DisjointAndComplete) {
+  const std::size_t users = GetParam();
+  stats::Rng rng(100 + users);
+  const auto labels = cyclic_labels(1200, 10);
+  for (const auto& partition :
+       {partition_iid(1200, users, rng),
+        partition_noniid_shards(labels, users, 2, rng)}) {
+    std::set<std::size_t> seen;
+    std::size_t total = 0;
+    for (const auto& user : partition) {
+      EXPECT_FALSE(user.empty());
+      total += user.size();
+      for (std::size_t idx : user) {
+        EXPECT_LT(idx, 1200u);
+        seen.insert(idx);
+      }
+    }
+    EXPECT_EQ(seen.size(), total);
+    EXPECT_EQ(total, 1200u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UserCounts, PartitionPropertyTest,
+                         ::testing::Values(1, 2, 5, 10, 25, 60, 100));
+
+}  // namespace
+}  // namespace fleet::data

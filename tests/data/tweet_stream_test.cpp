@@ -1,0 +1,155 @@
+#include "fleet/data/tweet_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fleet::data {
+namespace {
+
+TweetStreamConfig small_config() {
+  TweetStreamConfig cfg;
+  cfg.days = 2.0;
+  cfg.tweets_per_hour = 60.0;
+  cfg.n_hashtags = 30;
+  cfg.vocab_size = 100;
+  cfg.n_users = 10;
+  return cfg;
+}
+
+TEST(TweetStreamTest, TweetsAreSortedAndInRange) {
+  TweetStream stream(small_config());
+  ASSERT_FALSE(stream.tweets().empty());
+  double prev = -1.0;
+  for (const Tweet& tw : stream.tweets()) {
+    EXPECT_GE(tw.time_s, prev);
+    prev = tw.time_s;
+    EXPECT_LT(tw.time_s, 2.0 * 24.0 * 3600.0);
+    EXPECT_GE(tw.user, 0);
+    EXPECT_LT(tw.user, 10);
+    EXPECT_FALSE(tw.tokens.empty());
+    EXPECT_FALSE(tw.hashtags.empty());
+    for (int tok : tw.tokens) {
+      EXPECT_GE(tok, 0);
+      EXPECT_LT(tok, 100);
+    }
+    for (int h : tw.hashtags) {
+      EXPECT_GE(h, 0);
+      EXPECT_LT(h, 30);
+    }
+  }
+}
+
+TEST(TweetStreamTest, DeterministicInSeed) {
+  TweetStream a(small_config()), b(small_config());
+  ASSERT_EQ(a.tweets().size(), b.tweets().size());
+  for (std::size_t i = 0; i < a.tweets().size(); ++i) {
+    EXPECT_EQ(a.tweets()[i].time_s, b.tweets()[i].time_s);
+    EXPECT_EQ(a.tweets()[i].tokens, b.tweets()[i].tokens);
+  }
+}
+
+TEST(TweetStreamTest, WindowSelectsHalfOpenInterval) {
+  TweetStream stream(small_config());
+  const auto window = stream.window(3600.0, 7200.0);
+  for (const Tweet* tw : window) {
+    EXPECT_GE(tw->time_s, 3600.0);
+    EXPECT_LT(tw->time_s, 7200.0);
+  }
+  // Windows tile the stream.
+  std::size_t total = 0;
+  for (double t = 0.0; t < 48.0 * 3600.0; t += 3600.0) {
+    total += stream.window(t, t + 3600.0).size();
+  }
+  EXPECT_EQ(total, stream.tweets().size());
+}
+
+TEST(TweetStreamTest, ToSamplesExpandsMultiHashtagTweets) {
+  TweetStream stream(small_config());
+  const auto window = stream.window(0.0, 48.0 * 3600.0);
+  const auto samples = TweetStream::to_samples(window);
+  std::size_t expected = 0;
+  for (const Tweet* tw : window) expected += tw->hashtags.size();
+  EXPECT_EQ(samples.size(), expected);
+}
+
+TEST(TweetStreamTest, MostPopularRanksByFrequency) {
+  TweetStream stream(small_config());
+  const auto top = stream.most_popular(0.0, 24.0 * 3600.0, 5);
+  EXPECT_LE(top.size(), 5u);
+  // Verify ordering against a manual count.
+  std::map<int, std::size_t> counts;
+  for (const Tweet* tw : stream.window(0.0, 24.0 * 3600.0)) {
+    for (int h : tw->hashtags) ++counts[h];
+  }
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(counts[static_cast<int>(top[i - 1])],
+              counts[static_cast<int>(top[i])]);
+  }
+}
+
+TEST(TweetStreamTest, HashtagPopularityIsTemporal) {
+  // The property Fig 6 relies on: the hot hashtags of one window overlap
+  // much more with the *next* hour than with a window a day later.
+  TweetStreamConfig cfg = small_config();
+  cfg.days = 6.0;
+  cfg.hashtag_lifetime_hours = 6.0;
+  TweetStream stream(cfg);
+  double near_overlap = 0.0, far_overlap = 0.0;
+  int windows = 0;
+  for (double t = 24 * 3600.0; t + 26.0 * 3600.0 < 6 * 24 * 3600.0;
+       t += 6 * 3600.0) {
+    const auto now = stream.most_popular(t, t + 3600.0, 5);
+    const auto next = stream.most_popular(t + 3600.0, t + 2 * 3600.0, 5);
+    const auto later = stream.most_popular(t + 25 * 3600.0,
+                                           t + 26 * 3600.0, 5);
+    if (now.empty() || next.empty() || later.empty()) continue;
+    ++windows;
+    for (std::size_t h : now) {
+      if (std::find(next.begin(), next.end(), h) != next.end()) {
+        near_overlap += 1.0;
+      }
+      if (std::find(later.begin(), later.end(), h) != later.end()) {
+        far_overlap += 1.0;
+      }
+    }
+  }
+  ASSERT_GT(windows, 3);
+  EXPECT_GT(near_overlap, far_overlap);
+}
+
+TEST(TweetStreamTest, TokensCorrelateWithHashtags) {
+  // Tweets of the same hashtag share topic words far more often than
+  // tweets of different hashtags — the signal the RNN learns.
+  TweetStream stream(small_config());
+  std::map<int, std::map<int, int>> token_counts;  // hashtag -> token -> n
+  for (const Tweet& tw : stream.tweets()) {
+    for (int tok : tw.tokens) ++token_counts[tw.hashtags[0]][tok];
+  }
+  // For hashtags with enough tweets, the top token should cover >> 1/vocab
+  // of occurrences.
+  int checked = 0;
+  for (const auto& [hashtag, counts] : token_counts) {
+    int total = 0, best = 0;
+    for (const auto& [tok, n] : counts) {
+      total += n;
+      best = std::max(best, n);
+    }
+    if (total < 50) continue;
+    ++checked;
+    EXPECT_GT(static_cast<double>(best) / total, 3.0 / 100.0);
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(TweetStreamTest, RejectsBadConfig) {
+  TweetStreamConfig cfg = small_config();
+  cfg.n_hashtags = 0;
+  EXPECT_THROW(TweetStream{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.topic_word_prob = 1.5;
+  EXPECT_THROW(TweetStream{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::data

@@ -1,0 +1,167 @@
+#include "fleet/device/device_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/device/allocation.hpp"
+#include "fleet/device/catalog.hpp"
+
+namespace fleet::device {
+namespace {
+
+TEST(CatalogTest, KnownDevicesExist) {
+  for (const char* name : {"Galaxy S7", "Honor 10", "Xperia E3",
+                           "Raspberry Pi 4", "Galaxy S8"}) {
+    EXPECT_NO_THROW(spec(name));
+  }
+  EXPECT_THROW(spec("Nokia 3310"), std::invalid_argument);
+}
+
+TEST(CatalogTest, FleetsReferToCatalogEntries) {
+  for (const auto& fleet : {aws_fleet(), lab_fleet(), training_fleet()}) {
+    for (const std::string& name : fleet) {
+      EXPECT_NO_THROW(spec(name)) << name;
+    }
+  }
+  EXPECT_EQ(aws_fleet().size(), 21u);   // Fig 12(a) lists 21 phones
+  EXPECT_EQ(lab_fleet().size(), 5u);    // Fig 13 uses 5 lab phones
+  EXPECT_EQ(training_fleet().size(), 15u);  // §3.3: 15 training devices
+}
+
+TEST(DeviceSimTest, TimeScalesLinearlyWithBatch) {
+  // Fig 4(a): computation time is linear in mini-batch size.
+  DeviceSpec s = spec("Galaxy S7");
+  s.execution_noise = 0.0;  // isolate the deterministic component
+  DeviceSim device(s, 1);
+  const CoreAllocation alloc = fleet_allocation(s);
+  const auto t1 = device.run_task(500, alloc);
+  device.idle(10000.0);  // cool back down
+  const auto t2 = device.run_task(1000, alloc);
+  const double slope1 = (t1.time_s - s.task_overhead_s) / 500.0;
+  const double slope2 = (t2.time_s - s.task_overhead_s) / 1000.0;
+  EXPECT_NEAR(slope1, slope2, slope1 * 0.1);
+}
+
+TEST(DeviceSimTest, EnergyScalesWithTime) {
+  DeviceSpec s = spec("Galaxy S7");
+  s.execution_noise = 0.0;
+  DeviceSim device(s, 1);
+  const CoreAllocation alloc = fleet_allocation(s);
+  const auto e1 = device.run_task(500, alloc);
+  device.idle(10000.0);
+  const auto e2 = device.run_task(1000, alloc);
+  EXPECT_GT(e2.energy_pct, e1.energy_pct * 1.5);
+  EXPECT_GT(e1.energy_pct, 0.0);
+}
+
+TEST(DeviceSimTest, DeviceHeterogeneityMatchesFig4) {
+  // Honor 10 is fastest, Galaxy S7 mid, Xperia E3 an order of magnitude
+  // slower — the Fig 4 relation.
+  const auto slope = [](const char* name) {
+    DeviceSpec s = spec(name);
+    s.execution_noise = 0.0;
+    DeviceSim device(s, 1);
+    const auto exec = device.run_task(200, fleet_allocation(s));
+    return (exec.time_s - s.task_overhead_s) / 200.0;
+  };
+  const double honor = slope("Honor 10");
+  const double s7 = slope("Galaxy S7");
+  const double e3 = slope("Xperia E3");
+  EXPECT_LT(honor, s7);
+  EXPECT_LT(s7, e3);
+  EXPECT_GT(e3 / s7, 5.0);
+}
+
+TEST(DeviceSimTest, SustainedLoadThrottles) {
+  // Fig 4: the linear relation changes with temperature. Repeated large
+  // tasks without cool-down must slow the per-sample time down.
+  DeviceSpec s = spec("Honor 10");
+  s.execution_noise = 0.0;
+  s.thermal.hot_noise = 0.0;
+  DeviceSim device(s, 1);
+  const CoreAllocation alloc = fleet_allocation(s);
+  const double cold = device.run_task(2000, alloc).time_s;
+  double hot = cold;
+  for (int i = 0; i < 12; ++i) hot = device.run_task(2000, alloc).time_s;
+  EXPECT_GT(hot, cold * 1.1);
+  EXPECT_GT(device.temperature_c(), s.thermal.throttle_start_c);
+}
+
+TEST(DeviceSimTest, BigCoresOutperformLittleCores) {
+  DeviceSpec s = spec("Galaxy S7");
+  DeviceSim device(s, 1);
+  EXPECT_GT(device.throughput({4, 0}), device.throughput({0, 4}));
+  EXPECT_GT(device.throughput({4, 4}), device.throughput({4, 0}));
+}
+
+TEST(DeviceSimTest, BigCoresAreMoreEnergyEfficientPerSample) {
+  // §2.4's rationale: for compute-bound work, big cores finish so much
+  // faster that their energy per workload is lower.
+  DeviceSpec s = spec("Galaxy S7");
+  DeviceSim device(s, 1);
+  const double big_energy_per_sample =
+      device.power({4, 0}) / device.throughput({4, 0});
+  const double little_energy_per_sample =
+      device.power({0, 4}) / device.throughput({0, 4});
+  EXPECT_LT(big_energy_per_sample, little_energy_per_sample);
+}
+
+TEST(DeviceSimTest, FeaturesExposeAndroidApiQuantities) {
+  DeviceSim device(spec("Galaxy S7"), 1);
+  const DeviceFeatures f = device.features();
+  EXPECT_GT(f.total_memory_mb, 0.0);
+  EXPECT_GT(f.available_memory_mb, 0.0);
+  EXPECT_LT(f.available_memory_mb, f.total_memory_mb);
+  EXPECT_GT(f.cpu_max_freq_sum_ghz, 0.0);
+  EXPECT_GT(f.energy_per_cpu_s, 0.0);
+  EXPECT_EQ(f.latency_features().size(), DeviceFeatures::latency_feature_count());
+  EXPECT_EQ(f.energy_features().size(), DeviceFeatures::energy_feature_count());
+}
+
+TEST(DeviceSimTest, BatteryAccumulates) {
+  DeviceSim device(spec("Galaxy S7"), 1);
+  EXPECT_DOUBLE_EQ(device.battery_pct_used(), 0.0);
+  device.run_task(1000, fleet_allocation(device.spec()));
+  EXPECT_GT(device.battery_pct_used(), 0.0);
+}
+
+TEST(DeviceSimTest, AllowedAllocationsCoverTopology) {
+  DeviceSim s7(spec("Galaxy S7"), 1);   // 4+4 -> 5*5-1 = 24 configs
+  EXPECT_EQ(s7.allowed_allocations().size(), 24u);
+  DeviceSim e3(spec("Xperia E3"), 1);   // 4+0 -> 4 configs
+  EXPECT_EQ(e3.allowed_allocations().size(), 4u);
+}
+
+TEST(DeviceSimTest, RejectsBadUsage) {
+  DeviceSim device(spec("Galaxy S7"), 1);
+  EXPECT_THROW(device.run_task(0, {4, 0}), std::invalid_argument);
+  EXPECT_THROW(device.throughput({0, 0}), std::invalid_argument);
+  EXPECT_THROW(device.throughput({99, 0}), std::invalid_argument);
+}
+
+TEST(DeviceSimTest, RaspberryPiMatchesPaperCalibration) {
+  // §3.1: 5.6 s at batch 1, 8.4 s at batch 100; 1.9 W idle, ~2.3 W active.
+  DeviceSpec s = spec("Raspberry Pi 4");
+  s.execution_noise = 0.0;
+  DeviceSim pi(s, 1);
+  const CoreAllocation all{4, 0};
+  const double t1 = pi.run_task(1, all).time_s;
+  pi.idle(10000.0);
+  const double t100 = pi.run_task(100, all).time_s;
+  EXPECT_NEAR(t1, 5.6, 0.3);
+  EXPECT_NEAR(t100, 8.4, 0.5);
+  EXPECT_NEAR(pi.power(all), 2.3, 0.2);
+  EXPECT_NEAR(s.idle_power_w, 1.9, 1e-9);
+}
+
+TEST(AllocationTest, FleetPolicyUsesBigCoresOnly) {
+  const CoreAllocation s7 = fleet_allocation(spec("Galaxy S7"));
+  EXPECT_EQ(s7.n_big, 4);
+  EXPECT_EQ(s7.n_little, 0);
+  // Symmetric legacy device: all (big-slot) cores.
+  const CoreAllocation e3 = fleet_allocation(spec("Xperia E3"));
+  EXPECT_EQ(e3.n_big, 4);
+  EXPECT_EQ(e3.n_little, 0);
+}
+
+}  // namespace
+}  // namespace fleet::device

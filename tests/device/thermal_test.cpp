@@ -1,0 +1,79 @@
+#include "fleet/device/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::device {
+namespace {
+
+TEST(ThermalTest, StartsAtAmbient) {
+  ThermalParams params;
+  ThermalModel model(params);
+  EXPECT_DOUBLE_EQ(model.temperature_c(), params.ambient_c);
+  EXPECT_DOUBLE_EQ(model.throttle_factor(), 1.0);
+}
+
+TEST(ThermalTest, HeatsUnderLoadCoolsWhenIdle) {
+  ThermalModel model(ThermalParams{});
+  model.advance(30.0, 4.0);
+  const double hot = model.temperature_c();
+  EXPECT_GT(hot, 25.0);
+  model.advance(120.0, 0.0);
+  EXPECT_LT(model.temperature_c(), hot);
+  // Long idle returns (close) to ambient.
+  model.advance(10000.0, 0.0);
+  EXPECT_NEAR(model.temperature_c(), 25.0, 0.1);
+}
+
+TEST(ThermalTest, EquilibriumMatchesAnalyticValue) {
+  // At equilibrium: heat_per_watt * P = cooling_rate * (T - ambient).
+  ThermalParams params;
+  params.heat_per_watt = 1.0;
+  params.cooling_rate = 0.05;
+  ThermalModel model(params);
+  model.advance(100000.0, 2.0);
+  EXPECT_NEAR(model.temperature_c(), 25.0 + 2.0 / 0.05, 0.5);
+}
+
+TEST(ThermalTest, ThrottleKicksInAboveThreshold) {
+  ThermalParams params;
+  params.throttle_start_c = 30.0;
+  params.throttle_slope = 0.1;
+  ThermalModel model(params);
+  EXPECT_DOUBLE_EQ(model.throttle_factor(), 1.0);
+  model.advance(100000.0, 3.0);  // heat to equilibrium above threshold
+  ASSERT_GT(model.temperature_c(), 30.0);
+  EXPECT_LT(model.throttle_factor(), 1.0);
+  EXPECT_GT(model.throttle_factor(), 0.0);
+}
+
+TEST(ThermalTest, HotNoiseGrowsWithTemperature) {
+  ThermalParams params;
+  params.throttle_start_c = 30.0;
+  params.hot_noise = 0.01;
+  ThermalModel model(params);
+  EXPECT_DOUBLE_EQ(model.noise_stddev(), 0.0);
+  model.advance(100000.0, 3.0);
+  EXPECT_GT(model.noise_stddev(), 0.0);
+}
+
+TEST(ThermalTest, SubStepIntegrationIsStable) {
+  // A very long step must not overshoot the equilibrium (the sub-stepping
+  // guard in advance()).
+  ThermalParams params;
+  params.cooling_rate = 0.5;
+  ThermalModel model(params);
+  model.advance(10000.0, 2.0);
+  const double equilibrium = 25.0 + params.heat_per_watt * 2.0 / 0.5;
+  EXPECT_LE(model.temperature_c(), equilibrium + 0.5);
+}
+
+TEST(ThermalTest, RejectsBadInputs) {
+  ThermalParams params;
+  params.cooling_rate = 0.0;
+  EXPECT_THROW(ThermalModel{params}, std::invalid_argument);
+  ThermalModel ok{ThermalParams{}};
+  EXPECT_THROW(ok.advance(-1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::device

@@ -1,0 +1,124 @@
+// End-to-end integration: the full Fig 2 protocol — I-Prof bounds the
+// workload, the controller admits, workers compute gradients on simulated
+// devices, AdaSGD dampens stale updates — must actually train a model
+// inside the discrete-event simulation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fleet/core/simulation.hpp"
+#include "fleet/data/partition.hpp"
+#include "fleet/data/synthetic_images.hpp"
+#include "fleet/device/catalog.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/profiler/iprof.hpp"
+#include "fleet/profiler/training_data.hpp"
+
+namespace fleet {
+namespace {
+
+TEST(IntegrationTest, FullProtocolTrainsModelEndToEnd) {
+  data::SyntheticImageConfig data_cfg;
+  data_cfg.n_classes = 4;
+  data_cfg.n_train = 600;
+  data_cfg.n_test = 150;
+  const auto split = data::generate_synthetic_images(data_cfg);
+
+  auto model = nn::zoo::small_cnn(1, 14, 14, 4);
+  model->init(1);
+  const double initial_accuracy = data::evaluate_accuracy(*model, split.test);
+
+  auto iprof = std::make_unique<profiler::IProf>(profiler::IProf::Config{});
+  iprof->pretrain(profiler::collect_profile_dataset(
+      device::training_fleet(), profiler::IProf::Config{}.slo, 42));
+
+  core::ServerConfig server_cfg;
+  server_cfg.learning_rate = 0.05f;
+  server_cfg.aggregator.scheme = learning::Scheme::kAdaSgd;
+  core::FleetServer server(*model, std::move(iprof), server_cfg);
+
+  stats::Rng rng(2);
+  const auto partition =
+      data::partition_noniid_shards(split.train.labels(), 8, 2, rng);
+  const auto fleet = device::aws_fleet();
+  std::vector<core::FleetWorker> workers;
+  for (std::size_t u = 0; u < partition.size(); ++u) {
+    auto replica = nn::zoo::small_cnn(1, 14, 14, 4);
+    replica->init(1);
+    workers.emplace_back(static_cast<int>(u), std::move(replica), split.train,
+                         partition[u], device::spec(fleet[u % fleet.size()]),
+                         1000 + u);
+  }
+
+  core::FleetSimulation::Config sim_cfg;
+  sim_cfg.duration_s = 3000.0;
+  sim_cfg.think_time_mean_s = 8.0;
+  core::FleetSimulation sim(server, workers, sim_cfg);
+  const auto stats = sim.run();
+
+  EXPECT_GT(stats.model_updates, 50u);
+  const double final_accuracy = data::evaluate_accuracy(*model, split.test);
+  EXPECT_GT(final_accuracy, initial_accuracy + 0.15)
+      << "updates=" << stats.model_updates
+      << " requests=" << stats.requests;
+
+  // Privacy posture: the server never saw raw samples — only gradients,
+  // label indices and device info flowed through the protocol. (Enforced
+  // by construction; assert the bookkeeping is consistent.)
+  EXPECT_EQ(stats.gradients + stats.rejected +
+                (stats.requests - stats.gradients - stats.rejected),
+            stats.requests);
+
+  // The profiler kept workloads near the latency SLO for most tasks once
+  // personalized: median task time within a factor 3 of the 3 s SLO.
+  ASSERT_FALSE(stats.task_times_s.empty());
+  std::vector<double> times = stats.task_times_s;
+  std::sort(times.begin(), times.end());
+  const double median = times[times.size() / 2];
+  EXPECT_GT(median, 0.3);
+  EXPECT_LT(median, 9.0);
+}
+
+TEST(IntegrationTest, AdaSgdSurvivesHeterogeneousSlowFleet) {
+  // Mix a very slow device into a fast fleet: its stale gradients must not
+  // destroy convergence (that is AdaSGD's whole job).
+  data::SyntheticImageConfig data_cfg;
+  data_cfg.n_classes = 3;
+  data_cfg.n_train = 300;
+  data_cfg.n_test = 90;
+  const auto split = data::generate_synthetic_images(data_cfg);
+
+  auto model = nn::zoo::small_cnn(1, 14, 14, 3);
+  model->init(3);
+
+  auto iprof = std::make_unique<profiler::IProf>(profiler::IProf::Config{});
+  iprof->pretrain(profiler::collect_profile_dataset(
+      device::training_fleet(), profiler::IProf::Config{}.slo, 7));
+
+  core::ServerConfig server_cfg;
+  server_cfg.learning_rate = 0.05f;
+  core::FleetServer server(*model, std::move(iprof), server_cfg);
+
+  stats::Rng rng(4);
+  const auto partition = data::partition_iid(split.train.size(), 5, rng);
+  const std::vector<std::string> devices{
+      "Honor 10", "Galaxy S8", "HTC U11", "Xperia E3", "Xperia E3"};
+  std::vector<core::FleetWorker> workers;
+  for (std::size_t u = 0; u < partition.size(); ++u) {
+    auto replica = nn::zoo::small_cnn(1, 14, 14, 3);
+    replica->init(3);
+    workers.emplace_back(static_cast<int>(u), std::move(replica), split.train,
+                         partition[u], device::spec(devices[u]), 2000 + u);
+  }
+
+  core::FleetSimulation::Config sim_cfg;
+  sim_cfg.duration_s = 2000.0;
+  sim_cfg.think_time_mean_s = 6.0;
+  core::FleetSimulation sim(server, workers, sim_cfg);
+  const auto stats = sim.run();
+  EXPECT_GT(stats.model_updates, 30u);
+  EXPECT_GT(data::evaluate_accuracy(*model, split.test), 0.45);
+}
+
+}  // namespace
+}  // namespace fleet

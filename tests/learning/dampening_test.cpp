@@ -1,0 +1,103 @@
+#include "fleet/learning/dampening.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fleet::learning {
+namespace {
+
+TEST(InverseDampeningTest, MatchesDynSgdFormula) {
+  InverseDampening inv;
+  EXPECT_DOUBLE_EQ(inv.factor(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(inv.factor(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(inv.factor(9.0), 0.1);
+}
+
+TEST(ExponentialDampeningTest, FreshGradientHasFullWeight) {
+  ExponentialDampening exp_damp(24.0);
+  EXPECT_DOUBLE_EQ(exp_damp.factor(0.0), 1.0);
+}
+
+TEST(ExponentialDampeningTest, IntersectsInverseAtHalfTauThres) {
+  // The defining property of beta (§2.3): the exponential curve meets
+  // DynSGD's inverse curve exactly at tau_thres / 2.
+  for (double tau_thres : {6.0, 12.0, 24.0, 48.0, 100.0}) {
+    ExponentialDampening exp_damp(tau_thres);
+    InverseDampening inv;
+    const double half = tau_thres / 2.0;
+    EXPECT_NEAR(exp_damp.factor(half), inv.factor(half), 1e-12)
+        << "tau_thres=" << tau_thres;
+  }
+}
+
+TEST(ExponentialDampeningTest, AboveInverseBeforeBelowAfter) {
+  // Fig 5's geometry: AdaSGD dampens *less* than DynSGD for fresh-ish
+  // gradients (tau < tau_thres/2) and *more* for very stale ones.
+  ExponentialDampening exp_damp(24.0);
+  InverseDampening inv;
+  for (double tau : {1.0, 4.0, 8.0, 11.0}) {
+    EXPECT_GT(exp_damp.factor(tau), inv.factor(tau)) << "tau=" << tau;
+  }
+  for (double tau : {13.0, 20.0, 30.0, 48.0}) {
+    EXPECT_LT(exp_damp.factor(tau), inv.factor(tau)) << "tau=" << tau;
+  }
+}
+
+TEST(ExponentialDampeningTest, RejectsInvalidInput) {
+  EXPECT_THROW(ExponentialDampening(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialDampening(-5.0), std::invalid_argument);
+  ExponentialDampening d(10.0);
+  EXPECT_THROW(d.factor(-1.0), std::invalid_argument);
+  InverseDampening inv;
+  EXPECT_THROW(inv.factor(-0.5), std::invalid_argument);
+}
+
+TEST(NoDampeningTest, AlwaysOne) {
+  NoDampening none;
+  EXPECT_DOUBLE_EQ(none.factor(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(none.factor(1000.0), 1.0);
+}
+
+TEST(SchemeNameTest, AllSchemesNamed) {
+  EXPECT_EQ(scheme_name(Scheme::kAdaSgd), "AdaSGD");
+  EXPECT_EQ(scheme_name(Scheme::kDynSgd), "DynSGD");
+  EXPECT_EQ(scheme_name(Scheme::kFedAvg), "FedAvg");
+  EXPECT_EQ(scheme_name(Scheme::kSsgd), "SSGD");
+}
+
+/// Property sweep over tau_thres values (Fig 5 invariants for any
+/// operating point).
+class DampeningPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DampeningPropertyTest, MonotoneDecreasingAndBounded) {
+  ExponentialDampening exp_damp(GetParam());
+  InverseDampening inv;
+  double prev_exp = 2.0, prev_inv = 2.0;
+  for (double tau = 0.0; tau <= 3.0 * GetParam(); tau += 0.5) {
+    const double e = exp_damp.factor(tau);
+    const double i = inv.factor(tau);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LE(e, 1.0);
+    EXPECT_GT(i, 0.0);
+    EXPECT_LE(i, 1.0);
+    EXPECT_LT(e, prev_exp);
+    EXPECT_LT(i, prev_inv);
+    prev_exp = e;
+    prev_inv = i;
+  }
+}
+
+TEST_P(DampeningPropertyTest, BetaSolvesItsDefiningEquation) {
+  const double tau_thres = GetParam();
+  ExponentialDampening d(tau_thres);
+  const double half = tau_thres / 2.0;
+  // exp(-beta * half) == 1 / (half + 1)
+  EXPECT_NEAR(std::exp(-d.beta() * half), 1.0 / (half + 1.0), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(TauThresSweep, DampeningPropertyTest,
+                         ::testing::Values(2.0, 6.0, 12.0, 24.0, 48.0, 96.0));
+
+}  // namespace
+}  // namespace fleet::learning

@@ -1,0 +1,85 @@
+#include "fleet/learning/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::learning {
+namespace {
+
+stats::LabelDistribution make_ld(std::size_t classes,
+                                 std::vector<std::size_t> counts) {
+  stats::LabelDistribution ld(classes);
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) ld.add(static_cast<int>(c), counts[c]);
+  }
+  return ld;
+}
+
+TEST(SimilarityTrackerTest, EverythingIsNovelAtStart) {
+  SimilarityTracker tracker(4);
+  EXPECT_DOUBLE_EQ(tracker.similarity(make_ld(4, {1, 1, 1, 1})), 0.0);
+}
+
+TEST(SimilarityTrackerTest, IdenticalDistributionScoresOne) {
+  SimilarityTracker tracker(4);
+  tracker.record_used(make_ld(4, {5, 5, 5, 5}));
+  EXPECT_NEAR(tracker.similarity(make_ld(4, {2, 2, 2, 2})), 1.0, 1e-12);
+}
+
+TEST(SimilarityTrackerTest, UnseenLabelScoresLow) {
+  // §2.3's "very rare animal" example: data for a label the global
+  // distribution has never seen gets similarity < 1 (here 0: disjoint).
+  SimilarityTracker tracker(4);
+  tracker.record_used(make_ld(4, {10, 10, 0, 0}));
+  EXPECT_DOUBLE_EQ(tracker.similarity(make_ld(4, {0, 0, 5, 0})), 0.0);
+  EXPECT_LT(tracker.similarity(make_ld(4, {1, 0, 5, 0})), 0.5);
+}
+
+TEST(SimilarityTrackerTest, GlobalDistributionAccumulates) {
+  SimilarityTracker tracker(3);
+  tracker.record_used(make_ld(3, {10, 0, 0}));
+  const double before = tracker.similarity(make_ld(3, {0, 10, 0}));
+  tracker.record_used(make_ld(3, {0, 10, 0}));
+  const double after = tracker.similarity(make_ld(3, {0, 10, 0}));
+  EXPECT_GT(after, before);
+  EXPECT_DOUBLE_EQ(tracker.total_weight(), 20.0);
+  EXPECT_DOUBLE_EQ(tracker.global_probability(0), 0.5);
+}
+
+TEST(SimilarityTrackerTest, NullifiedGradientsStayNovel) {
+  // A gradient applied with ~zero weight must not mark its labels as seen
+  // — the property Fig 9(a)'s straggler recovery depends on.
+  SimilarityTracker tracker(3);
+  tracker.record_used(make_ld(3, {10, 0, 0}), 1.0);
+  tracker.record_used(make_ld(3, {0, 0, 10}), 1e-7);  // nullified straggler
+  EXPECT_LT(tracker.similarity(make_ld(3, {0, 0, 10})), 0.01);
+  // Once applied with real weight, the class becomes familiar.
+  tracker.record_used(make_ld(3, {0, 0, 10}), 1.0);
+  EXPECT_GT(tracker.similarity(make_ld(3, {0, 0, 10})), 0.5);
+}
+
+TEST(SimilarityTrackerTest, RejectsNegativeWeight) {
+  SimilarityTracker tracker(2);
+  EXPECT_THROW(tracker.record_used(make_ld(2, {1, 1}), -1.0),
+               std::invalid_argument);
+}
+
+TEST(SimilarityTrackerTest, SimilarityIsBounded) {
+  SimilarityTracker tracker(5);
+  tracker.record_used(make_ld(5, {3, 1, 4, 1, 5}));
+  for (std::size_t c = 0; c < 5; ++c) {
+    std::vector<std::size_t> counts(5, 0);
+    counts[c] = 7;
+    const double sim = tracker.similarity(make_ld(5, counts));
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+TEST(SimilarityTrackerTest, ClassMismatchThrows) {
+  SimilarityTracker tracker(3);
+  EXPECT_THROW(tracker.similarity(make_ld(4, {1, 1, 1, 1})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::learning

@@ -1,0 +1,77 @@
+#include "fleet/net/compression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/core/online_trainer.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::net {
+namespace {
+
+TEST(CompressionTest, RoundTripErrorIsBounded) {
+  stats::Rng rng(1);
+  std::vector<float> gradient(5000);
+  for (float& g : gradient) {
+    g = static_cast<float>(rng.gaussian(0.0, 0.01));
+  }
+  const QuantizedGradient q = quantize_gradient(gradient);
+  // Uniform quantization: error at most one half step.
+  EXPECT_LE(quantization_error(gradient, q),
+            static_cast<double>(q.scale) * 0.5 + 1e-9);
+}
+
+TEST(CompressionTest, FourTimesSmallerOnTheWire) {
+  std::vector<float> gradient(12000, 0.5f);
+  const QuantizedGradient q = quantize_gradient(gradient);
+  EXPECT_LT(q.byte_size(), gradient.size() * sizeof(float) / 3);
+}
+
+TEST(CompressionTest, ExtremesMapToFullRange) {
+  const std::vector<float> gradient{-2.0f, 0.0f, 2.0f};
+  const QuantizedGradient q = quantize_gradient(gradient);
+  EXPECT_EQ(q.values[0], -127);
+  EXPECT_EQ(q.values[1], 0);
+  EXPECT_EQ(q.values[2], 127);
+}
+
+TEST(CompressionTest, AllZeroGradientSurvives) {
+  const std::vector<float> gradient(10, 0.0f);
+  const QuantizedGradient q = quantize_gradient(gradient);
+  for (float v : dequantize_gradient(q)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(CompressionTest, EmptyGradientThrows) {
+  EXPECT_THROW(quantize_gradient({}), std::invalid_argument);
+  QuantizedGradient q;
+  q.values.resize(3);
+  const std::vector<float> two(2);
+  EXPECT_THROW(quantization_error(two, q), std::invalid_argument);
+}
+
+TEST(CompressionTest, TrainingSurvivesQuantizedGradients) {
+  // End-to-end: SGD on int8-round-tripped gradients still converges —
+  // the property that makes compression "pluggable" into FLeet.
+  data::SyntheticImageConfig cfg;
+  cfg.n_classes = 4;
+  cfg.n_train = 400;
+  cfg.n_test = 100;
+  cfg.height = 12;
+  cfg.width = 12;
+  cfg.noise_stddev = 0.25f;
+  const auto split = data::generate_synthetic_images(cfg);
+  auto model = nn::zoo::small_cnn(1, 12, 12, 4, 6);
+  model->init(3);
+  stats::Rng rng(4);
+  std::vector<float> gradient;
+  for (int step = 0; step < 400; ++step) {
+    const nn::Batch batch = split.train.sample_batch(24, rng);
+    model->gradient(batch, gradient);
+    const auto restored = dequantize_gradient(quantize_gradient(gradient));
+    model->apply_gradient(restored, 0.1f);
+  }
+  EXPECT_GT(data::evaluate_accuracy(*model, split.test), 0.7);
+}
+
+}  // namespace
+}  // namespace fleet::net

@@ -1,0 +1,76 @@
+#include "fleet/net/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::net {
+namespace {
+
+TEST(NetworkModelTest, LatenciesArePositiveAndNearBase) {
+  NetworkModel net(NetworkModel::Config{});
+  stats::Rng rng(1);
+  double sum_lte = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double lte = net.sample_transfer_s(Technology::kLte4G, rng);
+    EXPECT_GT(lte, 0.0);
+    sum_lte += lte;
+  }
+  EXPECT_NEAR(sum_lte / n, 1.1, 0.05);  // paper's 4G number
+}
+
+TEST(NetworkModelTest, HspaSlowerThanLte) {
+  NetworkModel net(NetworkModel::Config{});
+  stats::Rng rng(2);
+  double lte = 0.0, hspa = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    lte += net.sample_transfer_s(Technology::kLte4G, rng);
+    hspa += net.sample_transfer_s(Technology::kHspa3G, rng);
+  }
+  EXPECT_GT(hspa, lte * 2.0);
+}
+
+TEST(NetworkModelTest, MixFollowsLteFraction) {
+  NetworkModel::Config cfg;
+  cfg.lte_fraction = 0.5;
+  cfg.jitter = 0.0;
+  NetworkModel net(cfg);
+  stats::Rng rng(3);
+  int fast = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (net.sample_transfer_s(rng) < 2.0) ++fast;
+  }
+  EXPECT_NEAR(fast / static_cast<double>(n), 0.5, 0.03);
+}
+
+TEST(NetworkModelTest, RejectsBadConfig) {
+  NetworkModel::Config cfg;
+  cfg.lte_fraction = 1.5;
+  EXPECT_THROW(NetworkModel{cfg}, std::invalid_argument);
+  cfg = NetworkModel::Config{};
+  cfg.lte_latency_s = 0.0;
+  EXPECT_THROW(NetworkModel{cfg}, std::invalid_argument);
+}
+
+TEST(RoundTripModelTest, PaperDefaultMatchesSection31) {
+  const RoundTripModel rt = RoundTripModel::paper_default();
+  EXPECT_DOUBLE_EQ(rt.minimum_s(), 7.1);
+  EXPECT_DOUBLE_EQ(rt.mean_s(), 8.45);
+  stats::Rng rng(4);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rt.sample_s(rng);
+    EXPECT_GE(x, 7.1);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 8.45, 0.05);
+}
+
+TEST(RoundTripModelTest, RejectsInvalidParameters) {
+  EXPECT_THROW(RoundTripModel(5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(RoundTripModel(-1.0, 5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::net

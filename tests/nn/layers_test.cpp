@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "fleet/nn/activations.hpp"
+#include "fleet/nn/conv2d.hpp"
+#include "fleet/nn/dense.hpp"
+#include "fleet/nn/pooling.hpp"
+
+namespace fleet::nn {
+namespace {
+
+TEST(DenseTest, ForwardComputesAffineMap) {
+  Dense dense(2, 2);
+  // W = [[1,2],[3,4]], b = [10, 20].
+  dense.parameters()[0]->flat()[0] = 1;
+  dense.parameters()[0]->flat()[1] = 2;
+  dense.parameters()[0]->flat()[2] = 3;
+  dense.parameters()[0]->flat()[3] = 4;
+  dense.parameters()[1]->flat()[0] = 10;
+  dense.parameters()[1]->flat()[1] = 20;
+  Tensor x({1, 2}, {1, 1});
+  Tensor y = dense.forward(x);
+  EXPECT_EQ(y.at2(0, 0), 14.0f);  // 1*1 + 1*3 + 10
+  EXPECT_EQ(y.at2(0, 1), 26.0f);  // 1*2 + 1*4 + 20
+}
+
+TEST(DenseTest, FlattensHigherRankInputs) {
+  Dense dense(4, 3);
+  stats::Rng rng(1);
+  dense.init(rng);
+  Tensor x({2, 1, 2, 2});
+  EXPECT_NO_THROW(dense.forward(x));
+}
+
+TEST(DenseTest, RejectsWrongFeatureCount) {
+  Dense dense(4, 3);
+  Tensor x({2, 5});
+  EXPECT_THROW(dense.forward(x), std::invalid_argument);
+}
+
+TEST(DenseTest, OutputShapeAndParams) {
+  Dense dense(192, 10);
+  EXPECT_EQ(dense.parameter_count(), 192u * 10u + 10u);
+  EXPECT_EQ(dense.output_shape({192})[0], 10u);
+  EXPECT_EQ(dense.output_shape({48, 2, 2})[0], 10u);  // flattened
+}
+
+TEST(Conv2DTest, KnownConvolution) {
+  // 1x1 input channel, 3x3 image, single 2x2 kernel of ones, no bias:
+  // each output = sum of the 2x2 patch.
+  Conv2D conv(1, 1, 2, 2);
+  for (std::size_t i = 0; i < 4; ++i) conv.parameters()[0]->flat()[i] = 1.0f;
+  Tensor x({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor y = conv.forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 2, 2}));
+  EXPECT_EQ(y[0], 12.0f);  // 1+2+4+5
+  EXPECT_EQ(y[1], 16.0f);  // 2+3+5+6
+  EXPECT_EQ(y[2], 24.0f);  // 4+5+7+8
+  EXPECT_EQ(y[3], 28.0f);  // 5+6+8+9
+}
+
+TEST(Conv2DTest, StrideReducesOutput) {
+  Conv2D conv(1, 2, 3, 3, 2, 2);
+  const auto out = conv.output_shape({1, 7, 7});
+  EXPECT_EQ(out, (std::vector<std::size_t>{2, 3, 3}));
+}
+
+TEST(Conv2DTest, Table1MnistShapes) {
+  // Table 1 MNIST: 28x28x1 -> conv 5x5x8 -> 24x24x8.
+  Conv2D conv(1, 8, 5, 5);
+  EXPECT_EQ(conv.output_shape({1, 28, 28}),
+            (std::vector<std::size_t>{8, 24, 24}));
+  EXPECT_EQ(conv.parameter_count(), 5u * 5u * 8u + 8u);
+}
+
+TEST(Conv2DTest, RejectsWrongChannelCount) {
+  Conv2D conv(3, 8, 3, 3);
+  Tensor x({1, 1, 8, 8});
+  EXPECT_THROW(conv.forward(x), std::invalid_argument);
+  EXPECT_THROW(conv.output_shape({1, 8, 8}), std::invalid_argument);
+}
+
+TEST(MaxPool2DTest, SelectsMaxima) {
+  MaxPool2D pool(2, 2, 2, 2);
+  Tensor x({1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 1});
+  Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 1, 2}));
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[1], 8.0f);
+}
+
+TEST(MaxPool2DTest, BackwardRoutesGradientToArgmax) {
+  MaxPool2D pool(2, 2, 2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 9, 2, 3});
+  pool.forward(x);
+  Tensor g({1, 1, 1, 1}, {7});
+  Tensor gx = pool.backward(g);
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[1], 7.0f);  // position of the max
+  EXPECT_EQ(gx[2], 0.0f);
+  EXPECT_EQ(gx[3], 0.0f);
+}
+
+TEST(MaxPool2DTest, Table1PoolShapes) {
+  // MNIST pool1: 24x24x8 with 3x3 kernel stride 3 -> 8x8x8.
+  MaxPool2D pool(3, 3, 3, 3);
+  EXPECT_EQ(pool.output_shape({8, 24, 24}),
+            (std::vector<std::size_t>{8, 8, 8}));
+}
+
+TEST(ReLUTest, ForwardAndBackwardMask) {
+  ReLU relu;
+  Tensor x({1, 4}, {-1, 2, 0, 3});
+  Tensor y = relu.forward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 2.0f);
+  EXPECT_EQ(y[2], 0.0f);
+  EXPECT_EQ(y[3], 3.0f);
+  Tensor g({1, 4}, {10, 10, 10, 10});
+  Tensor gx = relu.backward(g);
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[1], 10.0f);
+  EXPECT_EQ(gx[2], 0.0f);
+  EXPECT_EQ(gx[3], 10.0f);
+}
+
+TEST(TanhTest, ForwardValuesAndDerivative) {
+  Tanh tanh_layer;
+  Tensor x({1, 2}, {0.0f, 100.0f});
+  Tensor y = tanh_layer.forward(x);
+  EXPECT_NEAR(y[0], 0.0f, 1e-6);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6);
+  Tensor g({1, 2}, {1.0f, 1.0f});
+  Tensor gx = tanh_layer.backward(g);
+  EXPECT_NEAR(gx[0], 1.0f, 1e-6);   // 1 - tanh(0)^2
+  EXPECT_NEAR(gx[1], 0.0f, 1e-6);   // saturated
+}
+
+TEST(FlattenTest, RoundTripsShape) {
+  Flatten flatten;
+  Tensor x({2, 3, 4, 4});
+  Tensor y = flatten.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 48}));
+  Tensor gx = flatten.backward(y);
+  EXPECT_EQ(gx.shape(), (std::vector<std::size_t>{2, 3, 4, 4}));
+}
+
+TEST(LayerTest, ZeroGradClearsBuffers) {
+  Dense dense(2, 2);
+  stats::Rng rng(1);
+  dense.init(rng);
+  Tensor x({1, 2}, {1, 1});
+  dense.forward(x);
+  Tensor g({1, 2}, {1, 1});
+  dense.backward(g);
+  EXPECT_NE(dense.gradients()[0]->flat()[0], 0.0f);
+  dense.zero_grad();
+  for (Tensor* grad : dense.gradients()) {
+    for (std::size_t i = 0; i < grad->size(); ++i) {
+      EXPECT_EQ((*grad)[i], 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fleet::nn

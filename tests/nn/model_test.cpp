@@ -1,0 +1,141 @@
+#include "fleet/nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/nn/dense.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/tensor/ops.hpp"
+
+namespace fleet::nn {
+namespace {
+
+TEST(SequentialTest, ParameterRoundTrip) {
+  auto model = zoo::mlp(4, 8, 3);
+  model->init(1);
+  std::vector<float> params = model->parameters();
+  EXPECT_EQ(params.size(), model->parameter_count());
+  params[0] = 42.0f;
+  model->set_parameters(params);
+  EXPECT_EQ(model->parameters()[0], 42.0f);
+}
+
+TEST(SequentialTest, SetParametersRejectsWrongSize) {
+  auto model = zoo::mlp(4, 8, 3);
+  model->init(1);
+  EXPECT_THROW(model->set_parameters(std::vector<float>(3)),
+               std::invalid_argument);
+}
+
+TEST(SequentialTest, InitValidatesTopology) {
+  // Network emits 5 outputs but claims 3 classes: init must fail fast.
+  Sequential model({4}, 3);
+  model.add(std::make_unique<Dense>(4, 5));
+  EXPECT_THROW(model.init(1), std::invalid_argument);
+}
+
+TEST(SequentialTest, ApplyGradientMovesAgainstGradient) {
+  auto model = zoo::linear(2, 2);
+  model->init(2);
+  const std::vector<float> before = model->parameters();
+  std::vector<float> grad(model->parameter_count(), 1.0f);
+  model->apply_gradient(grad, 0.5f);
+  const std::vector<float> after = model->parameters();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] - 0.5f, 1e-6);
+  }
+}
+
+TEST(SequentialTest, TrainStepReducesLossOnFixedBatch) {
+  auto model = zoo::mlp(4, 16, 2);
+  model->init(3);
+  stats::Rng rng(4);
+  Batch batch{Tensor({8, 4}), {}};
+  for (std::size_t i = 0; i < batch.inputs.size(); ++i) {
+    batch.inputs[i] = static_cast<float>(rng.uniform());
+  }
+  for (int i = 0; i < 8; ++i) batch.labels.push_back(i % 2);
+  const double initial = model->evaluate_loss(batch);
+  for (int i = 0; i < 300; ++i) model->train_step(batch, 0.3f);
+  EXPECT_LT(model->evaluate_loss(batch), initial * 0.5);
+}
+
+TEST(SequentialTest, PredictShape) {
+  auto model = zoo::mlp(4, 8, 3);
+  model->init(5);
+  Tensor inputs({5, 4});
+  EXPECT_EQ(model->predict(inputs).size(), 15u);
+}
+
+TEST(SequentialTest, GradientRejectsEmptyBatch) {
+  auto model = zoo::linear(2, 2);
+  model->init(1);
+  Batch empty{Tensor({0, 2}), {}};
+  std::vector<float> grad;
+  EXPECT_THROW(model->gradient(empty, grad), std::invalid_argument);
+}
+
+// ---- Table 1 architectures -------------------------------------------------
+
+TEST(ZooTest, MnistCnnMatchesTable1) {
+  auto model = zoo::mnist_cnn();
+  model->init(1);
+  // conv1 5x5x8 (208) + conv2 5x5x8->48 (9648) + fc 192->10 (1930).
+  EXPECT_EQ(model->parameter_count(), 208u + 9648u + 1930u);
+  EXPECT_EQ(model->n_classes(), 10u);
+}
+
+TEST(ZooTest, EmnistCnnMatchesTable1) {
+  auto model = zoo::emnist_cnn();
+  model->init(1);
+  // conv1 (260) + conv2 (2510) + fc1 160->15 (2415) + fc2 15->62 (992).
+  EXPECT_EQ(model->parameter_count(), 260u + 2510u + 2415u + 992u);
+  EXPECT_EQ(model->n_classes(), 62u);
+}
+
+TEST(ZooTest, CifarCnnMatchesTable1) {
+  auto model = zoo::cifar_cnn(100);
+  model->init(1);
+  const std::size_t conv1 = 3u * 3u * 3u * 16u + 16u;
+  const std::size_t conv2 = 3u * 3u * 16u * 64u + 64u;
+  const std::size_t fc1 = 576u * 384u + 384u;
+  const std::size_t fc2 = 384u * 192u + 192u;
+  const std::size_t fc3 = 192u * 100u + 100u;
+  EXPECT_EQ(model->parameter_count(), conv1 + conv2 + fc1 + fc2 + fc3);
+}
+
+TEST(ZooTest, Table1ForwardPassesWork) {
+  stats::Rng rng(9);
+  for (auto* build : {+[] { return zoo::mnist_cnn(); },
+                      +[] { return zoo::emnist_cnn(); }}) {
+    auto model = build();
+    model->init(2);
+    Tensor x({2, 1, 28, 28});
+    tensor::fill_uniform(x, rng, 1.0f);
+    const auto scores = model->predict(x);
+    EXPECT_EQ(scores.size(), 2u * model->n_classes());
+  }
+  auto cifar = zoo::cifar_cnn(10);
+  cifar->init(3);
+  Tensor x({1, 3, 32, 32});
+  tensor::fill_uniform(x, rng, 1.0f);
+  EXPECT_EQ(cifar->predict(x).size(), 10u);
+}
+
+TEST(ZooTest, SummaryListsAllLayers) {
+  auto model = zoo::mnist_cnn();
+  const std::string summary = model->summary();
+  EXPECT_NE(summary.find("Conv2D"), std::string::npos);
+  EXPECT_NE(summary.find("MaxPool2D"), std::string::npos);
+  EXPECT_NE(summary.find("Dense"), std::string::npos);
+  EXPECT_NE(summary.find("Total parameters"), std::string::npos);
+}
+
+TEST(ZooTest, SmallCnnShapesAreConsistent) {
+  auto model = zoo::small_cnn(1, 14, 14, 10);
+  model->init(4);
+  Tensor x({3, 1, 14, 14});
+  EXPECT_EQ(model->predict(x).size(), 30u);
+}
+
+}  // namespace
+}  // namespace fleet::nn

@@ -1,0 +1,78 @@
+#include "fleet/nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fleet/nn/zoo.hpp"
+
+namespace fleet::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripsParameters) {
+  const std::string path = temp_path("params.flt");
+  const std::vector<float> params{1.5f, -2.25f, 0.0f, 3.14f};
+  save_parameters(params, path);
+  EXPECT_EQ(load_parameters(path), params);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RoundTripsWholeModel) {
+  const std::string path = temp_path("model.flt");
+  auto model = zoo::mlp(6, 12, 3);
+  model->init(7);
+  const auto original = model->parameters();
+  save_model(*model, path);
+
+  auto restored = zoo::mlp(6, 12, 3);
+  restored->init(99);  // different init — must be overwritten
+  load_model(*restored, path);
+  EXPECT_EQ(restored->parameters(), original);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadIntoWrongArchitectureThrows) {
+  const std::string path = temp_path("mismatch.flt");
+  auto model = zoo::mlp(6, 12, 3);
+  model->init(1);
+  save_model(*model, path);
+  auto other = zoo::mlp(6, 24, 3);
+  other->init(1);
+  EXPECT_THROW(load_model(*other, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_parameters(temp_path("does_not_exist.flt")),
+               std::runtime_error);
+}
+
+TEST(SerializeTest, CorruptMagicThrows) {
+  const std::string path = temp_path("corrupt.flt");
+  std::ofstream(path) << "not a checkpoint";
+  EXPECT_THROW(load_parameters(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedPayloadThrows) {
+  const std::string path = temp_path("truncated.flt");
+  save_parameters({1.0f, 2.0f, 3.0f}, path);
+  // Chop the last bytes off.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() - 5));
+  out.close();
+  EXPECT_THROW(load_parameters(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fleet::nn

@@ -1,0 +1,86 @@
+#include "fleet/privacy/label_privacy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fleet::privacy {
+namespace {
+
+stats::LabelDistribution make_ld(std::vector<std::size_t> counts) {
+  stats::LabelDistribution ld(counts.size());
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) ld.add(static_cast<int>(c), counts[c]);
+  }
+  return ld;
+}
+
+TEST(LaplaceNoiseTest, ZeroMeanAndCorrectScale) {
+  stats::Rng rng(1);
+  double sum = 0.0, sum_abs = 0.0;
+  const int n = 50000;
+  const double scale = 2.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = laplace_noise(scale, rng);
+    sum += x;
+    sum_abs += std::abs(x);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.06);
+  // E|Laplace(b)| = b.
+  EXPECT_NEAR(sum_abs / n, scale, 0.06);
+}
+
+TEST(LaplaceNoiseTest, RejectsBadScale) {
+  stats::Rng rng(1);
+  EXPECT_THROW(laplace_noise(0.0, rng), std::invalid_argument);
+}
+
+TEST(LabelPrivacyTest, DisabledIsIdentity) {
+  stats::Rng rng(2);
+  const auto ld = make_ld({3, 0, 7});
+  const auto out =
+      privatize_label_distribution(ld, LabelPrivacyConfig{0.0}, rng);
+  EXPECT_EQ(out.count(0), 3u);
+  EXPECT_EQ(out.count(2), 7u);
+}
+
+TEST(LabelPrivacyTest, HighEpsilonPreservesShape) {
+  stats::Rng rng(3);
+  const auto ld = make_ld({50, 0, 100, 25});
+  const auto out =
+      privatize_label_distribution(ld, LabelPrivacyConfig{50.0}, rng);
+  EXPECT_LT(label_distribution_l1(ld, out), 0.05);
+}
+
+TEST(LabelPrivacyTest, LowEpsilonDistortsMore) {
+  stats::Rng rng(4);
+  const auto ld = make_ld({50, 0, 100, 25});
+  double strong_noise = 0.0, weak_noise = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    strong_noise += label_distribution_l1(
+        ld, privatize_label_distribution(ld, LabelPrivacyConfig{0.05}, rng));
+    weak_noise += label_distribution_l1(
+        ld, privatize_label_distribution(ld, LabelPrivacyConfig{5.0}, rng));
+  }
+  EXPECT_GT(strong_noise, weak_noise * 2.0);
+}
+
+TEST(LabelPrivacyTest, OutputIsAlwaysValid) {
+  stats::Rng rng(5);
+  const auto ld = make_ld({1, 0, 0, 0});
+  for (int i = 0; i < 500; ++i) {
+    const auto out =
+        privatize_label_distribution(ld, LabelPrivacyConfig{0.01}, rng);
+    EXPECT_EQ(out.n_classes(), 4u);
+    EXPECT_GE(out.total(), 1u);  // never an empty histogram
+  }
+}
+
+TEST(LabelPrivacyTest, L1RejectsMismatchedClasses) {
+  EXPECT_THROW(label_distribution_l1(make_ld({1, 1}), make_ld({1, 1, 1})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::privacy

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fleet/privacy/gaussian_mechanism.hpp"
+#include "fleet/privacy/rdp_accountant.hpp"
+
+namespace fleet::privacy {
+namespace {
+
+TEST(ClipL2Test, LeavesSmallGradientsUntouched) {
+  std::vector<float> g{0.3f, 0.4f};  // norm 0.5
+  const double norm = clip_l2(g, 1.0);
+  EXPECT_NEAR(norm, 0.5, 1e-6);
+  EXPECT_FLOAT_EQ(g[0], 0.3f);
+}
+
+TEST(ClipL2Test, ScalesLargeGradientsToClipNorm) {
+  std::vector<float> g{3.0f, 4.0f};  // norm 5
+  clip_l2(g, 1.0);
+  const double new_norm = std::sqrt(g[0] * g[0] + g[1] * g[1]);
+  EXPECT_NEAR(new_norm, 1.0, 1e-6);
+  // Direction preserved.
+  EXPECT_NEAR(g[1] / g[0], 4.0 / 3.0, 1e-5);
+}
+
+TEST(ClipL2Test, RejectsNonPositiveClip) {
+  std::vector<float> g{1.0f};
+  EXPECT_THROW(clip_l2(g, 0.0), std::invalid_argument);
+}
+
+TEST(GaussianMechanismTest, NoiseMatchesConfiguredScale) {
+  DpConfig cfg;
+  cfg.clip_norm = 1.0;
+  cfg.noise_multiplier = 2.0;
+  stats::Rng rng(1);
+  const std::size_t batch = 10;
+  // Zero gradient: output is pure noise with stddev sigma*C/B = 0.2.
+  double sum_sq = 0.0;
+  const int trials = 200;
+  const std::size_t dim = 100;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> g(dim, 0.0f);
+    privatize_gradient(g, cfg, batch, rng);
+    for (float v : g) sum_sq += static_cast<double>(v) * v;
+  }
+  const double stddev = std::sqrt(sum_sq / (trials * dim));
+  EXPECT_NEAR(stddev, 0.2, 0.01);
+}
+
+TEST(GaussianMechanismTest, ZeroNoiseOnlyClips) {
+  DpConfig cfg;
+  cfg.clip_norm = 1.0;
+  cfg.noise_multiplier = 0.0;
+  stats::Rng rng(2);
+  std::vector<float> g{10.0f, 0.0f};
+  privatize_gradient(g, cfg, 10, rng);
+  EXPECT_NEAR(g[0], 1.0f, 1e-6);
+  EXPECT_EQ(g[1], 0.0f);
+}
+
+TEST(GaussianMechanismTest, RejectsEmptyBatch) {
+  DpConfig cfg;
+  cfg.clip_norm = 1.0;
+  stats::Rng rng(3);
+  std::vector<float> g{1.0f};
+  EXPECT_THROW(privatize_gradient(g, cfg, 0, rng), std::invalid_argument);
+}
+
+TEST(RdpAccountantTest, EpsilonGrowsWithSteps) {
+  RdpAccountant acc(0.01, 1.0);
+  acc.step(100);
+  const double e100 = acc.epsilon(1e-5);
+  acc.step(900);
+  const double e1000 = acc.epsilon(1e-5);
+  EXPECT_GT(e1000, e100);
+  EXPECT_GT(e100, 0.0);
+}
+
+TEST(RdpAccountantTest, MoreNoiseMeansSmallerEpsilon) {
+  const double e_low_noise = compute_epsilon(0.01, 0.8, 1000, 1e-5);
+  const double e_high_noise = compute_epsilon(0.01, 4.0, 1000, 1e-5);
+  EXPECT_LT(e_high_noise, e_low_noise);
+}
+
+TEST(RdpAccountantTest, SmallerSamplingRatioIsMorePrivate) {
+  const double e_small_q = compute_epsilon(0.001, 1.0, 1000, 1e-5);
+  const double e_large_q = compute_epsilon(0.05, 1.0, 1000, 1e-5);
+  EXPECT_LT(e_small_q, e_large_q);
+}
+
+TEST(RdpAccountantTest, ZeroStepsIsFreePrivacy) {
+  RdpAccountant acc(0.01, 1.0);
+  EXPECT_DOUBLE_EQ(acc.epsilon(1e-5), 0.0);
+}
+
+TEST(RdpAccountantTest, FullBatchReducesToGaussianMechanism) {
+  RdpAccountant acc(1.0, 2.0);
+  // Plain Gaussian RDP: alpha / (2 sigma^2).
+  EXPECT_NEAR(acc.rdp_at_order(8), 8.0 / (2.0 * 4.0), 1e-12);
+}
+
+TEST(RdpAccountantTest, KnownBallparkValue) {
+  // The canonical DP-SGD setting (Abadi et al.): q=0.01 (lot 600 of 60k),
+  // sigma=4, T=10000 steps, delta=1e-5 gives epsilon in the low single
+  // digits (TF-privacy reports ~1.25 for the integer-moment bound).
+  const double eps = compute_epsilon(600.0 / 60000.0, 4.0, 10000, 1e-5);
+  EXPECT_GT(eps, 0.5);
+  EXPECT_LT(eps, 3.0);
+}
+
+TEST(RdpAccountantTest, MomentsArePositiveAndIncreasing) {
+  RdpAccountant acc(0.02, 1.5);
+  double prev = 0.0;
+  for (int alpha : {2, 4, 8, 16, 32}) {
+    const double rdp = acc.rdp_at_order(alpha);
+    EXPECT_GE(rdp, prev);
+    prev = rdp;
+  }
+}
+
+TEST(RdpAccountantTest, RejectsBadParameters) {
+  EXPECT_THROW(RdpAccountant(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RdpAccountant(1.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(RdpAccountant(0.1, 0.0), std::invalid_argument);
+  RdpAccountant acc(0.1, 1.0);
+  acc.step();
+  EXPECT_THROW(acc.epsilon(0.0), std::invalid_argument);
+  EXPECT_THROW(acc.epsilon(1.0), std::invalid_argument);
+  EXPECT_THROW(acc.rdp_at_order(1), std::invalid_argument);
+}
+
+TEST(NoiseForEpsilonTest, InvertsComputeEpsilon) {
+  const double q = 100.0 / 60000.0;  // the Fig 11 sampling ratio
+  const std::size_t steps = 4000;
+  const double delta = 1.0 / (60000.0 * 60000.0);  // delta = 1/N^2 (§3.2)
+  for (double target : {1.75, 13.66}) {
+    const double sigma = noise_for_epsilon(q, steps, delta, target);
+    const double achieved = compute_epsilon(q, sigma, steps, delta);
+    EXPECT_LE(achieved, target * 1.02);
+    // Not overly conservative either: a slightly smaller sigma must bust
+    // the budget.
+    EXPECT_GT(compute_epsilon(q, sigma * 0.9, steps, delta), target * 0.95);
+  }
+}
+
+}  // namespace
+}  // namespace fleet::privacy

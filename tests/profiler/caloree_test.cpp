@@ -1,0 +1,112 @@
+#include "fleet/profiler/caloree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/device/allocation.hpp"
+#include "fleet/device/catalog.hpp"
+
+namespace fleet::profiler {
+namespace {
+
+device::DeviceSim quiet_device(const char* name, std::uint64_t seed) {
+  device::DeviceSpec s = device::spec(name);
+  s.execution_noise = 0.01;
+  return device::DeviceSim(s, seed);
+}
+
+TEST(PhtTest, HullIsSortedAndParetoOptimal) {
+  auto device = quiet_device("Galaxy S7", 1);
+  const PerformanceHashTable pht = profile_device(device);
+  ASSERT_GE(pht.hull.size(), 2u);
+  for (std::size_t i = 1; i < pht.hull.size(); ++i) {
+    EXPECT_GT(pht.hull[i].rate, pht.hull[i - 1].rate);
+    EXPECT_GT(pht.hull[i].power, pht.hull[i - 1].power);
+  }
+  // Convexity: the power-vs-rate slope between consecutive hull points
+  // must be non-decreasing.
+  for (std::size_t i = 2; i < pht.hull.size(); ++i) {
+    const auto slope = [&](std::size_t a, std::size_t b) {
+      return (pht.hull[b].power - pht.hull[a].power) /
+             (pht.hull[b].rate - pht.hull[a].rate);
+    };
+    EXPECT_GE(slope(i - 1, i), slope(i - 2, i - 1) - 1e-9);
+  }
+}
+
+TEST(PhtTest, FastestReturnsMaxRate) {
+  auto device = quiet_device("Galaxy S7", 2);
+  const PerformanceHashTable pht = profile_device(device);
+  for (const PerfPoint& p : pht.hull) {
+    EXPECT_LE(p.rate, pht.fastest().rate);
+  }
+}
+
+TEST(CaloreeTest, SameDeviceMeetsDeadline) {
+  // Table 2, row 1: training and running on the same device -> small error.
+  auto profile_dev = quiet_device("Galaxy S7", 3);
+  const PerformanceHashTable pht = profile_device(profile_dev);
+  auto run_dev = quiet_device("Galaxy S7", 4);
+  CaloreeController caloree(pht);
+  const std::size_t workload = 2000;
+  const double deadline = 6.0;
+  const auto result = caloree.run(run_dev, workload, deadline);
+  EXPECT_LT(result.deadline_error_pct, 12.0);
+  EXPECT_GT(result.energy_pct, 0.0);
+}
+
+TEST(CaloreeTest, CrossDeviceErrorIsMuchLarger) {
+  // Table 2: a PHT from Galaxy S7 misfires on Honor 10 (hot, different
+  // relative speeds) far worse than on the S7 itself.
+  auto s7 = quiet_device("Galaxy S7", 5);
+  const PerformanceHashTable pht = profile_device(s7);
+
+  auto same = quiet_device("Galaxy S7", 6);
+  auto cross = quiet_device("Honor 10", 7);
+  // Long enough that the Honor's thermal governor bites mid-run.
+  const std::size_t workload = 8000;
+  const double deadline = 25.0;
+  const auto same_result = CaloreeController(pht).run(same, workload, deadline);
+  const auto cross_result =
+      CaloreeController(pht).run(cross, workload, deadline);
+  EXPECT_GT(cross_result.deadline_error_pct,
+            same_result.deadline_error_pct * 2.0);
+}
+
+TEST(CaloreeTest, ImpossibleDeadlineRunsFlatOut) {
+  auto device = quiet_device("Xperia E3", 8);
+  auto profile_dev = quiet_device("Xperia E3", 9);
+  const PerformanceHashTable pht = profile_device(profile_dev);
+  CaloreeController caloree(pht);
+  // Deadline far below what the device can do: must still complete.
+  const auto result = caloree.run(device, 5000, 0.5);
+  EXPECT_GT(result.time_s, 0.5);
+  EXPECT_GT(result.deadline_error_pct, 100.0);
+}
+
+TEST(CaloreeTest, CompletesWorkloadExactly) {
+  auto device = quiet_device("Galaxy S8", 10);
+  auto profile_dev = quiet_device("Galaxy S8", 11);
+  CaloreeController caloree(profile_device(profile_dev));
+  const auto result = caloree.run(device, 1000, 5.0);
+  EXPECT_GT(result.time_s, 0.0);
+  // Energy within physical bounds: at most max power * time.
+  const double max_power = device.power({device.spec().n_big,
+                                         device.spec().n_little});
+  EXPECT_LE(result.energy_pct,
+            max_power * result.time_s / 3.6 /
+                device.spec().battery_mwh * 100.0 * 1.5);
+}
+
+TEST(CaloreeTest, RejectsBadUsage) {
+  auto profile_dev = quiet_device("Galaxy S7", 12);
+  const PerformanceHashTable pht = profile_device(profile_dev);
+  CaloreeController caloree(pht);
+  auto device = quiet_device("Galaxy S7", 13);
+  EXPECT_THROW(caloree.run(device, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(caloree.run(device, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(CaloreeController(PerformanceHashTable{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::profiler

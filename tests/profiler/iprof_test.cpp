@@ -1,0 +1,191 @@
+#include "fleet/profiler/iprof.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/device/allocation.hpp"
+#include "fleet/device/catalog.hpp"
+#include "fleet/profiler/training_data.hpp"
+
+namespace fleet::profiler {
+namespace {
+
+IProf make_pretrained_iprof() {
+  IProf::Config cfg;
+  IProf iprof(cfg);
+  const auto dataset =
+      collect_profile_dataset(device::training_fleet(), cfg.slo, 100);
+  iprof.pretrain(dataset);
+  return iprof;
+}
+
+TEST(IProfTest, PredictBeforePretrainThrows) {
+  IProf iprof{IProf::Config{}};
+  device::DeviceSim dev(device::spec("Galaxy S7"), 1);
+  EXPECT_THROW(iprof.predict_batch(dev.features(), "Galaxy S7"),
+               std::logic_error);
+}
+
+TEST(IProfTest, PretrainRejectsEmptyDataset) {
+  IProf iprof{IProf::Config{}};
+  EXPECT_THROW(iprof.pretrain({}), std::invalid_argument);
+}
+
+TEST(IProfTest, ColdStartPredictsSensibleBatches) {
+  IProf iprof = make_pretrained_iprof();
+  device::DeviceSim fast(device::spec("Honor 10"), 2);
+  device::DeviceSim slow(device::spec("Xperia E3"), 3);
+  const std::size_t n_fast = iprof.predict_batch(fast.features(), "Honor 10");
+  const std::size_t n_slow = iprof.predict_batch(slow.features(), "Xperia E3");
+  EXPECT_GE(n_fast, 1u);
+  EXPECT_GE(n_slow, 1u);
+  // Faster device gets (much) more work.
+  EXPECT_GT(n_fast, n_slow);
+}
+
+TEST(IProfTest, PersonalizationReducesSloDeviation) {
+  // The Fig 12(c) effect: per-device PA models drive the measured latency
+  // toward the SLO with every observed request.
+  IProf iprof = make_pretrained_iprof();
+  const Slo slo = iprof.config().slo;
+  device::DeviceSim device(device::spec("Galaxy S7"), 4);
+  const auto alloc = device::fleet_allocation(device.spec());
+
+  double first_error = -1.0;
+  double last_error = -1.0;
+  for (int request = 0; request < 25; ++request) {
+    const auto features = device.features();
+    const std::size_t n = iprof.predict_batch(features, "Galaxy S7");
+    const device::TaskExecution exec = device.run_task(n, alloc);
+    const double error = std::abs(exec.time_s - slo.latency_s);
+    if (first_error < 0.0) first_error = error;
+    last_error = error;
+    Observation ob;
+    ob.device_model = "Galaxy S7";
+    ob.features = features;
+    ob.mini_batch = n;
+    ob.time_s = exec.time_s;
+    ob.energy_pct = exec.energy_pct;
+    iprof.observe(ob);
+    device.idle(120.0);
+  }
+  EXPECT_TRUE(iprof.has_personalized_model("Galaxy S7"));
+  EXPECT_LT(last_error, 0.5);  // within 0.5 s of the 3 s SLO
+  EXPECT_LE(last_error, std::max(first_error, 0.5));
+}
+
+TEST(IProfTest, RespectsEnergySloToo) {
+  // With a very tight energy budget the energy constraint must bind and
+  // shrink the mini-batch.
+  IProf::Config tight;
+  tight.slo.energy_pct = 1e-4;
+  IProf iprof(tight);
+  iprof.pretrain(collect_profile_dataset(device::training_fleet(),
+                                         IProf::Config{}.slo, 101));
+  IProf::Config loose;
+  IProf iprof_loose(loose);
+  iprof_loose.pretrain(collect_profile_dataset(device::training_fleet(),
+                                               loose.slo, 101));
+  device::DeviceSim device(device::spec("Galaxy S8"), 5);
+  const auto features = device.features();
+  EXPECT_LT(iprof.predict_batch(features, "Galaxy S8"),
+            iprof_loose.predict_batch(features, "Galaxy S8"));
+}
+
+TEST(IProfTest, PredictionIsAlwaysWithinBounds) {
+  IProf iprof = make_pretrained_iprof();
+  for (const std::string& name : device::catalog_names()) {
+    device::DeviceSim device(device::spec(name), 6);
+    const std::size_t n = iprof.predict_batch(device.features(), name);
+    EXPECT_GE(n, 1u);
+    EXPECT_LE(n, iprof.config().max_batch);
+  }
+}
+
+TEST(IProfTest, ObserveRejectsEmptyBatch) {
+  IProf iprof = make_pretrained_iprof();
+  Observation ob;
+  ob.device_model = "Galaxy S7";
+  ob.mini_batch = 0;
+  EXPECT_THROW(iprof.observe(ob), std::invalid_argument);
+}
+
+TEST(IProfTest, RejectsBadConfig) {
+  IProf::Config cfg;
+  cfg.slo.latency_s = 0.0;
+  EXPECT_THROW(IProf{cfg}, std::invalid_argument);
+  cfg = IProf::Config{};
+  cfg.max_batch = 0;
+  EXPECT_THROW(IProf{cfg}, std::invalid_argument);
+}
+
+TEST(ObservationTest, AlphaComputations) {
+  Observation ob;
+  ob.mini_batch = 200;
+  ob.time_s = 4.0;
+  ob.energy_pct = 0.05;
+  EXPECT_DOUBLE_EQ(ob.alpha_time(), 0.02);
+  EXPECT_DOUBLE_EQ(ob.alpha_energy(), 0.00025);
+  ob.mini_batch = 0;
+  EXPECT_THROW(ob.alpha_time(), std::logic_error);
+}
+
+TEST(IProfTest, ColdStartAccurateAcrossTiers) {
+  // Design goal (a): the cold model must serve *first* requests sensibly
+  // for device tiers spanning an order of magnitude in speed.
+  IProf iprof = make_pretrained_iprof();
+  for (const char* name : {"HTC U11", "Galaxy S7", "Nexus 5", "MotoG3"}) {
+    device::DeviceSpec s = device::spec(name);
+    s.execution_noise = 0.0;
+    device::DeviceSim dev(s, 11);
+    const std::size_t n = iprof.predict_batch(dev.features(), name);
+    const auto exec = dev.run_task(n, device::fleet_allocation(s));
+    // First request within a factor ~2.5 of the 3 s SLO.
+    EXPECT_GT(exec.time_s, 3.0 / 2.5) << name;
+    EXPECT_LT(exec.time_s, 3.0 * 2.5) << name;
+  }
+}
+
+TEST(IProfTest, PersonalizedPredictionsAreClampedAgainstFeatureNoise) {
+  IProf iprof = make_pretrained_iprof();
+  device::DeviceSim dev(device::spec("Galaxy S7"), 12);
+  // One legitimate observation fixes the device's slope envelope.
+  auto features = dev.features();
+  Observation ob;
+  ob.device_model = "Galaxy S7";
+  ob.features = features;
+  ob.mini_batch = 900;
+  ob.time_s = 3.0;
+  ob.energy_pct = 0.03;
+  iprof.observe(ob);
+  const double alpha = 3.0 / 900.0;
+  // Wildly perturbed features must not move the prediction outside the
+  // guarded envelope [alpha/4, 4*alpha].
+  DeviceFeatures weird = features;
+  weird.temperature_c = 90.0;
+  weird.available_memory_mb = 1.0;
+  const double predicted = iprof.predict_alpha_time(weird, "Galaxy S7");
+  EXPECT_GE(predicted, alpha / 4.0 - 1e-12);
+  EXPECT_LE(predicted, alpha * 4.0 + 1e-12);
+}
+
+TEST(TrainingDataTest, ExcludesOverheadDominatedProbes) {
+  const Slo slo;
+  const auto dataset = collect_profile_dataset({"HTC U11"}, slo, 9);
+  for (const Observation& ob : dataset) {
+    EXPECT_GE(ob.time_s, 0.4 * slo.latency_s);
+  }
+}
+
+TEST(TrainingDataTest, SweepStopsAtTwiceTheSlo) {
+  const Slo slo;
+  const auto dataset = collect_profile_dataset({"Galaxy S7"}, slo, 7);
+  ASSERT_FALSE(dataset.empty());
+  // Last probe crossed 2x SLO (or the sweep cap); earlier ones did not.
+  for (std::size_t i = 0; i + 1 < dataset.size(); ++i) {
+    EXPECT_LT(dataset[i].time_s, 2.0 * slo.latency_s * 1.5);
+  }
+  EXPECT_GE(dataset.back().time_s, 2.0 * slo.latency_s * 0.5);
+}
+
+}  // namespace
+}  // namespace fleet::profiler

@@ -1,0 +1,88 @@
+#include "fleet/profiler/maui.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/device/catalog.hpp"
+#include "fleet/profiler/training_data.hpp"
+
+namespace fleet::profiler {
+namespace {
+
+TEST(MauiTest, FitsSlopeThroughOrigin) {
+  MauiProfiler maui{MauiProfiler::Config{}};
+  // Perfect linear data: t = 0.01 n, E = 0.0001 n.
+  std::vector<Observation> obs;
+  for (std::size_t n : {100u, 200u, 400u}) {
+    Observation ob;
+    ob.mini_batch = n;
+    ob.time_s = 0.01 * static_cast<double>(n);
+    ob.energy_pct = 1e-4 * static_cast<double>(n);
+    obs.push_back(ob);
+  }
+  maui.pretrain(obs);
+  EXPECT_NEAR(maui.theta_time(), 0.01, 1e-9);
+  EXPECT_NEAR(maui.theta_energy(), 1e-4, 1e-12);
+}
+
+TEST(MauiTest, PredictionIgnoresDeviceIdentity) {
+  MauiProfiler maui{MauiProfiler::Config{}};
+  maui.pretrain(collect_profile_dataset(device::training_fleet(),
+                                        MauiProfiler::Config{}.slo, 50));
+  device::DeviceSim fast(device::spec("Honor 10"), 1);
+  device::DeviceSim slow(device::spec("Xperia E3"), 2);
+  // One global model: same output regardless of device — the weakness
+  // Figs 12-13 demonstrate.
+  EXPECT_EQ(maui.predict_batch(fast.features(), "Honor 10"),
+            maui.predict_batch(slow.features(), "Xperia E3"));
+}
+
+TEST(MauiTest, PredictsBatchFromSlo) {
+  MauiProfiler::Config cfg;
+  cfg.slo.latency_s = 3.0;
+  cfg.slo.energy_pct = 1.0;  // effectively unconstrained
+  MauiProfiler maui(cfg);
+  Observation ob;
+  ob.mini_batch = 100;
+  ob.time_s = 1.0;     // theta_t = 0.01
+  ob.energy_pct = 0.001;
+  maui.pretrain({ob});
+  device::DeviceSim d(device::spec("Galaxy S7"), 1);
+  EXPECT_EQ(maui.predict_batch(d.features(), "Galaxy S7"), 300u);
+}
+
+TEST(MauiTest, PredictBeforeDataThrows) {
+  MauiProfiler maui{MauiProfiler::Config{}};
+  device::DeviceSim d(device::spec("Galaxy S7"), 1);
+  EXPECT_THROW(maui.predict_batch(d.features(), "Galaxy S7"),
+               std::logic_error);
+}
+
+TEST(MauiTest, ObservationsShiftTheGlobalModel) {
+  MauiProfiler maui{MauiProfiler::Config{}};
+  Observation fast_ob;
+  fast_ob.mini_batch = 100;
+  fast_ob.time_s = 0.5;
+  fast_ob.energy_pct = 0.001;
+  maui.pretrain({fast_ob});
+  const double before = maui.theta_time();
+  Observation slow_ob;
+  slow_ob.mini_batch = 100;
+  slow_ob.time_s = 10.0;
+  slow_ob.energy_pct = 0.01;
+  maui.observe(slow_ob);
+  EXPECT_GT(maui.theta_time(), before);
+}
+
+TEST(MauiTest, RejectsBadInput) {
+  MauiProfiler maui{MauiProfiler::Config{}};
+  EXPECT_THROW(maui.pretrain({}), std::invalid_argument);
+  Observation ob;
+  ob.mini_batch = 0;
+  EXPECT_THROW(maui.observe(ob), std::invalid_argument);
+  MauiProfiler::Config bad;
+  bad.slo.latency_s = -1.0;
+  EXPECT_THROW(MauiProfiler{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::profiler

@@ -1,0 +1,87 @@
+#include "fleet/stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::stats {
+namespace {
+
+TEST(GaussianDistributionTest, SamplesRespectFloor) {
+  GaussianDistribution d(1.0, 5.0, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(d.sample(rng), 0.0);
+  }
+}
+
+TEST(GaussianDistributionTest, EmpiricalMeanMatches) {
+  GaussianDistribution d(12.0, 4.0);
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, 12.0, 0.2);
+}
+
+TEST(GaussianDistributionTest, RejectsNegativeStddev) {
+  EXPECT_THROW(GaussianDistribution(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(ShiftedExponentialTest, PaperRoundTripParameters) {
+  // §3.1: minimum 7.1 s, mean 8.45 s.
+  ShiftedExponentialDistribution d(7.1, 8.45);
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 7.1);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 8.45, 0.05);
+}
+
+TEST(ShiftedExponentialTest, RejectsMeanBelowMinimum) {
+  EXPECT_THROW(ShiftedExponentialDistribution(5.0, 4.0),
+               std::invalid_argument);
+}
+
+TEST(ConstantDistributionTest, AlwaysSameValue) {
+  ConstantDistribution d(4.2);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 4.2);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.2);
+}
+
+TEST(LongTailGaussianTest, TailSamplesAppearAtExpectedRate) {
+  // Body N(10,2), 5% tail starting at 65 (the Fig 7 shape).
+  LongTailGaussianDistribution d(10.0, 2.0, 0.05, 65.0, 120.0);
+  Rng rng(5);
+  int tail_count = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (d.sample(rng) >= 65.0) ++tail_count;
+  }
+  EXPECT_NEAR(tail_count / static_cast<double>(n), 0.05, 0.01);
+}
+
+TEST(LongTailGaussianTest, MeanCombinesBodyAndTail) {
+  LongTailGaussianDistribution d(10.0, 2.0, 0.1, 50.0, 100.0);
+  EXPECT_NEAR(d.mean(), 0.9 * 10.0 + 0.1 * 100.0, 1e-9);
+}
+
+TEST(LongTailGaussianTest, RejectsBadTailConfig) {
+  EXPECT_THROW(LongTailGaussianDistribution(10, 2, 1.5, 50, 100),
+               std::invalid_argument);
+  EXPECT_THROW(LongTailGaussianDistribution(10, 2, 0.1, 100, 50),
+               std::invalid_argument);
+}
+
+TEST(DistributionTest, DescribeIsInformative) {
+  EXPECT_NE(GaussianDistribution(6, 2).describe().find("6"),
+            std::string::npos);
+  EXPECT_NE(ShiftedExponentialDistribution(7.1, 8.45).describe().find("7.1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fleet::stats

@@ -1,0 +1,71 @@
+#include "fleet/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::stats {
+namespace {
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(9.9);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(HistogramTest, TracksUnderAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(HistogramTest, ProbabilitiesSumToOneWithinRange) {
+  Histogram h(0.0, 1.0, 5);
+  for (int i = 0; i < 100; ++i) h.add((i % 10) / 10.0);
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) total += h.probability(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(2.0, 12.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 7.0);
+}
+
+TEST(HistogramTest, RejectsDegenerateConfigs) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, QuantilesOfKnownSequence) {
+  EmpiricalCdf cdf({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 2.0);
+}
+
+TEST(EmpiricalCdfTest, FractionBelow) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(10.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, RejectsEmptyAndBadQuantile) {
+  EXPECT_THROW(EmpiricalCdf({}), std::invalid_argument);
+  EmpiricalCdf cdf({1.0});
+  EXPECT_THROW(cdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::stats

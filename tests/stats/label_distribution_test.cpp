@@ -1,0 +1,115 @@
+#include "fleet/stats/label_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::stats {
+namespace {
+
+TEST(LabelDistributionTest, PaperExampleFromSection23) {
+  // §2.3: 4 labels, 1 example of label 0 and 2 of label 1
+  // => LD = [1/3, 2/3, 0, 0].
+  LabelDistribution ld(4);
+  ld.add(0, 1);
+  ld.add(1, 2);
+  const auto p = ld.probabilities();
+  EXPECT_NEAR(p[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p[1], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+  EXPECT_DOUBLE_EQ(p[3], 0.0);
+}
+
+TEST(LabelDistributionTest, FromLabelsCounts) {
+  const std::vector<int> labels{0, 1, 1, 2, 2, 2};
+  const auto ld = LabelDistribution::from_labels(labels, 3);
+  EXPECT_EQ(ld.count(0), 1u);
+  EXPECT_EQ(ld.count(1), 2u);
+  EXPECT_EQ(ld.count(2), 3u);
+  EXPECT_EQ(ld.total(), 6u);
+}
+
+TEST(LabelDistributionTest, MergeAggregatesCounts) {
+  LabelDistribution a(2), b(2);
+  a.add(0, 3);
+  b.add(1, 5);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 3u);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.total(), 8u);
+}
+
+TEST(LabelDistributionTest, RejectsInvalidInput) {
+  EXPECT_THROW(LabelDistribution(0), std::invalid_argument);
+  LabelDistribution ld(2);
+  EXPECT_THROW(ld.add(-1), std::out_of_range);
+  EXPECT_THROW(ld.add(2), std::out_of_range);
+  LabelDistribution other(3);
+  EXPECT_THROW(ld.merge(other), std::invalid_argument);
+}
+
+TEST(BhattacharyyaTest, IdenticalDistributionsGiveOne) {
+  LabelDistribution a(3), b(3);
+  a.add(0, 2);
+  a.add(1, 3);
+  a.add(2, 5);
+  b.add(0, 4);
+  b.add(1, 6);
+  b.add(2, 10);  // same proportions
+  EXPECT_NEAR(bhattacharyya_coefficient(a, b), 1.0, 1e-12);
+}
+
+TEST(BhattacharyyaTest, DisjointSupportGivesZero) {
+  LabelDistribution a(4), b(4);
+  a.add(0, 5);
+  a.add(1, 5);
+  b.add(2, 5);
+  b.add(3, 5);
+  EXPECT_DOUBLE_EQ(bhattacharyya_coefficient(a, b), 0.0);
+}
+
+TEST(BhattacharyyaTest, KnownIntermediateValue) {
+  // p = [1/2, 1/2], q = [1, 0]: BC = sqrt(1/2).
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0, 0.0};
+  EXPECT_NEAR(bhattacharyya_coefficient(p, q), std::sqrt(0.5), 1e-12);
+}
+
+TEST(BhattacharyyaTest, SymmetricInArguments) {
+  const std::vector<double> p{0.7, 0.2, 0.1};
+  const std::vector<double> q{0.1, 0.3, 0.6};
+  EXPECT_DOUBLE_EQ(bhattacharyya_coefficient(p, q),
+                   bhattacharyya_coefficient(q, p));
+}
+
+TEST(BhattacharyyaTest, SizeMismatchThrows) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0};
+  EXPECT_THROW(bhattacharyya_coefficient(p, q), std::invalid_argument);
+}
+
+/// Property sweep: BC of random distributions stays in [0, 1] and equals 1
+/// only for (near-)identical inputs.
+class BhattacharyyaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BhattacharyyaPropertyTest, BoundedAndNormalized) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t classes = 2 + static_cast<std::size_t>(GetParam()) % 9;
+  LabelDistribution a(classes), b(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    a.add(static_cast<int>(c), static_cast<std::size_t>(rng.uniform_int(0, 20)));
+    b.add(static_cast<int>(c), static_cast<std::size_t>(rng.uniform_int(0, 20)));
+  }
+  if (a.total() == 0) a.add(0, 1);
+  if (b.total() == 0) b.add(0, 1);
+  const double bc = bhattacharyya_coefficient(a, b);
+  EXPECT_GE(bc, 0.0);
+  EXPECT_LE(bc, 1.0);
+  EXPECT_NEAR(bhattacharyya_coefficient(a, a), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDistributions, BhattacharyyaPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace fleet::stats

@@ -1,0 +1,90 @@
+#include "fleet/stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::stats {
+namespace {
+
+TEST(MetricsTest, AccuracyOnPerfectPredictions) {
+  // 3 samples, 2 classes, logits put mass on the true label.
+  const std::vector<float> scores{0.9f, 0.1f, 0.2f, 0.8f, 0.7f, 0.3f};
+  const std::vector<int> labels{0, 1, 0};
+  EXPECT_DOUBLE_EQ(accuracy(scores, labels, 2), 1.0);
+}
+
+TEST(MetricsTest, AccuracyOnMixedPredictions) {
+  const std::vector<float> scores{0.9f, 0.1f, 0.9f, 0.1f};
+  const std::vector<int> labels{0, 1};
+  EXPECT_DOUBLE_EQ(accuracy(scores, labels, 2), 0.5);
+}
+
+TEST(MetricsTest, AccuracyShapeMismatchThrows) {
+  const std::vector<float> scores{0.9f, 0.1f};
+  const std::vector<int> labels{0, 1};
+  EXPECT_THROW(accuracy(scores, labels, 2), std::invalid_argument);
+}
+
+TEST(MetricsTest, ClassAccuracyRestrictsToClass) {
+  // Two class-0 samples (one right), one class-1 sample (right).
+  const std::vector<float> scores{0.9f, 0.1f, 0.2f, 0.8f, 0.1f, 0.9f};
+  const std::vector<int> labels{0, 0, 1};
+  EXPECT_DOUBLE_EQ(class_accuracy(scores, labels, 2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(class_accuracy(scores, labels, 2, 1), 1.0);
+}
+
+TEST(MetricsTest, ClassAccuracyAbsentClassReturnsSentinel) {
+  const std::vector<float> scores{0.9f, 0.1f};
+  const std::vector<int> labels{0};
+  EXPECT_DOUBLE_EQ(class_accuracy(scores, labels, 2, 1), -1.0);
+}
+
+TEST(MetricsTest, TopKOrdersByScore) {
+  const std::vector<float> scores{0.1f, 0.9f, 0.5f, 0.7f};
+  const auto top = top_k(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(MetricsTest, TopKClampsToSize) {
+  const std::vector<float> scores{0.1f, 0.9f};
+  EXPECT_EQ(top_k(scores, 10).size(), 2u);
+}
+
+TEST(MetricsTest, PrecisionRecallPerfect) {
+  const std::vector<std::size_t> rec{1, 2, 3};
+  const std::vector<std::size_t> rel{1, 2, 3};
+  const auto pr = precision_recall_at_k(rec, rel);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.f1, 1.0);
+}
+
+TEST(MetricsTest, PrecisionRecallPartialOverlap) {
+  // 5 recommended, 2 relevant, 1 hit: P=0.2, R=0.5, F1=2*.2*.5/.7.
+  const std::vector<std::size_t> rec{1, 2, 3, 4, 5};
+  const std::vector<std::size_t> rel{1, 99};
+  const auto pr = precision_recall_at_k(rec, rel);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.2);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+  EXPECT_NEAR(pr.f1, 2.0 * 0.2 * 0.5 / 0.7, 1e-12);
+}
+
+TEST(MetricsTest, PrecisionRecallNoOverlapIsZero) {
+  const std::vector<std::size_t> rec{1, 2};
+  const std::vector<std::size_t> rel{3};
+  const auto pr = precision_recall_at_k(rec, rel);
+  EXPECT_DOUBLE_EQ(pr.f1, 0.0);
+}
+
+TEST(MetricsTest, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+}  // namespace
+}  // namespace fleet::stats

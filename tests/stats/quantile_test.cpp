@@ -1,0 +1,55 @@
+#include "fleet/stats/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::stats {
+namespace {
+
+TEST(RunningQuantileTest, FallbackBeforeAnyValue) {
+  RunningQuantile q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.percentile(50.0, 7.0), 7.0);
+}
+
+TEST(RunningQuantileTest, ExactOnSmallSets) {
+  RunningQuantile q;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) q.add(v);
+  EXPECT_DOUBLE_EQ(q.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(q.percentile(100.0), 5.0);
+}
+
+TEST(RunningQuantileTest, WindowEvictsOldest) {
+  RunningQuantile q(4);
+  for (double v : {100.0, 100.0, 100.0, 100.0}) q.add(v);
+  // Push 4 small values; all the 100s must be gone.
+  for (double v : {1.0, 2.0, 3.0, 4.0}) q.add(v);
+  EXPECT_DOUBLE_EQ(q.percentile(100.0), 4.0);
+}
+
+TEST(RunningQuantileTest, PercentileOfGaussianStream) {
+  RunningQuantile q(4096);
+  Rng rng(5);
+  for (int i = 0; i < 4096; ++i) q.add(rng.gaussian(12.0, 4.0));
+  // 99.7th percentile of N(12,4) is approximately mu + 2.75 sigma = 23.
+  EXPECT_NEAR(q.percentile(99.7), 23.0, 1.8);
+}
+
+TEST(RunningQuantileTest, RejectsBadInputs) {
+  EXPECT_THROW(RunningQuantile(0), std::invalid_argument);
+  RunningQuantile q;
+  q.add(1.0);
+  EXPECT_THROW(q.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW(q.percentile(101.0), std::invalid_argument);
+}
+
+TEST(RunningQuantileTest, CountSaturatesAtWindow) {
+  RunningQuantile q(8);
+  for (int i = 0; i < 20; ++i) q.add(i);
+  EXPECT_EQ(q.count(), 8u);
+}
+
+}  // namespace
+}  // namespace fleet::stats

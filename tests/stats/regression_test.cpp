@@ -1,0 +1,154 @@
+#include "fleet/stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::stats {
+namespace {
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4].
+  const auto x = solve_linear_system({2, 1, 1, 3}, {3, 5}, 2);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, PivotsWhenLeadingZero) {
+  // [0 1; 1 0] x = [2; 3] -> x = [3, 2].
+  const auto x = solve_linear_system({0, 1, 1, 0}, {2, 3}, 2);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({1, 2, 2, 4}, {1, 2}, 2),
+               std::runtime_error);
+}
+
+TEST(OlsRegressionTest, RecoversExactLinearModel) {
+  OlsRegression ols(3);
+  Rng rng(1);
+  const std::vector<double> truth{2.0, -1.5, 0.5};
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{1.0, rng.uniform(0, 10), rng.uniform(0, 10)};
+    ols.add_observation(x, dot(x, truth));
+  }
+  ols.fit();
+  for (std::size_t j = 0; j < truth.size(); ++j) {
+    EXPECT_NEAR(ols.coefficients()[j], truth[j], 1e-6);
+  }
+}
+
+TEST(OlsRegressionTest, RobustToNoise) {
+  OlsRegression ols(2);
+  Rng rng(2);
+  const std::vector<double> truth{1.0, 3.0};
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> x{1.0, rng.uniform(0, 5)};
+    ols.add_observation(x, dot(x, truth) + rng.gaussian(0.0, 0.1));
+  }
+  ols.fit();
+  EXPECT_NEAR(ols.coefficients()[0], 1.0, 0.05);
+  EXPECT_NEAR(ols.coefficients()[1], 3.0, 0.02);
+}
+
+TEST(OlsRegressionTest, WeightsFavorRelativeAccuracy) {
+  // Two clusters: y ~ 100 (slow devices) and y ~ 1 (fast devices), each
+  // perfectly explained by its own feature. With w = 1/y^2 the fit must
+  // be accurate for the small-y cluster too, not just in absolute terms.
+  OlsRegression weighted(2);
+  OlsRegression plain(2);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    // Feature x1 in [0.9, 1.1] drives the fast cluster; x0 the slow one.
+    const bool slow = i % 2 == 0;
+    const std::vector<double> x{slow ? 1.0 : 0.0,
+                                slow ? 0.0 : rng.uniform(0.9, 1.1)};
+    const double y = slow ? rng.uniform(95.0, 105.0) : x[1];
+    weighted.add_observation(x, y, 1.0 / (y * y));
+    plain.add_observation(x, y);
+  }
+  weighted.fit();
+  const std::vector<double> fast_x{0.0, 1.0};
+  EXPECT_NEAR(weighted.predict(fast_x), 1.0, 0.1);
+}
+
+TEST(OlsRegressionTest, RejectsNonPositiveWeight) {
+  OlsRegression ols(1);
+  EXPECT_THROW(ols.add_observation(std::vector<double>{1.0}, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ols.add_observation(std::vector<double>{1.0}, 1.0, -2.0),
+               std::invalid_argument);
+}
+
+TEST(OlsRegressionTest, FitWithoutDataThrows) {
+  OlsRegression ols(2);
+  EXPECT_THROW(ols.fit(), std::runtime_error);
+}
+
+TEST(OlsRegressionTest, FeatureSizeMismatchThrows) {
+  OlsRegression ols(2);
+  EXPECT_THROW(ols.add_observation(std::vector<double>{1.0}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(PassiveAggressiveTest, PassiveInsideEpsilonBand) {
+  PassiveAggressiveRegression pa({1.0, 1.0}, /*epsilon=*/0.5);
+  const std::vector<double> x{1.0, 1.0};
+  // Prediction is 2.0; target 2.3 is within the 0.5 band: no update.
+  const double loss = pa.update(x, 2.3);
+  EXPECT_DOUBLE_EQ(loss, 0.0);
+  EXPECT_DOUBLE_EQ(pa.coefficients()[0], 1.0);
+}
+
+TEST(PassiveAggressiveTest, AggressiveUpdateLandsOnEpsilonBoundary) {
+  PassiveAggressiveRegression pa({0.0, 0.0}, /*epsilon=*/0.1);
+  const std::vector<double> x{1.0, 2.0};
+  pa.update(x, 10.0);
+  // After a PA update the new prediction sits exactly epsilon away.
+  EXPECT_NEAR(pa.predict(x), 10.0 - 0.1, 1e-9);
+}
+
+TEST(PassiveAggressiveTest, ConvergesToStationaryTarget) {
+  PassiveAggressiveRegression pa({0.0, 0.0, 0.0}, 0.01);
+  Rng rng(3);
+  const std::vector<double> truth{0.5, 1.5, -2.0};
+  double final_loss = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    const std::vector<double> x{1.0, rng.uniform(0, 2), rng.uniform(0, 2)};
+    final_loss = pa.update(x, dot(x, truth));
+  }
+  EXPECT_LT(final_loss, 0.1);
+}
+
+TEST(PassiveAggressiveTest, TracksDriftingTarget) {
+  // The reason I-Prof uses PA: it adapts when the device slope drifts
+  // (e.g., thermal throttling).
+  PassiveAggressiveRegression pa({1.0}, 0.01);
+  const std::vector<double> x{1.0};
+  for (int i = 0; i < 50; ++i) pa.update(x, 5.0);
+  EXPECT_NEAR(pa.predict(x), 5.0, 0.1);
+  for (int i = 0; i < 50; ++i) pa.update(x, 9.0);
+  EXPECT_NEAR(pa.predict(x), 9.0, 0.1);
+}
+
+TEST(PassiveAggressiveTest, SmallerEpsilonIsMoreAggressive) {
+  PassiveAggressiveRegression tight({0.0}, 0.01);
+  PassiveAggressiveRegression loose({0.0}, 1.0);
+  const std::vector<double> x{1.0};
+  tight.update(x, 2.0);
+  loose.update(x, 2.0);
+  EXPECT_GT(tight.coefficients()[0], loose.coefficients()[0]);
+}
+
+TEST(PassiveAggressiveTest, RejectsBadConstruction) {
+  EXPECT_THROW(PassiveAggressiveRegression({}, 0.1), std::invalid_argument);
+  EXPECT_THROW(PassiveAggressiveRegression({1.0}, -0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::stats

@@ -1,0 +1,102 @@
+#include "fleet/tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::tensor {
+namespace {
+
+TEST(OpsTest, MatmulKnownResult) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50].
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at2(0, 0), 19.0f);
+  EXPECT_EQ(c.at2(0, 1), 22.0f);
+  EXPECT_EQ(c.at2(1, 0), 43.0f);
+  EXPECT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(OpsTest, MatmulRectangular) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at2(0, 0), 4.0f);
+  EXPECT_EQ(c.at2(0, 1), 5.0f);
+}
+
+TEST(OpsTest, MatmulDimensionMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(OpsTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  stats::Rng rng(1);
+  Tensor a({4, 3});
+  Tensor b({4, 5});
+  fill_gaussian(a, rng, 1.0f);
+  fill_gaussian(b, rng, 1.0f);
+  // a^T b via matmul_at_b must equal matmul(transpose(a), b).
+  Tensor at({3, 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) at.at2(j, i) = a.at2(i, j);
+  }
+  EXPECT_LT(max_abs_diff(matmul_at_b(a, b), matmul(at, b)), 1e-5f);
+
+  Tensor c({3, 4});
+  fill_gaussian(c, rng, 1.0f);
+  Tensor ct({4, 3});
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) ct.at2(j, i) = c.at2(i, j);
+  }
+  // a (4x3) * c^T where c is (3x4) -> matmul_a_bt(a, ct') with ct' = (4,3)?
+  // Verify matmul_a_bt(x, y) == matmul(x, transpose(y)).
+  EXPECT_LT(max_abs_diff(matmul_a_bt(a, ct), matmul(a, c)), 1e-5f);
+}
+
+TEST(OpsTest, AxpyAndScale) {
+  Tensor x({3}, {1, 2, 3});
+  Tensor y({3}, {10, 20, 30});
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y[0], 12.0f);
+  EXPECT_EQ(y[2], 36.0f);
+  scale(y, 0.5f);
+  EXPECT_EQ(y[0], 6.0f);
+}
+
+TEST(OpsTest, AddChecksShape) {
+  Tensor a({2, 2});
+  Tensor b({4});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+}
+
+TEST(OpsTest, SquaredNorm) {
+  Tensor x({3}, {3, 4, 0});
+  EXPECT_DOUBLE_EQ(squared_norm(x), 25.0);
+}
+
+TEST(OpsTest, FillGaussianStatistics) {
+  stats::Rng rng(2);
+  Tensor x({10000});
+  fill_gaussian(x, rng, 2.0f);
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += x[i];
+    sum_sq += static_cast<double>(x[i]) * x[i];
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.1);
+  EXPECT_NEAR(sum_sq / 10000.0, 4.0, 0.3);
+}
+
+TEST(OpsTest, FillUniformRespectsLimit) {
+  stats::Rng rng(3);
+  Tensor x({1000});
+  fill_uniform(x, rng, 0.5f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_GE(x[i], -0.5f);
+    EXPECT_LE(x[i], 0.5f);
+  }
+}
+
+}  // namespace
+}  // namespace fleet::tensor

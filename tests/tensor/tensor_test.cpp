@@ -1,0 +1,60 @@
+#include "fleet/tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::tensor {
+namespace {
+
+TEST(TensorTest, ConstructsZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ConstructsFromData) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at2(0, 1), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(TensorTest, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, At2RequiresRank2) {
+  Tensor t({4});
+  EXPECT_THROW(t.at2(0, 0), std::logic_error);
+  Tensor m({2, 2});
+  EXPECT_THROW(m.at2(2, 0), std::out_of_range);
+}
+
+TEST(TensorTest, FillAndFull) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  t.fill(0.0f);
+  EXPECT_EQ(t[2], 0.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at2(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, ShapeSizeAndString) {
+  EXPECT_EQ(Tensor::shape_size({2, 3, 4}), 24u);
+  EXPECT_EQ(Tensor::shape_size({}), 0u);
+  EXPECT_EQ(Tensor::shape_string({1, 28, 28}), "[1x28x28]");
+}
+
+TEST(TensorTest, ValueSemantics) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);  // deep copy
+}
+
+}  // namespace
+}  // namespace fleet::tensor
