@@ -1,11 +1,41 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace fleet::bench {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // "inf"/"nan" are not JSON
+  std::ostringstream os;
+  os.precision(12);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
 
 double scale() {
   const char* env = std::getenv("FLEET_BENCH_SCALE");
@@ -38,6 +68,41 @@ std::string fmt(double value, int precision) {
   os.precision(precision);
   os << std::fixed << value;
   return os.str();
+}
+
+JsonReport::JsonReport(std::string name) : name_(std::move(name)) {}
+
+void JsonReport::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, json_number(value));
+}
+
+void JsonReport::metric(const std::string& key, std::size_t value) {
+  metrics_.emplace_back(key, std::to_string(value));
+}
+
+void JsonReport::metric(const std::string& key, const std::string& value) {
+  metrics_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+std::string JsonReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"bench\": \"" << json_escape(name_) << "\", "
+     << "\"scale\": " << json_number(scale()) << ", \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json_escape(metrics_[i].first)
+       << "\": " << metrics_[i].second;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void JsonReport::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("JsonReport::write: cannot open " + path);
+  }
+  out << to_json() << "\n";
 }
 
 }  // namespace fleet::bench

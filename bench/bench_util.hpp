@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fleet::bench {
@@ -21,5 +22,33 @@ void header(const std::string& title);
 void row(const std::vector<std::string>& cells);
 
 std::string fmt(double value, int precision = 4);
+
+/// Machine-readable benchmark output: accumulates metrics and writes one
+/// flat JSON object, e.g.
+///
+///   {"bench": "snapshot_store", "scale": 1.0,
+///    "metrics": {"copy_ns_per_request": 81234.5, ...}}
+///
+/// Benches write these as BENCH_<name>.json next to where they run so the
+/// perf trajectory can be tracked across PRs without parsing stdout tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name);
+
+  void metric(const std::string& key, double value);
+  void metric(const std::string& key, std::size_t value);
+  void metric(const std::string& key, const std::string& value);
+
+  /// Serialize the report (stable key order = insertion order).
+  std::string to_json() const;
+
+  /// Write to `path`; throws std::runtime_error when the file can't be
+  /// opened.
+  void write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> metrics_;  // key -> literal
+};
 
 }  // namespace fleet::bench

@@ -59,8 +59,9 @@ void BM_AggregatorSubmit(benchmark::State& state) {
   learning::AsyncAggregator::Config cfg;
   cfg.scheme = learning::Scheme::kAdaSgd;
   learning::AsyncAggregator agg(12000, 10, cfg);
+  const std::vector<float> gradient(12000, 0.01f);
   learning::WorkerUpdate update;
-  update.gradient.assign(12000, 0.01f);
+  update.gradient = gradient;
   update.staleness = 6.0;
   update.label_dist = stats::LabelDistribution(10);
   update.label_dist.add(3, 100);

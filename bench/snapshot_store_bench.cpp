@@ -1,0 +1,105 @@
+// Micro-benchmark for the versioned snapshot store (DESIGN.md §4): the
+// seed's copy-per-request assignment path vs ModelStore's shared immutable
+// snapshot handles, on a >= 100k-parameter model.
+//
+// The copy path re-materializes the full flat parameter vector for every
+// request, which is what `FleetServer::handle_request` did before the
+// store existed. The snapshot path materializes once per model *version*
+// and hands every request at that version the same refcounted buffer.
+// Emits BENCH_snapshot.json via bench::JsonReport.
+#include <chrono>
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "fleet/core/model_store.hpp"
+#include "fleet/nn/zoo.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_per_request(Clock::time_point start, Clock::time_point stop,
+                      std::size_t requests) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start);
+  return static_cast<double>(ns.count()) / static_cast<double>(requests);
+}
+
+/// Touch one element per page so neither path can skip faulting the buffer.
+float touch(std::span<const float> params) {
+  float sink = 0.0f;
+  for (std::size_t i = 0; i < params.size(); i += 1024) sink += params[i];
+  return sink;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fleet;
+
+  // 100*1000 + 1000 + 1000*10 + 10 = 111,010 parameters.
+  auto model = nn::zoo::mlp(100, 1000, 10);
+  model->init(1);
+  const std::size_t param_count = model->parameter_count();
+
+  const std::size_t requests = bench::scaled(20000, 2000);
+  const std::size_t requests_per_update = 32;  // fleet requests per version
+
+  bench::header("Snapshot store vs copy-per-request (" +
+                std::to_string(param_count) + " parameters, " +
+                std::to_string(requests) + " requests)");
+
+  float sink = 0.0f;
+
+  // --- Seed path: a full parameter-vector copy on every request. ---
+  const auto copy_start = Clock::now();
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::vector<float> assignment = model->parameters();
+    sink += touch(assignment);
+  }
+  const auto copy_stop = Clock::now();
+  const double copy_ns = ns_per_request(copy_start, copy_stop, requests);
+
+  // --- Snapshot path: one publish per version, shared handles after. ---
+  core::ModelStore store(64);
+  std::size_t version = 0;
+  const auto snap_start = Clock::now();
+  for (std::size_t r = 0; r < requests; ++r) {
+    if (r % requests_per_update == 0) {
+      // A model update advanced the clock; materialize the new version once.
+      ++version;
+      const auto view = model->parameters_view();
+      store.publish(version, core::ModelStore::Buffer(view.begin(),
+                                                      view.end()));
+    }
+    const core::ModelStore::Snapshot assignment = store.at(version);
+    sink += touch(*assignment);
+  }
+  const auto snap_stop = Clock::now();
+  const double snap_ns = ns_per_request(snap_start, snap_stop, requests);
+
+  const double speedup = copy_ns / snap_ns;
+  bench::row({"copy path", bench::fmt(copy_ns / 1000.0, 2) + " us/request"});
+  bench::row({"snapshot store",
+              bench::fmt(snap_ns / 1000.0, 2) + " us/request"});
+  bench::row({"speedup", bench::fmt(speedup, 2) + "x"});
+  bench::row({"snapshot publishes",
+              std::to_string(store.publishes()) + " (vs " +
+                  std::to_string(requests) + " copies on the seed path)"});
+
+  bench::JsonReport report("snapshot_store");
+  report.metric("parameter_count", param_count);
+  report.metric("requests", requests);
+  report.metric("requests_per_update", requests_per_update);
+  report.metric("copy_ns_per_request", copy_ns);
+  report.metric("snapshot_ns_per_request", snap_ns);
+  report.metric("speedup", speedup);
+  report.metric("snapshot_publishes", store.publishes());
+  report.write("BENCH_snapshot.json");
+  std::cout << "\nwrote BENCH_snapshot.json\n";
+
+  // Keep the optimizer honest; the value itself is meaningless.
+  if (sink == 12345.678f) std::cerr << "";
+  return 0;
+}

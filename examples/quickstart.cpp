@@ -62,6 +62,11 @@ int main() {
   std::cout << "requests: " << stats.requests
             << ", gradients: " << stats.gradients
             << ", model updates: " << stats.model_updates << "\n";
+  // The snapshot store materializes one buffer per model version; every
+  // other request shares a handle (see DESIGN.md §4).
+  std::cout << "model snapshots materialized: " << server.store().publishes()
+            << " for " << (stats.requests - stats.rejected)
+            << " accepted requests\n";
   std::cout << "final accuracy: "
             << data::evaluate_accuracy(*model, split.test) << "\n";
   double max_tau = 0.0;

@@ -24,6 +24,9 @@ void validate(const ServerConfig& config) {
   if (config.slo.latency_s <= 0.0 || config.slo.energy_pct <= 0.0) {
     throw std::invalid_argument("ServerConfig: non-positive SLO");
   }
+  if (config.snapshot_window == 0) {
+    throw std::invalid_argument("ServerConfig: snapshot_window must be >= 1");
+  }
 }
 
 }  // namespace fleet::core

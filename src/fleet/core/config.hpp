@@ -29,6 +29,10 @@ struct ServerConfig {
   ControllerConfig controller;
   profiler::Slo slo;
   float learning_rate = 5e-4f;
+  /// Model versions retained in the snapshot ring (ModelStore). Bounds how
+  /// far back a straggler's t_i can reach before its staleness is clamped;
+  /// must be >= 1.
+  std::size_t snapshot_window = 64;
 };
 
 /// Throws std::invalid_argument on out-of-range settings.

@@ -1,0 +1,47 @@
+#include "fleet/core/model_store.hpp"
+
+#include <stdexcept>
+
+namespace fleet::core {
+
+ModelStore::ModelStore(std::size_t window) : entries_(window) {
+  if (window == 0) {
+    throw std::invalid_argument("ModelStore: window must be >= 1");
+  }
+}
+
+ModelStore::Snapshot ModelStore::publish(std::size_t version,
+                                         Buffer parameters) {
+  Entry& slot = entries_[version % entries_.size()];
+  slot.valid = true;
+  slot.version = version;
+  slot.snapshot = std::make_shared<const Buffer>(std::move(parameters));
+  if (published_ == 0 || version > latest_) latest_ = version;
+  ++published_;
+  return slot.snapshot;
+}
+
+ModelStore::Snapshot ModelStore::at(std::size_t version) const {
+  const Entry& slot = entries_[version % entries_.size()];
+  if (!slot.valid || slot.version != version) return nullptr;
+  ++hits_;
+  return slot.snapshot;
+}
+
+ModelStore::Snapshot ModelStore::resolve(std::size_t version) const {
+  if (auto exact = at(version)) return exact;
+  // Evicted (or never published): clamp to the oldest snapshot the ring
+  // still holds, mirroring bounded-staleness history semantics.
+  const Entry* oldest = nullptr;
+  for (const Entry& entry : entries_) {
+    if (!entry.valid) continue;
+    if (oldest == nullptr || entry.version < oldest->version) {
+      oldest = &entry;
+    }
+  }
+  if (oldest == nullptr) return nullptr;
+  ++hits_;
+  return oldest->snapshot;
+}
+
+}  // namespace fleet::core

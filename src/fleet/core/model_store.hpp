@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fleet::core {
+
+/// Ring buffer of immutable, reference-counted model snapshots keyed by the
+/// server's logical clock (DESIGN.md §4).
+///
+/// The FLeet protocol hands every worker the parameter vector theta^(t_i)
+/// it must compute its gradient against (Fig 2, step 4), and resolves the
+/// returning gradient's staleness tau_i = t - t_i against that version
+/// (§2.3). Materializing a fresh copy per request makes the request path
+/// O(|theta|) allocations per worker; the store instead publishes one
+/// immutable snapshot per version and hands out shared_ptr handles, so a
+/// 10k-worker fleet at the same clock value shares a single buffer and the
+/// system holds O(window) parameter buffers total, regardless of request
+/// volume. A snapshot stays alive while any in-flight task still references
+/// it, even after the ring evicts its slot.
+class ModelStore {
+ public:
+  using Buffer = std::vector<float>;
+  /// Immutable shared snapshot handle. Cheap to copy, never deep-copied.
+  using Snapshot = std::shared_ptr<const Buffer>;
+
+  /// `window`: number of versions retained (>= 1). Like the paper's
+  /// bounded-staleness setups, anything staler than the window resolves to
+  /// the oldest retained snapshot.
+  explicit ModelStore(std::size_t window);
+
+  /// Store the snapshot for `version`, evicting whatever occupied its ring
+  /// slot. Returns the shared handle. Publishing the same version twice
+  /// replaces the snapshot (the last write wins).
+  Snapshot publish(std::size_t version, Buffer parameters);
+
+  /// Exact lookup; nullptr when `version` was never published or has been
+  /// evicted from the ring.
+  Snapshot at(std::size_t version) const;
+
+  /// Lookup with staleness clamping: the snapshot for `version`, or the
+  /// oldest retained snapshot when `version` fell off the ring. nullptr
+  /// only when the store is empty.
+  Snapshot resolve(std::size_t version) const;
+
+  /// Existence probe; unlike at(), does not count toward hits().
+  bool contains(std::size_t version) const {
+    const Entry& slot = entries_[version % entries_.size()];
+    return slot.valid && slot.version == version;
+  }
+
+  /// Clamp a task's origin version to the oldest version the ring can still
+  /// hold at logical clock `current`: staleness beyond the window resolves
+  /// to the window edge (bounded-staleness history semantics).
+  std::size_t clamp(std::size_t version, std::size_t current) const {
+    const std::size_t w = entries_.size();
+    if (current >= w && version + w <= current) return current - w + 1;
+    return version;
+  }
+
+  std::size_t window() const { return entries_.size(); }
+  bool empty() const { return published_ == 0; }
+
+  /// Highest version ever published (0 when empty).
+  std::size_t latest_version() const { return latest_; }
+
+  /// Total publishes — the number of parameter buffers ever materialized.
+  /// Contrast with hits() to see how much the ring amortizes.
+  std::size_t publishes() const { return published_; }
+
+  /// Successful shared lookups served without materializing anything.
+  std::size_t hits() const { return hits_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::size_t version = 0;
+    Snapshot snapshot;
+  };
+
+  std::vector<Entry> entries_;
+  std::size_t latest_ = 0;
+  std::size_t published_ = 0;
+  mutable std::size_t hits_ = 0;
+};
+
+}  // namespace fleet::core

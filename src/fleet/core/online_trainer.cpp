@@ -5,41 +5,10 @@
 #include <stdexcept>
 
 #include "fleet/core/controller.hpp"
+#include "fleet/core/model_store.hpp"
+#include "fleet/tensor/ops.hpp"
 
 namespace fleet::core {
-
-namespace {
-
-/// Ring buffer of flat parameter snapshots indexed by model version.
-class ParameterHistory {
- public:
-  ParameterHistory(std::size_t window, std::vector<float> initial)
-      : window_(window), snapshots_(window) {
-    if (window == 0) throw std::invalid_argument("ParameterHistory: window=0");
-    snapshots_[0] = std::move(initial);
-  }
-
-  void push(std::size_t version, std::vector<float> params) {
-    snapshots_[version % window_] = std::move(params);
-  }
-
-  /// Snapshot at `version`, where `version` must be within the window of
-  /// `current`. Staleness beyond the window is clamped to the oldest kept.
-  const std::vector<float>& at(std::size_t version, std::size_t current) const {
-    if (current >= window_ && version + window_ <= current) {
-      version = current - window_ + 1;
-    }
-    return snapshots_[version % window_];
-  }
-
-  std::size_t window() const { return window_; }
-
- private:
-  std::size_t window_;
-  std::vector<std::vector<float>> snapshots_;
-};
-
-}  // namespace
 
 ControlledRunResult run_controlled(nn::TrainableModel& model,
                                    const data::Dataset& train,
@@ -53,7 +22,10 @@ ControlledRunResult run_controlled(nn::TrainableModel& model,
   learning::AsyncAggregator aggregator(model.parameter_count(),
                                        model.n_classes(), config.aggregator);
   Controller controller(config.controller);
-  ParameterHistory history(config.history_window, model.parameters());
+  // Snapshot ring shared with the live server path (DESIGN.md §4): the
+  // imposed-staleness harness reads theta^(t - tau) from the same store.
+  ModelStore history(config.history_window);
+  history.publish(0, model.parameters());
 
   ControlledRunResult result;
   std::size_t version = 0;  // model updates applied
@@ -133,9 +105,13 @@ ControlledRunResult run_controlled(nn::TrainableModel& model,
         std::min(staleness, static_cast<double>(config.history_window - 1));
 
     const auto stale_version = version - static_cast<std::size_t>(staleness);
-    model.set_parameters(history.at(stale_version, version));
+    // Hold the current snapshot across the stale-gradient computation: the
+    // handles keep both buffers alive even if the ring advances.
+    const ModelStore::Snapshot current = history.resolve(version);
+    const ModelStore::Snapshot stale = history.resolve(stale_version);
+    model.load_parameters(*stale);
     model.gradient(batch, gradient);
-    model.set_parameters(history.at(version, version));
+    model.load_parameters(*current);
     ++result.tasks_executed;
 
     if (config.dp.clip_norm > 0.0) {
@@ -147,10 +123,11 @@ ControlledRunResult run_controlled(nn::TrainableModel& model,
     update.staleness = staleness;
     update.label_dist = label_dist;
     update.mini_batch = batch_size;
-    if (auto summed = aggregator.submit(update)) {
-      model.apply_gradient(*summed, config.learning_rate);
+    if (const auto submitted = aggregator.submit(update);
+        submitted.aggregate) {
+      model.apply_gradient(*submitted.aggregate, config.learning_rate);
       ++version;
-      history.push(version, model.parameters());
+      history.publish(version, model.parameters());
     }
 
     if (request % config.eval_every == 0) evaluate(request);
@@ -190,9 +167,9 @@ std::vector<CurvePoint> run_synchronous_mix(
     for (const std::size_t batch_size : config.worker_batch_sizes) {
       const nn::Batch batch = train.sample_batch(batch_size, rng);
       model.gradient(batch, gradient);
-      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += gradient[i];
+      tensor::axpy(1.0f, gradient, std::span<float>(sum));
     }
-    for (float& g : sum) g *= inv_workers;
+    tensor::scale(std::span<float>(sum), inv_workers);
     model.apply_gradient(sum, config.learning_rate);
     if (step % config.eval_every == 0 || step == config.steps) evaluate(step);
   }

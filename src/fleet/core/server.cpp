@@ -12,10 +12,26 @@ FleetServer::FleetServer(nn::TrainableModel& model,
       config_(config),
       controller_(config.controller),
       aggregator_(model.parameter_count(), model.n_classes(),
-                  config.aggregator) {
+                  config.aggregator),
+      store_(config.snapshot_window) {
   if (profiler_ == nullptr) {
     throw std::invalid_argument("FleetServer: null profiler");
   }
+}
+
+void FleetServer::refresh_snapshot() {
+  if (!store_.contains(version_)) return;  // nothing cached; lazy path serves
+  const auto view = model_.parameters_view();
+  store_.publish(version_, ModelStore::Buffer(view.begin(), view.end()));
+}
+
+ModelStore::Snapshot FleetServer::current_snapshot() {
+  if (auto snapshot = store_.at(version_)) return snapshot;
+  // First request since the last model update: materialize theta^(t) once
+  // (a single bulk copy out of the parameter arena) and publish it; every
+  // further request at this version shares the handle.
+  const auto view = model_.parameters_view();
+  return store_.publish(version_, ModelStore::Buffer(view.begin(), view.end()));
 }
 
 TaskAssignment FleetServer::handle_request(
@@ -33,12 +49,12 @@ TaskAssignment FleetServer::handle_request(
   assignment.accepted = true;
   assignment.model_version = version_;
   assignment.mini_batch = bound;
-  assignment.parameters = model_.parameters();
+  assignment.snapshot = current_snapshot();
   return assignment;
 }
 
 GradientReceipt FleetServer::handle_gradient(
-    std::size_t task_version, std::vector<float> gradient,
+    std::size_t task_version, std::span<const float> gradient,
     const stats::LabelDistribution& label_info, std::size_t mini_batch,
     const std::optional<profiler::Observation>& feedback) {
   if (task_version > version_) {
@@ -46,18 +62,23 @@ GradientReceipt FleetServer::handle_gradient(
         "FleetServer::handle_gradient: task version from the future");
   }
   GradientReceipt receipt;
+  // tau_i = t - t_i is known exactly from the logical clock (Eq. 3) —
+  // ring eviction affects which *snapshot* a version resolves to, never
+  // the staleness: an ultra-stale gradient must see Lambda(tau) for its
+  // true tau, not the window edge.
   receipt.staleness = static_cast<double>(version_ - task_version);
   receipt.similarity = aggregator_.similarity().similarity(label_info);
 
   learning::WorkerUpdate update;
-  update.gradient = std::move(gradient);
+  update.gradient = gradient;
   update.staleness = receipt.staleness;
   update.label_dist = label_info;
   update.mini_batch = mini_batch;
-  receipt.weight = aggregator_.weight_for(update);
-
-  if (auto summed = aggregator_.submit(update)) {
-    model_.apply_gradient(*summed, config_.learning_rate);
+  // submit() reports the weight it applied — no second dampening pass.
+  const learning::SubmitResult result = aggregator_.submit(update);
+  receipt.weight = result.weight;
+  if (result.aggregate) {
+    model_.apply_gradient(*result.aggregate, config_.learning_rate);
     ++version_;
     receipt.model_updated = true;
   }

@@ -3,21 +3,32 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "fleet/core/controller.hpp"
+#include "fleet/core/model_store.hpp"
 #include "fleet/nn/model.hpp"
 #include "fleet/profiler/features.hpp"
 
 namespace fleet::core {
 
 /// What the server hands a worker for one learning task (Fig 2, steps 2-4).
+/// The model snapshot theta^(t_i) is a shared handle into the server's
+/// ModelStore: every worker assigned at the same logical clock value holds
+/// the *same* immutable buffer, so the request path copies nothing.
 struct TaskAssignment {
   bool accepted = false;
   std::string reject_reason;
   std::size_t model_version = 0;   // logical clock t_i the task starts from
   std::size_t mini_batch = 0;      // I-Prof's workload bound
-  std::vector<float> parameters;   // model snapshot theta^(t_i)
+  ModelStore::Snapshot snapshot;   // shared model snapshot theta^(t_i)
+
+  /// Flat view of the snapshot (empty when rejected).
+  std::span<const float> parameters() const {
+    return snapshot ? std::span<const float>(*snapshot)
+                    : std::span<const float>();
+  }
 };
 
 /// Server's acknowledgment of a received gradient (step 5).
@@ -40,32 +51,50 @@ class FleetServer {
               const ServerConfig& config);
 
   /// Steps 1-4 of the protocol: device info + label info in, size bound and
-  /// model snapshot out (or a rejection).
+  /// a shared model-snapshot handle out (or a rejection). The snapshot for
+  /// the current version is materialized at most once; concurrent requests
+  /// at the same version share one buffer.
   TaskAssignment handle_request(const profiler::DeviceFeatures& features,
                                 const std::string& device_model,
                                 const stats::LabelDistribution& label_info);
 
-  /// Step 5: gradient in; dampen, maybe update the model. `feedback`
-  /// carries the measured task cost back into the profiler.
+  /// Step 5: gradient in (a view into caller-owned storage — nothing is
+  /// copied); dampen, maybe update the model. `feedback` carries the
+  /// measured task cost back into the profiler.
   GradientReceipt handle_gradient(
-      std::size_t task_version, std::vector<float> gradient,
+      std::size_t task_version, std::span<const float> gradient,
       const stats::LabelDistribution& label_info, std::size_t mini_batch,
       const std::optional<profiler::Observation>& feedback = std::nullopt);
+
+  /// Re-publish the current version's snapshot from the live model. The
+  /// server caches one snapshot per logical-clock value, so after mutating
+  /// the model's parameters externally (e.g. warm-starting from a
+  /// checkpoint via nn::load_model) call this — otherwise requests at the
+  /// current version keep receiving the pre-mutation snapshot. Assignments
+  /// already handed out keep their original buffer.
+  void refresh_snapshot();
 
   /// Logical clock t: number of model updates so far.
   std::size_t version() const { return version_; }
 
   const Controller& controller() const { return controller_; }
   const learning::AsyncAggregator& aggregator() const { return aggregator_; }
+  const ModelStore& store() const { return store_; }
   profiler::Profiler& profiler() { return *profiler_; }
+  /// The global model. If you overwrite its parameters out-of-band, call
+  /// refresh_snapshot() so the store serves the new state.
   nn::TrainableModel& model() { return model_; }
 
  private:
+  /// Snapshot for the current version, publishing it on first use.
+  ModelStore::Snapshot current_snapshot();
+
   nn::TrainableModel& model_;
   std::unique_ptr<profiler::Profiler> profiler_;
   ServerConfig config_;
   Controller controller_;
   learning::AsyncAggregator aggregator_;
+  ModelStore store_;
   std::size_t version_ = 0;
 };
 

@@ -77,7 +77,7 @@ FleetSimulation::Stats FleetSimulation::run() {
       case Event::Kind::kGradientArrival: {
         ++stats.gradients;
         const GradientReceipt receipt = server_.handle_gradient(
-            event.task_version, std::move(event.result->gradient),
+            event.task_version, event.result->gradient,
             event.result->minibatch_labels, event.result->mini_batch,
             event.result->observation);
         stats.staleness_values.push_back(receipt.staleness);

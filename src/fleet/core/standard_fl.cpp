@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fleet/core/model_store.hpp"
+
 namespace fleet::core {
 
 bool AvailabilityModel::is_night(double time_s) const {
@@ -51,12 +53,14 @@ StandardFlResult run_standard_fl(nn::TrainableModel& model,
       continue;
     }
 
-    // FedAvg: each device trains locally from the same global snapshot;
-    // the server averages the parameter deltas.
-    const std::vector<float> global = model.parameters();
-    std::vector<double> delta_sum(global.size(), 0.0);
+    // FedAvg: each device trains locally from the same immutable global
+    // snapshot handle; the server averages the parameter deltas. Rounds are
+    // strictly sequential, so one handle suffices — no ring needed.
+    const ModelStore::Snapshot global =
+        std::make_shared<const ModelStore::Buffer>(model.parameters());
+    std::vector<double> delta_sum(global->size(), 0.0);
     for (std::size_t u : selected) {
-      model.set_parameters(global);
+      model.load_parameters(*global);
       const auto& local = users[u];
       for (std::size_t step = 0; step < config.local_steps; ++step) {
         const std::size_t batch_size =
@@ -71,17 +75,20 @@ StandardFlResult run_standard_fl(nn::TrainableModel& model,
         model.gradient(batch, scratch_grad);
         model.apply_gradient(scratch_grad, config.learning_rate);
       }
-      const std::vector<float> local_params = model.parameters();
-      for (std::size_t i = 0; i < global.size(); ++i) {
-        delta_sum[i] += static_cast<double>(local_params[i]) - global[i];
+      // Read the trained replica's parameters in place — no copy.
+      const std::span<const float> local_params = model.parameters_view();
+      const std::span<const float> base = *global;
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        delta_sum[i] += static_cast<double>(local_params[i]) - base[i];
       }
     }
-    std::vector<float> averaged(global.size());
+    std::vector<float> averaged(global->size());
+    const std::span<const float> base = *global;
     const double inv = 1.0 / static_cast<double>(selected.size());
-    for (std::size_t i = 0; i < global.size(); ++i) {
-      averaged[i] = global[i] + static_cast<float>(delta_sum[i] * inv);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      averaged[i] = base[i] + static_cast<float>(delta_sum[i] * inv);
     }
-    model.set_parameters(averaged);
+    model.load_parameters(averaged);
 
     ++result.rounds;
     result.participating_devices += selected.size();

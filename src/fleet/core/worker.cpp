@@ -42,6 +42,10 @@ FleetWorker::ExecutionResult FleetWorker::execute(
   if (!assignment.accepted) {
     throw std::invalid_argument("FleetWorker::execute: rejected assignment");
   }
+  if (assignment.snapshot == nullptr) {
+    throw std::invalid_argument("FleetWorker::execute: assignment without "
+                                "model snapshot");
+  }
   const std::size_t n = std::min(assignment.mini_batch, local_indices_.size());
   if (n == 0) {
     throw std::invalid_argument("FleetWorker::execute: zero mini-batch");
@@ -57,7 +61,9 @@ FleetWorker::ExecutionResult FleetWorker::execute(
   result.minibatch_labels =
       stats::LabelDistribution::from_labels(batch.labels, dataset_.n_classes());
 
-  replica_->set_parameters(assignment.parameters);
+  // One bulk load out of the shared snapshot — the only copy on the
+  // worker's side of the protocol.
+  replica_->load_parameters(assignment.parameters());
   result.loss = replica_->gradient(batch, result.gradient);
 
   // Charge the device: features snapshot first (request-time state), then

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fleet/tensor/ops.hpp"
+
 namespace fleet::learning {
 
 AsyncAggregator::AsyncAggregator(std::size_t parameter_count,
@@ -12,7 +14,8 @@ AsyncAggregator::AsyncAggregator(std::size_t parameter_count,
       staleness_(config.s_percent, /*bootstrap_count=*/30,
                  config.staleness_window),
       similarity_(n_classes),
-      accumulator_(parameter_count, 0.0f) {
+      accumulator_(parameter_count, 0.0f),
+      flushed_(parameter_count, 0.0f) {
   if (parameter_count == 0) {
     throw std::invalid_argument("AsyncAggregator: zero parameters");
   }
@@ -71,13 +74,13 @@ double AsyncAggregator::weight_for(const WorkerUpdate& update) const {
   return weight;
 }
 
-std::optional<std::vector<float>> AsyncAggregator::submit(
-    const WorkerUpdate& update) {
+SubmitResult AsyncAggregator::submit(const WorkerUpdate& update) {
   if (update.gradient.size() != parameter_count_) {
     throw std::invalid_argument("AsyncAggregator::submit: gradient size");
   }
-  const double weight = weight_for(update);
-  weight_log_.push_back(weight);
+  SubmitResult result;
+  result.weight = weight_for(update);
+  weight_log_.push_back(result.weight);
   // Only non-straggler gradients (tau <= tau_thres, the s% the system
   // expects to arrive in time, §2.3) count toward LD_global, weighted by
   // the factor they were applied with. A straggler's data has not been
@@ -85,24 +88,24 @@ std::optional<std::vector<float>> AsyncAggregator::submit(
   // boost could never recover a class that lives only on stragglers
   // (Fig 9a).
   if (update.staleness <= tau_thres()) {
-    similarity_.record_used(update.label_dist, weight);
+    similarity_.record_used(update.label_dist, result.weight);
   }
   staleness_.observe(update.staleness);
 
-  const auto w = static_cast<float>(weight);
-  for (std::size_t i = 0; i < parameter_count_; ++i) {
-    accumulator_[i] += w * update.gradient[i];
+  tensor::axpy(static_cast<float>(result.weight), update.gradient,
+               std::span<float>(accumulator_));
+  if (++pending_ >= config_.aggregation_k) {
+    result.aggregate = flush();
   }
-  if (++pending_ < config_.aggregation_k) return std::nullopt;
-  return flush();
+  return result;
 }
 
-std::optional<std::vector<float>> AsyncAggregator::flush() {
+std::optional<std::span<const float>> AsyncAggregator::flush() {
   if (pending_ == 0) return std::nullopt;
-  std::vector<float> result(parameter_count_, 0.0f);
-  result.swap(accumulator_);
+  accumulator_.swap(flushed_);
+  std::fill(accumulator_.begin(), accumulator_.end(), 0.0f);
   pending_ = 0;
-  return result;
+  return std::span<const float>(flushed_);
 }
 
 }  // namespace fleet::learning

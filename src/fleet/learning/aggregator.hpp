@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fleet/learning/dampening.hpp"
@@ -11,12 +12,24 @@
 namespace fleet::learning {
 
 /// A gradient as received from a worker, together with the metadata the
-/// server needs to weight it (Fig 2, step 5).
+/// server needs to weight it (Fig 2, step 5). The gradient is a view into
+/// caller-owned storage — the aggregator folds it into its accumulator
+/// in-place and never takes a copy (DESIGN.md §4), so the storage only has
+/// to stay alive for the duration of the submit() call.
 struct WorkerUpdate {
-  std::vector<float> gradient;
+  std::span<const float> gradient;
   double staleness = 0.0;                   // tau_i = t - t_i
   stats::LabelDistribution label_dist{1};   // LD(x_i) of the local data
   std::size_t mini_batch = 0;
+};
+
+/// What one submit() yields: the dampening weight that was applied (the
+/// bookkeeping and the accumulation share one computation), and — when this
+/// submission completed an aggregation round — a view of the summed
+/// weighted update, valid until the next submit()/flush().
+struct SubmitResult {
+  double weight = 0.0;
+  std::optional<std::span<const float>> aggregate;
 };
 
 /// Server-side gradient aggregation implementing Eq. 3:
@@ -48,18 +61,21 @@ class AsyncAggregator {
                   const Config& config);
 
   /// Weight this update would receive right now (pure query; submit() does
-  /// the bookkeeping).
+  /// the bookkeeping and reports the weight it actually applied, so callers
+  /// never need both).
   double weight_for(const WorkerUpdate& update) const;
 
-  /// Submit a gradient. Returns the summed weighted update when the K-th
-  /// gradient arrives, std::nullopt otherwise.
-  std::optional<std::vector<float>> submit(const WorkerUpdate& update);
+  /// Submit a gradient: one fused weighted-axpy folds it into the
+  /// accumulator. The result carries the applied weight and, when the K-th
+  /// gradient arrives, a view of the summed weighted update.
+  SubmitResult submit(const WorkerUpdate& update);
 
   /// Flush whatever is buffered regardless of K (std::nullopt when empty).
   /// §2.3: "the aggregation parameter K can be either fixed or based on a
   /// time window (e.g., update the model every 1 hour)" — a time-window
-  /// deployment calls flush() on its timer.
-  std::optional<std::vector<float>> flush();
+  /// deployment calls flush() on its timer. The returned view stays valid
+  /// until the next submit()/flush().
+  std::optional<std::span<const float>> flush();
 
   /// Gradients currently buffered toward the next update.
   std::size_t pending() const { return pending_; }
@@ -83,7 +99,11 @@ class AsyncAggregator {
   std::size_t parameter_count_;
   StalenessTracker staleness_;
   SimilarityTracker similarity_;
+  // Double buffer: submit() accumulates into accumulator_; flush() swaps the
+  // buffers and returns a view of the flushed one, so the hot path never
+  // allocates after construction.
   std::vector<float> accumulator_;
+  std::vector<float> flushed_;
   std::size_t pending_ = 0;
   std::vector<double> weight_log_;
 };

@@ -1,7 +1,10 @@
 #include "fleet/nn/model.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+
+#include "fleet/tensor/ops.hpp"
 
 namespace fleet::nn {
 
@@ -13,6 +16,10 @@ Sequential::Sequential(std::vector<std::size_t> input_shape,
 
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   if (layer == nullptr) throw std::invalid_argument("Sequential::add: null");
+  if (consolidated_) {
+    throw std::logic_error(
+        "Sequential::add: parameter arenas already consolidated");
+  }
   layers_.push_back(std::move(layer));
   return *this;
 }
@@ -41,30 +48,39 @@ std::size_t Sequential::parameter_count() const {
   return n;
 }
 
-std::vector<float> Sequential::parameters() const {
-  std::vector<float> flat;
-  flat.reserve(parameter_count());
-  for (const auto& layer : layers_) {
-    for (Tensor* p : layer->parameters()) {
-      flat.insert(flat.end(), p->data(), p->data() + p->size());
-    }
-  }
-  return flat;
-}
-
-void Sequential::set_parameters(std::span<const float> flat) {
-  if (flat.size() != parameter_count()) {
-    throw std::invalid_argument("Sequential::set_parameters: size mismatch");
-  }
+void Sequential::consolidate() {
+  if (consolidated_) return;
+  const std::size_t total = parameter_count();
+  param_arena_.resize(total);
+  grad_arena_.assign(total, 0.0f);
   std::size_t offset = 0;
   for (const auto& layer : layers_) {
-    for (Tensor* p : layer->parameters()) {
-      std::copy(flat.begin() + static_cast<long>(offset),
-                flat.begin() + static_cast<long>(offset + p->size()),
-                p->data());
+    const auto params = layer->parameters();
+    const auto grads = layer->gradients();
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      Tensor* p = params[j];
+      Tensor* g = grads[j];
+      // Parameter and gradient share an offset, so the flat gradient layout
+      // matches the flat parameter layout by construction.
+      p->rebind(param_arena_.data() + offset);
+      g->rebind(grad_arena_.data() + offset);
       offset += p->size();
     }
   }
+  consolidated_ = true;
+}
+
+std::span<const float> Sequential::parameters_view() {
+  consolidate();
+  return param_arena_;
+}
+
+void Sequential::load_parameters(std::span<const float> flat) {
+  if (flat.size() != parameter_count()) {
+    throw std::invalid_argument("Sequential::load_parameters: size mismatch");
+  }
+  consolidate();
+  std::copy(flat.begin(), flat.end(), param_arena_.begin());
 }
 
 void Sequential::zero_grad() {
@@ -86,6 +102,7 @@ double Sequential::gradient(const Batch& batch, std::vector<float>& grad_out) {
   if (batch.size() == 0) {
     throw std::invalid_argument("Sequential::gradient: empty batch");
   }
+  consolidate();
   zero_grad();
   Tensor logits = forward_all(batch.inputs);
   const double loss = loss_.forward(logits, batch.labels);
@@ -93,13 +110,9 @@ double Sequential::gradient(const Batch& batch, std::vector<float>& grad_out) {
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     grad = (*it)->backward(grad);
   }
-  grad_out.clear();
-  grad_out.reserve(parameter_count());
-  for (const auto& layer : layers_) {
-    for (Tensor* g : layer->gradients()) {
-      grad_out.insert(grad_out.end(), g->data(), g->data() + g->size());
-    }
-  }
+  // Backward accumulated straight into the flat gradient arena; handing the
+  // caller its owned copy is one bulk assign, not a per-layer gather.
+  grad_out.assign(grad_arena_.begin(), grad_arena_.end());
   return loss;
 }
 
@@ -107,16 +120,8 @@ void Sequential::apply_gradient(std::span<const float> grad, float lr) {
   if (grad.size() != parameter_count()) {
     throw std::invalid_argument("Sequential::apply_gradient: size mismatch");
   }
-  std::size_t offset = 0;
-  for (const auto& layer : layers_) {
-    for (Tensor* p : layer->parameters()) {
-      float* pp = p->data();
-      for (std::size_t i = 0; i < p->size(); ++i) {
-        pp[i] -= lr * grad[offset + i];
-      }
-      offset += p->size();
-    }
-  }
+  consolidate();
+  tensor::axpy(-lr, grad, std::span<float>(param_arena_));
 }
 
 std::vector<float> Sequential::predict(const Tensor& inputs) {

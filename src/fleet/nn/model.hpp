@@ -20,14 +20,23 @@ struct Batch {
 
 /// Interface every FLeet-trainable model implements. The federated core
 /// exchanges *flat* parameter/gradient vectors (what the wire protocol of
-/// Fig 2 ships), so models expose their state that way.
+/// Fig 2 ships), so models expose their state that way — as zero-copy views
+/// into contiguous storage the model owns (DESIGN.md §4). parameters_view()
+/// is non-const because implementations may consolidate scattered per-layer
+/// tensors into the flat arena on first access.
 class TrainableModel {
  public:
   virtual ~TrainableModel() = default;
 
   virtual std::size_t parameter_count() const = 0;
-  virtual std::vector<float> parameters() const = 0;
-  virtual void set_parameters(std::span<const float> flat) = 0;
+
+  /// View of the flat parameter vector. Valid until the model is destroyed;
+  /// contents change under training, so snapshot (copy) before mutating.
+  virtual std::span<const float> parameters_view() = 0;
+
+  /// Overwrite all parameters from a flat vector (e.g. a ModelStore
+  /// snapshot); one bulk copy, no per-layer gathers.
+  virtual void load_parameters(std::span<const float> flat) = 0;
 
   /// Mean loss over the batch; gradient (mini-batch average) is written to
   /// `grad_out`, resized to parameter_count().
@@ -40,21 +49,39 @@ class TrainableModel {
   virtual std::vector<float> predict(const Tensor& inputs) = 0;
 
   virtual std::size_t n_classes() const = 0;
+
+  /// Materializing convenience for callers that need an owned copy (tests,
+  /// serialization, FedAvg round snapshots).
+  std::vector<float> parameters() {
+    const auto view = parameters_view();
+    return {view.begin(), view.end()};
+  }
+
+  /// Compatibility alias for load_parameters().
+  void set_parameters(std::span<const float> flat) { load_parameters(flat); }
 };
 
 /// Feed-forward stack of layers with a softmax-cross-entropy head.
+///
+/// Parameters and gradients live in two contiguous arenas (one float per
+/// parameter each); layer tensors are rebound as views into them on the
+/// first flat-state access. That makes parameters_view() free,
+/// load_parameters() one bulk copy and apply_gradient() one fused axpy over
+/// the arena — the zero-copy contract the FleetServer snapshot path relies
+/// on (DESIGN.md §4).
 class Sequential final : public TrainableModel {
  public:
   Sequential(std::vector<std::size_t> input_shape, std::size_t n_classes);
 
-  /// Append a layer; returns *this for fluent building.
+  /// Append a layer; returns *this for fluent building. Throws once the
+  /// parameter arenas are consolidated (all layers must be added first).
   Sequential& add(std::unique_ptr<Layer> layer);
   /// Initialize all parameters with the given seed.
   void init(std::uint64_t seed);
 
   std::size_t parameter_count() const override;
-  std::vector<float> parameters() const override;
-  void set_parameters(std::span<const float> flat) override;
+  std::span<const float> parameters_view() override;
+  void load_parameters(std::span<const float> flat) override;
   double gradient(const Batch& batch, std::vector<float>& grad_out) override;
   void apply_gradient(std::span<const float> grad, float lr) override;
   std::vector<float> predict(const Tensor& inputs) override;
@@ -76,11 +103,17 @@ class Sequential final : public TrainableModel {
  private:
   void zero_grad();
   Tensor forward_all(const Tensor& inputs);
+  /// Gather every layer's parameter/gradient tensors into the flat arenas
+  /// and rebind them as views (idempotent).
+  void consolidate();
 
   std::vector<std::size_t> input_shape_;  // per-sample, e.g. {1,28,28}
   std::size_t n_classes_;
   std::vector<std::unique_ptr<Layer>> layers_;
   SoftmaxCrossEntropy loss_;
+  std::vector<float> param_arena_;  // flat theta, layer tensors view into it
+  std::vector<float> grad_arena_;   // flat gradient, same layout
+  bool consolidated_ = false;
 };
 
 }  // namespace fleet::nn

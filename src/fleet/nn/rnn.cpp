@@ -54,25 +54,29 @@ std::size_t RnnClassifier::parameter_count() const {
          wo_.size() + bo_.size();
 }
 
-std::vector<float> RnnClassifier::parameters() const {
-  std::vector<float> flat;
-  flat.reserve(parameter_count());
-  for (const Tensor* t : {&embedding_, &wx_, &wh_, &bh_, &wo_, &bo_}) {
-    flat.insert(flat.end(), t->data(), t->data() + t->size());
-  }
-  return flat;
-}
-
-void RnnClassifier::set_parameters(std::span<const float> flat) {
-  if (flat.size() != parameter_count()) {
-    throw std::invalid_argument("RnnClassifier::set_parameters: size mismatch");
-  }
+void RnnClassifier::consolidate() {
+  if (consolidated_) return;
+  param_arena_.resize(parameter_count());
   std::size_t offset = 0;
   for (Tensor* t : {&embedding_, &wx_, &wh_, &bh_, &wo_, &bo_}) {
-    std::copy(flat.begin() + static_cast<long>(offset),
-              flat.begin() + static_cast<long>(offset + t->size()), t->data());
+    t->rebind(param_arena_.data() + offset);
     offset += t->size();
   }
+  consolidated_ = true;
+}
+
+std::span<const float> RnnClassifier::parameters_view() {
+  consolidate();
+  return param_arena_;
+}
+
+void RnnClassifier::load_parameters(std::span<const float> flat) {
+  if (flat.size() != parameter_count()) {
+    throw std::invalid_argument(
+        "RnnClassifier::load_parameters: size mismatch");
+  }
+  consolidate();
+  std::copy(flat.begin(), flat.end(), param_arena_.begin());
 }
 
 void RnnClassifier::check_token(int token) const {
@@ -231,12 +235,8 @@ void RnnClassifier::apply_gradient(std::span<const float> grad, float lr) {
   if (grad.size() != parameter_count()) {
     throw std::invalid_argument("RnnClassifier::apply_gradient: size mismatch");
   }
-  std::size_t offset = 0;
-  for (Tensor* t : {&embedding_, &wx_, &wh_, &bh_, &wo_, &bo_}) {
-    float* p = t->data();
-    for (std::size_t i = 0; i < t->size(); ++i) p[i] -= lr * grad[offset + i];
-    offset += t->size();
-  }
+  consolidate();
+  tensor::axpy(-lr, grad, std::span<float>(param_arena_));
 }
 
 }  // namespace fleet::nn

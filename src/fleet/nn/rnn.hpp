@@ -23,19 +23,39 @@ struct SequenceSample {
 ///
 ///   h_t = tanh(E[x_t] Wx + h_{t-1} Wh + bh),  logits = h_T Wo + bo.
 ///
-/// Exposes the same flat parameter/gradient interface as Sequential so the
-/// federated core can treat both uniformly.
+/// Exposes the same flat parameter/gradient interface as Sequential
+/// (parameters_view/load_parameters over a contiguous parameter arena,
+/// DESIGN.md §4) so the federated core can treat both uniformly.
 class RnnClassifier {
  public:
   RnnClassifier(std::size_t vocab_size, std::size_t embed_dim,
                 std::size_t hidden_dim, std::size_t n_classes,
                 std::size_t max_bptt_steps = 32);
 
+  // Copying would decouple the weight tensors from the parameter arena on
+  // a consolidated instance (the tensor copies materialize while the arena
+  // copy keeps consolidated_ set); moves keep both heap buffers, so the
+  // views stay valid.
+  RnnClassifier(const RnnClassifier&) = delete;
+  RnnClassifier& operator=(const RnnClassifier&) = delete;
+  RnnClassifier(RnnClassifier&&) = default;
+  RnnClassifier& operator=(RnnClassifier&&) = default;
+
   void init(std::uint64_t seed);
 
   std::size_t parameter_count() const;
-  std::vector<float> parameters() const;
-  void set_parameters(std::span<const float> flat);
+
+  /// Zero-copy view of the flat parameter vector (consolidates lazily).
+  std::span<const float> parameters_view();
+  /// Overwrite all parameters from a flat vector in one bulk copy.
+  void load_parameters(std::span<const float> flat);
+
+  /// Materializing convenience / compatibility aliases.
+  std::vector<float> parameters() {
+    const auto view = parameters_view();
+    return {view.begin(), view.end()};
+  }
+  void set_parameters(std::span<const float> flat) { load_parameters(flat); }
 
   /// Mean loss over the mini-batch; averaged gradient into grad_out.
   double gradient(std::span<const SequenceSample> batch,
@@ -53,6 +73,8 @@ class RnnClassifier {
   struct Workspace;  // per-sequence forward cache
   void forward_sequence(std::span<const int> tokens, Workspace& ws);
   void check_token(int token) const;
+  /// Rebind the six weight tensors as views into param_arena_ (idempotent).
+  void consolidate();
 
   std::size_t vocab_, embed_, hidden_, n_classes_, max_bptt_;
   Tensor embedding_;  // [vocab, embed]
@@ -61,6 +83,8 @@ class RnnClassifier {
   Tensor bh_;         // [hidden]
   Tensor wo_;         // [hidden, classes]
   Tensor bo_;         // [classes]
+  std::vector<float> param_arena_;  // flat theta, tensors view into it
+  bool consolidated_ = false;
 };
 
 }  // namespace fleet::nn

@@ -11,7 +11,7 @@ namespace {
 constexpr char kMagic[4] = {'F', 'L', 'T', '1'};
 }
 
-void save_parameters(const std::vector<float>& parameters,
+void save_parameters(std::span<const float> parameters,
                      const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
@@ -51,8 +51,8 @@ std::vector<float> load_parameters(const std::string& path) {
   return parameters;
 }
 
-void save_model(const TrainableModel& model, const std::string& path) {
-  save_parameters(model.parameters(), path);
+void save_model(TrainableModel& model, const std::string& path) {
+  save_parameters(model.parameters_view(), path);
 }
 
 void load_model(TrainableModel& model, const std::string& path) {
@@ -63,7 +63,7 @@ void load_model(TrainableModel& model, const std::string& path) {
         " parameters, model expects " +
         std::to_string(model.parameter_count()));
   }
-  model.set_parameters(parameters);
+  model.load_parameters(parameters);
 }
 
 }  // namespace fleet::nn

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,13 +13,15 @@ namespace fleet::nn {
 /// server persists the global model between sessions with this (the
 /// original implementation serializes parameters over Kryo streams; this
 /// is the at-rest equivalent).
-void save_parameters(const std::vector<float>& parameters,
+void save_parameters(std::span<const float> parameters,
                      const std::string& path);
 
 std::vector<float> load_parameters(const std::string& path);
 
-/// Convenience wrappers for anything with parameters()/set_parameters().
-void save_model(const TrainableModel& model, const std::string& path);
+/// Convenience wrappers over the flat-state interface. save_model streams
+/// the parameters_view() directly (no materialized copy); non-const because
+/// the view may consolidate lazily.
+void save_model(TrainableModel& model, const std::string& path);
 void load_model(TrainableModel& model, const std::string& path);
 
 }  // namespace fleet::nn

@@ -85,12 +85,21 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
 
 void axpy(float alpha, const Tensor& x, Tensor& y) {
   if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  axpy(alpha, x.flat(), y.flat());
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
   const float* px = x.data();
   float* py = y.data();
   for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
 }
 
 void scale(Tensor& x, float alpha) {
+  scale(x.flat(), alpha);
+}
+
+void scale(std::span<float> x, float alpha) {
   float* p = x.data();
   for (std::size_t i = 0; i < x.size(); ++i) p[i] *= alpha;
 }

@@ -19,8 +19,18 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b);
 /// y += alpha * x (flat, sizes must match).
 void axpy(float alpha, const Tensor& x, Tensor& y);
 
+/// y += alpha * x over flat spans (sizes must match). This is the fused
+/// weighted-accumulate the zero-copy gradient pipeline runs on: the
+/// aggregator folds a worker gradient into its accumulator and the model
+/// applies an aggregate to its parameter arena in one pass, no staging
+/// copies (DESIGN.md §4).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
 /// x *= alpha.
 void scale(Tensor& x, float alpha);
+
+/// x *= alpha over a flat span.
+void scale(std::span<float> x, float alpha);
 
 /// Elementwise sum into a fresh tensor.
 Tensor add(const Tensor& a, const Tensor& b);

@@ -1,5 +1,6 @@
 #include "fleet/tensor/tensor.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -24,14 +25,62 @@ std::string Tensor::shape_string(const std::vector<std::size_t>& shape) {
 }
 
 Tensor::Tensor(std::vector<std::size_t> shape)
-    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+    : shape_(std::move(shape)), owned_(shape_size(shape_), 0.0f) {
+  ptr_ = owned_.data();
+  size_ = owned_.size();
+}
 
 Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  if (data_.size() != shape_size(shape_)) {
+    : shape_(std::move(shape)), owned_(std::move(data)) {
+  if (owned_.size() != shape_size(shape_)) {
     throw std::invalid_argument("Tensor: data size does not match shape " +
                                 shape_string(shape_));
   }
+  ptr_ = owned_.data();
+  size_ = owned_.size();
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  // Copying a view materializes: the copy always owns its data.
+  owned_.assign(other.ptr_, other.ptr_ + other.size_);
+  ptr_ = owned_.data();
+  size_ = other.size_;
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  owned_.assign(other.ptr_, other.ptr_ + other.size_);
+  ptr_ = owned_.data();
+  size_ = other.size_;
+  external_ = false;
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      owned_(std::move(other.owned_)),
+      ptr_(other.ptr_),
+      size_(other.size_),
+      external_(other.external_) {
+  other.shape_.clear();
+  other.ptr_ = nullptr;
+  other.size_ = 0;
+  other.external_ = false;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = std::move(other.shape_);
+  owned_ = std::move(other.owned_);
+  ptr_ = other.ptr_;
+  size_ = other.size_;
+  external_ = other.external_;
+  other.shape_.clear();
+  other.ptr_ = nullptr;
+  other.size_ = 0;
+  other.external_ = false;
+  return *this;
 }
 
 Tensor Tensor::zeros(std::vector<std::size_t> shape) {
@@ -44,12 +93,21 @@ Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
   return t;
 }
 
+float& Tensor::at(std::size_t i) {
+  if (i >= size_) throw std::out_of_range("Tensor::at out of range");
+  return ptr_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  return const_cast<Tensor*>(this)->at(i);
+}
+
 float& Tensor::at2(std::size_t row, std::size_t col) {
   if (rank() != 2) throw std::logic_error("Tensor::at2 requires rank 2");
   if (row >= shape_[0] || col >= shape_[1]) {
     throw std::out_of_range("Tensor::at2 out of range");
   }
-  return data_[row * shape_[1] + col];
+  return ptr_[row * shape_[1] + col];
 }
 
 float Tensor::at2(std::size_t row, std::size_t col) const {
@@ -57,15 +115,35 @@ float Tensor::at2(std::size_t row, std::size_t col) const {
 }
 
 void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(ptr_, ptr_ + size_, value);
 }
 
 void Tensor::reshape(std::vector<std::size_t> shape) {
-  if (shape_size(shape) != data_.size()) {
+  if (shape_size(shape) != size_) {
     throw std::invalid_argument("Tensor::reshape: element count mismatch " +
                                 shape_string(shape));
   }
   shape_ = std::move(shape);
+}
+
+void Tensor::rebind(float* storage) {
+  if (storage == nullptr && size_ != 0) {
+    throw std::invalid_argument("Tensor::rebind: null storage");
+  }
+  if (storage == ptr_) {
+    if (!external_ && size_ != 0) {
+      // Adopting our own owned buffer would free the memory out from under
+      // the "view" — the caller must supply storage it owns.
+      throw std::invalid_argument(
+          "Tensor::rebind: storage aliases this tensor's owned buffer");
+    }
+    return;  // already viewing that memory
+  }
+  std::copy(ptr_, ptr_ + size_, storage);
+  owned_.clear();
+  owned_.shrink_to_fit();
+  ptr_ = storage;
+  external_ = true;
 }
 
 }  // namespace fleet::tensor

@@ -11,13 +11,26 @@ namespace fleet::tensor {
 /// Dense row-major float32 tensor.
 ///
 /// This is the minimal linear-algebra substrate the FLeet CNN/RNN library
-/// (S2/S3 in DESIGN.md) is built on. It is deliberately simple: owning,
-/// value-semantic, contiguous storage, with shape checked at API boundaries.
+/// (DESIGN.md §2) is built on. It is deliberately simple: value-semantic,
+/// contiguous storage, with shape checked at API boundaries.
+///
+/// Storage is either *owned* (the default) or a *view* over external memory
+/// established with rebind(). Views let a model consolidate the parameter
+/// tensors of all its layers into one contiguous arena (DESIGN.md §4) so
+/// the federated core can ship flat snapshots without per-layer gathers.
+/// Copying a view materializes it into owned storage, so tensors keep value
+/// semantics regardless of where their data lives; the owner of the external
+/// arena must outlive every view bound to it.
 class Tensor {
  public:
   Tensor() = default;
   explicit Tensor(std::vector<std::size_t> shape);
   Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
 
   static Tensor zeros(std::vector<std::size_t> shape);
   static Tensor full(std::vector<std::size_t> shape, float value);
@@ -25,20 +38,20 @@ class Tensor {
   const std::vector<std::size_t>& shape() const { return shape_; }
   std::size_t rank() const { return shape_.size(); }
   std::size_t dim(std::size_t axis) const { return shape_.at(axis); }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::span<float> flat() { return data_; }
-  std::span<const float> flat() const { return data_; }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  std::span<float> flat() { return {ptr_, size_}; }
+  std::span<const float> flat() const { return {ptr_, size_}; }
 
-  float& operator[](std::size_t i) { return data_[i]; }
-  float operator[](std::size_t i) const { return data_[i]; }
+  float& operator[](std::size_t i) { return ptr_[i]; }
+  float operator[](std::size_t i) const { return ptr_[i]; }
 
   /// Bounds-checked element access.
-  float& at(std::size_t i) { return data_.at(i); }
-  float at(std::size_t i) const { return data_.at(i); }
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
 
   /// 2-D indexed access (throws unless rank()==2).
   float& at2(std::size_t row, std::size_t col);
@@ -48,13 +61,24 @@ class Tensor {
   /// Reshape in place; total element count must be preserved.
   void reshape(std::vector<std::size_t> shape);
 
+  /// True when the storage is a view over external memory.
+  bool is_view() const { return external_; }
+
+  /// Move this tensor's contents into `storage` (which must hold size()
+  /// floats, owned by the caller and outliving this tensor) and adopt it as
+  /// the backing memory. Subsequent reads and writes go through `storage`.
+  void rebind(float* storage);
+
   /// Element count implied by a shape.
   static std::size_t shape_size(const std::vector<std::size_t>& shape);
   static std::string shape_string(const std::vector<std::size_t>& shape);
 
  private:
   std::vector<std::size_t> shape_;
-  std::vector<float> data_;
+  std::vector<float> owned_;
+  float* ptr_ = nullptr;
+  std::size_t size_ = 0;
+  bool external_ = false;
 };
 
 }  // namespace fleet::tensor

@@ -1,0 +1,100 @@
+#include "fleet/core/model_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fleet::core {
+namespace {
+
+ModelStore::Buffer buffer_of(float value, std::size_t n = 4) {
+  return ModelStore::Buffer(n, value);
+}
+
+TEST(ModelStoreTest, RejectsZeroWindow) {
+  EXPECT_THROW(ModelStore(0), std::invalid_argument);
+}
+
+TEST(ModelStoreTest, PublishThenLookupSharesOneBuffer) {
+  ModelStore store(4);
+  const auto published = store.publish(0, buffer_of(1.5f));
+  const auto a = store.at(0);
+  const auto b = store.at(0);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), published.get());
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_FLOAT_EQ((*a)[0], 1.5f);
+  EXPECT_EQ(store.publishes(), 1u);
+  EXPECT_EQ(store.hits(), 2u);
+}
+
+TEST(ModelStoreTest, MissingVersionIsNull) {
+  ModelStore store(4);
+  EXPECT_EQ(store.at(0), nullptr);
+  EXPECT_EQ(store.resolve(0), nullptr);  // empty store has nothing to clamp to
+  store.publish(2, buffer_of(1.0f));
+  EXPECT_EQ(store.at(3), nullptr);
+  EXPECT_FALSE(store.contains(3));
+  EXPECT_TRUE(store.contains(2));
+}
+
+TEST(ModelStoreTest, RingEvictsBeyondWindow) {
+  ModelStore store(3);
+  for (std::size_t v = 0; v <= 5; ++v) {
+    store.publish(v, buffer_of(static_cast<float>(v)));
+  }
+  // Window 3 at latest version 5 retains {3, 4, 5}.
+  EXPECT_EQ(store.at(0), nullptr);
+  EXPECT_EQ(store.at(2), nullptr);
+  for (std::size_t v = 3; v <= 5; ++v) {
+    const auto snap = store.at(v);
+    ASSERT_NE(snap, nullptr) << "version " << v;
+    EXPECT_FLOAT_EQ((*snap)[0], static_cast<float>(v));
+  }
+  EXPECT_EQ(store.latest_version(), 5u);
+}
+
+TEST(ModelStoreTest, ResolveClampsEvictedVersionsToOldestRetained) {
+  ModelStore store(3);
+  for (std::size_t v = 0; v <= 5; ++v) {
+    store.publish(v, buffer_of(static_cast<float>(v)));
+  }
+  const auto clamped = store.resolve(1);  // evicted -> oldest retained (3)
+  ASSERT_NE(clamped, nullptr);
+  EXPECT_FLOAT_EQ((*clamped)[0], 3.0f);
+  const auto exact = store.resolve(4);
+  ASSERT_NE(exact, nullptr);
+  EXPECT_FLOAT_EQ((*exact)[0], 4.0f);
+}
+
+TEST(ModelStoreTest, EvictedSnapshotSurvivesWhileHandleHeld) {
+  ModelStore store(2);
+  const auto pinned = store.publish(0, buffer_of(42.0f));
+  for (std::size_t v = 1; v <= 4; ++v) {
+    store.publish(v, buffer_of(0.0f));
+  }
+  // Version 0 is long gone from the ring, but the in-flight handle keeps
+  // the buffer alive — exactly what a straggling worker needs.
+  EXPECT_EQ(store.at(0), nullptr);
+  EXPECT_FLOAT_EQ((*pinned)[0], 42.0f);
+}
+
+TEST(ModelStoreTest, ClampMirrorsRingRetention) {
+  ModelStore store(4);
+  EXPECT_EQ(store.clamp(0, 0), 0u);
+  EXPECT_EQ(store.clamp(2, 3), 2u);   // within window
+  EXPECT_EQ(store.clamp(0, 3), 0u);   // current < window: nothing clamps
+  EXPECT_EQ(store.clamp(0, 4), 1u);   // oldest retainable at t=4 is 1
+  EXPECT_EQ(store.clamp(5, 100), 97u);
+  EXPECT_EQ(store.clamp(98, 100), 98u);
+}
+
+TEST(ModelStoreTest, RepublishReplacesSnapshot) {
+  ModelStore store(2);
+  store.publish(1, buffer_of(1.0f));
+  store.publish(1, buffer_of(9.0f));
+  const auto snap = store.at(1);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_FLOAT_EQ((*snap)[0], 9.0f);
+}
+
+}  // namespace
+}  // namespace fleet::core

@@ -46,7 +46,56 @@ TEST_F(ServerFixture, HandleRequestReturnsModelAndBound) {
   ASSERT_TRUE(assignment.accepted);
   EXPECT_EQ(assignment.model_version, 0u);
   EXPECT_GE(assignment.mini_batch, 1u);
-  EXPECT_EQ(assignment.parameters.size(), model->parameter_count());
+  ASSERT_NE(assignment.snapshot, nullptr);
+  EXPECT_EQ(assignment.parameters().size(), model->parameter_count());
+}
+
+TEST_F(ServerFixture, ConcurrentAssignmentsShareOneSnapshotBuffer) {
+  // The zero-copy contract: every assignment at the same logical clock
+  // value holds the *same* immutable buffer — no per-request copies.
+  const auto a1 = server->handle_request(device->features(), "Galaxy S7",
+                                         labels_01());
+  const auto a2 = server->handle_request(device->features(), "Galaxy S7",
+                                         labels_01());
+  ASSERT_TRUE(a1.accepted);
+  ASSERT_TRUE(a2.accepted);
+  EXPECT_EQ(a1.model_version, a2.model_version);
+  ASSERT_NE(a1.snapshot, nullptr);
+  EXPECT_EQ(a1.snapshot.get(), a2.snapshot.get());
+  EXPECT_EQ(a1.parameters().data(), a2.parameters().data());
+  // Exactly one buffer was materialized for the two requests.
+  EXPECT_EQ(server->store().publishes(), 1u);
+}
+
+TEST_F(ServerFixture, SnapshotRefreshesAfterModelUpdate) {
+  const auto before = server->handle_request(device->features(), "Galaxy S7",
+                                             labels_01());
+  std::vector<float> gradient(model->parameter_count(), 0.01f);
+  server->handle_gradient(before.model_version, gradient, labels_01(), 10);
+  const auto after = server->handle_request(device->features(), "Galaxy S7",
+                                            labels_01());
+  EXPECT_EQ(after.model_version, 1u);
+  ASSERT_NE(after.snapshot, nullptr);
+  EXPECT_NE(after.snapshot.get(), before.snapshot.get());
+  // The stale handle still pins the old buffer (in-flight tasks keep
+  // training against theta^(t_i) even after the ring moves on).
+  EXPECT_EQ(before.parameters().size(), model->parameter_count());
+}
+
+TEST_F(ServerFixture, StalenessStaysExactBeyondSnapshotWindow) {
+  ServerConfig config;
+  config.snapshot_window = 4;
+  FleetServer small(*model, make_profiler(), config);
+  std::vector<float> gradient(model->parameter_count(), 0.0f);
+  for (int i = 0; i < 10; ++i) {
+    small.handle_gradient(small.version(), gradient, labels_01(), 10);
+  }
+  ASSERT_EQ(small.version(), 10u);
+  // Ring eviction never distorts tau: a task from version 0 is exactly 10
+  // updates stale even though its snapshot fell off the 4-deep ring, so
+  // Eq. 3 dampens it with Lambda(10), not Lambda(window-1).
+  const auto receipt = small.handle_gradient(0, gradient, labels_01(), 10);
+  EXPECT_DOUBLE_EQ(receipt.staleness, 10.0);
 }
 
 TEST_F(ServerFixture, GradientAdvancesVersion) {
@@ -136,7 +185,40 @@ TEST(ServerTest, ControllerRejectionPropagates) {
       server.handle_request(device.features(), "Xperia E3", ld);
   EXPECT_FALSE(assignment.accepted);
   EXPECT_FALSE(assignment.reject_reason.empty());
-  EXPECT_TRUE(assignment.parameters.empty());
+  // A rejection ships no snapshot — and materializes none.
+  EXPECT_EQ(assignment.snapshot, nullptr);
+  EXPECT_TRUE(assignment.parameters().empty());
+  EXPECT_EQ(server.store().publishes(), 0u);
+}
+
+TEST_F(ServerFixture, RefreshSnapshotServesExternallyLoadedParameters) {
+  // Warm-start flow: a request caches theta for version 0, the operator
+  // overwrites the model (e.g. nn::load_model), refresh_snapshot()
+  // re-publishes so the fleet trains against the new weights.
+  const auto before = server->handle_request(device->features(), "Galaxy S7",
+                                             labels_01());
+  std::vector<float> checkpoint(model->parameter_count(), 0.25f);
+  model->load_parameters(checkpoint);
+  server->refresh_snapshot();
+  const auto after = server->handle_request(device->features(), "Galaxy S7",
+                                            labels_01());
+  EXPECT_EQ(after.model_version, before.model_version);
+  ASSERT_NE(after.snapshot, nullptr);
+  EXPECT_FLOAT_EQ(after.parameters()[0], 0.25f);
+  // In-flight tasks keep the buffer they were assigned.
+  EXPECT_NE(before.parameters()[0], 0.25f);
+}
+
+TEST_F(ServerFixture, ReceiptWeightMatchesAggregatorLog) {
+  // handle_gradient computes the dampening weight exactly once, inside
+  // submit(); the receipt reports that same applied weight.
+  std::vector<float> gradient(model->parameter_count(), 0.01f);
+  for (int i = 0; i < 4; ++i) {
+    server->handle_gradient(server->version(), gradient, labels_01(), 10);
+  }
+  const auto receipt = server->handle_gradient(0, gradient, labels_01(), 10);
+  ASSERT_FALSE(server->aggregator().weight_log().empty());
+  EXPECT_DOUBLE_EQ(receipt.weight, server->aggregator().weight_log().back());
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ struct WorkerFixture : ::testing::Test {
     a.accepted = true;
     a.model_version = 0;
     a.mini_batch = batch;
-    a.parameters = model.parameters();
+    a.snapshot = std::make_shared<const std::vector<float>>(model.parameters());
     return a;
   }
 
@@ -95,6 +95,16 @@ TEST_F(WorkerFixture, RejectedAssignmentThrows) {
   TaskAssignment rejected;
   rejected.accepted = false;
   EXPECT_THROW(worker.execute(rejected), std::invalid_argument);
+}
+
+TEST_F(WorkerFixture, AssignmentWithoutSnapshotThrows) {
+  std::vector<std::size_t> indices(10);
+  std::iota(indices.begin(), indices.end(), 0);
+  FleetWorker worker = make_worker(indices);
+  TaskAssignment accepted_but_empty;
+  accepted_but_empty.accepted = true;
+  accepted_but_empty.mini_batch = 4;
+  EXPECT_THROW(worker.execute(accepted_but_empty), std::invalid_argument);
 }
 
 TEST_F(WorkerFixture, ConstructionRejectsBadArguments) {

@@ -2,14 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 namespace fleet::learning {
 namespace {
+
+// WorkerUpdate carries a *view* of the gradient; this deque owns the
+// backing storage for every update a test creates (deques never move
+// their elements, so the spans stay valid for the test's lifetime).
+std::deque<std::vector<float>>& gradient_storage() {
+  static std::deque<std::vector<float>> storage;
+  return storage;
+}
 
 WorkerUpdate make_update(std::size_t params, float value, double staleness,
                          std::size_t n_classes = 2,
                          std::vector<std::size_t> label_counts = {1, 1}) {
   WorkerUpdate u;
-  u.gradient.assign(params, value);
+  u.gradient = gradient_storage().emplace_back(params, value);
   u.staleness = staleness;
   u.label_dist = stats::LabelDistribution(n_classes);
   for (std::size_t c = 0; c < label_counts.size(); ++c) {
@@ -31,29 +41,31 @@ AsyncAggregator::Config config_for(Scheme scheme, std::size_t k = 1) {
 TEST(AggregatorTest, KOfOneEmitsImmediately) {
   AsyncAggregator agg(4, 2, config_for(Scheme::kSsgd));
   const auto out = agg.submit(make_update(4, 1.0f, 0.0));
-  ASSERT_TRUE(out.has_value());
-  EXPECT_EQ(out->size(), 4u);
-  EXPECT_FLOAT_EQ((*out)[0], 1.0f);
+  ASSERT_TRUE(out.aggregate.has_value());
+  EXPECT_EQ(out.aggregate->size(), 4u);
+  EXPECT_FLOAT_EQ((*out.aggregate)[0], 1.0f);
+  EXPECT_DOUBLE_EQ(out.weight, 1.0);  // SSGD: weight 1 each
 }
 
 TEST(AggregatorTest, BuffersUntilK) {
   AsyncAggregator agg(2, 2, config_for(Scheme::kSsgd, 3));
-  EXPECT_FALSE(agg.submit(make_update(2, 1.0f, 0.0)).has_value());
-  EXPECT_FALSE(agg.submit(make_update(2, 1.0f, 0.0)).has_value());
+  EXPECT_FALSE(agg.submit(make_update(2, 1.0f, 0.0)).aggregate.has_value());
+  EXPECT_FALSE(agg.submit(make_update(2, 1.0f, 0.0)).aggregate.has_value());
   const auto out = agg.submit(make_update(2, 1.0f, 0.0));
-  ASSERT_TRUE(out.has_value());
-  EXPECT_FLOAT_EQ((*out)[0], 3.0f);  // SSGD sums with weight 1
+  ASSERT_TRUE(out.aggregate.has_value());
+  EXPECT_FLOAT_EQ((*out.aggregate)[0], 3.0f);  // SSGD sums with weight 1
 }
 
 TEST(AggregatorTest, FedAvgAveragesOverK) {
   AsyncAggregator agg(2, 2, config_for(Scheme::kFedAvg, 4));
   for (int i = 0; i < 3; ++i) {
-    EXPECT_FALSE(agg.submit(make_update(2, 2.0f, 5.0)).has_value());
+    EXPECT_FALSE(agg.submit(make_update(2, 2.0f, 5.0)).aggregate.has_value());
   }
   const auto out = agg.submit(make_update(2, 2.0f, 5.0));
-  ASSERT_TRUE(out.has_value());
+  ASSERT_TRUE(out.aggregate.has_value());
   // 4 gradients of 2.0, each weighted 1/4.
-  EXPECT_NEAR((*out)[0], 2.0f, 1e-6);
+  EXPECT_NEAR((*out.aggregate)[0], 2.0f, 1e-6);
+  EXPECT_DOUBLE_EQ(out.weight, 0.25);
 }
 
 TEST(AggregatorTest, FedAvgIgnoresStaleness) {
@@ -195,6 +207,45 @@ TEST(AggregatorTest, StragglersDoNotEnterGlobalLabelDistribution) {
       agg.weight_for(make_update(2, 1.0f, 30.0, 4, {0, 0, 0, 10}));
   EXPECT_GT(w, 0.1);
   EXPECT_GT(w, ExponentialDampening(10.0).factor(30.0) * 100.0);
+}
+
+TEST(AggregatorTest, SubmitReportsTheAppliedWeight) {
+  // The receipt path reads the weight off the submit result — assert it is
+  // exactly what the pure query would have computed (one computation, two
+  // consumers).
+  AsyncAggregator agg(2, 2, config_for(Scheme::kDynSgd, 100));
+  for (double tau : {0.0, 1.0, 4.0, 9.0}) {
+    const auto u = make_update(2, 1.0f, tau);
+    const double expected = agg.weight_for(u);
+    EXPECT_DOUBLE_EQ(agg.submit(u).weight, expected);
+  }
+}
+
+TEST(AggregatorTest, TimeWindowDeploymentAggregatesAcrossFlushes) {
+  // §2.3 time-window mode: K is effectively infinite and a timer calls
+  // flush(). Consecutive windows must be independent sums.
+  AsyncAggregator agg(2, 2, config_for(Scheme::kSsgd, 1000));
+  for (int i = 0; i < 3; ++i) agg.submit(make_update(2, 1.0f, 0.0));
+  const auto first = agg.flush();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FLOAT_EQ((*first)[0], 3.0f);
+
+  for (int i = 0; i < 2; ++i) agg.submit(make_update(2, 2.0f, 0.0));
+  const auto second = agg.flush();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FLOAT_EQ((*second)[0], 4.0f);  // not 3 + 4: windows are disjoint
+  EXPECT_EQ(agg.pending(), 0u);
+}
+
+TEST(AggregatorTest, FlushedViewStaysValidUntilNextFlush) {
+  // The zero-copy contract of the double buffer: the span a flush returns
+  // must survive subsequent submits (which write the *other* buffer).
+  AsyncAggregator agg(2, 2, config_for(Scheme::kSsgd, 10));
+  agg.submit(make_update(2, 5.0f, 0.0));
+  const auto out = agg.flush();
+  ASSERT_TRUE(out.has_value());
+  agg.submit(make_update(2, 7.0f, 0.0));  // accumulates into the spare
+  EXPECT_FLOAT_EQ((*out)[0], 5.0f);       // flushed view untouched
 }
 
 TEST(AggregatorTest, RejectsBadInput) {

@@ -61,7 +61,7 @@ TEST(SerializeTest, CorruptMagicThrows) {
 
 TEST(SerializeTest, TruncatedPayloadThrows) {
   const std::string path = temp_path("truncated.flt");
-  save_parameters({1.0f, 2.0f, 3.0f}, path);
+  save_parameters(std::vector<float>{1.0f, 2.0f, 3.0f}, path);
   // Chop the last bytes off.
   std::ifstream in(path, std::ios::binary);
   std::string data((std::istreambuf_iterator<char>(in)),

@@ -56,5 +56,40 @@ TEST(TensorTest, ValueSemantics) {
   EXPECT_EQ(a[0], 1.0f);  // deep copy
 }
 
+TEST(TensorTest, RebindMovesContentsIntoExternalArena) {
+  std::vector<float> arena(4, 0.0f);
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  t.rebind(arena.data());
+  EXPECT_TRUE(t.is_view());
+  // Contents moved into the arena; writes go through it in both directions.
+  EXPECT_EQ(arena[3], 4.0f);
+  arena[0] = 9.0f;
+  EXPECT_EQ(t[0], 9.0f);
+  t.at2(1, 1) = 7.0f;
+  EXPECT_EQ(arena[3], 7.0f);
+}
+
+TEST(TensorTest, CopyOfViewMaterializes) {
+  std::vector<float> arena(2, 0.0f);
+  Tensor view({2}, {5, 6});
+  view.rebind(arena.data());
+  Tensor copy = view;
+  EXPECT_FALSE(copy.is_view());
+  arena[0] = -1.0f;
+  EXPECT_EQ(copy[0], 5.0f);  // detached from the arena
+  EXPECT_EQ(view[0], -1.0f);
+}
+
+TEST(TensorTest, RebindToOwnBufferThrows) {
+  Tensor t({2}, {1, 2});
+  // Adopting the tensor's own owned storage would free it; must throw.
+  EXPECT_THROW(t.rebind(t.data()), std::invalid_argument);
+  // Re-binding a view to the same external storage is a no-op.
+  std::vector<float> arena(2, 0.0f);
+  t.rebind(arena.data());
+  EXPECT_NO_THROW(t.rebind(arena.data()));
+  EXPECT_EQ(t.data(), arena.data());
+}
+
 }  // namespace
 }  // namespace fleet::tensor
