@@ -1,0 +1,200 @@
+// Gradient-ingest throughput of the concurrent serving runtime
+// (DESIGN.md §6) vs the serial single-threaded server path, on the same
+// 111k-parameter model snapshot_store_bench uses.
+//
+// Each producer owns a model replica and drives the full learning-task
+// inner loop: acquire the current snapshot (one atomic load), bulk-load it
+// into the replica, compute a real gradient on a local mini-batch, and
+// hand the owned buffer to the server. The serial baseline performs the
+// identical work against `core::FleetServer::handle_gradient` on one
+// thread; the runtime rows fan the compute across N producer threads
+// feeding the bounded MPSC queue and its single aggregation thread.
+// Speedup therefore measures what the subsystem promises: the gradient
+// *computation* parallelizes across cores while AdaSGD stays sequential
+// and exact on the aggregation thread.
+//
+// Emits BENCH_runtime.json (gradients/sec vs thread count 1/2/4/8).
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fleet/core/server.hpp"
+#include "fleet/device/catalog.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/profiler/iprof.hpp"
+#include "fleet/profiler/training_data.hpp"
+#include "fleet/runtime/concurrent_server.hpp"
+#include "fleet/stats/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using fleet::stats::Rng;
+
+constexpr std::size_t kInputDim = 100;
+constexpr std::size_t kHidden = 1000;
+constexpr std::size_t kClasses = 10;
+constexpr std::size_t kBatchSize = 32;
+// K = 8 on both paths: the sequential section (apply + snapshot publish)
+// amortizes over 8 gradients, as in the paper's K-sweeps.
+constexpr std::size_t kAggregationK = 8;
+
+std::unique_ptr<fleet::profiler::Profiler> pretrained_iprof() {
+  auto iprof = std::make_unique<fleet::profiler::IProf>(
+      fleet::profiler::IProf::Config{});
+  iprof->pretrain(fleet::profiler::collect_profile_dataset(
+      fleet::device::training_fleet(), fleet::profiler::IProf::Config{}.slo,
+      20));
+  return iprof;
+}
+
+/// A producer's fixed local mini-batch (inputs + labels + LD), seeded per
+/// producer stream so every configuration computes on identical data.
+struct LocalBatch {
+  fleet::nn::Batch batch;
+  fleet::stats::LabelDistribution label_dist{kClasses};
+};
+
+LocalBatch make_batch(std::uint64_t seed, std::uint64_t producer) {
+  Rng rng = Rng::stream(seed, producer);
+  std::vector<float> inputs(kBatchSize * kInputDim);
+  for (float& x : inputs) x = static_cast<float>(rng.gaussian(0.0, 1.0));
+  LocalBatch local;
+  local.batch.inputs = fleet::tensor::Tensor(
+      {kBatchSize, kInputDim}, std::move(inputs));
+  local.batch.labels.resize(kBatchSize);
+  for (int& label : local.batch.labels) {
+    label = static_cast<int>(rng.uniform_int(0, kClasses - 1));
+  }
+  local.label_dist = fleet::stats::LabelDistribution::from_labels(
+      local.batch.labels, kClasses);
+  return local;
+}
+
+double grads_per_second(Clock::time_point start, Clock::time_point stop,
+                        std::size_t gradients) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start);
+  return static_cast<double>(gradients) * 1e9 /
+         static_cast<double>(ns.count());
+}
+
+/// Serial baseline: the identical per-gradient work through the
+/// single-threaded FleetServer ingest path.
+double run_serial(std::size_t total_gradients) {
+  auto model = fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses);
+  model->init(1);
+  fleet::core::ServerConfig config;
+  config.aggregator.aggregation_k = kAggregationK;
+  fleet::core::FleetServer server(*model, pretrained_iprof(), config);
+  auto replica = fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses);
+  replica->init(2);
+  LocalBatch local = make_batch(99, 0);
+
+  std::vector<float> gradient;
+  const auto start = Clock::now();
+  for (std::size_t g = 0; g < total_gradients; ++g) {
+    replica->load_parameters(model->parameters_view());
+    replica->gradient(local.batch, gradient);
+    server.handle_gradient(server.version(), gradient, local.label_dist,
+                           kBatchSize);
+  }
+  const auto stop = Clock::now();
+  return grads_per_second(start, stop, total_gradients);
+}
+
+/// Concurrent runtime at `n_threads` producers.
+double run_concurrent(std::size_t n_threads, std::size_t total_gradients) {
+  auto model = fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses);
+  model->init(1);
+  fleet::core::ServerConfig config;
+  config.aggregator.aggregation_k = kAggregationK;
+  fleet::runtime::RuntimeConfig runtime;
+  runtime.queue_capacity = 1024;
+  runtime.queue_shards = std::max<std::size_t>(n_threads, 1);
+  fleet::runtime::ConcurrentFleetServer server(*model, pretrained_iprof(),
+                                               config, runtime);
+
+  // Pre-build replicas and batches outside the timed region.
+  std::vector<std::unique_ptr<fleet::nn::Sequential>> replicas;
+  std::vector<LocalBatch> batches;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    replicas.push_back(fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses));
+    replicas.back()->init(2 + t);
+    batches.push_back(make_batch(99, t));
+  }
+  const std::size_t per_thread = total_gradients / n_threads;
+
+  const auto start = Clock::now();
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    producers.emplace_back([&, t] {
+      fleet::nn::Sequential& replica = *replicas[t];
+      const LocalBatch& local = batches[t];
+      fleet::runtime::GradientJob job;
+      for (std::size_t g = 0; g < per_thread; ++g) {
+        const auto record = server.current();
+        replica.load_parameters(*record.snapshot);
+        replica.gradient(local.batch, job.gradient);
+        job.task_version = record.version;
+        job.label_dist = local.label_dist;
+        job.mini_batch = kBatchSize;
+        while (!server.try_submit(job).accepted) {
+          // Bounded queue: back off long enough for the aggregation
+          // thread to make progress even on an oversubscribed host.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.drain();
+  const auto stop = Clock::now();
+
+  const std::size_t processed = server.stats().processed;
+  server.stop();
+  return grads_per_second(start, stop, processed);
+}
+
+}  // namespace
+
+int main() {
+  using namespace fleet;
+
+  const std::size_t total = bench::scaled(400, 80);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  bench::header("Concurrent runtime gradient-ingest throughput (" +
+                std::to_string(kInputDim * kHidden + kHidden +
+                               kHidden * kClasses + kClasses) +
+                " parameters, " + std::to_string(total) +
+                " gradients/config, " + std::to_string(hw) +
+                " hardware threads)");
+
+  bench::JsonReport report("runtime_throughput");
+  report.metric("gradients_per_config", total);
+  report.metric("mini_batch", kBatchSize);
+  report.metric("hardware_concurrency", static_cast<std::size_t>(hw));
+
+  const double serial = run_serial(total);
+  bench::row({"serial FleetServer", bench::fmt(serial, 1) + " grads/s"});
+  report.metric("serial_grads_per_s", serial);
+
+  double at4 = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const double rate = run_concurrent(threads, total);
+    if (threads == 4) at4 = rate;
+    bench::row({"runtime x" + std::to_string(threads),
+                bench::fmt(rate, 1) + " grads/s  (" +
+                    bench::fmt(rate / serial, 2) + "x serial)"});
+    report.metric("threads_" + std::to_string(threads) + "_grads_per_s",
+                  rate);
+  }
+  report.metric("speedup_4t_vs_serial", at4 / serial);
+
+  report.write("BENCH_runtime.json");
+  std::cout << "\nwrote BENCH_runtime.json\n";
+  return 0;
+}

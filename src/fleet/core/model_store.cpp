@@ -4,7 +4,35 @@
 
 namespace fleet::core {
 
-ModelStore::ModelStore(std::size_t window) : entries_(window) {
+namespace {
+
+/// RAII guard for the single-publisher invariant: throws when a second
+/// thread enters publish() while one is already inside.
+class PublishGuard {
+ public:
+  explicit PublishGuard(std::atomic_flag& flag) : flag_(flag) {
+    if (flag_.test_and_set(std::memory_order_acquire)) {
+      throw std::logic_error(
+          "ModelStore::publish: concurrent publish detected — the store has "
+          "a single-publisher contract (one logical-clock owner)");
+    }
+  }
+  ~PublishGuard() { flag_.clear(std::memory_order_release); }
+
+  PublishGuard(const PublishGuard&) = delete;
+  PublishGuard& operator=(const PublishGuard&) = delete;
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace
+
+ModelStore::ModelStore(std::size_t window)
+    : window_(window),
+      slots_(window > 0
+                 ? std::make_unique<AtomicSharedPtr<const SlotRecord>[]>(window)
+                 : nullptr) {
   if (window == 0) {
     throw std::invalid_argument("ModelStore: window must be >= 1");
   }
@@ -12,35 +40,40 @@ ModelStore::ModelStore(std::size_t window) : entries_(window) {
 
 ModelStore::Snapshot ModelStore::publish(std::size_t version,
                                          Buffer parameters) {
-  Entry& slot = entries_[version % entries_.size()];
-  slot.valid = true;
-  slot.version = version;
-  slot.snapshot = std::make_shared<const Buffer>(std::move(parameters));
-  if (published_ == 0 || version > latest_) latest_ = version;
-  ++published_;
-  return slot.snapshot;
+  PublishGuard guard(publishing_);
+  auto record = std::make_shared<const SlotRecord>(SlotRecord{
+      version, std::make_shared<const Buffer>(std::move(parameters))});
+  Snapshot snapshot = record->snapshot;
+  slots_[version % window_].store(std::move(record));
+  if (published_.load(std::memory_order_relaxed) == 0 ||
+      version > latest_.load(std::memory_order_relaxed)) {
+    latest_.store(version, std::memory_order_release);
+  }
+  published_.fetch_add(1, std::memory_order_release);
+  return snapshot;
 }
 
 ModelStore::Snapshot ModelStore::at(std::size_t version) const {
-  const Entry& slot = entries_[version % entries_.size()];
-  if (!slot.valid || slot.version != version) return nullptr;
-  ++hits_;
-  return slot.snapshot;
+  const SlotPtr slot = slots_[version % window_].load();
+  if (slot == nullptr || slot->version != version) return nullptr;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return slot->snapshot;
 }
 
 ModelStore::Snapshot ModelStore::resolve(std::size_t version) const {
   if (auto exact = at(version)) return exact;
   // Evicted (or never published): clamp to the oldest snapshot the ring
   // still holds, mirroring bounded-staleness history semantics.
-  const Entry* oldest = nullptr;
-  for (const Entry& entry : entries_) {
-    if (!entry.valid) continue;
-    if (oldest == nullptr || entry.version < oldest->version) {
-      oldest = &entry;
+  SlotPtr oldest;
+  for (std::size_t i = 0; i < window_; ++i) {
+    const SlotPtr slot = slots_[i].load();
+    if (slot == nullptr) continue;
+    if (oldest == nullptr || slot->version < oldest->version) {
+      oldest = slot;
     }
   }
   if (oldest == nullptr) return nullptr;
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return oldest->snapshot;
 }
 

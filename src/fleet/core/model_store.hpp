@@ -1,13 +1,16 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "fleet/core/atomic_shared.hpp"
+
 namespace fleet::core {
 
 /// Ring buffer of immutable, reference-counted model snapshots keyed by the
-/// server's logical clock (DESIGN.md §4).
+/// server's logical clock (DESIGN.md §4, threading model §6).
 ///
 /// The FLeet protocol hands every worker the parameter vector theta^(t_i)
 /// it must compute its gradient against (Fig 2, step 4), and resolves the
@@ -19,10 +22,23 @@ namespace fleet::core {
 /// system holds O(window) parameter buffers total, regardless of request
 /// volume. A snapshot stays alive while any in-flight task still references
 /// it, even after the ring evicts its slot.
+///
+/// Concurrency contract (single publisher, many readers): each ring slot is
+/// an atomically swapped shared_ptr to an immutable (version, snapshot)
+/// record (AtomicSharedPtr — a constant-time handle swap; see that header
+/// for why std::atomic<shared_ptr> is not usable), so at()/resolve()/
+/// contains() are safe from any thread while one thread publishes, and the
+/// snapshot buffers themselves are kept alive by the shared_ptr control
+/// block's atomic refcounts. publish() asserts the single-publisher
+/// invariant: two threads publishing concurrently is a protocol violation
+/// (the logical clock has exactly one owner) and throws std::logic_error
+/// when detected.
 class ModelStore {
  public:
   using Buffer = std::vector<float>;
-  /// Immutable shared snapshot handle. Cheap to copy, never deep-copied.
+  /// Immutable shared snapshot handle. Cheap to copy, never deep-copied;
+  /// refcount updates are atomic, so handles may be acquired and released
+  /// from any thread.
   using Snapshot = std::shared_ptr<const Buffer>;
 
   /// `window`: number of versions retained (>= 1). Like the paper's
@@ -32,11 +48,13 @@ class ModelStore {
 
   /// Store the snapshot for `version`, evicting whatever occupied its ring
   /// slot. Returns the shared handle. Publishing the same version twice
-  /// replaces the snapshot (the last write wins).
+  /// replaces the snapshot (the last write wins). Single-publisher only.
   Snapshot publish(std::size_t version, Buffer parameters);
 
   /// Exact lookup; nullptr when `version` was never published or has been
-  /// evicted from the ring.
+  /// evicted from the ring. One constant-time atomic record copy (a
+  /// micro-spinlocked handle, see AtomicSharedPtr — not formally
+  /// lock-free); safe concurrently with publish().
   Snapshot at(std::size_t version) const;
 
   /// Lookup with staleness clamping: the snapshot for `version`, or the
@@ -46,43 +64,52 @@ class ModelStore {
 
   /// Existence probe; unlike at(), does not count toward hits().
   bool contains(std::size_t version) const {
-    const Entry& slot = entries_[version % entries_.size()];
-    return slot.valid && slot.version == version;
+    const SlotPtr slot = slots_[version % window_].load();
+    return slot != nullptr && slot->version == version;
   }
 
   /// Clamp a task's origin version to the oldest version the ring can still
   /// hold at logical clock `current`: staleness beyond the window resolves
   /// to the window edge (bounded-staleness history semantics).
   std::size_t clamp(std::size_t version, std::size_t current) const {
-    const std::size_t w = entries_.size();
+    const std::size_t w = window_;
     if (current >= w && version + w <= current) return current - w + 1;
     return version;
   }
 
-  std::size_t window() const { return entries_.size(); }
-  bool empty() const { return published_ == 0; }
+  std::size_t window() const { return window_; }
+  bool empty() const { return published_.load(std::memory_order_acquire) == 0; }
 
   /// Highest version ever published (0 when empty).
-  std::size_t latest_version() const { return latest_; }
+  std::size_t latest_version() const {
+    return latest_.load(std::memory_order_acquire);
+  }
 
   /// Total publishes — the number of parameter buffers ever materialized.
   /// Contrast with hits() to see how much the ring amortizes.
-  std::size_t publishes() const { return published_; }
+  std::size_t publishes() const {
+    return published_.load(std::memory_order_relaxed);
+  }
 
   /// Successful shared lookups served without materializing anything.
-  std::size_t hits() const { return hits_; }
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
 
  private:
-  struct Entry {
-    bool valid = false;
+  /// Immutable once published; the slot swaps whole records so readers
+  /// always observe a consistent (version, snapshot) pair.
+  struct SlotRecord {
     std::size_t version = 0;
     Snapshot snapshot;
   };
+  using SlotPtr = std::shared_ptr<const SlotRecord>;
 
-  std::vector<Entry> entries_;
-  std::size_t latest_ = 0;
-  std::size_t published_ = 0;
-  mutable std::size_t hits_ = 0;
+  std::size_t window_;
+  std::unique_ptr<AtomicSharedPtr<const SlotRecord>[]> slots_;
+  std::atomic<std::size_t> latest_{0};
+  std::atomic<std::size_t> published_{0};
+  mutable std::atomic<std::size_t> hits_{0};
+  /// Single-publisher tripwire (see class comment).
+  std::atomic_flag publishing_ = ATOMIC_FLAG_INIT;
 };
 
 }  // namespace fleet::core

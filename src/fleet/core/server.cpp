@@ -39,7 +39,7 @@ TaskAssignment FleetServer::handle_request(
     const stats::LabelDistribution& label_info) {
   TaskAssignment assignment;
   const std::size_t bound = profiler_->predict_batch(features, device_model);
-  const double similarity = aggregator_.similarity().similarity(label_info);
+  const double similarity = aggregator_.similarity_of(label_info);
   const Controller::Decision decision = controller_.admit(bound, similarity);
   if (!decision.admitted) {
     assignment.accepted = false;
@@ -67,7 +67,7 @@ GradientReceipt FleetServer::handle_gradient(
   // the staleness: an ultra-stale gradient must see Lambda(tau) for its
   // true tau, not the window edge.
   receipt.staleness = static_cast<double>(version_ - task_version);
-  receipt.similarity = aggregator_.similarity().similarity(label_info);
+  receipt.similarity = aggregator_.similarity_of(label_info);
 
   learning::WorkerUpdate update;
   update.gradient = gradient;

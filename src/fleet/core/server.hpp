@@ -33,6 +33,16 @@ struct TaskAssignment {
 
 /// Server's acknowledgment of a received gradient (step 5).
 struct GradientReceipt {
+  /// False when the server refused to take the gradient at all — in the
+  /// concurrent runtime, a full ingest queue rejects at admission
+  /// (backpressure, DESIGN.md §6) and the gradient never touches the model.
+  bool accepted = true;
+  std::string reject_reason;
+  /// Meaningful only when !accepted: true for transient conditions (queue
+  /// backpressure) where resubmitting the same job can succeed, false for
+  /// permanent ones (validation failure, server shut down) where retrying
+  /// is futile.
+  bool retryable = false;
   bool model_updated = false;
   double weight = 0.0;       // min(1, Lambda(tau)/sim) actually applied
   double staleness = 0.0;    // tau_i in model updates
@@ -43,7 +53,9 @@ struct GradientReceipt {
 /// The FLeet server (§2.1): profiler + controller + AdaSGD aggregation
 /// around a global model. Single-threaded by design — the discrete-event
 /// simulation serializes handler calls, like the HTTP server serializes
-/// stream handling in the original implementation.
+/// stream handling in the original implementation. For real hardware
+/// parallelism, `runtime::ConcurrentFleetServer` wraps the same components
+/// behind a thread-safe facade (DESIGN.md §6).
 class FleetServer {
  public:
   FleetServer(nn::TrainableModel& model,

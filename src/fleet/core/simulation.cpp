@@ -18,6 +18,9 @@ FleetSimulation::FleetSimulation(FleetServer& server,
   if (config.duration_s <= 0.0) {
     throw std::invalid_argument("FleetSimulation: non-positive duration");
   }
+  if (config.dropout_prob < 0.0 || config.dropout_prob > 1.0) {
+    throw std::invalid_argument("FleetSimulation: dropout_prob outside [0,1]");
+  }
 }
 
 FleetSimulation::Stats FleetSimulation::run() {
@@ -65,12 +68,31 @@ FleetSimulation::Stats FleetSimulation::run() {
         stats.task_times_s.push_back(result->execution.time_s);
         stats.task_energies_pct.push_back(result->execution.energy_pct);
 
+        // Churn: the computed gradient may never arrive (Config::
+        // dropout_prob). The device cost above was already charged; only
+        // the upload is lost, so the worker goes back to thinking. Guarded
+        // so dropout-free configs draw nothing and replay the exact event
+        // sequences of older runs.
+        if (config_.dropout_prob > 0.0 &&
+            rng_.bernoulli(config_.dropout_prob)) {
+          ++stats.dropped;
+          Event next;
+          next.time_s =
+              event.time_s + round_trip +
+              rng_.exponential(config_.think_time_mean_s);
+          next.worker = event.worker;
+          next.kind = Event::Kind::kRequest;
+          queue.push(next);
+          break;
+        }
+
         Event arrival;
         arrival.time_s = event.time_s + round_trip;
         arrival.worker = event.worker;
         arrival.kind = Event::Kind::kGradientArrival;
         arrival.task_version = assignment.model_version;
         arrival.result = std::move(result);
+        arrival.snapshot = assignment.snapshot;  // pinned for the flight
         queue.push(arrival);
         break;
       }

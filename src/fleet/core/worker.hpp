@@ -15,6 +15,12 @@ namespace fleet::core {
 /// private model replica used to compute gradients on server-provided
 /// parameters. User data never leaves the worker — only gradients and label
 /// *indices* do, matching the paper's privacy posture.
+///
+/// Thread affinity: a worker is a single-threaded object (replica, device
+/// sim and RNG are all private mutable state), but different workers are
+/// fully independent — the dataset reference is read-only — so a driver may
+/// run disjoint workers on parallel OS threads, which is exactly what
+/// `runtime::ParallelFleet` does (DESIGN.md §6).
 class FleetWorker {
  public:
   FleetWorker(int user_id, std::unique_ptr<nn::TrainableModel> replica,

@@ -25,11 +25,21 @@ AsyncAggregator::AsyncAggregator(std::size_t parameter_count,
 }
 
 double AsyncAggregator::tau_thres() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tau_thres_unlocked();
+}
+
+double AsyncAggregator::tau_thres_unlocked() const {
   if (config_.fixed_tau_thres > 0.0) return config_.fixed_tau_thres;
   return staleness_.tau_thres();
 }
 
 double AsyncAggregator::dampening_factor(double staleness) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dampening_factor_unlocked(staleness);
+}
+
+double AsyncAggregator::dampening_factor_unlocked(double staleness) const {
   switch (config_.scheme) {
     case Scheme::kAdaSgd: {
       // Bootstrap phase: fall back to the inverse dampening, as §2.3
@@ -37,7 +47,7 @@ double AsyncAggregator::dampening_factor(double staleness) const {
       if (config_.fixed_tau_thres <= 0.0 && !staleness_.bootstrapped()) {
         return InverseDampening().factor(staleness);
       }
-      return ExponentialDampening(tau_thres()).factor(staleness);
+      return ExponentialDampening(tau_thres_unlocked()).factor(staleness);
     }
     case Scheme::kDynSgd:
       return InverseDampening().factor(staleness);
@@ -49,7 +59,18 @@ double AsyncAggregator::dampening_factor(double staleness) const {
 }
 
 double AsyncAggregator::weight_for(const WorkerUpdate& update) const {
-  const double lambda = dampening_factor(update.staleness);
+  std::lock_guard<std::mutex> lock(mu_);
+  return weight_for_unlocked(update);
+}
+
+double AsyncAggregator::similarity_of(
+    const stats::LabelDistribution& label_dist) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return similarity_.similarity(label_dist);
+}
+
+double AsyncAggregator::weight_for_unlocked(const WorkerUpdate& update) const {
+  const double lambda = dampening_factor_unlocked(update.staleness);
   double weight = lambda;
   if (config_.scheme == Scheme::kAdaSgd && config_.similarity_boost) {
     const double sim = similarity_.similarity(update.label_dist);
@@ -62,7 +83,7 @@ double AsyncAggregator::weight_for(const WorkerUpdate& update) const {
     // gradient like a typical one, but restoring it to full weight would
     // reinject exactly the staleness noise the dampening protects
     // against.
-    const double thres = tau_thres();
+    const double thres = tau_thres_unlocked();
     if (update.staleness > thres) {
       const double cap = ExponentialDampening(thres).factor(thres / 2.0);
       weight = std::min(weight, std::max(lambda, cap));
@@ -78,16 +99,19 @@ SubmitResult AsyncAggregator::submit(const WorkerUpdate& update) {
   if (update.gradient.size() != parameter_count_) {
     throw std::invalid_argument("AsyncAggregator::submit: gradient size");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   SubmitResult result;
-  result.weight = weight_for(update);
-  weight_log_.push_back(result.weight);
+  result.weight = weight_for_unlocked(update);
+  if (weight_log_.size() < config_.weight_log_capacity) {
+    weight_log_.push_back(result.weight);
+  }
   // Only non-straggler gradients (tau <= tau_thres, the s% the system
   // expects to arrive in time, §2.3) count toward LD_global, weighted by
   // the factor they were applied with. A straggler's data has not been
   // reliably incorporated, so its labels must stay "novel" — otherwise the
   // boost could never recover a class that lives only on stragglers
   // (Fig 9a).
-  if (update.staleness <= tau_thres()) {
+  if (update.staleness <= tau_thres_unlocked()) {
     similarity_.record_used(update.label_dist, result.weight);
   }
   staleness_.observe(update.staleness);
@@ -95,12 +119,17 @@ SubmitResult AsyncAggregator::submit(const WorkerUpdate& update) {
   tensor::axpy(static_cast<float>(result.weight), update.gradient,
                std::span<float>(accumulator_));
   if (++pending_ >= config_.aggregation_k) {
-    result.aggregate = flush();
+    result.aggregate = flush_unlocked();
   }
   return result;
 }
 
 std::optional<std::span<const float>> AsyncAggregator::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_unlocked();
+}
+
+std::optional<std::span<const float>> AsyncAggregator::flush_unlocked() {
   if (pending_ == 0) return std::nullopt;
   accumulator_.swap(flushed_);
   std::fill(accumulator_.begin(), accumulator_.end(), 0.0f);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -42,6 +43,16 @@ struct SubmitResult {
 /// SSGD (weight 1 each; callers guarantee zero staleness). The aggregator
 /// buffers weighted gradients until K have arrived, then hands back the
 /// summed update for the caller to apply with its learning rate.
+///
+/// Thread safety: submit(), flush(), weight_for(), similarity_of(),
+/// tau_thres(), dampening_factor() and pending() are serialized by an
+/// internal mutex, so one aggregation thread can submit while request
+/// threads query similarity concurrently (DESIGN.md §6). The *sequence* of
+/// model updates is still defined by submission order — the runtime keeps
+/// AdaSGD sequential by funneling all submits through a single aggregation
+/// thread. The reference accessors (weight_log(), staleness(),
+/// similarity()) hand out views of internal state and are for serial
+/// harnesses and post-run inspection only.
 class AsyncAggregator {
  public:
   struct Config {
@@ -55,6 +66,11 @@ class AsyncAggregator {
     /// controlled experiments, e.g. "D1, thus tau_thres is 12" in §3.2 —
     /// with injected stragglers the online percentile would absorb them.
     double fixed_tau_thres = 0.0;
+    /// Cap on weight_log(): a long-lived server must not grow memory per
+    /// gradient forever. Far above any experiment harness's submission
+    /// count; once reached, weights stop being logged (dampening itself is
+    /// unaffected).
+    std::size_t weight_log_capacity = 1u << 20;
   };
 
   AsyncAggregator(std::size_t parameter_count, std::size_t n_classes,
@@ -77,10 +93,19 @@ class AsyncAggregator {
   /// until the next submit()/flush().
   std::optional<std::span<const float>> flush();
 
-  /// Gradients currently buffered toward the next update.
-  std::size_t pending() const { return pending_; }
+  /// sim(x) of a label distribution against the current LD_global, under
+  /// the aggregator lock — the thread-safe form of
+  /// `similarity().similarity(ld)` for concurrent request paths.
+  double similarity_of(const stats::LabelDistribution& label_dist) const;
 
-  /// Dampening weights applied so far (Fig 9b plots their CDF).
+  /// Gradients currently buffered toward the next update.
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+  }
+
+  /// Dampening weights applied so far (Fig 9b plots their CDF), capped at
+  /// Config::weight_log_capacity entries.
   const std::vector<double>& weight_log() const { return weight_log_; }
 
   const StalenessTracker& staleness() const { return staleness_; }
@@ -95,6 +120,12 @@ class AsyncAggregator {
   double tau_thres() const;
 
  private:
+  double weight_for_unlocked(const WorkerUpdate& update) const;
+  double dampening_factor_unlocked(double staleness) const;
+  double tau_thres_unlocked() const;
+  std::optional<std::span<const float>> flush_unlocked();
+
+  mutable std::mutex mu_;
   Config config_;
   std::size_t parameter_count_;
   StalenessTracker staleness_;

@@ -1,0 +1,251 @@
+#include "fleet/runtime/concurrent_server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fleet::runtime {
+
+ConcurrentFleetServer::ConcurrentFleetServer(
+    nn::TrainableModel& model, std::unique_ptr<profiler::Profiler> profiler,
+    const core::ServerConfig& config, const RuntimeConfig& runtime)
+    : model_(model),
+      profiler_(std::move(profiler)),
+      config_(config),
+      trace_capacity_(runtime.trace_capacity),
+      controller_(config.controller),
+      aggregator_(model.parameter_count(), model.n_classes(),
+                  config.aggregator),
+      store_(config.snapshot_window),
+      queue_(runtime.queue_capacity, runtime.queue_shards),
+      paused_(runtime.start_paused) {
+  if (profiler_ == nullptr) {
+    throw std::invalid_argument("ConcurrentFleetServer: null profiler");
+  }
+  // Materialize and publish version 0 before any thread can observe the
+  // server, so handle_request never sees an empty store.
+  publish_version(0);
+  aggregation_thread_ = std::thread([this] { aggregation_loop(); });
+}
+
+ConcurrentFleetServer::~ConcurrentFleetServer() { stop(); }
+
+void ConcurrentFleetServer::publish_version(std::size_t version) {
+  // Aggregation thread only (plus the constructor, before the thread
+  // exists): one bulk copy out of the parameter arena, then an atomic
+  // handle swap that request threads pick up lock-free.
+  const auto view = model_.parameters_view();
+  auto snapshot = store_.publish(
+      version, core::ModelStore::Buffer(view.begin(), view.end()));
+  current_.store(std::make_shared<const VersionedSnapshot>(
+      VersionedSnapshot{version, std::move(snapshot)}));
+}
+
+ConcurrentFleetServer::VersionedSnapshot ConcurrentFleetServer::current()
+    const {
+  const auto record = current_.load();
+  return *record;  // copies {version, shared handle}; the buffer is shared
+}
+
+core::TaskAssignment ConcurrentFleetServer::handle_request(
+    const profiler::DeviceFeatures& features, const std::string& device_model,
+    const stats::LabelDistribution& label_info) {
+  core::TaskAssignment assignment;
+  std::size_t bound = 0;
+  {
+    std::lock_guard<std::mutex> lock(profiler_mu_);
+    bound = profiler_->predict_batch(features, device_model);
+  }
+  const double similarity = aggregator_.similarity_of(label_info);
+  core::Controller::Decision decision;
+  {
+    std::lock_guard<std::mutex> lock(controller_mu_);
+    decision = controller_.admit(bound, similarity);
+  }
+  if (!decision.admitted) {
+    assignment.accepted = false;
+    assignment.reject_reason = decision.reason;
+    return assignment;
+  }
+  const VersionedSnapshot record = current();
+  assignment.accepted = true;
+  assignment.model_version = record.version;
+  assignment.mini_batch = bound;
+  assignment.snapshot = record.snapshot;
+  return assignment;
+}
+
+core::GradientReceipt ConcurrentFleetServer::try_submit(GradientJob& job) {
+  core::GradientReceipt receipt;
+  // Malformed payloads are refused at admission: past this point the job
+  // is processed on the aggregation thread, where a throw would take the
+  // whole process down instead of surfacing to the caller. Every input
+  // the downstream components throw on must be screened here.
+  if (job.gradient.size() != model_.parameter_count()) {
+    receipt.accepted = false;
+    receipt.reject_reason = "gradient size mismatch";
+    return receipt;
+  }
+  if (job.label_dist.n_classes() != model_.n_classes()) {
+    receipt.accepted = false;
+    receipt.reject_reason = "label distribution class count mismatch";
+    return receipt;
+  }
+  if (job.feedback.has_value() && job.feedback->mini_batch == 0) {
+    receipt.accepted = false;
+    receipt.reject_reason = "profiler feedback without mini-batch";
+    return receipt;
+  }
+  if (!queue_.try_push(job)) {
+    receipt.accepted = false;
+    if (queue_.closed()) {
+      receipt.reject_reason = "ingest queue closed";
+    } else {
+      receipt.reject_reason = "ingest queue full (backpressure)";
+      receipt.retryable = true;
+    }
+    return receipt;
+  }
+  accepted_.fetch_add(1, std::memory_order_acq_rel);
+  receipt.accepted = true;
+  receipt.version = version_.load(std::memory_order_acquire);
+  return receipt;
+}
+
+void ConcurrentFleetServer::process(GradientJob&& job) {
+  const std::size_t now = version_.load(std::memory_order_relaxed);
+  if (job.task_version > now) {
+    // A job can only legitimately carry a version it observed from
+    // current(), so a future version is a producer bug; drop it rather
+    // than poisoning the logical clock.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.invalid_jobs;
+    return;
+  }
+  // tau_i = t - t_i against the clock at *processing* time (Eq. 3) — the
+  // queue delays the gradient, and the staleness reflects that delay
+  // exactly, same as the serial server's logical clock.
+  const double staleness = static_cast<double>(now - job.task_version);
+
+  learning::WorkerUpdate update;
+  update.gradient = std::span<const float>(job.gradient);
+  update.staleness = staleness;
+  update.label_dist = job.label_dist;
+  update.mini_batch = job.mini_batch;
+  const learning::SubmitResult result = aggregator_.submit(update);
+
+  bool updated = false;
+  if (result.aggregate) {
+    model_.apply_gradient(*result.aggregate, config_.learning_rate);
+    // The logical clock advances immediately (staleness must see every
+    // update), but snapshot materialization is batched: the aggregation
+    // loop publishes once per drain batch, since versions consumed mid-
+    // batch were never observable to request threads anyway.
+    version_.store(now + 1, std::memory_order_release);
+    updated = true;
+  }
+  if (job.feedback.has_value()) {
+    std::lock_guard<std::mutex> lock(profiler_mu_);
+    profiler_->observe(*job.feedback);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.processed;
+    if (updated) ++stats_.model_updates;
+    if (stats_.staleness_values.size() < trace_capacity_) {
+      stats_.staleness_values.push_back(staleness);
+      stats_.weights.push_back(result.weight);
+    } else {
+      stats_.traces_truncated = true;  // counters stay exact past the cap
+    }
+  }
+}
+
+void ConcurrentFleetServer::aggregation_loop() {
+  std::vector<GradientJob> batch;
+  std::size_t published_version = 0;  // constructor published version 0
+  while (true) {
+    // Batch-granular pause gate: parked here, submits still queue up.
+    {
+      std::unique_lock<std::mutex> lock(pause_mu_);
+      pause_cv_.wait(lock, [this] {
+        return !paused_.load(std::memory_order_acquire) || queue_.closed();
+      });
+    }
+    batch.clear();
+    const std::size_t taken = queue_.wait_drain(batch);
+    if (taken == 0) break;  // closed and fully drained
+    // Second gate: a pause() issued while this thread was blocked inside
+    // wait_drain (past the top gate) must still hold the popped batch
+    // unprocessed until resume().
+    {
+      std::unique_lock<std::mutex> lock(pause_mu_);
+      pause_cv_.wait(lock, [this] {
+        return !paused_.load(std::memory_order_acquire) || queue_.closed();
+      });
+    }
+    for (GradientJob& job : batch) {
+      process(std::move(job));
+    }
+    // One snapshot materialization per drain batch, however many updates
+    // it applied — under load this amortizes the O(|theta|) copy across
+    // the whole backlog.
+    const std::size_t version_now = version_.load(std::memory_order_relaxed);
+    if (version_now != published_version) {
+      publish_version(version_now);
+      published_version = version_now;
+    }
+    processed_or_dropped_.fetch_add(taken, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+    }
+    drain_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+  }
+  drain_cv_.notify_all();
+}
+
+void ConcurrentFleetServer::drain() {
+  // Every accepted job is eventually counted into processed_or_dropped_,
+  // even after close(): the queue's close fence guarantees an accepted
+  // push is visible to the aggregation thread's final sweep. No
+  // closed-queue escape clause — it would let drain() return mid-batch,
+  // before the counters (and the model) settle.
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return processed_or_dropped_.load(std::memory_order_acquire) >=
+           accepted_.load(std::memory_order_acquire);
+  });
+}
+
+void ConcurrentFleetServer::pause() {
+  paused_.store(true, std::memory_order_release);
+}
+
+void ConcurrentFleetServer::resume() {
+  paused_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+  }
+  pause_cv_.notify_all();
+}
+
+void ConcurrentFleetServer::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();
+  resume();  // wake a parked aggregation thread so it can drain and exit
+  if (aggregation_thread_.joinable()) aggregation_thread_.join();
+}
+
+RuntimeStats ConcurrentFleetServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  RuntimeStats snapshot = stats_;
+  snapshot.submitted = accepted_.load(std::memory_order_acquire);
+  // The queue is the single source of truth for capacity rejections — the
+  // reject path stays free of the stats lock.
+  snapshot.backpressure_rejects = queue_.rejected();
+  return snapshot;
+}
+
+}  // namespace fleet::runtime

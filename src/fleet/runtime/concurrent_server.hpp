@@ -1,0 +1,185 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fleet/core/atomic_shared.hpp"
+#include "fleet/core/server.hpp"
+#include "fleet/runtime/gradient_queue.hpp"
+
+namespace fleet::runtime {
+
+/// Knobs for the concurrent serving runtime.
+struct RuntimeConfig {
+  /// Global bound on queued-but-unprocessed gradients. Once full, submits
+  /// are rejected (backpressure) instead of growing an unbounded backlog.
+  std::size_t queue_capacity = 4096;
+  /// Independently locked ingest shards (see GradientQueue).
+  std::size_t queue_shards = 8;
+  /// Cap on the per-gradient trace vectors in RuntimeStats (staleness,
+  /// weights) — a long-lived server must not grow memory per gradient
+  /// forever, and stats() copies the traces under the same lock the
+  /// aggregation thread takes per job, so the cap also bounds how long a
+  /// monitoring poll can stall ingest. Counters keep counting past the
+  /// cap; RuntimeStats::traces_truncated records that the traces stopped.
+  std::size_t trace_capacity = 1u << 16;
+  /// Start with the aggregation thread parked (resume() arms it). Lets
+  /// tests and benches stage a backlog deterministically.
+  bool start_paused = false;
+};
+
+/// Counters and traces maintained by the aggregation thread (plus the
+/// admission-side backpressure counter). A stats() snapshot is internally
+/// consistent because the trace vectors are only appended under the same
+/// lock the snapshot takes.
+struct RuntimeStats {
+  std::size_t submitted = 0;    ///< jobs accepted into the queue
+  std::size_t processed = 0;    ///< jobs folded into the aggregator
+  std::size_t model_updates = 0;
+  std::size_t backpressure_rejects = 0;  ///< submits refused: queue full
+  std::size_t invalid_jobs = 0;  ///< task_version from the future (dropped)
+  std::vector<double> staleness_values;  ///< tau per processed gradient
+  std::vector<double> weights;           ///< applied dampening weights
+  /// True once the traces above hit RuntimeConfig::trace_capacity and
+  /// stopped recording (the counters are still exact).
+  bool traces_truncated = false;
+};
+
+/// Thread-safe facade over the FLeet server components (DESIGN.md §6): the
+/// same profiler + controller + AdaSGD aggregator + ModelStore as
+/// `core::FleetServer`, re-arranged for real hardware parallelism.
+///
+/// Threading model:
+///  - `handle_request` may be called from any number of request threads.
+///    The model snapshot is served by one atomic handle acquisition: the
+///    current (version, snapshot) record lives in a core::AtomicSharedPtr
+///    cell — a constant-time copy under a one-byte spinlock (not formally
+///    lock-free; see that header for the trade-off), published by the
+///    aggregation thread. Profiler and controller state sit behind their
+///    own fine-grained locks (they are order-sensitive but cheap);
+///    similarity is read under the aggregator's lock.
+///  - `try_submit` is the MPSC producer side: it moves the worker's owned
+///    gradient buffer into the bounded GradientQueue, or rejects with a
+///    backpressure `GradientReceipt` when the queue is full.
+///  - One aggregation thread drains the queue and performs every
+///    order-sensitive mutation: staleness (computed against the logical
+///    clock at processing time, so tau stays exact under queueing), AdaSGD
+///    dampening and accumulation, the model update, snapshot publication
+///    and profiler feedback. AdaSGD's sequential update semantics are
+///    preserved by construction — there is exactly one updater.
+class ConcurrentFleetServer {
+ public:
+  ConcurrentFleetServer(nn::TrainableModel& model,
+                        std::unique_ptr<profiler::Profiler> profiler,
+                        const core::ServerConfig& config,
+                        const RuntimeConfig& runtime = {});
+  ~ConcurrentFleetServer();
+
+  ConcurrentFleetServer(const ConcurrentFleetServer&) = delete;
+  ConcurrentFleetServer& operator=(const ConcurrentFleetServer&) = delete;
+
+  /// Steps 1-4 of the protocol, callable from any thread. The snapshot
+  /// handle is acquired with a single constant-time atomic record copy.
+  core::TaskAssignment handle_request(
+      const profiler::DeviceFeatures& features,
+      const std::string& device_model,
+      const stats::LabelDistribution& label_info);
+
+  /// The current (version, snapshot) pair as one consistent record —
+  /// the fast path under the request handler, public for benches/drivers
+  /// that manage admission themselves.
+  struct VersionedSnapshot {
+    std::size_t version = 0;
+    core::ModelStore::Snapshot snapshot;
+  };
+  VersionedSnapshot current() const;
+
+  /// Step 5, asynchronous: move the job into the ingest queue. On success
+  /// `job` is consumed and the returned receipt only acknowledges admission
+  /// (`accepted=true`, `version` = clock at enqueue); the gradient's actual
+  /// weight/staleness land in stats() once the aggregation thread processes
+  /// it. On backpressure `job` is left intact (callers may retry) and the
+  /// receipt carries `accepted=false` and a reject_reason.
+  core::GradientReceipt try_submit(GradientJob& job);
+
+  /// Block until every job accepted so far has been processed. With
+  /// producers quiesced this is a full barrier: afterwards stats(), the
+  /// model and version() are stable.
+  void drain();
+
+  /// Park / un-park the aggregation thread (batch-granular). pause() does
+  /// not block submits, and takes effect before the next batch is
+  /// *processed*: a batch the thread had already popped when pause()
+  /// landed is held unprocessed until resume(), but its jobs no longer
+  /// occupy queue capacity. For deterministic backpressure staging use
+  /// RuntimeConfig::start_paused, which parks the thread before it pops
+  /// anything.
+  void pause();
+  void resume();
+
+  /// Close the queue and join the aggregation thread after it drains what
+  /// remains. Further submits are rejected. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  /// Logical clock t: number of model updates so far.
+  std::size_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// False once stop() closed the ingest queue (submits can only fail).
+  bool accepting() const { return !queue_.closed(); }
+
+  RuntimeStats stats() const;
+
+  const core::ModelStore& store() const { return store_; }
+  const learning::AsyncAggregator& aggregator() const { return aggregator_; }
+  const core::Controller& controller() const { return controller_; }
+  /// The global model. Owned by the aggregation thread while running —
+  /// only touch it after drain() with producers quiesced, or after stop().
+  nn::TrainableModel& model() { return model_; }
+
+ private:
+  void aggregation_loop();
+  void process(GradientJob&& job);
+  void publish_version(std::size_t version);
+
+  nn::TrainableModel& model_;
+  std::unique_ptr<profiler::Profiler> profiler_;
+  core::ServerConfig config_;
+  std::size_t trace_capacity_;
+  core::Controller controller_;
+  learning::AsyncAggregator aggregator_;
+  core::ModelStore store_;
+  GradientQueue queue_;
+
+  std::atomic<std::size_t> version_{0};
+  core::AtomicSharedPtr<const VersionedSnapshot> current_;
+
+  // Fine-grained locks for the order-insensitive-but-racy components.
+  std::mutex profiler_mu_;
+  std::mutex controller_mu_;
+
+  // Drain accounting: accepted_ is bumped by producers, processed_ by the
+  // aggregation thread; drain() waits until they meet.
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> processed_or_dropped_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<bool> paused_{false};
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+
+  mutable std::mutex stats_mu_;
+  RuntimeStats stats_;
+
+  std::atomic<bool> stopped_{false};
+  std::thread aggregation_thread_;
+};
+
+}  // namespace fleet::runtime

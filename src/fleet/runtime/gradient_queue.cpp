@@ -1,0 +1,131 @@
+#include "fleet/runtime/gradient_queue.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+namespace fleet::runtime {
+
+GradientQueue::GradientQueue(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("GradientQueue: capacity must be >= 1");
+  }
+  if (shards == 0) {
+    throw std::invalid_argument("GradientQueue: shards must be >= 1");
+  }
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool GradientQueue::try_push(GradientJob& job) {
+  const std::size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      shards_.size();
+  return push_to_shard(job, start);
+}
+
+bool GradientQueue::try_push(GradientJob& job, std::size_t shard_hint) {
+  return push_to_shard(job, shard_hint % shards_.size());
+}
+
+bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  // Reserve a slot against the global bound first; undo on failure. The
+  // reservation also keeps a consumer from concluding "closed and empty"
+  // while this push is mid-flight (wait_drain exits only at size() == 0).
+  if (size_.fetch_add(1, std::memory_order_acq_rel) >= capacity_) {
+    size_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = *shards_[start_shard];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Re-check under the shard lock: close() fences every shard after
+    // setting the flag, so a push that sees closed==false here is
+    // guaranteed to land before the consumer's final post-close sweep —
+    // no job can be accepted into a queue nobody will ever drain.
+    if (closed_.load(std::memory_order_acquire)) {
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
+    Item item;
+    // Ticket drawn under the shard lock: jobs pushed sequentially by one
+    // producer always carry increasing tickets, so a quiesced drain
+    // reproduces push order exactly.
+    item.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    item.job = std::move(job);
+    shard.items.push_back(std::move(item));
+  }
+  // Tap the wake mutex so a consumer that just evaluated "empty" and is
+  // about to sleep observes either the new size or the notification.
+  { std::lock_guard<std::mutex> lock(wake_mu_); }
+  wake_cv_.notify_one();
+  return true;
+}
+
+std::size_t GradientQueue::drain(std::vector<GradientJob>& out) {
+  std::vector<Item> taken;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::size_t from_shard = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      while (!shard.items.empty()) {
+        taken.push_back(std::move(shard.items.front()));
+        shard.items.pop_front();
+        ++from_shard;
+      }
+    }
+    // Release capacity shard-by-shard, not after the full sweep — a
+    // producer probing the bound should see space as soon as it exists.
+    if (from_shard > 0) {
+      size_.fetch_sub(from_shard, std::memory_order_acq_rel);
+    }
+  }
+  if (taken.empty()) return 0;
+  std::sort(taken.begin(), taken.end(),
+            [](const Item& a, const Item& b) { return a.ticket < b.ticket; });
+  out.reserve(out.size() + taken.size());
+  for (Item& item : taken) {
+    out.push_back(std::move(item.job));
+  }
+  return taken.size();
+}
+
+std::size_t GradientQueue::wait_drain(std::vector<GradientJob>& out) {
+  while (true) {
+    const std::size_t taken = drain(out);
+    if (taken > 0) return taken;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return size_.load(std::memory_order_acquire) > 0 ||
+             closed_.load(std::memory_order_acquire);
+    });
+    if (closed_.load(std::memory_order_acquire) &&
+        size_.load(std::memory_order_acquire) == 0) {
+      // Closed and nothing left: one final sweep in case a producer won the
+      // race between our drain and close().
+      return drain(out);
+    }
+  }
+}
+
+void GradientQueue::close() {
+  closed_.store(true, std::memory_order_release);
+  // Fence every shard: producers re-check the flag under the shard lock,
+  // so once these acquire/release pairs complete, any in-flight push has
+  // either landed (and is covered by its size_ reservation) or will see
+  // closed and refuse.
+  for (auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+  }
+  { std::lock_guard<std::mutex> lock(wake_mu_); }
+  wake_cv_.notify_all();
+}
+
+}  // namespace fleet::runtime

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "fleet/profiler/features.hpp"
+#include "fleet/stats/label_distribution.hpp"
+
+namespace fleet::runtime {
+
+/// One gradient in flight from a worker to the aggregation thread (Fig 2,
+/// step 5, decoupled in time). Unlike the serial path's span-based
+/// `learning::WorkerUpdate`, the job *owns* its gradient buffer: the
+/// producer hands the vector it already computed into (zero extra copies)
+/// and the aggregation thread folds it into the accumulator later, after
+/// the producer has moved on. Staleness is deliberately NOT a field — it
+/// is computed by the aggregation thread against the logical clock at
+/// *processing* time, which is what keeps tau exact under queueing
+/// (DESIGN.md §6).
+struct GradientJob {
+  std::size_t task_version = 0;            // t_i the gradient was computed at
+  std::vector<float> gradient;             // owned; moved, never copied
+  stats::LabelDistribution label_dist{1};  // LD of the mini-batch
+  std::size_t mini_batch = 0;
+  std::optional<profiler::Observation> feedback;  // profiler payload
+};
+
+/// Bounded, sharded multi-producer single-consumer queue feeding the
+/// aggregation thread (DESIGN.md §6).
+///
+/// Producers spread across `shards` independently locked rings (selected by
+/// producer thread hash, overridable with a hint), so under N-thread ingest
+/// they contend pairwise instead of on one global lock. Every push takes a
+/// global admission ticket; the consumer's drain merges all shards and
+/// returns jobs in ticket order, so a quiesced queue always drains in exact
+/// push order (what makes `ParallelFleet` runs reproducible) and concurrent
+/// drains are FIFO per producer.
+///
+/// The bound is global: when `size() == capacity`, try_push refuses and the
+/// caller surfaces backpressure (the runtime turns this into a rejected
+/// `GradientReceipt` instead of letting an overloaded server grow an
+/// unbounded backlog).
+class GradientQueue {
+ public:
+  /// `capacity`: global bound on queued jobs (>= 1).
+  /// `shards`: independently locked sub-queues (>= 1).
+  GradientQueue(std::size_t capacity, std::size_t shards = 8);
+
+  /// Enqueue, sharded by producer thread hash. Consumes `job` (moves from
+  /// it) only on success; on a full or closed queue returns false and
+  /// leaves `job` intact so the caller can retry or drop it.
+  bool try_push(GradientJob& job);
+
+  /// Enqueue into the shard `shard_hint % shards()` — for producers that
+  /// want a stable shard (e.g. one shard per driver thread).
+  bool try_push(GradientJob& job, std::size_t shard_hint);
+
+  /// Consumer side: append every queued job to `out` in admission-ticket
+  /// order and return how many were taken. Blocks while the queue is empty
+  /// and open; returns 0 only once the queue is closed *and* drained.
+  std::size_t wait_drain(std::vector<GradientJob>& out);
+
+  /// Non-blocking drain (same ordering); returns the number taken.
+  std::size_t drain(std::vector<GradientJob>& out);
+
+  /// Close the queue: further pushes fail, wait_drain() returns what's left
+  /// and then 0. Idempotent.
+  void close();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Total jobs ever refused for lack of space (backpressure events).
+  std::size_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Item {
+    std::uint64_t ticket = 0;
+    GradientJob job;
+  };
+  /// Cache-line separated so producers on different shards never false-share.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::deque<Item> items;
+  };
+
+  bool push_to_shard(GradientJob& job, std::size_t start_shard);
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<bool> closed_{false};
+  // Consumer wakeup. Producers tap the mutex (empty critical section)
+  // before notifying so a sleeping consumer can't miss the signal.
+  mutable std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace fleet::runtime

@@ -6,6 +6,14 @@
 
 namespace fleet::stats {
 
+std::uint64_t mix64(std::uint64_t x) {
+  // Sebastiano Vigna's SplitMix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 std::size_t Rng::categorical(std::span<const double> weights) {
   if (weights.empty()) {
     throw std::invalid_argument("categorical: empty weight vector");

@@ -8,6 +8,11 @@
 
 namespace fleet::stats {
 
+/// SplitMix64 finalizer: a bijective avalanche mix of a 64-bit word.
+/// Used to derive statistically independent seeds from (base, stream)
+/// pairs without consuming any generator state — the basis of Rng::stream.
+std::uint64_t mix64(std::uint64_t x);
+
 /// Deterministic random source used by every stochastic component.
 ///
 /// Wraps a seeded mt19937_64. All simulation components take an Rng (or a
@@ -16,6 +21,16 @@ namespace fleet::stats {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Stream splitting: the `stream_id`-th independent generator derived
+  /// from `base_seed`. Unlike fork(), this is a pure function of its
+  /// arguments — it consumes no generator state — so N parallel components
+  /// (e.g. the workers of a ParallelFleet thread pool) can each construct
+  /// their own stream in any order, on any thread, and still reproduce the
+  /// exact same sequences run-to-run.
+  static Rng stream(std::uint64_t base_seed, std::uint64_t stream_id) {
+    return Rng(mix64(base_seed + 0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {

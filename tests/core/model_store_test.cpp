@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace fleet::core {
 namespace {
 
@@ -94,6 +98,74 @@ TEST(ModelStoreTest, RepublishReplacesSnapshot) {
   const auto snap = store.at(1);
   ASSERT_NE(snap, nullptr);
   EXPECT_FLOAT_EQ((*snap)[0], 9.0f);
+}
+
+TEST(ModelStoreTest, ConcurrentReadersSeeConsistentSnapshots) {
+  // One publisher walks the clock forward while reader threads acquire and
+  // release handles through every lookup path. Each buffer is filled with
+  // its own version number, so any torn (version, snapshot) pairing would
+  // surface as a mismatched payload. Run under TSan in CI.
+  constexpr std::size_t kVersions = 300;
+  constexpr std::size_t kReaders = 4;
+  ModelStore store(8);
+  store.publish(0, buffer_of(0.0f));
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&store, &done] {
+      std::size_t probe = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::size_t version = probe++ % kVersions;
+        if (const auto exact = store.at(version)) {
+          EXPECT_FLOAT_EQ((*exact)[0], static_cast<float>(version));
+        }
+        if (const auto clamped = store.resolve(version)) {
+          // resolve() may clamp to the oldest retained snapshot; whatever
+          // record it picked must be internally consistent.
+          EXPECT_GE((*clamped)[0], 0.0f);
+        }
+        store.contains(version);
+        store.latest_version();
+      }
+    });
+  }
+
+  for (std::size_t v = 1; v < kVersions; ++v) {
+    store.publish(v, buffer_of(static_cast<float>(v)));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(store.latest_version(), kVersions - 1);
+  EXPECT_EQ(store.publishes(), kVersions);
+}
+
+TEST(ModelStoreTest, HandlesAcquiredConcurrentlyOutliveEviction) {
+  // Readers pin snapshots (atomic refcounts) while the publisher churns
+  // the ring far past them; the pinned buffers must stay intact.
+  ModelStore store(2);
+  store.publish(0, buffer_of(5.0f));
+  std::vector<std::thread> pinners;
+  std::atomic<bool> go{false};
+  for (int r = 0; r < 3; ++r) {
+    pinners.emplace_back([&store, &go] {
+      while (!go.load()) {
+      }
+      const auto pinned = store.resolve(0);
+      ASSERT_NE(pinned, nullptr);
+      const float value = (*pinned)[0];
+      // Whatever version we pinned, its payload never mutates.
+      for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ((*pinned)[0], value);
+      }
+    });
+  }
+  go.store(true);
+  for (std::size_t v = 1; v <= 50; ++v) {
+    store.publish(v, buffer_of(static_cast<float>(v)));
+  }
+  for (auto& t : pinners) t.join();
 }
 
 }  // namespace

@@ -106,6 +106,40 @@ TEST(SimulationTest, DeterministicGivenSeed) {
   EXPECT_EQ(stats_a.model_updates, stats_b.model_updates);
 }
 
+TEST_F(SimulationFixture, DropoutLosesGradientsButSimulationProgresses) {
+  FleetSimulation::Config cfg;
+  cfg.duration_s = 1200.0;
+  cfg.think_time_mean_s = 10.0;
+  cfg.dropout_prob = 0.5;
+  FleetSimulation sim(*env.server, env.workers, cfg);
+  const auto stats = sim.run();
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.gradients, 0u);
+  // Dropped gradients were computed (device time charged) but never
+  // reached the server.
+  EXPECT_EQ(stats.task_times_s.size(), stats.gradients + stats.dropped);
+  EXPECT_GT(stats.model_updates, 0u);
+}
+
+TEST(SimulationTest, ZeroDropoutReplaysLegacyEventSequence) {
+  // Golden counts pinning the event sequence of the pre-dropout-knob
+  // simulation (same SimEnv, seed and config as before the knob existed).
+  // A disabled knob must consume NO extra RNG draws — if this fails after
+  // touching FleetSimulation, the dropout guard (draw only when
+  // dropout_prob > 0) regressed and every seeded experiment shifted. If
+  // the change to the event loop is intentional, update the numbers
+  // deliberately.
+  FleetSimulation::Config cfg;
+  cfg.duration_s = 300.0;
+  cfg.dropout_prob = 0.0;
+  SimEnv env;
+  const auto stats = FleetSimulation(*env.server, env.workers, cfg).run();
+  EXPECT_EQ(stats.requests, 65u);
+  EXPECT_EQ(stats.gradients, 61u);
+  EXPECT_EQ(stats.model_updates, 61u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
 TEST_F(SimulationFixture, RejectsBadConfig) {
   FleetSimulation::Config cfg;
   cfg.duration_s = 0.0;

@@ -1,0 +1,213 @@
+#include "fleet/runtime/concurrent_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "fleet/device/catalog.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/profiler/iprof.hpp"
+#include "fleet/profiler/training_data.hpp"
+
+namespace fleet::runtime {
+namespace {
+
+std::unique_ptr<profiler::Profiler> pretrained_iprof() {
+  auto iprof = std::make_unique<profiler::IProf>(profiler::IProf::Config{});
+  iprof->pretrain(profiler::collect_profile_dataset(
+      device::training_fleet(), profiler::IProf::Config{}.slo, 20));
+  return iprof;
+}
+
+/// Tiny model + server pair; K = 1 so every gradient updates the model.
+struct ServerEnv {
+  explicit ServerEnv(const RuntimeConfig& runtime = {}) {
+    model = nn::zoo::mlp(8, 4, 3);
+    model->init(7);
+    core::ServerConfig config;
+    config.learning_rate = 0.1f;
+    server = std::make_unique<ConcurrentFleetServer>(*model, pretrained_iprof(),
+                                                     config, runtime);
+  }
+
+  GradientJob unit_job(std::size_t task_version) const {
+    GradientJob job;
+    job.task_version = task_version;
+    job.gradient.assign(model->parameter_count(), 0.01f);
+    job.label_dist = stats::LabelDistribution(model->n_classes());
+    job.label_dist.add(0);
+    job.mini_batch = 4;
+    return job;
+  }
+
+  std::unique_ptr<nn::Sequential> model;
+  std::unique_ptr<ConcurrentFleetServer> server;
+};
+
+TEST(ConcurrentServerTest, PublishesVersionZeroSnapshotAtConstruction) {
+  ServerEnv env;
+  const auto record = env.server->current();
+  EXPECT_EQ(record.version, 0u);
+  ASSERT_NE(record.snapshot, nullptr);
+  EXPECT_EQ(record.snapshot->size(), env.model->parameter_count());
+  env.server->stop();
+}
+
+TEST(ConcurrentServerTest, ProcessesSubmittedGradientsAndAdvancesClock) {
+  ServerEnv env;
+  for (std::size_t i = 0; i < 3; ++i) {
+    GradientJob job = env.unit_job(env.server->version());
+    const auto receipt = env.server->try_submit(job);
+    ASSERT_TRUE(receipt.accepted);
+    env.server->drain();
+  }
+  EXPECT_EQ(env.server->version(), 3u);
+  const auto stats = env.server->stats();
+  EXPECT_EQ(stats.processed, 3u);
+  EXPECT_EQ(stats.model_updates, 3u);
+  EXPECT_EQ(stats.backpressure_rejects, 0u);
+  // Every drain-separated submission saw the fresh clock: zero staleness.
+  for (double tau : stats.staleness_values) EXPECT_EQ(tau, 0.0);
+  env.server->stop();
+}
+
+TEST(ConcurrentServerTest, QueueBackpressureSurfacesAsRejectedReceipt) {
+  RuntimeConfig runtime;
+  runtime.queue_capacity = 2;
+  runtime.queue_shards = 1;
+  runtime.start_paused = true;  // stage a backlog deterministically
+  ServerEnv env(runtime);
+
+  GradientJob a = env.unit_job(0);
+  GradientJob b = env.unit_job(0);
+  GradientJob c = env.unit_job(0);
+  EXPECT_TRUE(env.server->try_submit(a).accepted);
+  EXPECT_TRUE(env.server->try_submit(b).accepted);
+  const auto rejected = env.server->try_submit(c);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_FALSE(rejected.reject_reason.empty());
+  EXPECT_TRUE(rejected.retryable);  // backpressure is transient
+  // The rejected job is intact for a retry.
+  EXPECT_EQ(c.gradient.size(), env.model->parameter_count());
+
+  env.server->resume();
+  env.server->drain();
+  const auto stats = env.server->stats();
+  EXPECT_EQ(stats.processed, 2u);
+  EXPECT_EQ(stats.backpressure_rejects, 1u);
+
+  // After the backlog cleared the retry goes through.
+  EXPECT_TRUE(env.server->try_submit(c).accepted);
+  env.server->drain();
+  EXPECT_EQ(env.server->stats().processed, 3u);
+  env.server->stop();
+}
+
+TEST(ConcurrentServerTest, StalenessIsExactUnderQueueing) {
+  RuntimeConfig runtime;
+  runtime.queue_capacity = 8;
+  runtime.queue_shards = 1;
+  runtime.start_paused = true;
+  ServerEnv env(runtime);
+
+  // Three gradients all computed against version 0, queued before any is
+  // processed. K = 1: each updates the model, so the clock reads 0, 1, 2
+  // as they are drained — their staleness must be exactly 0, 1, 2.
+  for (int i = 0; i < 3; ++i) {
+    GradientJob job = env.unit_job(0);
+    ASSERT_TRUE(env.server->try_submit(job).accepted);
+  }
+  env.server->resume();
+  env.server->drain();
+  const auto stats = env.server->stats();
+  ASSERT_EQ(stats.staleness_values.size(), 3u);
+  EXPECT_EQ(stats.staleness_values[0], 0.0);
+  EXPECT_EQ(stats.staleness_values[1], 1.0);
+  EXPECT_EQ(stats.staleness_values[2], 2.0);
+  env.server->stop();
+}
+
+TEST(ConcurrentServerTest, MalformedJobsAreRefusedAtAdmission) {
+  // A throw on the aggregation thread would terminate the process, so
+  // every input the downstream components validate must be screened in
+  // try_submit and surface as a permanent (non-retryable) rejection.
+  ServerEnv env;
+
+  GradientJob wrong_size = env.unit_job(0);
+  wrong_size.gradient.resize(3);
+  auto receipt = env.server->try_submit(wrong_size);
+  EXPECT_FALSE(receipt.accepted);
+  EXPECT_FALSE(receipt.retryable);
+
+  GradientJob wrong_classes = env.unit_job(0);
+  wrong_classes.label_dist = stats::LabelDistribution(1);
+  receipt = env.server->try_submit(wrong_classes);
+  EXPECT_FALSE(receipt.accepted);
+  EXPECT_FALSE(receipt.retryable);
+
+  GradientJob bad_feedback = env.unit_job(0);
+  bad_feedback.feedback = profiler::Observation{};  // mini_batch == 0
+  receipt = env.server->try_submit(bad_feedback);
+  EXPECT_FALSE(receipt.accepted);
+  EXPECT_FALSE(receipt.retryable);
+
+  // The server is unharmed: a well-formed job still goes through.
+  GradientJob good = env.unit_job(0);
+  EXPECT_TRUE(env.server->try_submit(good).accepted);
+  env.server->drain();
+  EXPECT_EQ(env.server->stats().processed, 1u);
+  env.server->stop();
+}
+
+TEST(ConcurrentServerTest, FutureVersionJobsAreDroppedNotApplied) {
+  ServerEnv env;
+  GradientJob job = env.unit_job(999);
+  ASSERT_TRUE(env.server->try_submit(job).accepted);
+  env.server->drain();
+  const auto stats = env.server->stats();
+  EXPECT_EQ(stats.invalid_jobs, 1u);
+  EXPECT_EQ(stats.processed, 0u);
+  EXPECT_EQ(env.server->version(), 0u);
+  env.server->stop();
+}
+
+TEST(ConcurrentServerTest, ConcurrentRequestersAndSubmittersStayConsistent) {
+  ServerEnv env;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 25;
+  const std::size_t param_count = env.model->parameter_count();
+
+  std::atomic<std::size_t> accepted{0};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // Lock-free snapshot read, then a submit against that version.
+        const auto record = env.server->current();
+        ASSERT_NE(record.snapshot, nullptr);
+        ASSERT_EQ(record.snapshot->size(), param_count);
+        GradientJob job = env.unit_job(record.version);
+        while (!env.server->try_submit(job).accepted) {
+          std::this_thread::yield();
+        }
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  env.server->drain();
+
+  const auto stats = env.server->stats();
+  EXPECT_EQ(accepted.load(), kThreads * kPerThread);
+  EXPECT_EQ(stats.processed, kThreads * kPerThread);
+  EXPECT_EQ(stats.invalid_jobs, 0u);
+  // K = 1: every processed gradient advanced the clock.
+  EXPECT_EQ(env.server->version(), kThreads * kPerThread);
+  for (double tau : stats.staleness_values) EXPECT_GE(tau, 0.0);
+  env.server->stop();
+}
+
+}  // namespace
+}  // namespace fleet::runtime

@@ -1,0 +1,114 @@
+#include "fleet/runtime/gradient_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace fleet::runtime {
+namespace {
+
+GradientJob job_with_version(std::size_t version) {
+  GradientJob job;
+  job.task_version = version;
+  job.gradient = {static_cast<float>(version)};
+  job.mini_batch = 1;
+  return job;
+}
+
+TEST(GradientQueueTest, RejectsZeroCapacityOrShards) {
+  EXPECT_THROW(GradientQueue(0, 1), std::invalid_argument);
+  EXPECT_THROW(GradientQueue(1, 0), std::invalid_argument);
+}
+
+TEST(GradientQueueTest, DrainReturnsPushOrderAcrossShards) {
+  GradientQueue queue(64, 4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    GradientJob job = job_with_version(i);
+    // Scatter across shards on purpose; tickets must restore push order.
+    ASSERT_TRUE(queue.try_push(job, /*shard_hint=*/i));
+  }
+  std::vector<GradientJob> out;
+  EXPECT_EQ(queue.drain(out), 16u);
+  ASSERT_EQ(out.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(out[i].task_version, i) << "position " << i;
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(GradientQueueTest, BackpressureLeavesJobIntactAndCounts) {
+  GradientQueue queue(2, 1);
+  GradientJob a = job_with_version(1);
+  GradientJob b = job_with_version(2);
+  GradientJob c = job_with_version(3);
+  EXPECT_TRUE(queue.try_push(a));
+  EXPECT_TRUE(queue.try_push(b));
+  EXPECT_FALSE(queue.try_push(c));
+  // Rejected push must not have consumed the job.
+  EXPECT_EQ(c.task_version, 3u);
+  ASSERT_EQ(c.gradient.size(), 1u);
+  EXPECT_EQ(queue.rejected(), 1u);
+  EXPECT_EQ(queue.size(), 2u);
+
+  std::vector<GradientJob> out;
+  queue.drain(out);
+  EXPECT_TRUE(queue.try_push(c));  // space again after the drain
+}
+
+TEST(GradientQueueTest, CloseStopsPushesAndWakesConsumer) {
+  GradientQueue queue(8, 2);
+  GradientJob a = job_with_version(7);
+  ASSERT_TRUE(queue.try_push(a));
+  queue.close();
+  GradientJob b = job_with_version(8);
+  EXPECT_FALSE(queue.try_push(b));
+
+  std::vector<GradientJob> out;
+  EXPECT_EQ(queue.wait_drain(out), 1u);  // leftover drains after close
+  EXPECT_EQ(out[0].task_version, 7u);
+  EXPECT_EQ(queue.wait_drain(out), 0u);  // closed + empty => 0
+}
+
+TEST(GradientQueueTest, ConcurrentProducersLoseNothingAndKeepPerProducerFifo) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 200;
+  GradientQueue queue(64, 4);
+
+  std::vector<GradientJob> out;
+  std::thread consumer([&] {
+    while (queue.wait_drain(out) > 0) {
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        // Encode (producer, sequence) into task_version.
+        GradientJob job = job_with_version(p * 1000 + i);
+        while (!queue.try_push(job)) {
+          std::this_thread::yield();  // bounded queue: spin on backpressure
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  consumer.join();
+
+  ASSERT_EQ(out.size(), kProducers * kPerProducer);
+  // FIFO per producer: each producer's sequence numbers appear in order.
+  std::vector<std::size_t> next_seq(kProducers, 0);
+  for (const GradientJob& job : out) {
+    const std::size_t p = job.task_version / 1000;
+    const std::size_t seq = job.task_version % 1000;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(seq, next_seq[p]);
+    ++next_seq[p];
+  }
+}
+
+}  // namespace
+}  // namespace fleet::runtime
