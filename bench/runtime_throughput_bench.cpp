@@ -13,7 +13,14 @@
 // *computation* parallelizes across cores while AdaSGD stays sequential
 // and exact on the aggregation thread.
 //
-// Emits BENCH_runtime.json (gradients/sec vs thread count 1/2/4/8).
+// A second section isolates the *aggregation* side (DESIGN.md §6 sharded
+// hierarchical fold): producers submit pre-computed gradients (one memcpy
+// each) at K = 1, so every gradient costs the aggregation path a weighted
+// fold plus a full model apply — the fold arithmetic dominates — and the
+// shard sweep {1,2,4} measures how the span-partitioned fold scales.
+//
+// Emits BENCH_runtime.json (gradients/sec vs thread count 1/2/4/8, plus
+// aggregation throughput vs shard count 1/2/4).
 #include <chrono>
 #include <iostream>
 #include <thread>
@@ -158,6 +165,63 @@ double run_concurrent(std::size_t n_threads, std::size_t total_gradients) {
   return grads_per_second(start, stop, processed);
 }
 
+/// Aggregation-bound scenario for the shard sweep: two producers replay a
+/// pre-computed gradient (the submit path moves the owned buffer, so each
+/// replay is one memcpy), K = 1 makes every gradient fold + apply +
+/// count toward a publication — the aggregation side is the bottleneck by
+/// construction, and the shard count is the only variable.
+double run_sharded(std::size_t shards, std::size_t total_gradients) {
+  constexpr std::size_t kProducers = 2;
+  auto model = fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses);
+  model->init(1);
+  fleet::core::ServerConfig config;
+  config.aggregator.aggregation_k = 1;
+  fleet::runtime::RuntimeConfig runtime;
+  runtime.queue_capacity = 1024;
+  runtime.queue_shards = kProducers;
+  runtime.aggregation_shards = shards;
+  runtime.max_drain_batch = 64;
+  fleet::runtime::ConcurrentFleetServer server(*model, pretrained_iprof(),
+                                               config, runtime);
+
+  // One real gradient per producer, computed outside the timed region.
+  std::vector<std::vector<float>> templates;
+  for (std::size_t t = 0; t < kProducers; ++t) {
+    auto replica = fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses);
+    replica->init(2 + t);
+    LocalBatch local = make_batch(99, t);
+    auto& gradient = templates.emplace_back();
+    replica->load_parameters(model->parameters_view());
+    replica->gradient(local.batch, gradient);
+  }
+  const LocalBatch label_source = make_batch(99, 0);
+  const std::size_t per_thread = total_gradients / kProducers;
+
+  const auto start = Clock::now();
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      fleet::runtime::GradientJob job;
+      for (std::size_t g = 0; g < per_thread; ++g) {
+        job.task_version = server.current().version;
+        job.gradient = templates[t];  // one memcpy: the producer's only work
+        job.label_dist = label_source.label_dist;
+        job.mini_batch = kBatchSize;
+        while (!server.try_submit(job).accepted) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.drain();
+  const auto stop = Clock::now();
+
+  const std::size_t processed = server.stats().processed;
+  server.stop();
+  return grads_per_second(start, stop, processed);
+}
+
 }  // namespace
 
 int main() {
@@ -193,6 +257,22 @@ int main() {
                   rate);
   }
   report.metric("speedup_4t_vs_serial", at4 / serial);
+
+  bench::header("Sharded hierarchical aggregation throughput (K=1, " +
+                std::to_string(total) + " gradients/config, 2 producers)");
+  double sharded_at1 = 0.0;
+  double sharded_at4 = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const double rate = run_sharded(shards, total);
+    if (shards == 1) sharded_at1 = rate;
+    if (shards == 4) sharded_at4 = rate;
+    bench::row({"aggregation shards x" + std::to_string(shards),
+                bench::fmt(rate, 1) + " grads/s  (" +
+                    bench::fmt(shards == 1 ? 1.0 : rate / sharded_at1, 2) +
+                    "x unsharded)"});
+    report.metric("shards_" + std::to_string(shards) + "_grads_per_s", rate);
+  }
+  report.metric("sharded_speedup_4s_vs_1s", sharded_at4 / sharded_at1);
 
   report.write("BENCH_runtime.json");
   std::cout << "\nwrote BENCH_runtime.json\n";

@@ -95,15 +95,12 @@ double AsyncAggregator::weight_for_unlocked(const WorkerUpdate& update) const {
   return weight;
 }
 
-SubmitResult AsyncAggregator::submit(const WorkerUpdate& update) {
-  if (update.gradient.size() != parameter_count_) {
-    throw std::invalid_argument("AsyncAggregator::submit: gradient size");
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  SubmitResult result;
-  result.weight = weight_for_unlocked(update);
+double AsyncAggregator::record_submit_unlocked(const WorkerUpdate& update) {
+  const double weight = weight_for_unlocked(update);
   if (weight_log_.size() < config_.weight_log_capacity) {
-    weight_log_.push_back(result.weight);
+    weight_log_.push_back(weight);
+  } else {
+    ++weights_dropped_;
   }
   // Only non-straggler gradients (tau <= tau_thres, the s% the system
   // expects to arrive in time, §2.3) count toward LD_global, weighted by
@@ -112,9 +109,19 @@ SubmitResult AsyncAggregator::submit(const WorkerUpdate& update) {
   // boost could never recover a class that lives only on stragglers
   // (Fig 9a).
   if (update.staleness <= tau_thres_unlocked()) {
-    similarity_.record_used(update.label_dist, result.weight);
+    similarity_.record_used(update.label_dist, weight);
   }
   staleness_.observe(update.staleness);
+  return weight;
+}
+
+SubmitResult AsyncAggregator::submit(const WorkerUpdate& update) {
+  if (update.gradient.size() != parameter_count_) {
+    throw std::invalid_argument("AsyncAggregator::submit: gradient size");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  SubmitResult result;
+  result.weight = record_submit_unlocked(update);
 
   tensor::axpy(static_cast<float>(result.weight), update.gradient,
                std::span<float>(accumulator_));
@@ -122,6 +129,50 @@ SubmitResult AsyncAggregator::submit(const WorkerUpdate& update) {
     result.aggregate = flush_unlocked();
   }
   return result;
+}
+
+PlannedSubmit AsyncAggregator::plan_submit(const WorkerUpdate& update) {
+  if (update.gradient.size() != parameter_count_) {
+    throw std::invalid_argument("AsyncAggregator::plan_submit: gradient size");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  PlannedSubmit planned;
+  planned.weight = record_submit_unlocked(update);
+  if (++pending_ >= config_.aggregation_k) {
+    // The deferred flush_span() sweep performs the arithmetic; the round
+    // boundary itself is decided (and recorded) here, centrally.
+    pending_ = 0;
+    planned.flush = true;
+  }
+  return planned;
+}
+
+void AsyncAggregator::fold_into(std::size_t begin, std::size_t end,
+                                double weight,
+                                std::span<const float> gradient) {
+  if (gradient.size() != parameter_count_) {
+    throw std::invalid_argument("AsyncAggregator::fold_into: gradient size");
+  }
+  if (begin > end || end > parameter_count_) {
+    throw std::invalid_argument("AsyncAggregator::fold_into: bad span");
+  }
+  // Same fused axpy (and the same double->float cast) as submit(), on a
+  // slice. No lock: disjoint-span writers, coordinated by the caller.
+  tensor::axpy(static_cast<float>(weight), gradient.subspan(begin, end - begin),
+               std::span<float>(accumulator_).subspan(begin, end - begin));
+}
+
+std::span<const float> AsyncAggregator::flush_span(std::size_t begin,
+                                                   std::size_t end) {
+  if (begin > end || end > parameter_count_) {
+    throw std::invalid_argument("AsyncAggregator::flush_span: bad span");
+  }
+  std::copy(accumulator_.begin() + static_cast<std::ptrdiff_t>(begin),
+            accumulator_.begin() + static_cast<std::ptrdiff_t>(end),
+            flushed_.begin() + static_cast<std::ptrdiff_t>(begin));
+  std::fill(accumulator_.begin() + static_cast<std::ptrdiff_t>(begin),
+            accumulator_.begin() + static_cast<std::ptrdiff_t>(end), 0.0f);
+  return std::span<const float>(flushed_).subspan(begin, end - begin);
 }
 
 std::optional<std::span<const float>> AsyncAggregator::flush() {

@@ -33,6 +33,15 @@ struct SubmitResult {
   std::optional<std::span<const float>> aggregate;
 };
 
+/// What plan_submit() yields: the weight the deferred fold must apply and
+/// whether this submission completes an aggregation round (the fold plan
+/// inserts a flush/apply step there). See the sharded-fold contract on
+/// plan_submit().
+struct PlannedSubmit {
+  double weight = 0.0;
+  bool flush = false;
+};
+
 /// Server-side gradient aggregation implementing Eq. 3:
 ///
 ///   theta_{t+1} = theta_t - lr * sum_{i<K} min(1, Lambda(tau_i)/sim(x_i))
@@ -86,6 +95,36 @@ class AsyncAggregator {
   /// gradient arrives, a view of the summed weighted update.
   SubmitResult submit(const WorkerUpdate& update);
 
+  /// The bookkeeping half of submit(), with the numeric fold deferred:
+  /// computes and records the weight exactly as submit() would (weight
+  /// log, LD_global, staleness observation, round counter) and reports
+  /// whether this submission completes an aggregation round. The caller
+  /// owns the deferred arithmetic: one fold_into() per planned submission
+  /// and, where flush was reported, a flush_span() sweep — in plan order,
+  /// span by span (runtime::ShardedAggregator). Because the weight is
+  /// fixed here, at planning time, and each parameter index sees the same
+  /// operation sequence as submit(), the deferred fold is bitwise
+  /// identical to the sequential one for any span partition.
+  PlannedSubmit plan_submit(const WorkerUpdate& update);
+
+  /// Span-wise fold: accumulator[begin,end) += weight * gradient[begin,end),
+  /// the same fused axpy (and the same double->float weight cast) submit()
+  /// performs over the full arena. Deliberately NOT internally locked:
+  /// callers run one writer per disjoint span (the sharded fold) strictly
+  /// between plan_submit() calls, so the accumulator is never touched by
+  /// submit()/flush() concurrently. `gradient` is the full-length vector;
+  /// the span selects the slice.
+  void fold_into(std::size_t begin, std::size_t end, double weight,
+                 std::span<const float> gradient);
+
+  /// Span-wise flush: copy accumulator[begin,end) into the flushed buffer
+  /// and zero it, returning a view of the flushed slice (valid until the
+  /// next fold/flush of that span). Bitwise identical to the swap-based
+  /// flush() — a copy preserves every bit — but leaves other spans alone.
+  /// Round bookkeeping (pending reset) already happened in plan_submit();
+  /// same locking contract as fold_into().
+  std::span<const float> flush_span(std::size_t begin, std::size_t end);
+
   /// Flush whatever is buffered regardless of K (std::nullopt when empty).
   /// §2.3: "the aggregation parameter K can be either fixed or based on a
   /// time window (e.g., update the model every 1 hour)" — a time-window
@@ -108,6 +147,19 @@ class AsyncAggregator {
   /// Config::weight_log_capacity entries.
   const std::vector<double>& weight_log() const { return weight_log_; }
 
+  /// Weights that were applied but NOT logged because weight_log() hit
+  /// Config::weight_log_capacity. Dampening itself is unaffected. Unlike
+  /// weight_log() — a reference accessor, post-run/quiescent only — this
+  /// counter is internally locked and safe to poll live: a running
+  /// deployment checks it to learn the Fig-9b trace went incomplete, and
+  /// reads the log itself only after quiescing.
+  std::size_t weights_dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return weights_dropped_;
+  }
+
+  std::size_t parameter_count() const { return parameter_count_; }
+
   const StalenessTracker& staleness() const { return staleness_; }
   const SimilarityTracker& similarity() const { return similarity_; }
   const Config& config() const { return config_; }
@@ -124,6 +176,9 @@ class AsyncAggregator {
   double dampening_factor_unlocked(double staleness) const;
   double tau_thres_unlocked() const;
   std::optional<std::span<const float>> flush_unlocked();
+  /// Shared bookkeeping of submit()/plan_submit(): weight computation and
+  /// log, LD_global update, staleness observation. Returns the weight.
+  double record_submit_unlocked(const WorkerUpdate& update);
 
   mutable std::mutex mu_;
   Config config_;
@@ -137,6 +192,7 @@ class AsyncAggregator {
   std::vector<float> flushed_;
   std::size_t pending_ = 0;
   std::vector<double> weight_log_;
+  std::size_t weights_dropped_ = 0;
 };
 
 }  // namespace fleet::learning

@@ -75,6 +75,11 @@ std::span<const float> Sequential::parameters_view() {
   return param_arena_;
 }
 
+std::span<float> Sequential::parameters_mut() {
+  consolidate();
+  return param_arena_;
+}
+
 void Sequential::load_parameters(std::span<const float> flat) {
   if (flat.size() != parameter_count()) {
     throw std::invalid_argument("Sequential::load_parameters: size mismatch");

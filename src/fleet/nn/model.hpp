@@ -34,6 +34,12 @@ class TrainableModel {
   /// contents change under training, so snapshot (copy) before mutating.
   virtual std::span<const float> parameters_view() = 0;
 
+  /// Mutable view of the same flat arena, for in-place span-wise updates
+  /// (the runtime's sharded fold applies `params[b,e) -= lr * agg[b,e)`
+  /// with one writer per disjoint span). Same lifetime and consolidation
+  /// semantics as parameters_view().
+  virtual std::span<float> parameters_mut() = 0;
+
   /// Overwrite all parameters from a flat vector (e.g. a ModelStore
   /// snapshot); one bulk copy, no per-layer gathers.
   virtual void load_parameters(std::span<const float> flat) = 0;
@@ -81,6 +87,7 @@ class Sequential final : public TrainableModel {
 
   std::size_t parameter_count() const override;
   std::span<const float> parameters_view() override;
+  std::span<float> parameters_mut() override;
   void load_parameters(std::span<const float> flat) override;
   double gradient(const Batch& batch, std::vector<float>& grad_out) override;
   void apply_gradient(std::span<const float> grad, float lr) override;

@@ -70,6 +70,11 @@ std::span<const float> RnnClassifier::parameters_view() {
   return param_arena_;
 }
 
+std::span<float> RnnClassifier::parameters_mut() {
+  consolidate();
+  return param_arena_;
+}
+
 void RnnClassifier::load_parameters(std::span<const float> flat) {
   if (flat.size() != parameter_count()) {
     throw std::invalid_argument(

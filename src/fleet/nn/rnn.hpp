@@ -47,6 +47,8 @@ class RnnClassifier {
 
   /// Zero-copy view of the flat parameter vector (consolidates lazily).
   std::span<const float> parameters_view();
+  /// Mutable view of the flat arena (span-wise in-place updates).
+  std::span<float> parameters_mut();
   /// Overwrite all parameters from a flat vector in one bulk copy.
   void load_parameters(std::span<const float> flat);
 

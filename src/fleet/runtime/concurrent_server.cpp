@@ -12,6 +12,7 @@ ConcurrentFleetServer::ConcurrentFleetServer(
       profiler_(std::move(profiler)),
       config_(config),
       trace_capacity_(runtime.trace_capacity),
+      max_drain_batch_(runtime.max_drain_batch),
       controller_(config.controller),
       aggregator_(model.parameter_count(), model.n_classes(),
                   config.aggregator),
@@ -20,6 +21,14 @@ ConcurrentFleetServer::ConcurrentFleetServer(
       paused_(runtime.start_paused) {
   if (profiler_ == nullptr) {
     throw std::invalid_argument("ConcurrentFleetServer: null profiler");
+  }
+  if (runtime.aggregation_shards == 0) {
+    throw std::invalid_argument(
+        "ConcurrentFleetServer: aggregation_shards must be >= 1");
+  }
+  if (runtime.aggregation_shards > 1) {
+    sharded_ = std::make_unique<ShardedAggregator>(
+        aggregator_, model_.parameters_mut(), runtime.aggregation_shards);
   }
   // Materialize and publish version 0 before any thread can observe the
   // server, so handle_request never sees an empty store.
@@ -111,27 +120,62 @@ core::GradientReceipt ConcurrentFleetServer::try_submit(GradientJob& job) {
   return receipt;
 }
 
-void ConcurrentFleetServer::process(GradientJob&& job) {
-  const std::size_t now = version_.load(std::memory_order_relaxed);
-  if (job.task_version > now) {
+std::optional<ConcurrentFleetServer::Admitted> ConcurrentFleetServer::screen(
+    const GradientJob& job) {
+  Admitted admitted;
+  admitted.now = version_.load(std::memory_order_relaxed);
+  if (job.task_version > admitted.now) {
     // A job can only legitimately carry a version it observed from
     // current(), so a future version is a producer bug; drop it rather
     // than poisoning the logical clock.
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.invalid_jobs;
-    return;
+    return std::nullopt;
   }
   // tau_i = t - t_i against the clock at *processing* time (Eq. 3) — the
   // queue delays the gradient, and the staleness reflects that delay
-  // exactly, same as the serial server's logical clock.
-  const double staleness = static_cast<double>(now - job.task_version);
+  // exactly, same as the serial server's logical clock. On the sharded
+  // path "processing" is planning: the clock advances as flush points are
+  // planned, so later jobs in the same batch observe every update earlier
+  // ones produced — exactly the sequential schedule.
+  admitted.staleness = static_cast<double>(admitted.now - job.task_version);
+  return admitted;
+}
 
+namespace {
+learning::WorkerUpdate update_from(const GradientJob& job, double staleness) {
   learning::WorkerUpdate update;
   update.gradient = std::span<const float>(job.gradient);
   update.staleness = staleness;
   update.label_dist = job.label_dist;
   update.mini_batch = job.mini_batch;
-  const learning::SubmitResult result = aggregator_.submit(update);
+  return update;
+}
+}  // namespace
+
+void ConcurrentFleetServer::record_processed(const GradientJob& job,
+                                             double staleness, double weight,
+                                             bool updated) {
+  if (job.feedback.has_value()) {
+    std::lock_guard<std::mutex> lock(profiler_mu_);
+    profiler_->observe(*job.feedback);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.processed;
+  if (updated) ++stats_.model_updates;
+  if (stats_.staleness_values.size() < trace_capacity_) {
+    stats_.staleness_values.push_back(staleness);
+    stats_.weights.push_back(weight);
+  } else {
+    stats_.traces_truncated = true;  // counters stay exact past the cap
+  }
+}
+
+void ConcurrentFleetServer::process(GradientJob&& job) {
+  const auto admitted = screen(job);
+  if (!admitted) return;
+  const learning::SubmitResult result =
+      aggregator_.submit(update_from(job, admitted->staleness));
 
   bool updated = false;
   if (result.aggregate) {
@@ -140,28 +184,44 @@ void ConcurrentFleetServer::process(GradientJob&& job) {
     // update), but snapshot materialization is batched: the aggregation
     // loop publishes once per drain batch, since versions consumed mid-
     // batch were never observable to request threads anyway.
-    version_.store(now + 1, std::memory_order_release);
+    version_.store(admitted->now + 1, std::memory_order_release);
     updated = true;
   }
-  if (job.feedback.has_value()) {
-    std::lock_guard<std::mutex> lock(profiler_mu_);
-    profiler_->observe(*job.feedback);
+  record_processed(job, admitted->staleness, result.weight, updated);
+}
+
+void ConcurrentFleetServer::plan_process(GradientJob& job,
+                                         std::vector<FoldOp>& plan) {
+  const auto admitted = screen(job);
+  if (!admitted) return;  // dropped jobs never enter the plan
+  const learning::PlannedSubmit planned =
+      aggregator_.plan_submit(update_from(job, admitted->staleness));
+
+  FoldOp fold;
+  fold.kind = FoldOp::Kind::kFold;
+  fold.gradient = std::span<const float>(job.gradient);
+  fold.weight = planned.weight;
+  plan.push_back(fold);
+
+  bool updated = false;
+  if (planned.flush) {
+    FoldOp apply;
+    apply.kind = FoldOp::Kind::kFlushApply;
+    apply.learning_rate = config_.learning_rate;
+    plan.push_back(apply);
+    // The logical clock advances at the planned flush, before the shards
+    // run the arithmetic — legal because the version only becomes
+    // observable-with-parameters at publication, which waits for the
+    // barrier, while staleness must see every planned update immediately.
+    version_.store(admitted->now + 1, std::memory_order_release);
+    updated = true;
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.processed;
-    if (updated) ++stats_.model_updates;
-    if (stats_.staleness_values.size() < trace_capacity_) {
-      stats_.staleness_values.push_back(staleness);
-      stats_.weights.push_back(result.weight);
-    } else {
-      stats_.traces_truncated = true;  // counters stay exact past the cap
-    }
-  }
+  record_processed(job, admitted->staleness, planned.weight, updated);
 }
 
 void ConcurrentFleetServer::aggregation_loop() {
   std::vector<GradientJob> batch;
+  std::vector<FoldOp> plan;
   std::size_t published_version = 0;  // constructor published version 0
   while (true) {
     // Batch-granular pause gate: parked here, submits still queue up.
@@ -172,7 +232,7 @@ void ConcurrentFleetServer::aggregation_loop() {
       });
     }
     batch.clear();
-    const std::size_t taken = queue_.wait_drain(batch);
+    const std::size_t taken = queue_.wait_drain(batch, max_drain_batch_);
     if (taken == 0) break;  // closed and fully drained
     // Second gate: a pause() issued while this thread was blocked inside
     // wait_drain (past the top gate) must still hold the popped batch
@@ -183,8 +243,22 @@ void ConcurrentFleetServer::aggregation_loop() {
         return !paused_.load(std::memory_order_acquire) || queue_.closed();
       });
     }
-    for (GradientJob& job : batch) {
-      process(std::move(job));
+    if (sharded_ != nullptr) {
+      // Sharded hierarchical fold: walk the batch in admission order doing
+      // every order-sensitive decision centrally (staleness against the
+      // live clock, dampened weight, flush points, profiler feedback),
+      // then fan the recorded arithmetic across the shard workers and
+      // barrier before publication. The plan's gradient spans point into
+      // `batch`, which stays alive until the next drain.
+      plan.clear();
+      for (GradientJob& job : batch) {
+        plan_process(job, plan);
+      }
+      sharded_->execute(plan);
+    } else {
+      for (GradientJob& job : batch) {
+        process(std::move(job));
+      }
     }
     // One snapshot materialization per drain batch, however many updates
     // it applied — under load this amortizes the O(|theta|) copy across

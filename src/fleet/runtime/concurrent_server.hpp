@@ -4,12 +4,14 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "fleet/core/atomic_shared.hpp"
 #include "fleet/core/server.hpp"
 #include "fleet/runtime/gradient_queue.hpp"
+#include "fleet/runtime/sharded_aggregator.hpp"
 
 namespace fleet::runtime {
 
@@ -30,6 +32,19 @@ struct RuntimeConfig {
   /// Start with the aggregation thread parked (resume() arms it). Lets
   /// tests and benches stage a backlog deterministically.
   bool start_paused = false;
+  /// Fold threads for the sharded hierarchical aggregation (DESIGN.md §6):
+  /// the parameter arena is split into this many contiguous spans and a
+  /// drain batch's weighted fold fans out across them, one worker per
+  /// span, behind a barrier. 1 keeps the fold inline on the aggregation
+  /// thread (the PR-2 sequential path). Any value yields a bitwise
+  /// identical model — weights are computed centrally and every parameter
+  /// index sees the same operation sequence.
+  std::size_t aggregation_shards = 1;
+  /// Cap on how many jobs one queue drain hands the aggregation loop
+  /// (0 = take everything). Batches are exact admission-order prefixes
+  /// (ticket-ordered), so batching changes snapshot-publication cadence
+  /// and fold fan-out granularity, never the fold sequence or staleness.
+  std::size_t max_drain_batch = 0;
 };
 
 /// Counters and traces maintained by the aggregation thread (plus the
@@ -71,6 +86,13 @@ struct RuntimeStats {
 ///    dampening and accumulation, the model update, snapshot publication
 ///    and profiler feedback. AdaSGD's sequential update semantics are
 ///    preserved by construction — there is exactly one updater.
+///    With RuntimeConfig::aggregation_shards > 1 the *arithmetic* of the
+///    fold additionally fans out across span-sharded worker threads
+///    (ShardedAggregator): the aggregation thread still decides every
+///    weight, flush point and clock tick centrally, in admission order,
+///    then the shards execute the batch's fold plan behind a barrier
+///    before the single batched snapshot publication — bitwise identical
+///    to the sequential fold for any shard count and batch size.
 class ConcurrentFleetServer {
  public:
   ConcurrentFleetServer(nn::TrainableModel& model,
@@ -146,16 +168,36 @@ class ConcurrentFleetServer {
  private:
   void aggregation_loop();
   void process(GradientJob&& job);
+  /// Sharded-path counterpart of process(): the same central bookkeeping
+  /// (clock, staleness, weight, profiler feedback, stats) with the numeric
+  /// fold deferred into `plan` for ShardedAggregator::execute().
+  void plan_process(GradientJob& job, std::vector<FoldOp>& plan);
+  /// Shared head of process()/plan_process(): the future-version screen
+  /// and exact staleness against the clock at processing time. nullopt
+  /// means the job was dropped (and counted as invalid).
+  struct Admitted {
+    std::size_t now = 0;
+    double staleness = 0.0;
+  };
+  std::optional<Admitted> screen(const GradientJob& job);
+  /// Shared tail of process()/plan_process(): profiler feedback and the
+  /// per-job stats/trace bookkeeping.
+  void record_processed(const GradientJob& job, double staleness,
+                        double weight, bool updated);
   void publish_version(std::size_t version);
 
   nn::TrainableModel& model_;
   std::unique_ptr<profiler::Profiler> profiler_;
   core::ServerConfig config_;
   std::size_t trace_capacity_;
+  std::size_t max_drain_batch_;
   core::Controller controller_;
   learning::AsyncAggregator aggregator_;
   core::ModelStore store_;
   GradientQueue queue_;
+  /// Present when aggregation_shards > 1; the aggregation loop then folds
+  /// via batched plans instead of per-job submit().
+  std::unique_ptr<ShardedAggregator> sharded_;
 
   std::atomic<std::size_t> version_{0};
   core::AtomicSharedPtr<const VersionedSnapshot> current_;

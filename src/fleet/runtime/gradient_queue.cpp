@@ -68,7 +68,47 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
   return true;
 }
 
-std::size_t GradientQueue::drain(std::vector<GradientJob>& out) {
+std::size_t GradientQueue::drain(std::vector<GradientJob>& out,
+                                 std::size_t max_batch) {
+  if (max_batch > 0) {
+    // Bounded pop: hold every shard lock at once and k-way merge the
+    // fronts. Each shard's deque is ticket-sorted (tickets are drawn under
+    // the shard lock at push), and with all locks held every drawn ticket
+    // is visible — a push racing with this drain will draw a *later*
+    // ticket once it gets its lock. Taking the `max_batch` smallest fronts
+    // therefore removes an exact admission-order prefix of the queue's
+    // contents, and tickets across successive bounded drains are globally
+    // increasing. The full-lock hold is fine on the consumer side: there
+    // is one consumer, and producers each take a single shard lock, so no
+    // lock-order cycle exists.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto& shard_ptr : shards_) locks.emplace_back(shard_ptr->mu);
+    std::size_t taken = 0;
+    out.reserve(out.size() + std::min(max_batch, size()));
+    while (taken < max_batch) {
+      Shard* best = nullptr;
+      for (auto& shard_ptr : shards_) {
+        Shard& shard = *shard_ptr;
+        if (!shard.items.empty() &&
+            (best == nullptr ||
+             shard.items.front().ticket < best->items.front().ticket)) {
+          best = &shard;
+        }
+      }
+      if (best == nullptr) break;
+      out.push_back(std::move(best->items.front().job));
+      best->items.pop_front();
+      ++taken;
+      // Release capacity per popped item, like the unbounded path: a
+      // producer probing the bound should see space as soon as it exists
+      // (it then queues on its shard lock and lands, with a later ticket,
+      // after this merge) instead of eating spurious rejections for the
+      // whole merge window.
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return taken;
+  }
   std::vector<Item> taken;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
@@ -97,9 +137,10 @@ std::size_t GradientQueue::drain(std::vector<GradientJob>& out) {
   return taken.size();
 }
 
-std::size_t GradientQueue::wait_drain(std::vector<GradientJob>& out) {
+std::size_t GradientQueue::wait_drain(std::vector<GradientJob>& out,
+                                      std::size_t max_batch) {
   while (true) {
-    const std::size_t taken = drain(out);
+    const std::size_t taken = drain(out, max_batch);
     if (taken > 0) return taken;
     std::unique_lock<std::mutex> lock(wake_mu_);
     wake_cv_.wait(lock, [this] {
@@ -110,7 +151,7 @@ std::size_t GradientQueue::wait_drain(std::vector<GradientJob>& out) {
         size_.load(std::memory_order_acquire) == 0) {
       // Closed and nothing left: one final sweep in case a producer won the
       // race between our drain and close().
-      return drain(out);
+      return drain(out, max_batch);
     }
   }
 }

@@ -61,13 +61,20 @@ class GradientQueue {
   /// want a stable shard (e.g. one shard per driver thread).
   bool try_push(GradientJob& job, std::size_t shard_hint);
 
-  /// Consumer side: append every queued job to `out` in admission-ticket
-  /// order and return how many were taken. Blocks while the queue is empty
-  /// and open; returns 0 only once the queue is closed *and* drained.
-  std::size_t wait_drain(std::vector<GradientJob>& out);
+  /// Consumer side: append queued jobs to `out` in admission-ticket order
+  /// and return how many were taken. `max_batch` bounds one drain (0 =
+  /// take everything): a bounded drain removes exactly the `max_batch`
+  /// globally smallest tickets, so successive bounded drains still consume
+  /// the queue in exact admission order — what keeps staleness and the
+  /// fold sequence deterministic under batched aggregation. Blocks while
+  /// the queue is empty and open; returns 0 only once the queue is closed
+  /// *and* drained.
+  std::size_t wait_drain(std::vector<GradientJob>& out,
+                         std::size_t max_batch = 0);
 
-  /// Non-blocking drain (same ordering); returns the number taken.
-  std::size_t drain(std::vector<GradientJob>& out);
+  /// Non-blocking drain (same ordering and `max_batch` contract); returns
+  /// the number taken.
+  std::size_t drain(std::vector<GradientJob>& out, std::size_t max_batch = 0);
 
   /// Close the queue: further pushes fail, wait_drain() returns what's left
   /// and then 0. Idempotent.

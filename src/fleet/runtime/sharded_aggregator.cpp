@@ -1,0 +1,101 @@
+#include "fleet/runtime/sharded_aggregator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fleet/tensor/ops.hpp"
+
+namespace fleet::runtime {
+
+ShardedAggregator::ShardedAggregator(learning::AsyncAggregator& aggregator,
+                                     std::span<float> parameters,
+                                     std::size_t shards)
+    : aggregator_(aggregator), parameters_(parameters) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedAggregator: shards must be >= 1");
+  }
+  if (parameters_.size() != aggregator_.parameter_count()) {
+    throw std::invalid_argument(
+        "ShardedAggregator: parameter arena size does not match aggregator");
+  }
+  const std::size_t n = parameters_.size();
+  const std::size_t chunk = (n + shards - 1) / shards;
+  spans_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    ShardSpan span;
+    span.begin = std::min(s * chunk, n);
+    span.end = std::min(span.begin + chunk, n);
+    spans_.push_back(span);  // trailing spans may be empty when shards > n
+  }
+  // Workers for spans 1..S-1; the coordinator folds span 0 in execute().
+  workers_.reserve(shards - 1);
+  for (std::size_t s = 1; s < shards; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+ShardedAggregator::~ShardedAggregator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ShardedAggregator::run_shard(const ShardSpan& s,
+                                  std::span<const FoldOp> plan) {
+  if (s.begin >= s.end) return;
+  for (const FoldOp& op : plan) {
+    if (op.kind == FoldOp::Kind::kFold) {
+      aggregator_.fold_into(s.begin, s.end, op.weight, op.gradient);
+    } else {
+      const auto flushed = aggregator_.flush_span(s.begin, s.end);
+      tensor::axpy(-op.learning_rate, flushed,
+                   parameters_.subspan(s.begin, s.end - s.begin));
+    }
+  }
+}
+
+void ShardedAggregator::worker_loop(std::size_t shard_index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::span<const FoldOp> plan;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      if (stopping_) return;
+      seen = epoch_;
+      plan = plan_;
+    }
+    run_shard(spans_[shard_index], plan);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --outstanding_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+void ShardedAggregator::execute(std::span<const FoldOp> plan) {
+  if (plan.empty()) return;
+  if (workers_.empty()) {
+    run_shard(spans_[0], plan);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = plan;
+    outstanding_ = workers_.size();
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  run_shard(spans_[0], plan);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+}  // namespace fleet::runtime

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fleet/learning/aggregator.hpp"
+
+namespace fleet::runtime {
+
+/// One step of a batched fold plan (DESIGN.md §6). The aggregation thread
+/// builds the plan centrally — one kFold per accepted gradient carrying the
+/// weight it computed (staleness lambda(tau) + boost, at processing time),
+/// one kFlushApply wherever a submission completed an aggregation round —
+/// and the shard workers replay it span by span.
+struct FoldOp {
+  enum class Kind { kFold, kFlushApply };
+  Kind kind = Kind::kFold;
+  /// kFold: the worker's full-length gradient (each shard folds its slice).
+  /// Must outlive execute() — the runtime keeps the drained batch alive.
+  std::span<const float> gradient;
+  /// kFold: the dampened weight, computed centrally by plan_submit().
+  double weight = 0.0;
+  /// kFlushApply: the server's learning rate for `params -= lr * agg`.
+  float learning_rate = 0.0f;
+};
+
+/// Sharded hierarchical aggregation: the parameter arena is partitioned
+/// into contiguous spans, one persistent worker per span, and a whole
+/// drain batch's weighted fold fans out across them with a barrier before
+/// the (single-writer) snapshot publication.
+///
+/// Determinism: the plan fixes the fold order and every weight before any
+/// arithmetic runs, each parameter index is owned by exactly one span, and
+/// each span replays the plan in order — so every element experiences the
+/// identical operation sequence the sequential fold would apply, and the
+/// result is bitwise identical for any shard count and any batch size.
+///
+/// Threading: execute() is single-coordinator (the aggregation thread). The
+/// coordinator folds span 0 itself; spans 1..S-1 run on the persistent
+/// worker threads; execute() returns only after every span finished (the
+/// barrier). Workers touch only AsyncAggregator::fold_into / flush_span and
+/// their parameter slice — all mutually disjoint — so no lock is held
+/// during the fold itself.
+class ShardedAggregator {
+ public:
+  /// `parameters`: the model's mutable flat arena (TrainableModel::
+  /// parameters_mut()); must match the aggregator's parameter_count().
+  /// `shards` >= 1; one worker thread is spawned per shard beyond the
+  /// first (shards == 1 folds inline on the caller, no threads at all).
+  ShardedAggregator(learning::AsyncAggregator& aggregator,
+                    std::span<float> parameters, std::size_t shards);
+  ~ShardedAggregator();
+
+  ShardedAggregator(const ShardedAggregator&) = delete;
+  ShardedAggregator& operator=(const ShardedAggregator&) = delete;
+
+  /// Run the plan across every shard and barrier until all are done. The
+  /// spans the plan's gradients point at must stay alive throughout.
+  void execute(std::span<const FoldOp> plan);
+
+  std::size_t shard_count() const { return spans_.size(); }
+
+  /// The contiguous [begin, end) slice shard `s` owns (for tests).
+  std::pair<std::size_t, std::size_t> span_of(std::size_t s) const {
+    return {spans_[s].begin, spans_[s].end};
+  }
+
+ private:
+  struct ShardSpan {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void run_shard(const ShardSpan& s, std::span<const FoldOp> plan);
+  void worker_loop(std::size_t shard_index);
+
+  learning::AsyncAggregator& aggregator_;
+  std::span<float> parameters_;
+  std::vector<ShardSpan> spans_;
+
+  // Plan hand-off: the coordinator bumps epoch_ under mu_ and workers
+  // replay plan_ exactly once per epoch; outstanding_ is the barrier.
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::span<const FoldOp> plan_;
+  std::uint64_t epoch_ = 0;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fleet::runtime

@@ -161,6 +161,88 @@ TEST(AggregatorTest, WeightsAreLogged) {
   EXPECT_DOUBLE_EQ(agg.weight_log()[1], 0.5);
 }
 
+TEST(AggregatorTest, WeightLogCapBoundarySurfacesDrops) {
+  // The capped log must not drop entries silently: exactly at the cap
+  // nothing is dropped, one past the cap the counter starts, and the
+  // logged prefix stays intact.
+  auto cfg = config_for(Scheme::kDynSgd);
+  cfg.weight_log_capacity = 3;
+  AsyncAggregator agg(2, 2, cfg);
+  for (int i = 0; i < 3; ++i) {
+    agg.submit(make_update(2, 1.0f, 0.0));
+  }
+  EXPECT_EQ(agg.weight_log().size(), 3u);  // exactly at the cap
+  EXPECT_EQ(agg.weights_dropped(), 0u);
+
+  agg.submit(make_update(2, 1.0f, 1.0));  // cap + 1
+  EXPECT_EQ(agg.weight_log().size(), 3u);
+  EXPECT_EQ(agg.weights_dropped(), 1u);
+  // The logged prefix is untouched; only the overflow went uncounted in
+  // the log (but not in the counter).
+  EXPECT_DOUBLE_EQ(agg.weight_log()[2], 1.0);
+
+  agg.submit(make_update(2, 1.0f, 1.0));
+  EXPECT_EQ(agg.weights_dropped(), 2u);
+}
+
+TEST(AggregatorTest, PlanSubmitDropsPastTheCapLikeSubmit) {
+  auto cfg = config_for(Scheme::kDynSgd);
+  cfg.weight_log_capacity = 2;
+  AsyncAggregator agg(2, 2, cfg);
+  agg.plan_submit(make_update(2, 1.0f, 0.0));
+  agg.plan_submit(make_update(2, 1.0f, 1.0));
+  EXPECT_EQ(agg.weight_log().size(), 2u);
+  EXPECT_EQ(agg.weights_dropped(), 0u);
+  agg.plan_submit(make_update(2, 1.0f, 2.0));
+  EXPECT_EQ(agg.weight_log().size(), 2u);
+  EXPECT_EQ(agg.weights_dropped(), 1u);
+}
+
+TEST(AggregatorTest, PlanSubmitMirrorsSubmitBookkeeping) {
+  // plan_submit + fold_into + flush_span must be indistinguishable from
+  // submit(): same weights, same logs, same round boundaries, and a
+  // bitwise-identical aggregate.
+  auto cfg = config_for(Scheme::kAdaSgd, /*k=*/2);
+  AsyncAggregator sequential(3, 2, cfg);
+  AsyncAggregator planned(3, 2, cfg);
+
+  for (int i = 0; i < 6; ++i) {
+    const auto update =
+        make_update(3, 0.5f + 0.25f * static_cast<float>(i % 3),
+                    static_cast<double>(i % 4));
+    const auto result = sequential.submit(update);
+    const auto plan = planned.plan_submit(update);
+    EXPECT_DOUBLE_EQ(plan.weight, result.weight) << "submission " << i;
+    EXPECT_EQ(plan.flush, result.aggregate.has_value()) << "submission " << i;
+    // Execute the deferred arithmetic over two spans ({0,1} and {2}).
+    planned.fold_into(0, 2, plan.weight, update.gradient);
+    planned.fold_into(2, 3, plan.weight, update.gradient);
+    if (plan.flush) {
+      const auto lo = planned.flush_span(0, 2);
+      const auto hi = planned.flush_span(2, 3);
+      ASSERT_TRUE(result.aggregate.has_value());
+      EXPECT_EQ((*result.aggregate)[0], lo[0]);
+      EXPECT_EQ((*result.aggregate)[1], lo[1]);
+      EXPECT_EQ((*result.aggregate)[2], hi[0]);
+    }
+  }
+  EXPECT_EQ(planned.weight_log(), sequential.weight_log());
+  EXPECT_EQ(planned.pending(), sequential.pending());
+}
+
+TEST(AggregatorTest, FoldIntoAndFlushSpanValidateRanges) {
+  AsyncAggregator agg(4, 2, config_for(Scheme::kSsgd));
+  const auto update = make_update(4, 1.0f, 0.0);
+  EXPECT_THROW(agg.fold_into(2, 1, 1.0, update.gradient),
+               std::invalid_argument);
+  EXPECT_THROW(agg.fold_into(0, 5, 1.0, update.gradient),
+               std::invalid_argument);
+  EXPECT_THROW(agg.fold_into(0, 2, 1.0, std::vector<float>(3, 0.0f)),
+               std::invalid_argument);
+  EXPECT_THROW(agg.flush_span(3, 2), std::invalid_argument);
+  EXPECT_THROW(agg.flush_span(0, 5), std::invalid_argument);
+}
+
 TEST(AggregatorTest, WeightNeverExceedsOne) {
   auto cfg = config_for(Scheme::kAdaSgd);
   AsyncAggregator agg(2, 2, cfg);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -39,6 +40,19 @@ struct ServerEnv {
     job.label_dist = stats::LabelDistribution(model->n_classes());
     job.label_dist.add(0);
     job.mini_batch = 4;
+    return job;
+  }
+
+  /// A job with parameter-index-varied gradient values, so fold-order or
+  /// span-partition mistakes change the model instead of cancelling out.
+  GradientJob varied_job(std::size_t task_version, std::size_t salt) const {
+    GradientJob job = unit_job(task_version);
+    for (std::size_t i = 0; i < job.gradient.size(); ++i) {
+      job.gradient[i] =
+          0.001f * static_cast<float>((i * 7 + salt * 13) % 23) - 0.01f;
+    }
+    job.label_dist = stats::LabelDistribution(model->n_classes());
+    job.label_dist.add(static_cast<int>(salt % model->n_classes()), 2);
     return job;
   }
 
@@ -127,6 +141,93 @@ TEST(ConcurrentServerTest, StalenessIsExactUnderQueueing) {
   EXPECT_EQ(stats.staleness_values[1], 1.0);
   EXPECT_EQ(stats.staleness_values[2], 2.0);
   env.server->stop();
+}
+
+TEST(ConcurrentServerTest, StalenessStaysExactUnderBatchedShardedDrains) {
+  // Satellite regression: saturate the queue while the aggregation thread
+  // is parked, then let it drain in small admission-ordered batches through
+  // the sharded fold. Every applied gradient's recorded tau must equal
+  // (server clock at processing) - (model version at request) — the
+  // batching and the shard fan-out must not smear the logical clock.
+  RuntimeConfig runtime;
+  runtime.queue_capacity = 64;
+  runtime.queue_shards = 4;
+  runtime.start_paused = true;
+  runtime.aggregation_shards = 2;
+  runtime.max_drain_batch = 4;
+  ServerEnv env(runtime);
+
+  // Wave 1: ten gradients, all computed against version 0, queued before
+  // any is processed. K = 1: the clock reads 0..9 as they drain.
+  for (std::size_t i = 0; i < 10; ++i) {
+    GradientJob job = env.unit_job(env.server->version());
+    ASSERT_TRUE(env.server->try_submit(job).accepted);
+  }
+  env.server->resume();
+  env.server->drain();
+  EXPECT_EQ(env.server->version(), 10u);
+
+  // Wave 2: park again mid-life and stage a second backlog against the
+  // advanced clock; tau must restart from 0 relative to version 10.
+  env.server->pause();
+  for (std::size_t i = 0; i < 6; ++i) {
+    GradientJob job = env.unit_job(10);
+    ASSERT_TRUE(env.server->try_submit(job).accepted);
+  }
+  env.server->resume();
+  env.server->drain();
+
+  const auto stats = env.server->stats();
+  ASSERT_EQ(stats.staleness_values.size(), 16u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    // Clock at processing was i; version at request was 0.
+    EXPECT_EQ(stats.staleness_values[i], static_cast<double>(i)) << i;
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    // Clock at processing was 10 + i; version at request was 10.
+    EXPECT_EQ(stats.staleness_values[10 + i], static_cast<double>(i)) << i;
+  }
+  EXPECT_EQ(env.server->version(), 16u);
+  env.server->stop();
+}
+
+TEST(ConcurrentServerTest, ShardedBatchedFoldMatchesSequentialBitwise) {
+  // The same staged backlog through (a) the PR-2 sequential fold and
+  // (b) the sharded fold with batched drains must yield bit-identical
+  // parameters: weights are computed centrally and every parameter index
+  // sees the same operation sequence.
+  auto run = [](const RuntimeConfig& runtime) {
+    ServerEnv env(runtime);
+    for (std::size_t i = 0; i < 12; ++i) {
+      // All staged against version 0 (the thread is parked), so the drain
+      // produces staleness 0..11 identically in every configuration.
+      GradientJob job = env.varied_job(0, i);
+      EXPECT_TRUE(env.server->try_submit(job).accepted);
+    }
+    env.server->resume();
+    env.server->drain();
+    env.server->stop();
+    const auto view = env.model->parameters_view();
+    return std::vector<float>(view.begin(), view.end());
+  };
+
+  RuntimeConfig sequential;
+  sequential.start_paused = true;
+  const auto reference = run(sequential);
+
+  for (const std::size_t shards : {2u, 4u}) {
+    for (const std::size_t batch : {1u, 3u, 0u}) {
+      RuntimeConfig runtime;
+      runtime.start_paused = true;
+      runtime.aggregation_shards = shards;
+      runtime.max_drain_batch = batch;
+      const auto params = run(runtime);
+      ASSERT_EQ(params.size(), reference.size());
+      EXPECT_EQ(0, std::memcmp(params.data(), reference.data(),
+                               reference.size() * sizeof(float)))
+          << "shards=" << shards << " batch=" << batch;
+    }
+  }
 }
 
 TEST(ConcurrentServerTest, MalformedJobsAreRefusedAtAdmission) {

@@ -57,6 +57,60 @@ TEST(GradientQueueTest, BackpressureLeavesJobIntactAndCounts) {
   EXPECT_TRUE(queue.try_push(c));  // space again after the drain
 }
 
+TEST(GradientQueueTest, BoundedDrainTakesAdmissionOrderPrefixes) {
+  GradientQueue queue(64, 4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    GradientJob job = job_with_version(i);
+    // Scatter across shards; a bounded drain must still pop the globally
+    // smallest tickets, i.e. exact admission-order prefixes.
+    ASSERT_TRUE(queue.try_push(job, /*shard_hint=*/i * 3));
+  }
+  std::vector<GradientJob> out;
+  EXPECT_EQ(queue.drain(out, 3), 3u);
+  EXPECT_EQ(queue.size(), 7u);
+  EXPECT_EQ(queue.drain(out, 5), 5u);
+  EXPECT_EQ(queue.drain(out, 100), 2u);  // bound above content: take rest
+  EXPECT_EQ(queue.size(), 0u);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i].task_version, i) << "position " << i;
+  }
+  EXPECT_EQ(queue.drain(out, 4), 0u);  // empty: nothing to take
+}
+
+TEST(GradientQueueTest, BoundedDrainReleasesCapacityForProducers) {
+  GradientQueue queue(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    GradientJob job = job_with_version(i);
+    ASSERT_TRUE(queue.try_push(job));
+  }
+  GradientJob full = job_with_version(99);
+  EXPECT_FALSE(queue.try_push(full));
+
+  std::vector<GradientJob> out;
+  EXPECT_EQ(queue.drain(out, 2), 2u);
+  EXPECT_TRUE(queue.try_push(full));  // the two popped slots are free again
+  GradientJob more = job_with_version(100);
+  EXPECT_TRUE(queue.try_push(more));
+  GradientJob over = job_with_version(101);
+  EXPECT_FALSE(queue.try_push(over));
+}
+
+TEST(GradientQueueTest, WaitDrainHonorsTheBatchBound) {
+  GradientQueue queue(16, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    GradientJob job = job_with_version(i);
+    ASSERT_TRUE(queue.try_push(job, i));
+  }
+  std::vector<GradientJob> out;
+  EXPECT_EQ(queue.wait_drain(out, 4), 4u);
+  EXPECT_EQ(queue.wait_drain(out, 4), 2u);
+  ASSERT_EQ(out.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(out[i].task_version, i);
+  queue.close();
+  EXPECT_EQ(queue.wait_drain(out, 4), 0u);  // closed + empty => 0
+}
+
 TEST(GradientQueueTest, CloseStopsPushesAndWakesConsumer) {
   GradientQueue queue(8, 2);
   GradientJob a = job_with_version(7);

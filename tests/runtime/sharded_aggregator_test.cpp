@@ -1,0 +1,159 @@
+#include "fleet/runtime/sharded_aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fleet/stats/rng.hpp"
+#include "fleet/tensor/ops.hpp"
+
+namespace fleet::runtime {
+namespace {
+
+constexpr std::size_t kParams = 11;  // deliberately not divisible by shards
+constexpr std::size_t kClasses = 3;
+constexpr float kLr = 0.05f;
+
+learning::AsyncAggregator::Config agg_config(std::size_t k) {
+  learning::AsyncAggregator::Config cfg;
+  cfg.aggregation_k = k;
+  return cfg;
+}
+
+/// A reproducible sequence of worker updates with varied gradients,
+/// staleness and label mixes. Storage outlives the returned views.
+struct UpdateSet {
+  std::vector<std::vector<float>> gradients;
+  std::vector<learning::WorkerUpdate> updates;
+};
+
+UpdateSet make_updates(std::size_t count, std::uint64_t seed) {
+  UpdateSet set;
+  stats::Rng rng(seed);
+  set.gradients.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& grad = set.gradients.emplace_back(kParams);
+    for (float& g : grad) g = static_cast<float>(rng.gaussian(0.0, 1.0));
+    learning::WorkerUpdate update;
+    update.gradient = grad;
+    update.staleness = static_cast<double>(rng.uniform_int(0, 6));
+    update.label_dist = stats::LabelDistribution(kClasses);
+    update.label_dist.add(static_cast<int>(rng.uniform_int(0, kClasses - 1)),
+                          1 + static_cast<std::size_t>(rng.uniform_int(0, 4)));
+    update.mini_batch = 8;
+    set.updates.push_back(update);
+  }
+  return set;
+}
+
+/// Sequential reference: submit() + full-arena apply, the serial fold.
+std::vector<float> sequential_fold(const UpdateSet& set, std::size_t k,
+                                   std::vector<double>* weights = nullptr) {
+  learning::AsyncAggregator agg(kParams, kClasses, agg_config(k));
+  std::vector<float> params(kParams, 0.25f);
+  for (const auto& update : set.updates) {
+    const auto result = agg.submit(update);
+    if (weights != nullptr) weights->push_back(result.weight);
+    if (result.aggregate) {
+      tensor::axpy(-kLr, *result.aggregate, std::span<float>(params));
+    }
+  }
+  return params;
+}
+
+/// Planned + sharded fold of the same updates, split into batches of
+/// `batch` submissions per execute() call.
+std::vector<float> sharded_fold(const UpdateSet& set, std::size_t k,
+                                std::size_t shards, std::size_t batch,
+                                std::vector<double>* weights = nullptr) {
+  learning::AsyncAggregator agg(kParams, kClasses, agg_config(k));
+  std::vector<float> params(kParams, 0.25f);
+  ShardedAggregator sharded(agg, params, shards);
+  std::vector<FoldOp> plan;
+  std::size_t in_batch = 0;
+  for (const auto& update : set.updates) {
+    const auto planned = agg.plan_submit(update);
+    if (weights != nullptr) weights->push_back(planned.weight);
+    FoldOp fold;
+    fold.gradient = update.gradient;
+    fold.weight = planned.weight;
+    plan.push_back(fold);
+    if (planned.flush) {
+      FoldOp apply;
+      apply.kind = FoldOp::Kind::kFlushApply;
+      apply.learning_rate = kLr;
+      plan.push_back(apply);
+    }
+    if (++in_batch == batch) {
+      sharded.execute(plan);
+      plan.clear();
+      in_batch = 0;
+    }
+  }
+  sharded.execute(plan);  // tail batch (no-op when empty)
+  return params;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(ShardedAggregatorTest, RejectsBadConstruction) {
+  learning::AsyncAggregator agg(kParams, kClasses, agg_config(1));
+  std::vector<float> params(kParams, 0.0f);
+  EXPECT_THROW(ShardedAggregator(agg, params, 0), std::invalid_argument);
+  std::vector<float> wrong(kParams - 1, 0.0f);
+  EXPECT_THROW(ShardedAggregator(agg, wrong, 2), std::invalid_argument);
+}
+
+TEST(ShardedAggregatorTest, SpansPartitionTheArenaContiguously) {
+  learning::AsyncAggregator agg(kParams, kClasses, agg_config(1));
+  std::vector<float> params(kParams, 0.0f);
+  for (std::size_t shards : {1u, 2u, 3u, 5u, 16u}) {
+    ShardedAggregator sharded(agg, params, shards);
+    ASSERT_EQ(sharded.shard_count(), shards);
+    std::size_t cursor = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto [begin, end] = sharded.span_of(s);
+      EXPECT_EQ(begin, cursor);
+      EXPECT_LE(begin, end);
+      cursor = end;
+    }
+    EXPECT_EQ(cursor, kParams);  // every index owned exactly once
+  }
+}
+
+TEST(ShardedAggregatorTest, BitwiseIdenticalToSequentialForAnyShardCount) {
+  const UpdateSet set = make_updates(24, 7);
+  std::vector<double> seq_weights;
+  const auto reference = sequential_fold(set, /*k=*/3, &seq_weights);
+  for (std::size_t shards : {1u, 2u, 3u, 5u, 16u}) {
+    std::vector<double> weights;
+    const auto folded = sharded_fold(set, 3, shards, /*batch=*/4, &weights);
+    EXPECT_TRUE(bitwise_equal(reference, folded)) << "shards=" << shards;
+    EXPECT_EQ(weights, seq_weights) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedAggregatorTest, BitwiseIdenticalForAnyBatchSize) {
+  const UpdateSet set = make_updates(25, 13);
+  const auto reference = sequential_fold(set, /*k=*/2);
+  for (std::size_t batch : {1u, 2u, 7u, 25u, 100u}) {
+    const auto folded = sharded_fold(set, 2, /*shards=*/3, batch);
+    EXPECT_TRUE(bitwise_equal(reference, folded)) << "batch=" << batch;
+  }
+}
+
+TEST(ShardedAggregatorTest, WorkerPoolSurvivesManyBarriers) {
+  // One execute() per submission: the persistent pool must hand off and
+  // barrier correctly hundreds of times in a row.
+  const UpdateSet set = make_updates(200, 29);
+  const auto reference = sequential_fold(set, /*k=*/1);
+  const auto folded = sharded_fold(set, 1, /*shards=*/4, /*batch=*/1);
+  EXPECT_TRUE(bitwise_equal(reference, folded));
+}
+
+}  // namespace
+}  // namespace fleet::runtime

@@ -1,0 +1,121 @@
+// Determinism matrix over the concurrent serving runtime: the final model
+// of a ParallelFleet drive must be bitwise identical across every
+// {worker threads} x {aggregation shards} x {drain batch} configuration,
+// and match the sequential AsyncAggregator fold (the default runtime's
+// per-job submit() path) bit for bit. Weights are computed centrally at
+// processing time and every parameter index sees the same operation
+// sequence, so neither the shard fan-out nor the batch cadence may change
+// a single ULP.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "fleet/data/partition.hpp"
+#include "fleet/data/synthetic_images.hpp"
+#include "fleet/device/catalog.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/profiler/iprof.hpp"
+#include "fleet/profiler/training_data.hpp"
+#include "fleet/runtime/parallel_fleet.hpp"
+
+namespace fleet::runtime {
+namespace {
+
+/// FNV-1a over the raw parameter bits: two runs are "identical" only if
+/// every float matches exactly.
+std::uint64_t param_hash(std::span<const float> params) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (float value : params) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    h ^= bits;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// One dataset for the whole matrix — identical local data in every cell.
+const data::TrainTestSplit& shared_split() {
+  static const data::TrainTestSplit split = data::generate_synthetic_images([] {
+    data::SyntheticImageConfig cfg;
+    cfg.n_classes = 4;
+    cfg.n_train = 240;
+    cfg.n_test = 40;
+    return cfg;
+  }());
+  return split;
+}
+
+/// Build a fresh, identically-initialized environment and drive it for a
+/// fixed schedule; returns the final-model bit hash.
+std::uint64_t run_cell(std::size_t n_threads, std::size_t shards,
+                       std::size_t max_batch) {
+  const auto& split = shared_split();
+  auto model = nn::zoo::small_cnn(1, 14, 14, 4);
+  model->init(1);
+  auto iprof = std::make_unique<profiler::IProf>(profiler::IProf::Config{});
+  iprof->pretrain(profiler::collect_profile_dataset(
+      device::training_fleet(), profiler::IProf::Config{}.slo, 20));
+  core::ServerConfig config;
+  config.learning_rate = 0.05f;
+  RuntimeConfig runtime;
+  runtime.aggregation_shards = shards;
+  runtime.max_drain_batch = max_batch;
+  ConcurrentFleetServer server(*model, std::move(iprof), config, runtime);
+
+  stats::Rng rng(2);
+  const auto partition = data::partition_iid(split.train.size(), 6, rng);
+  const auto fleet = device::lab_fleet();
+  std::vector<core::FleetWorker> workers;
+  for (std::size_t u = 0; u < partition.size(); ++u) {
+    auto replica = nn::zoo::small_cnn(1, 14, 14, 4);
+    replica->init(1);
+    workers.emplace_back(static_cast<int>(u), std::move(replica), split.train,
+                         partition[u], device::spec(fleet[u % fleet.size()]),
+                         100 + u);
+  }
+
+  ParallelFleet::Config cfg;
+  cfg.n_threads = n_threads;
+  cfg.rounds = 4;
+  cfg.max_arrival_delay = 2;
+  cfg.dropout_prob = 0.2;  // churn: some computed gradients never arrive
+  cfg.seed = 11;
+  ParallelFleet driver(server, workers, cfg);
+  const auto stats = driver.run();
+  EXPECT_GT(stats.gradients_submitted, 0u);
+  EXPECT_EQ(stats.runtime.processed, stats.gradients_submitted);
+  server.stop();
+  return param_hash(model->parameters_view());
+}
+
+TEST(DeterminismMatrixTest, FinalModelInvariantAcrossThreadsShardsBatches) {
+  // Baseline: one driver thread, the sequential AsyncAggregator fold
+  // (shards = 1), unbatched drains — the PR-2 reference path.
+  const std::uint64_t baseline = run_cell(1, 1, 0);
+
+  std::map<std::string, std::uint64_t> mismatches;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t shards : {1u, 2u, 4u}) {
+      for (const std::size_t batch : {1u, 8u, 32u}) {
+        const std::uint64_t h = run_cell(threads, shards, batch);
+        if (h != baseline) {
+          mismatches["threads=" + std::to_string(threads) +
+                     " shards=" + std::to_string(shards) +
+                     " batch=" + std::to_string(batch)] = h;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(mismatches.empty()) << [&] {
+    std::string report = "cells diverging from the sequential baseline:";
+    for (const auto& [cell, hash] : mismatches) {
+      report += "\n  " + cell + " -> " + std::to_string(hash);
+    }
+    return report;
+  }();
+}
+
+}  // namespace
+}  // namespace fleet::runtime
