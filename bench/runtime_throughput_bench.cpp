@@ -19,11 +19,17 @@
 // fold plus a full model apply — the fold arithmetic dominates — and the
 // shard sweep {1,2,4} measures how the span-partitioned fold scales.
 //
+// A third section sweeps tenancy (DESIGN.md §7): {1,2,4} models registered
+// on one shared host, one producer per model in the same aggregation-bound
+// regime — per-model and aggregate gradients/sec as tenants are added.
+//
 // Emits BENCH_runtime.json (gradients/sec vs thread count 1/2/4/8, plus
-// aggregation throughput vs shard count 1/2/4).
+// aggregation throughput vs shard count 1/2/4, plus the multi-tenant
+// model sweep 1/2/4).
 #include <chrono>
 #include <iostream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -222,6 +228,74 @@ double run_sharded(std::size_t shards, std::size_t total_gradients) {
   return grads_per_second(start, stop, processed);
 }
 
+/// Multi-tenant sweep (DESIGN.md §7): N models registered on ONE host,
+/// one producer per model replaying a pre-computed gradient into its own
+/// session at K = 1 (fold + apply + publish per gradient, the
+/// aggregation-bound scenario above) — measures how the shared queue,
+/// aggregation thread and fold pool carry added tenants. Returns
+/// {aggregate grads/s, mean per-model grads/s}.
+std::pair<double, double> run_multitenant(std::size_t n_models,
+                                          std::size_t total_gradients) {
+  fleet::core::ServerConfig config;
+  config.aggregator.aggregation_k = 1;
+  fleet::runtime::RuntimeConfig runtime;
+  runtime.queue_capacity = 1024;
+  runtime.queue_shards = n_models;
+  runtime.aggregation_shards = 2;
+  runtime.max_drain_batch = 64;
+  fleet::runtime::ConcurrentFleetServer host(runtime);
+
+  std::vector<std::unique_ptr<fleet::nn::Sequential>> models;
+  std::vector<fleet::core::ModelId> ids;
+  std::vector<std::vector<float>> templates;
+  for (std::size_t m = 0; m < n_models; ++m) {
+    models.push_back(fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses));
+    models.back()->init(1 + m);
+    ids.push_back(host.register_model(*models.back(), pretrained_iprof(),
+                                      config));
+    auto replica = fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses);
+    replica->init(100 + m);
+    LocalBatch local = make_batch(99, m);
+    auto& gradient = templates.emplace_back();
+    replica->load_parameters(models.back()->parameters_view());
+    replica->gradient(local.batch, gradient);
+  }
+  const LocalBatch label_source = make_batch(99, 0);
+  const std::size_t per_model = total_gradients / n_models;
+
+  const auto start = Clock::now();
+  std::vector<std::thread> producers;
+  for (std::size_t m = 0; m < n_models; ++m) {
+    producers.emplace_back([&, m] {
+      fleet::runtime::GradientJob job;
+      for (std::size_t g = 0; g < per_model; ++g) {
+        job.model_id = ids[m];
+        job.task_version = host.current(ids[m]).version;
+        job.gradient = templates[m];  // one memcpy: the producer's only work
+        job.label_dist = label_source.label_dist;
+        job.mini_batch = kBatchSize;
+        while (!host.try_submit(job).accepted) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  host.drain();
+  const auto stop = Clock::now();
+
+  std::size_t processed = 0;
+  double per_model_rate_sum = 0.0;
+  for (const auto id : ids) {
+    const std::size_t p = host.stats(id).processed;
+    processed += p;
+    per_model_rate_sum += grads_per_second(start, stop, p);
+  }
+  host.stop();
+  return {grads_per_second(start, stop, processed),
+          per_model_rate_sum / static_cast<double>(n_models)};
+}
+
 }  // namespace
 
 int main() {
@@ -273,6 +347,24 @@ int main() {
     report.metric("shards_" + std::to_string(shards) + "_grads_per_s", rate);
   }
   report.metric("sharded_speedup_4s_vs_1s", sharded_at4 / sharded_at1);
+
+  bench::header("Multi-tenant host throughput (K=1, " + std::to_string(total) +
+                " gradients/config, 1 producer/model, shared host)");
+  double tenant_at1 = 0.0;
+  for (const std::size_t models : {1u, 2u, 4u}) {
+    const auto [aggregate, per_model] = run_multitenant(models, total);
+    if (models == 1) tenant_at1 = aggregate;
+    bench::row({"models x" + std::to_string(models),
+                bench::fmt(aggregate, 1) + " grads/s aggregate, " +
+                    bench::fmt(per_model, 1) + " grads/s/model  (" +
+                    bench::fmt(models == 1 ? 1.0 : aggregate / tenant_at1, 2) +
+                    "x single-tenant)"});
+    report.metric("models_" + std::to_string(models) + "_grads_per_s",
+                  aggregate);
+    report.metric(
+        "models_" + std::to_string(models) + "_per_model_grads_per_s",
+        per_model);
+  }
 
   report.write("BENCH_runtime.json");
   std::cout << "\nwrote BENCH_runtime.json\n";

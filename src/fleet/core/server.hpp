@@ -13,6 +13,14 @@
 
 namespace fleet::core {
 
+/// Identifies one learning task (model + profiler + controller + AdaSGD
+/// state) on a multi-tenant server. The single-model serial `FleetServer`
+/// always serves `kDefaultModelId`; `runtime::ConcurrentFleetServer` hosts
+/// many ids side by side (DESIGN.md §7) and every assignment, gradient and
+/// receipt carries the id it belongs to.
+using ModelId = std::size_t;
+inline constexpr ModelId kDefaultModelId = 0;
+
 /// What the server hands a worker for one learning task (Fig 2, steps 2-4).
 /// The model snapshot theta^(t_i) is a shared handle into the server's
 /// ModelStore: every worker assigned at the same logical clock value holds
@@ -20,6 +28,7 @@ namespace fleet::core {
 struct TaskAssignment {
   bool accepted = false;
   std::string reject_reason;
+  ModelId model_id = kDefaultModelId;  // learning task this assignment is for
   std::size_t model_version = 0;   // logical clock t_i the task starts from
   std::size_t mini_batch = 0;      // I-Prof's workload bound
   ModelStore::Snapshot snapshot;   // shared model snapshot theta^(t_i)
@@ -38,6 +47,7 @@ struct GradientReceipt {
   /// (backpressure, DESIGN.md §6) and the gradient never touches the model.
   bool accepted = true;
   std::string reject_reason;
+  ModelId model_id = kDefaultModelId;  // learning task the gradient targeted
   /// Meaningful only when !accepted: true for transient conditions (queue
   /// backpressure) where resubmitting the same job can succeed, false for
   /// permanent ones (validation failure, server shut down) where retrying

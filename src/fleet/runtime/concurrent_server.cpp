@@ -5,103 +5,104 @@
 
 namespace fleet::runtime {
 
-ConcurrentFleetServer::ConcurrentFleetServer(
-    nn::TrainableModel& model, std::unique_ptr<profiler::Profiler> profiler,
-    const core::ServerConfig& config, const RuntimeConfig& runtime)
-    : model_(model),
-      profiler_(std::move(profiler)),
-      config_(config),
-      trace_capacity_(runtime.trace_capacity),
+ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
+    : trace_capacity_(runtime.trace_capacity),
       max_drain_batch_(runtime.max_drain_batch),
-      controller_(config.controller),
-      aggregator_(model.parameter_count(), model.n_classes(),
-                  config.aggregator),
-      store_(config.snapshot_window),
       queue_(runtime.queue_capacity, runtime.queue_shards),
       paused_(runtime.start_paused) {
-  if (profiler_ == nullptr) {
-    throw std::invalid_argument("ConcurrentFleetServer: null profiler");
-  }
   if (runtime.aggregation_shards == 0) {
     throw std::invalid_argument(
         "ConcurrentFleetServer: aggregation_shards must be >= 1");
   }
   if (runtime.aggregation_shards > 1) {
-    sharded_ = std::make_unique<ShardedAggregator>(
-        aggregator_, model_.parameters_mut(), runtime.aggregation_shards);
+    sharded_ = std::make_unique<ShardedAggregator>(runtime.aggregation_shards);
   }
-  // Materialize and publish version 0 before any thread can observe the
-  // server, so handle_request never sees an empty store.
-  publish_version(0);
   aggregation_thread_ = std::thread([this] { aggregation_loop(); });
+}
+
+ConcurrentFleetServer::ConcurrentFleetServer(
+    nn::TrainableModel& model, std::unique_ptr<profiler::Profiler> profiler,
+    const core::ServerConfig& config, const RuntimeConfig& runtime)
+    : ConcurrentFleetServer(runtime) {
+  register_model(model, std::move(profiler), config);
 }
 
 ConcurrentFleetServer::~ConcurrentFleetServer() { stop(); }
 
-void ConcurrentFleetServer::publish_version(std::size_t version) {
-  // Aggregation thread only (plus the constructor, before the thread
-  // exists): one bulk copy out of the parameter arena, then an atomic
-  // handle swap that request threads pick up lock-free.
-  const auto view = model_.parameters_view();
-  auto snapshot = store_.publish(
-      version, core::ModelStore::Buffer(view.begin(), view.end()));
-  current_.store(std::make_shared<const VersionedSnapshot>(
-      VersionedSnapshot{version, std::move(snapshot)}));
+core::ModelId ConcurrentFleetServer::register_model(
+    nn::TrainableModel& model, std::unique_ptr<profiler::Profiler> profiler,
+    const core::ServerConfig& config) {
+  const core::ModelId id =
+      next_model_id_.fetch_add(1, std::memory_order_relaxed);
+  // The session publishes its version-0 snapshot in its constructor,
+  // before it becomes visible in the registry — a request thread that can
+  // find the session never sees an empty store.
+  registry_.add(std::make_shared<ModelSession>(
+      id, model, std::move(profiler), config, trace_capacity_));
+  return id;
 }
 
-ConcurrentFleetServer::VersionedSnapshot ConcurrentFleetServer::current()
-    const {
-  const auto record = current_.load();
-  return *record;  // copies {version, shared handle}; the buffer is shared
+bool ConcurrentFleetServer::retire_model(core::ModelId id) {
+  return registry_.retire(id) != nullptr;
+}
+
+std::shared_ptr<ModelSession> ConcurrentFleetServer::require(
+    core::ModelId id) const {
+  auto session = registry_.lookup(id);
+  if (session == nullptr) {
+    throw std::out_of_range(
+        "ConcurrentFleetServer: unknown or retired model id");
+  }
+  return session;
+}
+
+ConcurrentFleetServer::VersionedSnapshot ConcurrentFleetServer::current(
+    core::ModelId id) const {
+  return require(id)->current();
+}
+
+std::size_t ConcurrentFleetServer::version(core::ModelId id) const {
+  return require(id)->version();
+}
+
+core::TaskAssignment ConcurrentFleetServer::handle_request(
+    core::ModelId id, const profiler::DeviceFeatures& features,
+    const std::string& device_model,
+    const stats::LabelDistribution& label_info) {
+  auto session = registry_.lookup(id);
+  if (session == nullptr) {
+    core::TaskAssignment assignment;
+    assignment.accepted = false;
+    assignment.model_id = id;
+    assignment.reject_reason = "unknown or retired model";
+    return assignment;
+  }
+  return session->handle_request(features, device_model, label_info);
 }
 
 core::TaskAssignment ConcurrentFleetServer::handle_request(
     const profiler::DeviceFeatures& features, const std::string& device_model,
     const stats::LabelDistribution& label_info) {
-  core::TaskAssignment assignment;
-  std::size_t bound = 0;
-  {
-    std::lock_guard<std::mutex> lock(profiler_mu_);
-    bound = profiler_->predict_batch(features, device_model);
-  }
-  const double similarity = aggregator_.similarity_of(label_info);
-  core::Controller::Decision decision;
-  {
-    std::lock_guard<std::mutex> lock(controller_mu_);
-    decision = controller_.admit(bound, similarity);
-  }
-  if (!decision.admitted) {
-    assignment.accepted = false;
-    assignment.reject_reason = decision.reason;
-    return assignment;
-  }
-  const VersionedSnapshot record = current();
-  assignment.accepted = true;
-  assignment.model_version = record.version;
-  assignment.mini_batch = bound;
-  assignment.snapshot = record.snapshot;
-  return assignment;
+  return handle_request(core::kDefaultModelId, features, device_model,
+                        label_info);
 }
 
 core::GradientReceipt ConcurrentFleetServer::try_submit(GradientJob& job) {
   core::GradientReceipt receipt;
+  receipt.model_id = job.model_id;
+  auto session = registry_.lookup(job.model_id);
+  if (session == nullptr) {
+    receipt.accepted = false;
+    receipt.reject_reason = "unknown or retired model";
+    return receipt;
+  }
   // Malformed payloads are refused at admission: past this point the job
   // is processed on the aggregation thread, where a throw would take the
   // whole process down instead of surfacing to the caller. Every input
   // the downstream components throw on must be screened here.
-  if (job.gradient.size() != model_.parameter_count()) {
+  if (const char* reason = session->validate(job)) {
     receipt.accepted = false;
-    receipt.reject_reason = "gradient size mismatch";
-    return receipt;
-  }
-  if (job.label_dist.n_classes() != model_.n_classes()) {
-    receipt.accepted = false;
-    receipt.reject_reason = "label distribution class count mismatch";
-    return receipt;
-  }
-  if (job.feedback.has_value() && job.feedback->mini_batch == 0) {
-    receipt.accepted = false;
-    receipt.reject_reason = "profiler feedback without mini-batch";
+    receipt.reject_reason = reason;
     return receipt;
   }
   if (!queue_.try_push(job)) {
@@ -114,115 +115,42 @@ core::GradientReceipt ConcurrentFleetServer::try_submit(GradientJob& job) {
     }
     return receipt;
   }
+  session->note_submitted();
   accepted_.fetch_add(1, std::memory_order_acq_rel);
   receipt.accepted = true;
-  receipt.version = version_.load(std::memory_order_acquire);
+  receipt.version = session->version();
   return receipt;
-}
-
-std::optional<ConcurrentFleetServer::Admitted> ConcurrentFleetServer::screen(
-    const GradientJob& job) {
-  Admitted admitted;
-  admitted.now = version_.load(std::memory_order_relaxed);
-  if (job.task_version > admitted.now) {
-    // A job can only legitimately carry a version it observed from
-    // current(), so a future version is a producer bug; drop it rather
-    // than poisoning the logical clock.
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.invalid_jobs;
-    return std::nullopt;
-  }
-  // tau_i = t - t_i against the clock at *processing* time (Eq. 3) — the
-  // queue delays the gradient, and the staleness reflects that delay
-  // exactly, same as the serial server's logical clock. On the sharded
-  // path "processing" is planning: the clock advances as flush points are
-  // planned, so later jobs in the same batch observe every update earlier
-  // ones produced — exactly the sequential schedule.
-  admitted.staleness = static_cast<double>(admitted.now - job.task_version);
-  return admitted;
-}
-
-namespace {
-learning::WorkerUpdate update_from(const GradientJob& job, double staleness) {
-  learning::WorkerUpdate update;
-  update.gradient = std::span<const float>(job.gradient);
-  update.staleness = staleness;
-  update.label_dist = job.label_dist;
-  update.mini_batch = job.mini_batch;
-  return update;
-}
-}  // namespace
-
-void ConcurrentFleetServer::record_processed(const GradientJob& job,
-                                             double staleness, double weight,
-                                             bool updated) {
-  if (job.feedback.has_value()) {
-    std::lock_guard<std::mutex> lock(profiler_mu_);
-    profiler_->observe(*job.feedback);
-  }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.processed;
-  if (updated) ++stats_.model_updates;
-  if (stats_.staleness_values.size() < trace_capacity_) {
-    stats_.staleness_values.push_back(staleness);
-    stats_.weights.push_back(weight);
-  } else {
-    stats_.traces_truncated = true;  // counters stay exact past the cap
-  }
-}
-
-void ConcurrentFleetServer::process(GradientJob&& job) {
-  const auto admitted = screen(job);
-  if (!admitted) return;
-  const learning::SubmitResult result =
-      aggregator_.submit(update_from(job, admitted->staleness));
-
-  bool updated = false;
-  if (result.aggregate) {
-    model_.apply_gradient(*result.aggregate, config_.learning_rate);
-    // The logical clock advances immediately (staleness must see every
-    // update), but snapshot materialization is batched: the aggregation
-    // loop publishes once per drain batch, since versions consumed mid-
-    // batch were never observable to request threads anyway.
-    version_.store(admitted->now + 1, std::memory_order_release);
-    updated = true;
-  }
-  record_processed(job, admitted->staleness, result.weight, updated);
-}
-
-void ConcurrentFleetServer::plan_process(GradientJob& job,
-                                         std::vector<FoldOp>& plan) {
-  const auto admitted = screen(job);
-  if (!admitted) return;  // dropped jobs never enter the plan
-  const learning::PlannedSubmit planned =
-      aggregator_.plan_submit(update_from(job, admitted->staleness));
-
-  FoldOp fold;
-  fold.kind = FoldOp::Kind::kFold;
-  fold.gradient = std::span<const float>(job.gradient);
-  fold.weight = planned.weight;
-  plan.push_back(fold);
-
-  bool updated = false;
-  if (planned.flush) {
-    FoldOp apply;
-    apply.kind = FoldOp::Kind::kFlushApply;
-    apply.learning_rate = config_.learning_rate;
-    plan.push_back(apply);
-    // The logical clock advances at the planned flush, before the shards
-    // run the arithmetic — legal because the version only becomes
-    // observable-with-parameters at publication, which waits for the
-    // barrier, while staleness must see every planned update immediately.
-    version_.store(admitted->now + 1, std::memory_order_release);
-    updated = true;
-  }
-  record_processed(job, admitted->staleness, planned.weight, updated);
 }
 
 void ConcurrentFleetServer::aggregation_loop() {
   std::vector<GradientJob> batch;
-  std::vector<FoldOp> plan;
-  std::size_t published_version = 0;  // constructor published version 0
+  /// Per-batch demultiplexed state: one slot per session that appears in
+  /// the batch, in first-appearance order. The session set per batch is
+  /// tiny (tenant count, not job count), so a linear id scan beats a map.
+  struct SessionSlot {
+    std::shared_ptr<ModelSession> session;
+    std::vector<FoldOp> plan;  // sharded path only
+  };
+  std::vector<SessionSlot> slots;
+  // Resolve a job's session via the batch's slots first — one registry
+  // lookup per (session, batch), not per job, keeps the fold path off the
+  // directory's read lock that request threads contend on. nullptr means
+  // the id is unknown/retired (a registry miss is re-probed per job, but
+  // that only happens on the rare retired-backlog path).
+  auto slot_for = [&](core::ModelId id) -> SessionSlot* {
+    for (SessionSlot& slot : slots) {
+      if (slot.session->id() == id) return &slot;
+    }
+    auto session = registry_.lookup(id);
+    if (session == nullptr) return nullptr;
+    slots.push_back(SessionSlot{std::move(session), {}});
+    return &slots.back();
+  };
+  // `slots` and `batch` are cleared at the END of each iteration, before
+  // the idle wait: holding a SessionSlot's shared_ptr across wait_drain
+  // would pin a just-retired session's O(|theta| * window) state until
+  // some other model's gradient arrived.
+
   while (true) {
     // Batch-granular pause gate: parked here, submits still queue up.
     {
@@ -231,7 +159,6 @@ void ConcurrentFleetServer::aggregation_loop() {
         return !paused_.load(std::memory_order_acquire) || queue_.closed();
       });
     }
-    batch.clear();
     const std::size_t taken = queue_.wait_drain(batch, max_drain_batch_);
     if (taken == 0) break;  // closed and fully drained
     // Second gate: a pause() issued while this thread was blocked inside
@@ -243,31 +170,48 @@ void ConcurrentFleetServer::aggregation_loop() {
         return !paused_.load(std::memory_order_acquire) || queue_.closed();
       });
     }
+    // Demultiplex the batch in global admission-ticket order. Each job's
+    // order-sensitive bookkeeping runs against its own session as it is
+    // reached, so per session the processing order is exactly the
+    // session's own admission order — what a solo server would see.
+    // Retired ids miss the registry lookup and are dropped, counted, and
+    // never folded (their drain accounting rides on `taken`).
     if (sharded_ != nullptr) {
-      // Sharded hierarchical fold: walk the batch in admission order doing
-      // every order-sensitive decision centrally (staleness against the
-      // live clock, dampened weight, flush points, profiler feedback),
-      // then fan the recorded arithmetic across the shard workers and
-      // barrier before publication. The plan's gradient spans point into
-      // `batch`, which stays alive until the next drain.
-      plan.clear();
+      // Sharded hierarchical fold: plan every job centrally (staleness
+      // against its session's live clock, dampened weight, flush points,
+      // profiler feedback), then fan each session's recorded arithmetic
+      // across the shared shard workers and barrier before publication.
+      // Plans' gradient spans point into `batch`, which stays alive until
+      // the next drain.
       for (GradientJob& job : batch) {
-        plan_process(job, plan);
+        SessionSlot* slot = slot_for(job.model_id);
+        if (slot == nullptr) {
+          retired_drops_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        slot->session->plan_process(job, slot->plan);
       }
-      sharded_->execute(plan);
+      for (SessionSlot& slot : slots) {
+        if (!slot.plan.empty()) {
+          sharded_->execute(slot.session->fold_context(), slot.plan);
+        }
+      }
     } else {
       for (GradientJob& job : batch) {
-        process(std::move(job));
+        SessionSlot* slot = slot_for(job.model_id);
+        if (slot == nullptr) {
+          retired_drops_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        slot->session->process(std::move(job));
       }
     }
-    // One snapshot materialization per drain batch, however many updates
-    // it applied — under load this amortizes the O(|theta|) copy across
-    // the whole backlog.
-    const std::size_t version_now = version_.load(std::memory_order_relaxed);
-    if (version_now != published_version) {
-      publish_version(version_now);
-      published_version = version_now;
-    }
+    // One snapshot materialization per dirty session per drain batch,
+    // however many updates it applied — under load this amortizes the
+    // O(|theta|) copy across the whole backlog.
+    for (SessionSlot& slot : slots) slot.session->publish_if_dirty();
+    slots.clear();
+    batch.clear();
     processed_or_dropped_.fetch_add(taken, std::memory_order_acq_rel);
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
@@ -285,7 +229,7 @@ void ConcurrentFleetServer::drain() {
   // even after close(): the queue's close fence guarantees an accepted
   // push is visible to the aggregation thread's final sweep. No
   // closed-queue escape clause — it would let drain() return mid-batch,
-  // before the counters (and the model) settle.
+  // before the counters (and the models) settle.
   std::unique_lock<std::mutex> lock(drain_mu_);
   drain_cv_.wait(lock, [this] {
     return processed_or_dropped_.load(std::memory_order_acquire) >=
@@ -312,13 +256,26 @@ void ConcurrentFleetServer::stop() {
   if (aggregation_thread_.joinable()) aggregation_thread_.join();
 }
 
-RuntimeStats ConcurrentFleetServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  RuntimeStats snapshot = stats_;
-  snapshot.submitted = accepted_.load(std::memory_order_acquire);
+RuntimeStats ConcurrentFleetServer::host_stats() const {
   // The queue is the single source of truth for capacity rejections — the
-  // reject path stays free of the stats lock.
+  // reject path stays free of any stats lock — and the occupancy gauges
+  // are read shard by shard (each exact, the vector not one atomic cut;
+  // see GradientQueue::shard_depths()).
+  RuntimeStats snapshot;
   snapshot.backpressure_rejects = queue_.rejected();
+  snapshot.retired_drops = retired_drops_.load(std::memory_order_acquire);
+  snapshot.queue_depth = queue_.depth();
+  snapshot.queue_shard_depths = queue_.shard_depths();
+  return snapshot;
+}
+
+RuntimeStats ConcurrentFleetServer::stats(core::ModelId id) const {
+  RuntimeStats snapshot = require(id)->stats();
+  const RuntimeStats host = host_stats();
+  snapshot.backpressure_rejects = host.backpressure_rejects;
+  snapshot.retired_drops = host.retired_drops;
+  snapshot.queue_depth = host.queue_depth;
+  snapshot.queue_shard_depths = host.queue_shard_depths;
   return snapshot;
 }
 

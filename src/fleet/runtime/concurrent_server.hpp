@@ -4,97 +4,94 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <thread>
 #include <vector>
 
-#include "fleet/core/atomic_shared.hpp"
 #include "fleet/core/server.hpp"
 #include "fleet/runtime/gradient_queue.hpp"
+#include "fleet/runtime/model_registry.hpp"
+#include "fleet/runtime/model_session.hpp"
 #include "fleet/runtime/sharded_aggregator.hpp"
 
 namespace fleet::runtime {
 
-/// Knobs for the concurrent serving runtime.
+/// Knobs for the concurrent serving runtime. All of these are host-wide:
+/// the ingest queue, its capacity, the fold pool and the drain cadence are
+/// shared by every registered model, while each ModelSession brings its
+/// own `core::ServerConfig`.
 struct RuntimeConfig {
-  /// Global bound on queued-but-unprocessed gradients. Once full, submits
-  /// are rejected (backpressure) instead of growing an unbounded backlog.
+  /// Global bound on queued-but-unprocessed gradients, across all models.
+  /// Once full, submits are rejected (backpressure) instead of growing an
+  /// unbounded backlog.
   std::size_t queue_capacity = 4096;
   /// Independently locked ingest shards (see GradientQueue).
   std::size_t queue_shards = 8;
-  /// Cap on the per-gradient trace vectors in RuntimeStats (staleness,
-  /// weights) — a long-lived server must not grow memory per gradient
-  /// forever, and stats() copies the traces under the same lock the
-  /// aggregation thread takes per job, so the cap also bounds how long a
-  /// monitoring poll can stall ingest. Counters keep counting past the
-  /// cap; RuntimeStats::traces_truncated records that the traces stopped.
+  /// Cap on the per-gradient trace vectors in each session's RuntimeStats
+  /// (staleness, weights) — a long-lived server must not grow memory per
+  /// gradient forever. Counters keep counting past the cap;
+  /// RuntimeStats::traces_truncated records that the traces stopped.
   std::size_t trace_capacity = 1u << 16;
   /// Start with the aggregation thread parked (resume() arms it). Lets
   /// tests and benches stage a backlog deterministically.
   bool start_paused = false;
   /// Fold threads for the sharded hierarchical aggregation (DESIGN.md §6):
-  /// the parameter arena is split into this many contiguous spans and a
-  /// drain batch's weighted fold fans out across them, one worker per
-  /// span, behind a barrier. 1 keeps the fold inline on the aggregation
-  /// thread (the PR-2 sequential path). Any value yields a bitwise
-  /// identical model — weights are computed centrally and every parameter
-  /// index sees the same operation sequence.
+  /// each session's parameter arena is split into this many contiguous
+  /// spans and a drain batch's weighted fold fans out across them, one
+  /// worker per span, behind a barrier. The pool is shared by every
+  /// session (one session's plan at a time). 1 keeps the fold inline on
+  /// the aggregation thread (the PR-2 sequential path). Any value yields a
+  /// bitwise identical model per session — weights are computed centrally
+  /// and every parameter index sees the same operation sequence.
   std::size_t aggregation_shards = 1;
   /// Cap on how many jobs one queue drain hands the aggregation loop
   /// (0 = take everything). Batches are exact admission-order prefixes
-  /// (ticket-ordered), so batching changes snapshot-publication cadence
-  /// and fold fan-out granularity, never the fold sequence or staleness.
+  /// (ticket-ordered) across all models, so batching changes snapshot-
+  /// publication cadence and fold fan-out granularity, never any session's
+  /// fold sequence or staleness.
   std::size_t max_drain_batch = 0;
 };
 
-/// Counters and traces maintained by the aggregation thread (plus the
-/// admission-side backpressure counter). A stats() snapshot is internally
-/// consistent because the trace vectors are only appended under the same
-/// lock the snapshot takes.
-struct RuntimeStats {
-  std::size_t submitted = 0;    ///< jobs accepted into the queue
-  std::size_t processed = 0;    ///< jobs folded into the aggregator
-  std::size_t model_updates = 0;
-  std::size_t backpressure_rejects = 0;  ///< submits refused: queue full
-  std::size_t invalid_jobs = 0;  ///< task_version from the future (dropped)
-  std::vector<double> staleness_values;  ///< tau per processed gradient
-  std::vector<double> weights;           ///< applied dampening weights
-  /// True once the traces above hit RuntimeConfig::trace_capacity and
-  /// stopped recording (the counters are still exact).
-  bool traces_truncated = false;
-};
-
-/// Thread-safe facade over the FLeet server components (DESIGN.md §6): the
-/// same profiler + controller + AdaSGD aggregator + ModelStore as
-/// `core::FleetServer`, re-arranged for real hardware parallelism.
+/// Multi-tenant serving host (DESIGN.md §7): many learning tasks — each a
+/// `ModelSession` owning its model, profiler, controller, AdaSGD state,
+/// snapshot cell and logical clock — served behind ONE bounded ingest
+/// queue, ONE aggregation thread and ONE shared sharded fold pool.
+/// Sessions are registered and retired by `core::ModelId`; the id→session
+/// lookup on the request path is a lock-free copy-on-write directory
+/// (ModelRegistry).
 ///
 /// Threading model:
-///  - `handle_request` may be called from any number of request threads.
-///    The model snapshot is served by one atomic handle acquisition: the
-///    current (version, snapshot) record lives in a core::AtomicSharedPtr
-///    cell — a constant-time copy under a one-byte spinlock (not formally
-///    lock-free; see that header for the trade-off), published by the
-///    aggregation thread. Profiler and controller state sit behind their
-///    own fine-grained locks (they are order-sensitive but cheap);
-///    similarity is read under the aggregator's lock.
-///  - `try_submit` is the MPSC producer side: it moves the worker's owned
-///    gradient buffer into the bounded GradientQueue, or rejects with a
-///    backpressure `GradientReceipt` when the queue is full.
-///  - One aggregation thread drains the queue and performs every
-///    order-sensitive mutation: staleness (computed against the logical
-///    clock at processing time, so tau stays exact under queueing), AdaSGD
-///    dampening and accumulation, the model update, snapshot publication
-///    and profiler feedback. AdaSGD's sequential update semantics are
-///    preserved by construction — there is exactly one updater.
-///    With RuntimeConfig::aggregation_shards > 1 the *arithmetic* of the
-///    fold additionally fans out across span-sharded worker threads
-///    (ShardedAggregator): the aggregation thread still decides every
-///    weight, flush point and clock tick centrally, in admission order,
-///    then the shards execute the batch's fold plan behind a barrier
-///    before the single batched snapshot publication — bitwise identical
-///    to the sequential fold for any shard count and batch size.
+///  - `handle_request(id, ...)` may be called from any number of request
+///    threads: one registry lookup, then the session's own fine-grained
+///    locks (profiler/controller) and its atomic snapshot record.
+///  - `try_submit` is the MPSC producer side: the job is validated against
+///    its session and moved into the shared GradientQueue under a global
+///    admission ticket, or rejected with backpressure when the queue is
+///    full. Tickets are global across models, so a drain batch is an exact
+///    admission-order prefix of everything submitted.
+///  - One aggregation thread drains the queue and demultiplexes each batch
+///    by ModelId, walking it in global ticket order: each job's
+///    order-sensitive bookkeeping (staleness against its session's clock,
+///    dampening, K-boundary, profiler feedback) runs against its own
+///    session, then per-session fold plans execute on the shared span
+///    workers and each dirty session publishes one snapshot. A session's
+///    jobs keep their relative admission order, its clock only moves with
+///    its own updates, and its weights/fold order/staleness are therefore
+///    bitwise identical to a solo single-model server fed the same
+///    sequence — for any shard count and drain-batch size (DESIGN.md §7).
+///    Jobs whose session was retired while they sat in the queue are
+///    dropped and counted (RuntimeStats::retired_drops), never folded.
+///
+/// The single-model API of PR 2/3 (construct with a model, call
+/// handle_request/try_submit/stats() without an id) is preserved as a thin
+/// shim over a one-session registry under `core::kDefaultModelId`.
 class ConcurrentFleetServer {
  public:
+  /// Multi-tenant host: starts with no sessions; register_model() adds
+  /// them (the aggregation thread idles until jobs arrive).
+  explicit ConcurrentFleetServer(const RuntimeConfig& runtime = {});
+
+  /// Single-model shim: a host with `model` registered as
+  /// core::kDefaultModelId, serving the PR-2/3 API unchanged.
   ConcurrentFleetServer(nn::TrainableModel& model,
                         std::unique_ptr<profiler::Profiler> profiler,
                         const core::ServerConfig& config,
@@ -104,42 +101,76 @@ class ConcurrentFleetServer {
   ConcurrentFleetServer(const ConcurrentFleetServer&) = delete;
   ConcurrentFleetServer& operator=(const ConcurrentFleetServer&) = delete;
 
-  /// Steps 1-4 of the protocol, callable from any thread. The snapshot
-  /// handle is acquired with a single constant-time atomic record copy.
+  /// Register a learning task; returns its id (consecutive from
+  /// core::kDefaultModelId). Callable while serving. The caller keeps
+  /// `model` alive until the session is retired and the host drained, or
+  /// until stop().
+  core::ModelId register_model(nn::TrainableModel& model,
+                               std::unique_ptr<profiler::Profiler> profiler,
+                               const core::ServerConfig& config);
+
+  /// Retire a task: subsequent requests and submits for the id are
+  /// rejected (non-retryable), and queued gradients whose id no longer
+  /// resolves when the aggregation loop reaches them are dropped and
+  /// counted (RuntimeStats::retired_drops), never folded. The cut is
+  /// batch-granular: the loop resolves each id once per drain batch, so
+  /// jobs of a batch already being processed when retire() lands may
+  /// still fold. For a clean cut, retire while the host is paused (or
+  /// producers are quiesced past a drain()) — and as with model(), do not
+  /// touch the retired model's parameters until a subsequent drain() or
+  /// stop(). Returns false when the id was never registered (or already
+  /// retired). The session object itself stays alive while any request
+  /// thread still holds its shared_ptr.
+  bool retire_model(core::ModelId id);
+
+  /// The session registered under `id`, or nullptr. Sessions expose the
+  /// per-task accessors (store/aggregator/controller/model/stats).
+  std::shared_ptr<ModelSession> session(core::ModelId id) const {
+    return registry_.lookup(id);
+  }
+
+  /// Currently registered ids, ascending.
+  std::vector<core::ModelId> model_ids() const { return registry_.ids(); }
+
+  /// Steps 1-4 of the protocol for one task, callable from any thread.
+  /// Unknown/retired ids yield a rejected assignment.
+  core::TaskAssignment handle_request(
+      core::ModelId id, const profiler::DeviceFeatures& features,
+      const std::string& device_model,
+      const stats::LabelDistribution& label_info);
+  /// Single-model shim: the default session's handle_request.
   core::TaskAssignment handle_request(
       const profiler::DeviceFeatures& features,
       const std::string& device_model,
       const stats::LabelDistribution& label_info);
 
-  /// The current (version, snapshot) pair as one consistent record —
-  /// the fast path under the request handler, public for benches/drivers
-  /// that manage admission themselves.
-  struct VersionedSnapshot {
-    std::size_t version = 0;
-    core::ModelStore::Snapshot snapshot;
-  };
-  VersionedSnapshot current() const;
+  using VersionedSnapshot = ModelSession::VersionedSnapshot;
+  /// The task's current (version, snapshot) record — the fast path under
+  /// the request handler. Throws std::out_of_range for unknown ids.
+  VersionedSnapshot current(core::ModelId id) const;
+  VersionedSnapshot current() const { return current(core::kDefaultModelId); }
 
-  /// Step 5, asynchronous: move the job into the ingest queue. On success
-  /// `job` is consumed and the returned receipt only acknowledges admission
-  /// (`accepted=true`, `version` = clock at enqueue); the gradient's actual
-  /// weight/staleness land in stats() once the aggregation thread processes
-  /// it. On backpressure `job` is left intact (callers may retry) and the
-  /// receipt carries `accepted=false` and a reject_reason.
+  /// Step 5, asynchronous: route `job` to its session (job.model_id) and
+  /// move it into the shared ingest queue. On success `job` is consumed
+  /// and the receipt only acknowledges admission (`accepted=true`,
+  /// `version` = the session's clock at enqueue); the gradient's actual
+  /// weight/staleness land in stats(id) once the aggregation thread
+  /// processes it. On backpressure `job` is left intact (callers may
+  /// retry); unknown/retired ids and malformed payloads reject permanently.
   core::GradientReceipt try_submit(GradientJob& job);
 
-  /// Block until every job accepted so far has been processed. With
-  /// producers quiesced this is a full barrier: afterwards stats(), the
-  /// model and version() are stable.
+  /// Block until every job accepted so far — across all models — has been
+  /// processed or dropped. With producers quiesced this is a full barrier:
+  /// afterwards stats(), every session's model and version() are stable.
   void drain();
 
-  /// Park / un-park the aggregation thread (batch-granular). pause() does
-  /// not block submits, and takes effect before the next batch is
-  /// *processed*: a batch the thread had already popped when pause()
-  /// landed is held unprocessed until resume(), but its jobs no longer
-  /// occupy queue capacity. For deterministic backpressure staging use
-  /// RuntimeConfig::start_paused, which parks the thread before it pops
-  /// anything.
+  /// Park / un-park the aggregation thread (batch-granular, host-wide).
+  /// pause() does not block submits, and takes effect before the next
+  /// batch is *processed*: a batch the thread had already popped when
+  /// pause() landed is held unprocessed until resume(), but its jobs no
+  /// longer occupy queue capacity. For deterministic backpressure staging
+  /// use RuntimeConfig::start_paused, which parks the thread before it
+  /// pops anything.
   void pause();
   void resume();
 
@@ -148,63 +179,62 @@ class ConcurrentFleetServer {
   /// calls it.
   void stop();
 
-  /// Logical clock t: number of model updates so far.
-  std::size_t version() const {
-    return version_.load(std::memory_order_acquire);
-  }
+  /// Logical clock t of one task. Throws std::out_of_range for unknown ids.
+  std::size_t version(core::ModelId id) const;
+  std::size_t version() const { return version(core::kDefaultModelId); }
 
   /// False once stop() closed the ingest queue (submits can only fail).
   bool accepting() const { return !queue_.closed(); }
 
-  RuntimeStats stats() const;
+  /// One task's stats, with the host-wide fields (backpressure rejects,
+  /// retired drops, queue occupancy gauges) filled in. The counters are
+  /// snapshotted lock-free and the traces copied under a dedicated trace
+  /// mutex, so a monitoring poll can never stall the fold (DESIGN.md §7).
+  /// Throws std::out_of_range for unknown ids.
+  RuntimeStats stats(core::ModelId id) const;
+  RuntimeStats stats() const { return stats(core::kDefaultModelId); }
 
-  const core::ModelStore& store() const { return store_; }
-  const learning::AsyncAggregator& aggregator() const { return aggregator_; }
-  const core::Controller& controller() const { return controller_; }
-  /// The global model. Owned by the aggregation thread while running —
-  /// only touch it after drain() with producers quiesced, or after stop().
-  nn::TrainableModel& model() { return model_; }
+  /// The host-wide fields alone (backpressure rejects, retired drops,
+  /// queue occupancy gauges), session counters and traces zero. Always
+  /// available — the view to fall back on when no session id resolves
+  /// (e.g. everything driven has been retired).
+  RuntimeStats host_stats() const;
+
+  /// Single-model-shim accessors for the default session. They throw
+  /// std::out_of_range when no session is registered under
+  /// core::kDefaultModelId (host-mode servers should go through
+  /// session(id) instead).
+  const core::ModelStore& store() const { return require_default()->store(); }
+  const learning::AsyncAggregator& aggregator() const {
+    return require_default()->aggregator();
+  }
+  const core::Controller& controller() const {
+    return require_default()->controller();
+  }
+  /// The default session's model. Owned by the aggregation thread while
+  /// running — only touch it after drain() with producers quiesced, or
+  /// after stop().
+  nn::TrainableModel& model() { return require_default()->model(); }
 
  private:
   void aggregation_loop();
-  void process(GradientJob&& job);
-  /// Sharded-path counterpart of process(): the same central bookkeeping
-  /// (clock, staleness, weight, profiler feedback, stats) with the numeric
-  /// fold deferred into `plan` for ShardedAggregator::execute().
-  void plan_process(GradientJob& job, std::vector<FoldOp>& plan);
-  /// Shared head of process()/plan_process(): the future-version screen
-  /// and exact staleness against the clock at processing time. nullopt
-  /// means the job was dropped (and counted as invalid).
-  struct Admitted {
-    std::size_t now = 0;
-    double staleness = 0.0;
-  };
-  std::optional<Admitted> screen(const GradientJob& job);
-  /// Shared tail of process()/plan_process(): profiler feedback and the
-  /// per-job stats/trace bookkeeping.
-  void record_processed(const GradientJob& job, double staleness,
-                        double weight, bool updated);
-  void publish_version(std::size_t version);
+  std::shared_ptr<ModelSession> require(core::ModelId id) const;
+  std::shared_ptr<ModelSession> require_default() const {
+    return require(core::kDefaultModelId);
+  }
 
-  nn::TrainableModel& model_;
-  std::unique_ptr<profiler::Profiler> profiler_;
-  core::ServerConfig config_;
   std::size_t trace_capacity_;
   std::size_t max_drain_batch_;
-  core::Controller controller_;
-  learning::AsyncAggregator aggregator_;
-  core::ModelStore store_;
+  ModelRegistry registry_;
+  std::atomic<core::ModelId> next_model_id_{core::kDefaultModelId};
   GradientQueue queue_;
-  /// Present when aggregation_shards > 1; the aggregation loop then folds
-  /// via batched plans instead of per-job submit().
+  /// Present when aggregation_shards > 1; shared by all sessions — the
+  /// aggregation loop executes one session's fold plan at a time on it.
   std::unique_ptr<ShardedAggregator> sharded_;
 
-  std::atomic<std::size_t> version_{0};
-  core::AtomicSharedPtr<const VersionedSnapshot> current_;
-
-  // Fine-grained locks for the order-insensitive-but-racy components.
-  std::mutex profiler_mu_;
-  std::mutex controller_mu_;
+  /// Queued jobs dropped because their session was retired before the
+  /// aggregation loop reached them.
+  std::atomic<std::size_t> retired_drops_{0};
 
   // Drain accounting: accepted_ is bumped by producers, processed_ by the
   // aggregation thread; drain() waits until they meet.
@@ -216,9 +246,6 @@ class ConcurrentFleetServer {
   std::atomic<bool> paused_{false};
   std::mutex pause_mu_;
   std::condition_variable pause_cv_;
-
-  mutable std::mutex stats_mu_;
-  RuntimeStats stats_;
 
   std::atomic<bool> stopped_{false};
   std::thread aggregation_thread_;

@@ -156,6 +156,16 @@ std::size_t GradientQueue::wait_drain(std::vector<GradientJob>& out,
   }
 }
 
+std::vector<std::size_t> GradientQueue::shard_depths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    depths.push_back(shard_ptr->items.size());
+  }
+  return depths;
+}
+
 void GradientQueue::close() {
   closed_.store(true, std::memory_order_release);
   // Fence every shard: producers re-check the flag under the shard lock,

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "fleet/core/server.hpp"
 #include "fleet/profiler/features.hpp"
 #include "fleet/stats/label_distribution.hpp"
 
@@ -24,6 +25,10 @@ namespace fleet::runtime {
 /// *processing* time, which is what keeps tau exact under queueing
 /// (DESIGN.md §6).
 struct GradientJob {
+  /// Learning task this gradient belongs to: the ingest queue is shared by
+  /// every registered model and the aggregation loop demultiplexes each
+  /// drain batch by this id (DESIGN.md §7).
+  core::ModelId model_id = core::kDefaultModelId;
   std::size_t task_version = 0;            // t_i the gradient was computed at
   std::vector<float> gradient;             // owned; moved, never copied
   stats::LabelDistribution label_dist{1};  // LD of the mini-batch
@@ -84,6 +89,18 @@ class GradientQueue {
   std::size_t size() const { return size_.load(std::memory_order_acquire); }
   std::size_t capacity() const { return capacity_; }
   std::size_t shard_count() const { return shards_.size(); }
+
+  /// Occupancy gauge: queued-but-undrained jobs right now. Same value as
+  /// size() (which exists for the capacity check); named for monitoring
+  /// surfaces — ConcurrentFleetServer::stats() exports it.
+  std::size_t depth() const { return size(); }
+
+  /// Per-shard occupancy, one entry per ingest shard. Each shard is read
+  /// under its own lock, shard by shard — a monitoring poll never holds
+  /// more than one producer lock at a time — so the entries are each exact
+  /// but the vector is not one atomic cut: under concurrent pushes/drains
+  /// the sum may transiently disagree with depth().
+  std::vector<std::size_t> shard_depths() const;
 
   /// Total jobs ever refused for lack of space (backpressure events).
   std::size_t rejected() const {

@@ -1,0 +1,71 @@
+#include "fleet/runtime/model_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fleet::runtime {
+
+namespace {
+/// First position in the id-sorted table not below `id`.
+ModelRegistry::Table::const_iterator lower_bound_id(
+    const std::vector<std::shared_ptr<ModelSession>>& table,
+    core::ModelId id) {
+  return std::lower_bound(
+      table.begin(), table.end(), id,
+      [](const std::shared_ptr<ModelSession>& session, core::ModelId key) {
+        return session->id() < key;
+      });
+}
+}  // namespace
+
+void ModelRegistry::add(std::shared_ptr<ModelSession> session) {
+  if (session == nullptr) {
+    throw std::invalid_argument("ModelRegistry: null session");
+  }
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const auto current = table_.load();
+  auto next = std::make_shared<Table>(current ? *current : Table{});
+  const auto pos = lower_bound_id(*next, session->id());
+  if (pos != next->end() && (*pos)->id() == session->id()) {
+    throw std::invalid_argument("ModelRegistry: duplicate model id");
+  }
+  next->insert(pos, std::move(session));
+  table_.store(std::move(next));
+}
+
+std::shared_ptr<ModelSession> ModelRegistry::retire(core::ModelId id) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const auto current = table_.load();
+  if (current == nullptr) return nullptr;
+  auto next = std::make_shared<Table>(*current);
+  const auto pos = lower_bound_id(*next, id);
+  if (pos == next->end() || (*pos)->id() != id) return nullptr;
+  std::shared_ptr<ModelSession> retired = *pos;
+  next->erase(pos);
+  table_.store(std::move(next));
+  return retired;
+}
+
+std::shared_ptr<ModelSession> ModelRegistry::lookup(core::ModelId id) const {
+  const auto table = table_.load();
+  if (table == nullptr) return nullptr;
+  const auto pos = lower_bound_id(*table, id);
+  if (pos == table->end() || (*pos)->id() != id) return nullptr;
+  return *pos;
+}
+
+std::vector<core::ModelId> ModelRegistry::ids() const {
+  const auto table = table_.load();
+  std::vector<core::ModelId> ids;
+  if (table == nullptr) return ids;
+  ids.reserve(table->size());
+  for (const auto& session : *table) ids.push_back(session->id());
+  return ids;
+}
+
+std::size_t ModelRegistry::size() const {
+  const auto table = table_.load();
+  return table == nullptr ? 0 : table->size();
+}
+
+}  // namespace fleet::runtime

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fleet/core/atomic_shared.hpp"
+#include "fleet/runtime/model_session.hpp"
+
+namespace fleet::runtime {
+
+/// Id -> session directory of a multi-tenant host (DESIGN.md §7).
+///
+/// Reads are the hot path: every request and every demultiplexed gradient
+/// resolves its ModelId here, concurrently with registrations and
+/// retirements. The directory is therefore copy-on-write — an immutable,
+/// id-sorted table behind one `core::AtomicSharedPtr` cell — so lookup()
+/// is a constant-time atomic record acquisition plus a binary search, with
+/// no lock shared with writers (the same read mechanism the snapshot path
+/// uses; see AtomicSharedPtr for the spinlock trade-off). Writers
+/// (register/retire, rare control-plane events) serialize on a mutex,
+/// rebuild the table and swap it in whole.
+///
+/// Retirement removes the id from the table; request threads still holding
+/// the session shared_ptr keep it alive, and jobs already queued under the
+/// id are dropped (and counted) by the host's aggregation loop when their
+/// lookup misses.
+class ModelRegistry {
+ public:
+  using Table = std::vector<std::shared_ptr<ModelSession>>;  // id-sorted
+
+  /// Insert a session under its id. Throws std::invalid_argument when the
+  /// id is already registered.
+  void add(std::shared_ptr<ModelSession> session);
+
+  /// Remove and return the session registered under `id`; nullptr when no
+  /// such id. Subsequent lookups miss immediately.
+  std::shared_ptr<ModelSession> retire(core::ModelId id);
+
+  /// Resolve an id, from any thread; nullptr when unknown or retired.
+  std::shared_ptr<ModelSession> lookup(core::ModelId id) const;
+
+  /// Ids currently registered, ascending.
+  std::vector<core::ModelId> ids() const;
+
+  std::size_t size() const;
+
+ private:
+  std::mutex write_mu_;
+  core::AtomicSharedPtr<const Table> table_;
+};
+
+}  // namespace fleet::runtime

@@ -1,0 +1,218 @@
+#include "fleet/runtime/model_session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fleet::runtime {
+
+ModelSession::ModelSession(core::ModelId id, nn::TrainableModel& model,
+                           std::unique_ptr<profiler::Profiler> profiler,
+                           const core::ServerConfig& config,
+                           std::size_t trace_capacity)
+    : id_(id),
+      model_(model),
+      profiler_(std::move(profiler)),
+      config_(config),
+      trace_capacity_(trace_capacity),
+      controller_(config.controller),
+      aggregator_(model.parameter_count(), model.n_classes(),
+                  config.aggregator),
+      store_(config.snapshot_window) {
+  if (profiler_ == nullptr) {
+    throw std::invalid_argument("ModelSession: null profiler");
+  }
+  // Materialize and publish version 0 before any thread can observe the
+  // session, so handle_request never sees an empty store.
+  publish_version(0);
+}
+
+void ModelSession::publish_version(std::size_t version) {
+  // Aggregation thread only (plus the constructor, before the session is
+  // registered): one bulk copy out of the parameter arena, then an atomic
+  // handle swap that request threads pick up lock-free.
+  const auto view = model_.parameters_view();
+  auto snapshot = store_.publish(
+      version, core::ModelStore::Buffer(view.begin(), view.end()));
+  current_.store(std::make_shared<const VersionedSnapshot>(
+      VersionedSnapshot{version, std::move(snapshot)}));
+}
+
+void ModelSession::publish_if_dirty() {
+  const std::size_t version = version_.load(std::memory_order_relaxed);
+  if (version != published_version_) {
+    publish_version(version);
+    published_version_ = version;
+  }
+}
+
+ModelSession::VersionedSnapshot ModelSession::current() const {
+  const auto record = current_.load();
+  return *record;  // copies {version, shared handle}; the buffer is shared
+}
+
+core::TaskAssignment ModelSession::handle_request(
+    const profiler::DeviceFeatures& features, const std::string& device_model,
+    const stats::LabelDistribution& label_info) {
+  core::TaskAssignment assignment;
+  assignment.model_id = id_;
+  std::size_t bound = 0;
+  {
+    std::lock_guard<std::mutex> lock(profiler_mu_);
+    bound = profiler_->predict_batch(features, device_model);
+  }
+  const double similarity = aggregator_.similarity_of(label_info);
+  core::Controller::Decision decision;
+  {
+    std::lock_guard<std::mutex> lock(controller_mu_);
+    decision = controller_.admit(bound, similarity);
+  }
+  if (!decision.admitted) {
+    assignment.accepted = false;
+    assignment.reject_reason = decision.reason;
+    return assignment;
+  }
+  const VersionedSnapshot record = current();
+  assignment.accepted = true;
+  assignment.model_version = record.version;
+  assignment.mini_batch = bound;
+  assignment.snapshot = record.snapshot;
+  return assignment;
+}
+
+const char* ModelSession::validate(const GradientJob& job) const {
+  if (job.gradient.size() != model_.parameter_count()) {
+    return "gradient size mismatch";
+  }
+  if (job.label_dist.n_classes() != model_.n_classes()) {
+    return "label distribution class count mismatch";
+  }
+  if (job.feedback.has_value() && job.feedback->mini_batch == 0) {
+    return "profiler feedback without mini-batch";
+  }
+  return nullptr;
+}
+
+std::optional<ModelSession::Admitted> ModelSession::screen(
+    const GradientJob& job) {
+  Admitted admitted;
+  admitted.now = version_.load(std::memory_order_relaxed);
+  if (job.task_version > admitted.now) {
+    // A job can only legitimately carry a version it observed from
+    // current(), so a future version is a producer bug; drop it rather
+    // than poisoning the logical clock.
+    invalid_jobs_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // tau_i = t - t_i against this session's clock at *processing* time
+  // (Eq. 3) — the shared queue delays the gradient, and the staleness
+  // reflects that delay exactly, same as the serial server's logical
+  // clock. On the sharded path "processing" is planning: the clock
+  // advances as flush points are planned, so later jobs in the same batch
+  // observe every update earlier ones produced — exactly the sequential
+  // schedule. Other sessions' jobs never touch this clock, which is why a
+  // hosted session's staleness matches its solo-server run.
+  admitted.staleness = static_cast<double>(admitted.now - job.task_version);
+  return admitted;
+}
+
+namespace {
+learning::WorkerUpdate update_from(const GradientJob& job, double staleness) {
+  learning::WorkerUpdate update;
+  update.gradient = std::span<const float>(job.gradient);
+  update.staleness = staleness;
+  update.label_dist = job.label_dist;
+  update.mini_batch = job.mini_batch;
+  return update;
+}
+}  // namespace
+
+void ModelSession::record_processed(const GradientJob& job, double staleness,
+                                    double weight, bool updated) {
+  if (job.feedback.has_value()) {
+    std::lock_guard<std::mutex> lock(profiler_mu_);
+    profiler_->observe(*job.feedback);
+  }
+  processed_.fetch_add(1, std::memory_order_relaxed);
+  if (updated) model_updates_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  if (staleness_trace_.size() < trace_capacity_) {
+    staleness_trace_.push_back(staleness);
+    weight_trace_.push_back(weight);
+  } else {
+    // Counters stay exact past the cap.
+    traces_truncated_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void ModelSession::process(GradientJob&& job) {
+  const auto admitted = screen(job);
+  if (!admitted) return;
+  const learning::SubmitResult result =
+      aggregator_.submit(update_from(job, admitted->staleness));
+
+  bool updated = false;
+  if (result.aggregate) {
+    model_.apply_gradient(*result.aggregate, config_.learning_rate);
+    // The logical clock advances immediately (staleness must see every
+    // update), but snapshot materialization is batched: the host publishes
+    // once per drain batch via publish_if_dirty(), since versions consumed
+    // mid-batch were never observable to request threads anyway.
+    version_.store(admitted->now + 1, std::memory_order_release);
+    updated = true;
+  }
+  record_processed(job, admitted->staleness, result.weight, updated);
+}
+
+void ModelSession::plan_process(GradientJob& job, std::vector<FoldOp>& plan) {
+  const auto admitted = screen(job);
+  if (!admitted) return;  // dropped jobs never enter the plan
+  const learning::PlannedSubmit planned =
+      aggregator_.plan_submit(update_from(job, admitted->staleness));
+
+  FoldOp fold;
+  fold.kind = FoldOp::Kind::kFold;
+  fold.gradient = std::span<const float>(job.gradient);
+  fold.weight = planned.weight;
+  plan.push_back(fold);
+
+  bool updated = false;
+  if (planned.flush) {
+    FoldOp apply;
+    apply.kind = FoldOp::Kind::kFlushApply;
+    apply.learning_rate = config_.learning_rate;
+    plan.push_back(apply);
+    // The logical clock advances at the planned flush, before the shards
+    // run the arithmetic — legal because the version only becomes
+    // observable-with-parameters at publication, which waits for the
+    // barrier, while staleness must see every planned update immediately.
+    version_.store(admitted->now + 1, std::memory_order_release);
+    updated = true;
+  }
+  record_processed(job, admitted->staleness, planned.weight, updated);
+}
+
+FoldContext ModelSession::fold_context() {
+  FoldContext ctx;
+  ctx.aggregator = &aggregator_;
+  ctx.parameters = model_.parameters_mut();
+  return ctx;
+}
+
+RuntimeStats ModelSession::stats() const {
+  RuntimeStats snapshot;
+  // Counters first, lock-free; then the traces under their own mutex. The
+  // fold path only takes trace_mu_ for one push_back per gradient, so a
+  // poll copying megabyte traces stalls at most that append, never the
+  // dampening/feedback/counter work (DESIGN.md §7).
+  snapshot.submitted = submitted_.load(std::memory_order_acquire);
+  snapshot.processed = processed_.load(std::memory_order_acquire);
+  snapshot.model_updates = model_updates_.load(std::memory_order_acquire);
+  snapshot.invalid_jobs = invalid_jobs_.load(std::memory_order_acquire);
+  snapshot.traces_truncated = traces_truncated_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  snapshot.staleness_values = staleness_trace_;
+  snapshot.weights = weight_trace_;
+  return snapshot;
+}
+
+}  // namespace fleet::runtime

@@ -1,0 +1,188 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "fleet/core/atomic_shared.hpp"
+#include "fleet/core/server.hpp"
+#include "fleet/runtime/gradient_queue.hpp"
+#include "fleet/runtime/sharded_aggregator.hpp"
+
+namespace fleet::runtime {
+
+/// Counters and traces for one learning task. Counters are exact at any
+/// time; the trace vectors are copied under a dedicated trace mutex, so a
+/// stats() snapshot never holds any lock the aggregation thread's fold
+/// path needs for longer than one trace append (DESIGN.md §7). Because the
+/// counters are read outside that mutex, a snapshot taken while the
+/// aggregation thread is mid-job may show a counter one ahead of its
+/// trace — quiesce (drain with producers stopped) for an exact cut.
+struct RuntimeStats {
+  std::size_t submitted = 0;    ///< jobs accepted into the queue
+  std::size_t processed = 0;    ///< jobs folded into the aggregator
+  std::size_t model_updates = 0;
+  std::size_t backpressure_rejects = 0;  ///< host-wide: submits refused, queue full
+  std::size_t invalid_jobs = 0;  ///< task_version from the future (dropped)
+  std::size_t retired_drops = 0;  ///< host-wide: queued jobs whose model was retired
+  /// Host-wide ingest-queue occupancy gauges at snapshot time (the queue
+  /// is shared by every session on the host; see GradientQueue::depth()).
+  std::size_t queue_depth = 0;
+  std::vector<std::size_t> queue_shard_depths;
+  std::vector<double> staleness_values;  ///< tau per processed gradient
+  std::vector<double> weights;           ///< applied dampening weights
+  /// True once the traces above hit the trace capacity and stopped
+  /// recording (the counters are still exact).
+  bool traces_truncated = false;
+};
+
+/// Everything one learning task owns on a multi-tenant serving host
+/// (DESIGN.md §7): the model reference, its profiler, controller, AdaSGD
+/// aggregator, snapshot store, the atomically-published (version, snapshot)
+/// record, the per-task logical clock and the per-task stats traces. A
+/// `ConcurrentFleetServer` hosts many sessions behind one ingest queue and
+/// one aggregation thread; each session's learning semantics are exactly a
+/// solo single-model server's, because every order-sensitive mutation is
+/// keyed to this session's own state and its jobs keep their relative
+/// admission order through the shared queue.
+///
+/// Threading model, mirroring the solo server's split:
+///  - Request path (any thread): handle_request(), current(), version(),
+///    validate(), stats(). Profiler and controller sit behind fine-grained
+///    locks; the snapshot is one atomic record copy; similarity reads go
+///    through the aggregator's internal lock.
+///  - Aggregation path (exactly one thread, the host's): process(),
+///    plan_process(), publish_if_dirty(), fold_context(). The host
+///    guarantees a single caller, which is what preserves AdaSGD's
+///    sequential update semantics per session.
+///
+/// Lifetime: the session references, but does not own, the model — the
+/// registrant must keep the model alive until the session is retired AND
+/// the host has drained (or stopped); the session itself may outlive
+/// retirement in request threads holding a shared_ptr, which only ever
+/// touch owned state after that point.
+class ModelSession {
+ public:
+  ModelSession(core::ModelId id, nn::TrainableModel& model,
+               std::unique_ptr<profiler::Profiler> profiler,
+               const core::ServerConfig& config, std::size_t trace_capacity);
+
+  ModelSession(const ModelSession&) = delete;
+  ModelSession& operator=(const ModelSession&) = delete;
+
+  core::ModelId id() const { return id_; }
+
+  /// The current (version, snapshot) pair as one consistent record.
+  struct VersionedSnapshot {
+    std::size_t version = 0;
+    core::ModelStore::Snapshot snapshot;
+  };
+  VersionedSnapshot current() const;
+
+  /// Steps 1-4 of the protocol for this task, callable from any thread.
+  core::TaskAssignment handle_request(
+      const profiler::DeviceFeatures& features,
+      const std::string& device_model,
+      const stats::LabelDistribution& label_info);
+
+  /// Admission-side screen: nullptr when `job` is well-formed for this
+  /// session, else a static reject reason. Everything the aggregation-side
+  /// components would throw on must be caught here, where the rejection
+  /// can surface to the caller instead of killing the process.
+  const char* validate(const GradientJob& job) const;
+
+  /// Logical clock t of this task: number of model updates so far.
+  std::size_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Count a job accepted into the shared queue for this session.
+  void note_submitted() {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- aggregation-thread side (single caller: the host's loop) ---------
+
+  /// Sequential fold: screen, dampen, accumulate, maybe update the model
+  /// and advance the clock. Snapshot publication is deferred to
+  /// publish_if_dirty() so the host can batch it per drain.
+  void process(GradientJob&& job);
+
+  /// Sharded-path counterpart of process(): the same central bookkeeping
+  /// (clock, staleness, weight, profiler feedback, stats) with the numeric
+  /// fold deferred into `plan` for ShardedAggregator::execute() against
+  /// fold_context().
+  void plan_process(GradientJob& job, std::vector<FoldOp>& plan);
+
+  /// The context the shared fold pool executes this session's plans
+  /// against: its aggregator and its model's mutable arena.
+  FoldContext fold_context();
+
+  /// Materialize and publish a snapshot if the clock advanced since the
+  /// last publication (one O(|theta|) copy per dirty batch, not per
+  /// update). The constructor publishes version 0, so requests never see
+  /// an empty store.
+  void publish_if_dirty();
+
+  /// Session-local stats view. The host-wide fields (backpressure, queue
+  /// gauges, retired drops) are zero here; ConcurrentFleetServer::stats()
+  /// fills them in.
+  RuntimeStats stats() const;
+
+  const core::ModelStore& store() const { return store_; }
+  const learning::AsyncAggregator& aggregator() const { return aggregator_; }
+  const core::Controller& controller() const { return controller_; }
+  /// The session's model. Owned by the aggregation thread while the host
+  /// runs — only touch it after drain() with producers quiesced, or after
+  /// stop()/retirement.
+  nn::TrainableModel& model() { return model_; }
+
+ private:
+  /// Shared head of process()/plan_process(): the future-version screen
+  /// and exact staleness against this session's clock at processing time.
+  /// nullopt means the job was dropped (and counted as invalid).
+  struct Admitted {
+    std::size_t now = 0;
+    double staleness = 0.0;
+  };
+  std::optional<Admitted> screen(const GradientJob& job);
+  /// Shared tail of process()/plan_process(): profiler feedback and the
+  /// per-job stats/trace bookkeeping.
+  void record_processed(const GradientJob& job, double staleness,
+                        double weight, bool updated);
+  void publish_version(std::size_t version);
+
+  const core::ModelId id_;
+  nn::TrainableModel& model_;
+  std::unique_ptr<profiler::Profiler> profiler_;
+  core::ServerConfig config_;
+  std::size_t trace_capacity_;
+  core::Controller controller_;
+  learning::AsyncAggregator aggregator_;
+  core::ModelStore store_;
+
+  std::atomic<std::size_t> version_{0};
+  core::AtomicSharedPtr<const VersionedSnapshot> current_;
+  /// Aggregation thread only: the version publish_if_dirty() last wrote.
+  std::size_t published_version_ = 0;
+
+  // Fine-grained locks for the order-insensitive-but-racy components.
+  std::mutex profiler_mu_;
+  std::mutex controller_mu_;
+
+  // Counters are lock-free; only the per-gradient traces share a mutex
+  // with the (short) aggregation-side append, so a monitoring poll copying
+  // long traces can never stall the fold's counter updates or feedback.
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> processed_{0};
+  std::atomic<std::size_t> model_updates_{0};
+  std::atomic<std::size_t> invalid_jobs_{0};
+  std::atomic<bool> traces_truncated_{false};
+  mutable std::mutex trace_mu_;
+  std::vector<double> staleness_trace_;
+  std::vector<double> weight_trace_;
+};
+
+}  // namespace fleet::runtime

@@ -1,5 +1,6 @@
 #include "fleet/runtime/parallel_fleet.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <mutex>
 #include <optional>
@@ -48,6 +49,11 @@ ParallelFleet::ParallelFleet(ConcurrentFleetServer& server,
   if (config.dropout_prob < 0.0 || config.dropout_prob > 1.0) {
     throw std::invalid_argument("ParallelFleet: dropout_prob outside [0,1]");
   }
+  if (!config.worker_models.empty() &&
+      config.worker_models.size() != workers_.size()) {
+    throw std::invalid_argument(
+        "ParallelFleet: worker_models size does not match workers");
+  }
 }
 
 ParallelFleet::Stats ParallelFleet::run() {
@@ -59,6 +65,10 @@ ParallelFleet::Stats ParallelFleet::run() {
   for (std::size_t w = 0; w < n_workers; ++w) {
     slots[w].rng = stats::Rng::stream(config_.seed, w);
   }
+  const auto model_of = [this](std::size_t w) {
+    return config_.worker_models.empty() ? core::kDefaultModelId
+                                         : config_.worker_models[w];
+  };
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     // --- Phase A: requests, sequentially in worker order. ---------------
@@ -67,8 +77,8 @@ ParallelFleet::Stats ParallelFleet::run() {
       if (slot.assignment.has_value() || slot.pending.has_value()) continue;
       ++stats.requests;
       core::TaskAssignment assignment = server_.handle_request(
-          workers_[w].device_info(), workers_[w].device().model_name(),
-          workers_[w].label_info());
+          model_of(w), workers_[w].device_info(),
+          workers_[w].device().model_name(), workers_[w].label_info());
       if (!assignment.accepted) {
         ++stats.rejected;  // retries next round
         continue;
@@ -97,6 +107,7 @@ ParallelFleet::Stats ParallelFleet::run() {
           }
           pending.dropped = config_.dropout_prob > 0.0 &&
                             slot.rng->bernoulli(config_.dropout_prob);
+          pending.job.model_id = slot.assignment->model_id;
           pending.job.task_version = slot.assignment->model_version;
           pending.job.gradient = std::move(result.gradient);
           pending.job.label_dist = result.minibatch_labels;
@@ -182,7 +193,44 @@ ParallelFleet::Stats ParallelFleet::run() {
     }
   }
   server_.drain();
-  stats.runtime = server_.stats();
+
+  // Server-side view per driven session, plus the summed aggregate. The
+  // host-wide fields come from host_stats() so they survive even when no
+  // driven session resolves anymore: a session retired mid-drive has its
+  // queued jobs accounted in retired_drops, which the caller needs
+  // precisely in that case.
+  stats.runtime = server_.host_stats();
+  std::vector<core::ModelId> ids;
+  if (config_.worker_models.empty()) {
+    ids.push_back(core::kDefaultModelId);
+  } else {
+    ids = config_.worker_models;
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  for (const core::ModelId id : ids) {
+    ModelStats per;
+    per.id = id;
+    try {
+      per.runtime = server_.stats(id);
+    } catch (const std::out_of_range&) {
+      continue;  // never registered, or retired (possibly mid-collection)
+    }
+    stats.runtime.submitted += per.runtime.submitted;
+    stats.runtime.processed += per.runtime.processed;
+    stats.runtime.model_updates += per.runtime.model_updates;
+    stats.runtime.invalid_jobs += per.runtime.invalid_jobs;
+    stats.runtime.traces_truncated |= per.runtime.traces_truncated;
+    stats.runtime.staleness_values.insert(stats.runtime.staleness_values.end(),
+                                          per.runtime.staleness_values.begin(),
+                                          per.runtime.staleness_values.end());
+    stats.runtime.weights.insert(stats.runtime.weights.end(),
+                                 per.runtime.weights.begin(),
+                                 per.runtime.weights.end());
+    // Host-wide fields are already set from host_stats() above (they are
+    // identical in every per-model view).
+    stats.per_model.push_back(std::move(per));
+  }
   return stats;
 }
 

@@ -7,25 +7,9 @@
 
 namespace fleet::runtime {
 
-ShardedAggregator::ShardedAggregator(learning::AsyncAggregator& aggregator,
-                                     std::span<float> parameters,
-                                     std::size_t shards)
-    : aggregator_(aggregator), parameters_(parameters) {
+ShardedAggregator::ShardedAggregator(std::size_t shards) : shards_(shards) {
   if (shards == 0) {
     throw std::invalid_argument("ShardedAggregator: shards must be >= 1");
-  }
-  if (parameters_.size() != aggregator_.parameter_count()) {
-    throw std::invalid_argument(
-        "ShardedAggregator: parameter arena size does not match aggregator");
-  }
-  const std::size_t n = parameters_.size();
-  const std::size_t chunk = (n + shards - 1) / shards;
-  spans_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    ShardSpan span;
-    span.begin = std::min(s * chunk, n);
-    span.end = std::min(span.begin + chunk, n);
-    spans_.push_back(span);  // trailing spans may be empty when shards > n
   }
   // Workers for spans 1..S-1; the coordinator folds span 0 in execute().
   workers_.reserve(shards - 1);
@@ -45,16 +29,25 @@ ShardedAggregator::~ShardedAggregator() {
   }
 }
 
-void ShardedAggregator::run_shard(const ShardSpan& s,
+std::pair<std::size_t, std::size_t> ShardedAggregator::span_of(
+    std::size_t param_count, std::size_t shards, std::size_t s) {
+  const std::size_t chunk = (param_count + shards - 1) / shards;
+  const std::size_t begin = std::min(s * chunk, param_count);
+  return {begin, std::min(begin + chunk, param_count)};
+}
+
+void ShardedAggregator::run_shard(std::size_t shard_index,
+                                  const FoldContext& ctx,
                                   std::span<const FoldOp> plan) {
-  if (s.begin >= s.end) return;
+  const auto [begin, end] = span_of(ctx.parameters.size(), shards_, shard_index);
+  if (begin >= end) return;
   for (const FoldOp& op : plan) {
     if (op.kind == FoldOp::Kind::kFold) {
-      aggregator_.fold_into(s.begin, s.end, op.weight, op.gradient);
+      ctx.aggregator->fold_into(begin, end, op.weight, op.gradient);
     } else {
-      const auto flushed = aggregator_.flush_span(s.begin, s.end);
+      const auto flushed = ctx.aggregator->flush_span(begin, end);
       tensor::axpy(-op.learning_rate, flushed,
-                   parameters_.subspan(s.begin, s.end - s.begin));
+                   ctx.parameters.subspan(begin, end - begin));
     }
   }
 }
@@ -62,15 +55,17 @@ void ShardedAggregator::run_shard(const ShardSpan& s,
 void ShardedAggregator::worker_loop(std::size_t shard_index) {
   std::uint64_t seen = 0;
   while (true) {
+    FoldContext ctx;
     std::span<const FoldOp> plan;
     {
       std::unique_lock<std::mutex> lock(mu_);
       start_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
       if (stopping_) return;
       seen = epoch_;
+      ctx = ctx_;
       plan = plan_;
     }
-    run_shard(spans_[shard_index], plan);
+    run_shard(shard_index, ctx, plan);
     bool last = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -80,20 +75,27 @@ void ShardedAggregator::worker_loop(std::size_t shard_index) {
   }
 }
 
-void ShardedAggregator::execute(std::span<const FoldOp> plan) {
+void ShardedAggregator::execute(const FoldContext& ctx,
+                                std::span<const FoldOp> plan) {
+  if (ctx.aggregator == nullptr ||
+      ctx.parameters.size() != ctx.aggregator->parameter_count()) {
+    throw std::invalid_argument(
+        "ShardedAggregator: fold context arena does not match its aggregator");
+  }
   if (plan.empty()) return;
   if (workers_.empty()) {
-    run_shard(spans_[0], plan);
+    run_shard(0, ctx, plan);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    ctx_ = ctx;
     plan_ = plan;
     outstanding_ = workers_.size();
     ++epoch_;
   }
   start_cv_.notify_all();
-  run_shard(spans_[0], plan);
+  run_shard(0, ctx, plan);
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return outstanding_ == 0; });
 }

@@ -29,10 +29,26 @@ struct FoldOp {
   float learning_rate = 0.0f;
 };
 
-/// Sharded hierarchical aggregation: the parameter arena is partitioned
-/// into contiguous spans, one persistent worker per span, and a whole
-/// drain batch's weighted fold fans out across them with a barrier before
-/// the (single-writer) snapshot publication.
+/// The per-model state one fold plan executes against: the session's
+/// aggregator (accumulator + flushed buffer) and its model's mutable
+/// parameter arena. On a multi-tenant host (DESIGN.md §7) every registered
+/// model has its own context while the span workers below are shared.
+struct FoldContext {
+  learning::AsyncAggregator* aggregator = nullptr;
+  std::span<float> parameters;
+};
+
+/// Sharded hierarchical aggregation: a parameter arena is partitioned into
+/// contiguous spans, one persistent worker per span, and a whole drain
+/// batch's weighted fold fans out across them with a barrier before the
+/// (single-writer) snapshot publication.
+///
+/// The pool itself is model-agnostic: execute() takes the FoldContext the
+/// plan belongs to, and the span partition is derived from that context's
+/// arena size — so one pool serves every session on a multi-tenant host,
+/// one plan at a time. The partition depends only on (parameter count,
+/// shard count), which is what keeps a session hosted among others bitwise
+/// identical to the same model on a solo server with the same shard count.
 ///
 /// Determinism: the plan fixes the fold order and every weight before any
 /// arithmetic runs, each parameter index is owned by exactly one span, and
@@ -48,46 +64,44 @@ struct FoldOp {
 /// during the fold itself.
 class ShardedAggregator {
  public:
-  /// `parameters`: the model's mutable flat arena (TrainableModel::
-  /// parameters_mut()); must match the aggregator's parameter_count().
   /// `shards` >= 1; one worker thread is spawned per shard beyond the
   /// first (shards == 1 folds inline on the caller, no threads at all).
-  ShardedAggregator(learning::AsyncAggregator& aggregator,
-                    std::span<float> parameters, std::size_t shards);
+  explicit ShardedAggregator(std::size_t shards);
   ~ShardedAggregator();
 
   ShardedAggregator(const ShardedAggregator&) = delete;
   ShardedAggregator& operator=(const ShardedAggregator&) = delete;
 
-  /// Run the plan across every shard and barrier until all are done. The
-  /// spans the plan's gradients point at must stay alive throughout.
-  void execute(std::span<const FoldOp> plan);
+  /// Run the plan across every shard of `ctx`'s arena and barrier until
+  /// all are done. The spans the plan's gradients point at, and the
+  /// context's aggregator and arena, must stay alive throughout. Throws
+  /// std::invalid_argument when the context's arena size does not match
+  /// its aggregator's parameter count.
+  void execute(const FoldContext& ctx, std::span<const FoldOp> plan);
 
-  std::size_t shard_count() const { return spans_.size(); }
+  std::size_t shard_count() const { return shards_; }
 
-  /// The contiguous [begin, end) slice shard `s` owns (for tests).
-  std::pair<std::size_t, std::size_t> span_of(std::size_t s) const {
-    return {spans_[s].begin, spans_[s].end};
-  }
+  /// The contiguous [begin, end) slice shard `s` owns of an arena with
+  /// `param_count` elements split `shards` ways — the partition execute()
+  /// uses (trailing spans may be empty when shards > param_count).
+  static std::pair<std::size_t, std::size_t> span_of(std::size_t param_count,
+                                                     std::size_t shards,
+                                                     std::size_t s);
 
  private:
-  struct ShardSpan {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-  };
-
-  void run_shard(const ShardSpan& s, std::span<const FoldOp> plan);
+  void run_shard(std::size_t shard_index, const FoldContext& ctx,
+                 std::span<const FoldOp> plan);
   void worker_loop(std::size_t shard_index);
 
-  learning::AsyncAggregator& aggregator_;
-  std::span<float> parameters_;
-  std::vector<ShardSpan> spans_;
+  std::size_t shards_;
 
   // Plan hand-off: the coordinator bumps epoch_ under mu_ and workers
-  // replay plan_ exactly once per epoch; outstanding_ is the barrier.
+  // replay (ctx_, plan_) exactly once per epoch; outstanding_ is the
+  // barrier.
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
+  FoldContext ctx_;
   std::span<const FoldOp> plan_;
   std::uint64_t epoch_ = 0;
   std::size_t outstanding_ = 0;

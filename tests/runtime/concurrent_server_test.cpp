@@ -7,20 +7,13 @@
 #include <thread>
 #include <vector>
 
-#include "fleet/device/catalog.hpp"
+#include "../test_util.hpp"
 #include "fleet/nn/zoo.hpp"
-#include "fleet/profiler/iprof.hpp"
-#include "fleet/profiler/training_data.hpp"
 
 namespace fleet::runtime {
 namespace {
 
-std::unique_ptr<profiler::Profiler> pretrained_iprof() {
-  auto iprof = std::make_unique<profiler::IProf>(profiler::IProf::Config{});
-  iprof->pretrain(profiler::collect_profile_dataset(
-      device::training_fleet(), profiler::IProf::Config{}.slo, 20));
-  return iprof;
-}
+using test::pretrained_iprof;
 
 /// Tiny model + server pair; K = 1 so every gradient updates the model.
 struct ServerEnv {
@@ -228,6 +221,32 @@ TEST(ConcurrentServerTest, ShardedBatchedFoldMatchesSequentialBitwise) {
           << "shards=" << shards << " batch=" << batch;
     }
   }
+}
+
+TEST(ConcurrentServerTest, StatsSurfaceQueueOccupancyGauges) {
+  RuntimeConfig runtime;
+  runtime.queue_capacity = 16;
+  runtime.queue_shards = 2;
+  runtime.start_paused = true;  // hold the backlog so the gauges are stable
+  ServerEnv env(runtime);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    GradientJob job = env.unit_job(0);
+    ASSERT_TRUE(env.server->try_submit(job).accepted);
+  }
+  auto stats = env.server->stats();
+  EXPECT_EQ(stats.queue_depth, 3u);
+  ASSERT_EQ(stats.queue_shard_depths.size(), 2u);
+  EXPECT_EQ(stats.queue_shard_depths[0] + stats.queue_shard_depths[1], 3u);
+
+  env.server->resume();
+  env.server->drain();
+  stats = env.server->stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.queue_shard_depths,
+            std::vector<std::size_t>(2, 0u));
+  EXPECT_EQ(stats.retired_drops, 0u);
+  env.server->stop();
 }
 
 TEST(ConcurrentServerTest, MalformedJobsAreRefusedAtAdmission) {

@@ -96,6 +96,27 @@ TEST(GradientQueueTest, BoundedDrainReleasesCapacityForProducers) {
   EXPECT_FALSE(queue.try_push(over));
 }
 
+TEST(GradientQueueTest, DepthGaugesTrackOccupancyPerShard) {
+  GradientQueue queue(64, 4);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.shard_depths(), std::vector<std::size_t>({0, 0, 0, 0}));
+
+  // Pin pushes to shards 0, 0, 1, 3 via the hint.
+  for (const std::size_t shard : {0u, 0u, 1u, 3u}) {
+    GradientJob job = job_with_version(shard);
+    ASSERT_TRUE(queue.try_push(job, shard));
+  }
+  EXPECT_EQ(queue.depth(), 4u);
+  EXPECT_EQ(queue.shard_depths(), std::vector<std::size_t>({2, 1, 0, 1}));
+
+  std::vector<GradientJob> out;
+  EXPECT_EQ(queue.drain(out, 3), 3u);  // pops the three smallest tickets
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_EQ(queue.shard_depths(), std::vector<std::size_t>({0, 0, 0, 1}));
+  EXPECT_EQ(queue.drain(out), 1u);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
 TEST(GradientQueueTest, WaitDrainHonorsTheBatchBound) {
   GradientQueue queue(16, 2);
   for (std::size_t i = 0; i < 6; ++i) {

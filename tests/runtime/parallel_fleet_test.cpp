@@ -4,28 +4,17 @@
 
 #include <cstring>
 
+#include "../test_util.hpp"
 #include "fleet/data/partition.hpp"
 #include "fleet/data/synthetic_images.hpp"
 #include "fleet/device/catalog.hpp"
 #include "fleet/nn/zoo.hpp"
-#include "fleet/profiler/iprof.hpp"
-#include "fleet/profiler/training_data.hpp"
 
 namespace fleet::runtime {
 namespace {
 
-/// FNV-1a over the raw parameter bits: runs are "identical" only if every
-/// float matches exactly.
-std::uint64_t param_hash(std::span<const float> params) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (float value : params) {
-    std::uint32_t bits = 0;
-    std::memcpy(&bits, &value, sizeof(bits));
-    h ^= bits;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+using test::param_hash;
+using test::pretrained_iprof;
 
 /// Self-contained concurrent-serving environment, constructed identically
 /// every time so determinism tests can compare independent instances.
@@ -40,13 +29,10 @@ struct FleetEnv {
         }())) {
     model = nn::zoo::small_cnn(1, 14, 14, 4);
     model->init(1);
-    auto iprof = std::make_unique<profiler::IProf>(profiler::IProf::Config{});
-    iprof->pretrain(profiler::collect_profile_dataset(
-        device::training_fleet(), profiler::IProf::Config{}.slo, 20));
     core::ServerConfig config;
     config.learning_rate = 0.05f;
-    server = std::make_unique<ConcurrentFleetServer>(*model, std::move(iprof),
-                                                     config, runtime);
+    server = std::make_unique<ConcurrentFleetServer>(
+        *model, pretrained_iprof(), config, runtime);
 
     stats::Rng rng(2);
     const auto partition = data::partition_iid(split.train.size(), 8, rng);

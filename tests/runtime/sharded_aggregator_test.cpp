@@ -5,11 +5,14 @@
 #include <cstring>
 #include <vector>
 
+#include "../test_util.hpp"
 #include "fleet/stats/rng.hpp"
 #include "fleet/tensor/ops.hpp"
 
 namespace fleet::runtime {
 namespace {
+
+using test::bitwise_equal;
 
 constexpr std::size_t kParams = 11;  // deliberately not divisible by shards
 constexpr std::size_t kClasses = 3;
@@ -62,6 +65,14 @@ std::vector<float> sequential_fold(const UpdateSet& set, std::size_t k,
   return params;
 }
 
+FoldContext context_of(learning::AsyncAggregator& agg,
+                       std::vector<float>& params) {
+  FoldContext ctx;
+  ctx.aggregator = &agg;
+  ctx.parameters = std::span<float>(params);
+  return ctx;
+}
+
 /// Planned + sharded fold of the same updates, split into batches of
 /// `batch` submissions per execute() call.
 std::vector<float> sharded_fold(const UpdateSet& set, std::size_t k,
@@ -69,7 +80,8 @@ std::vector<float> sharded_fold(const UpdateSet& set, std::size_t k,
                                 std::vector<double>* weights = nullptr) {
   learning::AsyncAggregator agg(kParams, kClasses, agg_config(k));
   std::vector<float> params(kParams, 0.25f);
-  ShardedAggregator sharded(agg, params, shards);
+  ShardedAggregator sharded(shards);
+  const FoldContext ctx = context_of(agg, params);
   std::vector<FoldOp> plan;
   std::size_t in_batch = 0;
   for (const auto& update : set.updates) {
@@ -86,43 +98,126 @@ std::vector<float> sharded_fold(const UpdateSet& set, std::size_t k,
       plan.push_back(apply);
     }
     if (++in_batch == batch) {
-      sharded.execute(plan);
+      sharded.execute(ctx, plan);
       plan.clear();
       in_batch = 0;
     }
   }
-  sharded.execute(plan);  // tail batch (no-op when empty)
+  sharded.execute(ctx, plan);  // tail batch (no-op when empty)
   return params;
 }
 
-bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
-  return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
-}
-
-TEST(ShardedAggregatorTest, RejectsBadConstruction) {
+TEST(ShardedAggregatorTest, RejectsBadConstructionAndMismatchedContext) {
+  EXPECT_THROW(ShardedAggregator(0), std::invalid_argument);
+  // A context whose arena does not match its aggregator is refused at
+  // execute() time (the pool itself is model-agnostic).
   learning::AsyncAggregator agg(kParams, kClasses, agg_config(1));
-  std::vector<float> params(kParams, 0.0f);
-  EXPECT_THROW(ShardedAggregator(agg, params, 0), std::invalid_argument);
   std::vector<float> wrong(kParams - 1, 0.0f);
-  EXPECT_THROW(ShardedAggregator(agg, wrong, 2), std::invalid_argument);
+  ShardedAggregator sharded(2);
+  std::vector<FoldOp> plan(1);
+  EXPECT_THROW(sharded.execute(context_of(agg, wrong), plan),
+               std::invalid_argument);
 }
 
 TEST(ShardedAggregatorTest, SpansPartitionTheArenaContiguously) {
-  learning::AsyncAggregator agg(kParams, kClasses, agg_config(1));
-  std::vector<float> params(kParams, 0.0f);
   for (std::size_t shards : {1u, 2u, 3u, 5u, 16u}) {
-    ShardedAggregator sharded(agg, params, shards);
-    ASSERT_EQ(sharded.shard_count(), shards);
     std::size_t cursor = 0;
     for (std::size_t s = 0; s < shards; ++s) {
-      const auto [begin, end] = sharded.span_of(s);
+      const auto [begin, end] = ShardedAggregator::span_of(kParams, shards, s);
       EXPECT_EQ(begin, cursor);
       EXPECT_LE(begin, end);
       cursor = end;
     }
     EXPECT_EQ(cursor, kParams);  // every index owned exactly once
   }
+}
+
+TEST(ShardedAggregatorTest, OnePoolServesManyContexts) {
+  // Multi-tenant shape (DESIGN.md §7): one shared worker pool alternating
+  // between two independent (aggregator, arena) contexts of different
+  // sizes must fold each exactly as a dedicated pool would.
+  const UpdateSet set_a = make_updates(12, 7);
+  const auto ref_a = sharded_fold(set_a, /*k=*/3, /*shards=*/3, /*batch=*/4);
+
+  constexpr std::size_t kParamsB = 29;
+  learning::AsyncAggregator agg_a(kParams, kClasses, agg_config(3));
+  learning::AsyncAggregator agg_b(kParamsB, kClasses, agg_config(1));
+  std::vector<float> params_a(kParams, 0.25f);
+  std::vector<float> params_b(kParamsB, -0.5f);
+  std::vector<float> solo_b(kParamsB, -0.5f);
+
+  // Reference for B: sequential submit + apply on a copy.
+  std::vector<std::vector<float>> grads_b;
+  stats::Rng rng(41);
+  for (std::size_t i = 0; i < 10; ++i) {
+    auto& grad = grads_b.emplace_back(kParamsB);
+    for (float& g : grad) g = static_cast<float>(rng.gaussian(0.0, 1.0));
+  }
+  {
+    learning::AsyncAggregator agg_ref(kParamsB, kClasses, agg_config(1));
+    for (const auto& grad : grads_b) {
+      learning::WorkerUpdate update;
+      update.gradient = grad;
+      update.label_dist = stats::LabelDistribution(kClasses);
+      update.mini_batch = 8;
+      const auto result = agg_ref.submit(update);
+      ASSERT_TRUE(result.aggregate.has_value());
+      tensor::axpy(-kLr, *result.aggregate, std::span<float>(solo_b));
+    }
+  }
+
+  ShardedAggregator pool(3);
+  const FoldContext ctx_a = context_of(agg_a, params_a);
+  const FoldContext ctx_b = context_of(agg_b, params_b);
+  std::size_t b_cursor = 0;
+  // Plan and execute one B gradient on the shared pool (K = 1: every
+  // submission flushes).
+  const auto fold_one_b = [&] {
+    learning::WorkerUpdate update_b;
+    update_b.gradient = grads_b[b_cursor];
+    update_b.label_dist = stats::LabelDistribution(kClasses);
+    update_b.mini_batch = 8;
+    const auto planned_b = agg_b.plan_submit(update_b);
+    ASSERT_TRUE(planned_b.flush);
+    std::vector<FoldOp> plan_b;
+    FoldOp fold_b;
+    fold_b.gradient = grads_b[b_cursor];
+    fold_b.weight = planned_b.weight;
+    plan_b.push_back(fold_b);
+    FoldOp apply_b;
+    apply_b.kind = FoldOp::Kind::kFlushApply;
+    apply_b.learning_rate = kLr;
+    plan_b.push_back(apply_b);
+    pool.execute(ctx_b, plan_b);
+    ++b_cursor;
+  };
+  std::vector<FoldOp> plan_a;
+  std::size_t in_batch = 0;
+  for (const auto& update : set_a.updates) {
+    const auto planned = agg_a.plan_submit(update);
+    FoldOp fold;
+    fold.gradient = update.gradient;
+    fold.weight = planned.weight;
+    plan_a.push_back(fold);
+    if (planned.flush) {
+      FoldOp apply;
+      apply.kind = FoldOp::Kind::kFlushApply;
+      apply.learning_rate = kLr;
+      plan_a.push_back(apply);
+    }
+    if (++in_batch == 4) {
+      pool.execute(ctx_a, plan_a);
+      plan_a.clear();
+      in_batch = 0;
+      // Interleave a B fold between A batches on the same pool.
+      if (b_cursor < grads_b.size()) fold_one_b();
+    }
+  }
+  pool.execute(ctx_a, plan_a);
+  while (b_cursor < grads_b.size()) fold_one_b();
+
+  EXPECT_TRUE(bitwise_equal(ref_a, params_a));
+  EXPECT_TRUE(bitwise_equal(solo_b, params_b));
 }
 
 TEST(ShardedAggregatorTest, BitwiseIdenticalToSequentialForAnyShardCount) {

@@ -11,29 +11,18 @@
 #include <cstring>
 #include <map>
 
+#include "../test_util.hpp"
 #include "fleet/data/partition.hpp"
 #include "fleet/data/synthetic_images.hpp"
 #include "fleet/device/catalog.hpp"
 #include "fleet/nn/zoo.hpp"
-#include "fleet/profiler/iprof.hpp"
-#include "fleet/profiler/training_data.hpp"
 #include "fleet/runtime/parallel_fleet.hpp"
 
 namespace fleet::runtime {
 namespace {
 
-/// FNV-1a over the raw parameter bits: two runs are "identical" only if
-/// every float matches exactly.
-std::uint64_t param_hash(std::span<const float> params) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (float value : params) {
-    std::uint32_t bits = 0;
-    std::memcpy(&bits, &value, sizeof(bits));
-    h ^= bits;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+using test::param_hash;
+using test::pretrained_iprof;
 
 /// One dataset for the whole matrix — identical local data in every cell.
 const data::TrainTestSplit& shared_split() {
@@ -54,15 +43,12 @@ std::uint64_t run_cell(std::size_t n_threads, std::size_t shards,
   const auto& split = shared_split();
   auto model = nn::zoo::small_cnn(1, 14, 14, 4);
   model->init(1);
-  auto iprof = std::make_unique<profiler::IProf>(profiler::IProf::Config{});
-  iprof->pretrain(profiler::collect_profile_dataset(
-      device::training_fleet(), profiler::IProf::Config{}.slo, 20));
   core::ServerConfig config;
   config.learning_rate = 0.05f;
   RuntimeConfig runtime;
   runtime.aggregation_shards = shards;
   runtime.max_drain_batch = max_batch;
-  ConcurrentFleetServer server(*model, std::move(iprof), config, runtime);
+  ConcurrentFleetServer server(*model, pretrained_iprof(), config, runtime);
 
   stats::Rng rng(2);
   const auto partition = data::partition_iid(split.train.size(), 6, rng);

@@ -1,0 +1,46 @@
+#pragma once
+
+// Helpers shared by the runtime / stress / multitenant suites (each suite
+// is its own gtest binary; this header keeps the copies from diverging).
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fleet/device/catalog.hpp"
+#include "fleet/profiler/iprof.hpp"
+#include "fleet/profiler/training_data.hpp"
+
+namespace fleet::test {
+
+/// An I-Prof pretrained on the standard training fleet — what every
+/// server/session under test uses as its profiler.
+inline std::unique_ptr<profiler::Profiler> pretrained_iprof() {
+  auto iprof = std::make_unique<profiler::IProf>(profiler::IProf::Config{});
+  iprof->pretrain(profiler::collect_profile_dataset(
+      device::training_fleet(), profiler::IProf::Config{}.slo, 20));
+  return iprof;
+}
+
+/// FNV-1a over the raw parameter bits: two runs are "identical" only if
+/// every float matches exactly.
+inline std::uint64_t param_hash(std::span<const float> params) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (float value : params) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    h ^= bits;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline bool bitwise_equal(const std::vector<float>& a,
+                          const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+}  // namespace fleet::test
