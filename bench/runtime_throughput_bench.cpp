@@ -23,9 +23,15 @@
 // on one shared host, one producer per model in the same aggregation-bound
 // regime — per-model and aggregate gradients/sec as tenants are added.
 //
+// A fourth section measures the concurrent fold scheduler (DESIGN.md §9):
+// {1,2,4} models x {1,4} shards with all sessions' fold plans overlapped
+// on the shared pool, reporting per-model/aggregate grads/s and the fold
+// occupancy high-water mark, against the serialized-plan baseline
+// (RuntimeConfig::serialize_folds) at 4 models x 4 shards.
+//
 // Emits BENCH_runtime.json (gradients/sec vs thread count 1/2/4/8, plus
 // aggregation throughput vs shard count 1/2/4, plus the multi-tenant
-// model sweep 1/2/4).
+// model sweep 1/2/4, plus the concurrent_models_* scheduler sweep).
 #include <chrono>
 #include <iostream>
 #include <thread>
@@ -228,20 +234,32 @@ double run_sharded(std::size_t shards, std::size_t total_gradients) {
   return grads_per_second(start, stop, processed);
 }
 
-/// Multi-tenant sweep (DESIGN.md §7): N models registered on ONE host,
+/// Multi-tenant sweep (DESIGN.md §7/§9): N models registered on ONE host,
 /// one producer per model replaying a pre-computed gradient into its own
 /// session at K = 1 (fold + apply + publish per gradient, the
 /// aggregation-bound scenario above) — measures how the shared queue,
-/// aggregation thread and fold pool carry added tenants. Returns
-/// {aggregate grads/s, mean per-model grads/s}.
-std::pair<double, double> run_multitenant(std::size_t n_models,
-                                          std::size_t total_gradients) {
+/// aggregation thread and fold scheduler carry added tenants.
+/// `serialize_folds` selects the pre-scheduler baseline (each session's
+/// plan waited before the next is submitted).
+struct MultitenantResult {
+  double aggregate = 0.0;       ///< grads/s across all models
+  double per_model_mean = 0.0;  ///< mean per-model grads/s
+  /// Fold-scheduler occupancy high-water mark (tasks queued + running at
+  /// once; > shards means cross-session overlap happened).
+  std::size_t fold_peak_pending = 0;
+  std::size_t fold_tasks = 0;
+};
+
+MultitenantResult run_multitenant(std::size_t n_models, std::size_t shards,
+                                  bool serialize_folds,
+                                  std::size_t total_gradients) {
   fleet::core::ServerConfig config;
   config.aggregator.aggregation_k = 1;
   fleet::runtime::RuntimeConfig runtime;
   runtime.queue_capacity = 1024;
   runtime.queue_shards = n_models;
-  runtime.aggregation_shards = 2;
+  runtime.aggregation_shards = shards;
+  runtime.serialize_folds = serialize_folds;
   runtime.max_drain_batch = 64;
   fleet::runtime::ConcurrentFleetServer host(runtime);
 
@@ -291,9 +309,15 @@ std::pair<double, double> run_multitenant(std::size_t n_models,
     processed += p;
     per_model_rate_sum += grads_per_second(start, stop, p);
   }
+  MultitenantResult result;
+  const auto host_view = host.host_stats();
+  result.fold_peak_pending = host_view.fold_peak_pending;
+  result.fold_tasks = host_view.fold_tasks_executed;
   host.stop();
-  return {grads_per_second(start, stop, processed),
-          per_model_rate_sum / static_cast<double>(n_models)};
+  result.aggregate = grads_per_second(start, stop, processed);
+  result.per_model_mean =
+      per_model_rate_sum / static_cast<double>(n_models);
+  return result;
 }
 
 }  // namespace
@@ -352,19 +376,60 @@ int main() {
                 " gradients/config, 1 producer/model, shared host)");
   double tenant_at1 = 0.0;
   for (const std::size_t models : {1u, 2u, 4u}) {
-    const auto [aggregate, per_model] = run_multitenant(models, total);
-    if (models == 1) tenant_at1 = aggregate;
+    const auto result =
+        run_multitenant(models, /*shards=*/2, /*serialize_folds=*/false, total);
+    if (models == 1) tenant_at1 = result.aggregate;
     bench::row({"models x" + std::to_string(models),
-                bench::fmt(aggregate, 1) + " grads/s aggregate, " +
-                    bench::fmt(per_model, 1) + " grads/s/model  (" +
-                    bench::fmt(models == 1 ? 1.0 : aggregate / tenant_at1, 2) +
+                bench::fmt(result.aggregate, 1) + " grads/s aggregate, " +
+                    bench::fmt(result.per_model_mean, 1) + " grads/s/model  (" +
+                    bench::fmt(models == 1 ? 1.0
+                                           : result.aggregate / tenant_at1,
+                               2) +
                     "x single-tenant)"});
     report.metric("models_" + std::to_string(models) + "_grads_per_s",
-                  aggregate);
+                  result.aggregate);
     report.metric(
         "models_" + std::to_string(models) + "_per_model_grads_per_s",
-        per_model);
+        result.per_model_mean);
   }
+
+  // Concurrent fold scheduling sweep (DESIGN.md §9): tenants x shards with
+  // the shared scheduler overlapping sessions' folds, against the
+  // serialized-plan baseline (the pre-scheduler behavior) at the widest
+  // configuration. Occupancy > shards means cross-session overlap
+  // actually happened on this hardware.
+  bench::header("Concurrent fold scheduling (K=1, " + std::to_string(total) +
+                " gradients/config, {1,2,4} models x {1,4} shards)");
+  double concurrent_4m4s = 0.0;
+  for (const std::size_t models : {1u, 2u, 4u}) {
+    for (const std::size_t shards : {1u, 4u}) {
+      const auto result =
+          run_multitenant(models, shards, /*serialize_folds=*/false, total);
+      if (models == 4 && shards == 4) concurrent_4m4s = result.aggregate;
+      const std::string key = "concurrent_models_" + std::to_string(models) +
+                              "_shards_" + std::to_string(shards);
+      bench::row({"models x" + std::to_string(models) + " shards x" +
+                      std::to_string(shards),
+                  bench::fmt(result.aggregate, 1) + " grads/s aggregate, " +
+                      bench::fmt(result.per_model_mean, 1) +
+                      " grads/s/model, fold occupancy peak " +
+                      std::to_string(result.fold_peak_pending)});
+      report.metric(key + "_grads_per_s", result.aggregate);
+      report.metric(key + "_per_model_grads_per_s", result.per_model_mean);
+      report.metric(key + "_fold_peak_pending", result.fold_peak_pending);
+      report.metric(key + "_fold_tasks", result.fold_tasks);
+    }
+  }
+  const auto serialized =
+      run_multitenant(4, /*shards=*/4, /*serialize_folds=*/true, total);
+  bench::row({"models x4 shards x4 serialized (baseline)",
+              bench::fmt(serialized.aggregate, 1) + " grads/s aggregate  (" +
+                  bench::fmt(concurrent_4m4s / serialized.aggregate, 2) +
+                  "x -> concurrent)"});
+  report.metric("serialized_models_4_shards_4_grads_per_s",
+                serialized.aggregate);
+  report.metric("concurrent_vs_serialized_4m4s",
+                concurrent_4m4s / serialized.aggregate);
 
   report.write("BENCH_runtime.json");
   std::cout << "\nwrote BENCH_runtime.json\n";

@@ -8,6 +8,7 @@ namespace fleet::runtime {
 ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
     : trace_capacity_(runtime.trace_capacity),
       max_drain_batch_(runtime.max_drain_batch),
+      serialize_folds_(runtime.serialize_folds),
       queue_(runtime.queue_capacity, runtime.queue_shards),
       paused_(runtime.start_paused) {
   if (runtime.aggregation_shards == 0) {
@@ -15,7 +16,8 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
         "ConcurrentFleetServer: aggregation_shards must be >= 1");
   }
   if (runtime.aggregation_shards > 1) {
-    sharded_ = std::make_unique<ShardedAggregator>(runtime.aggregation_shards);
+    sharded_ = std::make_unique<ShardedAggregator>(runtime.aggregation_shards,
+                                                   runtime.pin_fold_workers);
   }
   aggregation_thread_ = std::thread([this] { aggregation_loop(); });
 }
@@ -36,9 +38,11 @@ core::ModelId ConcurrentFleetServer::register_model(
       next_model_id_.fetch_add(1, std::memory_order_relaxed);
   // The session publishes its version-0 snapshot in its constructor,
   // before it becomes visible in the registry — a request thread that can
-  // find the session never sees an empty store.
+  // find the session never sees an empty store. It also caches its fold
+  // span partition here, for the host pool's shard count.
   registry_.add(std::make_shared<ModelSession>(
-      id, model, std::move(profiler), config, trace_capacity_));
+      id, model, std::move(profiler), config, trace_capacity_,
+      sharded_ != nullptr ? sharded_->shard_count() : 1));
   return id;
 }
 
@@ -124,32 +128,38 @@ core::GradientReceipt ConcurrentFleetServer::try_submit(GradientJob& job) {
 
 void ConcurrentFleetServer::aggregation_loop() {
   std::vector<GradientJob> batch;
-  /// Per-batch demultiplexed state: one slot per session that appears in
-  /// the batch, in first-appearance order. The session set per batch is
-  /// tiny (tenant count, not job count), so a linear id scan beats a map.
-  struct SessionSlot {
-    std::shared_ptr<ModelSession> session;
-    std::vector<FoldOp> plan;  // sharded path only
+  // Per-batch demultiplexed state: one slot per session that appears in
+  // the batch, in first-appearance order, acquired from the persistent
+  // slot pool (`used` of `slot_pool_` are live this batch). The session
+  // set per batch is tiny (tenant count, not job count), so a linear id
+  // scan beats a map.
+  std::size_t used = 0;
+  auto acquire_slot = [&]() -> SessionSlot& {
+    if (used == slot_pool_.size()) {
+      slot_pool_.emplace_back();
+      fold_buffer_growths_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return slot_pool_[used++];
   };
-  std::vector<SessionSlot> slots;
   // Resolve a job's session via the batch's slots first — one registry
   // lookup per (session, batch), not per job, keeps the fold path off the
   // directory's read lock that request threads contend on. nullptr means
   // the id is unknown/retired (a registry miss is re-probed per job, but
   // that only happens on the rare retired-backlog path).
   auto slot_for = [&](core::ModelId id) -> SessionSlot* {
-    for (SessionSlot& slot : slots) {
-      if (slot.session->id() == id) return &slot;
+    for (std::size_t i = 0; i < used; ++i) {
+      if (slot_pool_[i].session->id() == id) return &slot_pool_[i];
     }
     auto session = registry_.lookup(id);
     if (session == nullptr) return nullptr;
-    slots.push_back(SessionSlot{std::move(session), {}});
-    return &slots.back();
+    SessionSlot& slot = acquire_slot();
+    slot.session = std::move(session);
+    return &slot;
   };
-  // `slots` and `batch` are cleared at the END of each iteration, before
-  // the idle wait: holding a SessionSlot's shared_ptr across wait_drain
-  // would pin a just-retired session's O(|theta| * window) state until
-  // some other model's gradient arrived.
+  // Slots are reset at the END of each iteration, before the idle wait:
+  // holding a SessionSlot's shared_ptr across wait_drain would pin a
+  // just-retired session's O(|theta| * window) state until some other
+  // model's gradient arrived. The plan buffers keep their capacity.
 
   while (true) {
     // Batch-granular pause gate: parked here, submits still queue up.
@@ -177,24 +187,35 @@ void ConcurrentFleetServer::aggregation_loop() {
     // Retired ids miss the registry lookup and are dropped, counted, and
     // never folded (their drain accounting rides on `taken`).
     if (sharded_ != nullptr) {
-      // Sharded hierarchical fold: plan every job centrally (staleness
-      // against its session's live clock, dampened weight, flush points,
-      // profiler feedback), then fan each session's recorded arithmetic
-      // across the shared shard workers and barrier before publication.
-      // Plans' gradient spans point into `batch`, which stays alive until
-      // the next drain.
+      // Concurrent fold scheduling (DESIGN.md §9): plan every job
+      // centrally (staleness against its session's live clock, dampened
+      // weight, flush points, profiler feedback), then submit ALL
+      // sessions' plans to the shared fold scheduler at once — different
+      // sessions' spans execute concurrently, since their arenas are
+      // disjoint — and wait once for the whole batch. Plans' gradient
+      // spans point into `batch`, which stays alive until the next drain.
       for (GradientJob& job : batch) {
         SessionSlot* slot = slot_for(job.model_id);
         if (slot == nullptr) {
           retired_drops_.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
+        const std::size_t plan_capacity = slot->plan.capacity();
         slot->session->plan_process(job, slot->plan);
-      }
-      for (SessionSlot& slot : slots) {
-        if (!slot.plan.empty()) {
-          sharded_->execute(slot.session->fold_context(), slot.plan);
+        if (slot->plan.capacity() != plan_capacity) {
+          fold_buffer_growths_.fetch_add(1, std::memory_order_relaxed);
         }
+      }
+      for (std::size_t i = 0; i < used; ++i) {
+        SessionSlot& slot = slot_pool_[i];
+        if (slot.plan.empty()) continue;
+        sharded_->submit(slot.session->fold_context(), slot.plan, slot.latch);
+        if (serialize_folds_) sharded_->wait(slot.latch);
+      }
+      // One wait per batch; waiting in slot order is work-conserving (the
+      // waiter executes queued tasks, any session's, while it waits).
+      for (std::size_t i = 0; i < used; ++i) {
+        sharded_->wait(slot_pool_[i].latch);
       }
     } else {
       for (GradientJob& job : batch) {
@@ -208,9 +229,16 @@ void ConcurrentFleetServer::aggregation_loop() {
     }
     // One snapshot materialization per dirty session per drain batch,
     // however many updates it applied — under load this amortizes the
-    // O(|theta|) copy across the whole backlog.
-    for (SessionSlot& slot : slots) slot.session->publish_if_dirty();
-    slots.clear();
+    // O(|theta|) copy across the whole backlog. Ordered per session: a
+    // session publishes only after its own latch resolved above, so the
+    // snapshot always reads a fully-folded arena.
+    for (std::size_t i = 0; i < used; ++i) {
+      SessionSlot& slot = slot_pool_[i];
+      slot.session->publish_if_dirty();
+      slot.session.reset();
+      slot.plan.clear();  // keeps capacity for the next batch
+    }
+    used = 0;
     batch.clear();
     processed_or_dropped_.fetch_add(taken, std::memory_order_acq_rel);
     {
@@ -265,7 +293,15 @@ RuntimeStats ConcurrentFleetServer::host_stats() const {
   snapshot.backpressure_rejects = queue_.rejected();
   snapshot.retired_drops = retired_drops_.load(std::memory_order_acquire);
   snapshot.queue_depth = queue_.depth();
+  snapshot.queue_max_depth_seen = queue_.max_depth_seen();
   snapshot.queue_shard_depths = queue_.shard_depths();
+  snapshot.fold_buffer_growths =
+      fold_buffer_growths_.load(std::memory_order_acquire);
+  if (sharded_ != nullptr) {
+    const auto pool = sharded_->pool_stats();
+    snapshot.fold_tasks_executed = pool.tasks_executed;
+    snapshot.fold_peak_pending = pool.peak_pending;
+  }
   return snapshot;
 }
 
@@ -275,7 +311,11 @@ RuntimeStats ConcurrentFleetServer::stats(core::ModelId id) const {
   snapshot.backpressure_rejects = host.backpressure_rejects;
   snapshot.retired_drops = host.retired_drops;
   snapshot.queue_depth = host.queue_depth;
+  snapshot.queue_max_depth_seen = host.queue_max_depth_seen;
   snapshot.queue_shard_depths = host.queue_shard_depths;
+  snapshot.fold_tasks_executed = host.fold_tasks_executed;
+  snapshot.fold_peak_pending = host.fold_peak_pending;
+  snapshot.fold_buffer_growths = host.fold_buffer_growths;
   return snapshot;
 }
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -34,15 +35,24 @@ struct RuntimeConfig {
   /// Start with the aggregation thread parked (resume() arms it). Lets
   /// tests and benches stage a backlog deterministically.
   bool start_paused = false;
-  /// Fold threads for the sharded hierarchical aggregation (DESIGN.md §6):
-  /// each session's parameter arena is split into this many contiguous
-  /// spans and a drain batch's weighted fold fans out across them, one
-  /// worker per span, behind a barrier. The pool is shared by every
-  /// session (one session's plan at a time). 1 keeps the fold inline on
-  /// the aggregation thread (the PR-2 sequential path). Any value yields a
-  /// bitwise identical model per session — weights are computed centrally
-  /// and every parameter index sees the same operation sequence.
+  /// Fold threads for the sharded hierarchical aggregation (DESIGN.md
+  /// §6/§9): each session's parameter arena is split into this many
+  /// contiguous spans and a drain batch's weighted folds fan out across
+  /// the shared fold scheduler — different sessions' spans concurrently,
+  /// one latch per session. 1 keeps the fold inline on the aggregation
+  /// thread (the PR-2 sequential path). Any value yields a bitwise
+  /// identical model per session — weights are computed centrally and
+  /// every parameter index sees the same operation sequence.
   std::size_t aggregation_shards = 1;
+  /// Best-effort pin the fold workers to consecutive CPUs (Linux only) —
+  /// the first step toward NUMA-aware span placement (ROADMAP). No effect
+  /// on results, only on locality.
+  bool pin_fold_workers = false;
+  /// Debug/baseline knob: wait for each session's fold to finish before
+  /// submitting the next session's plan — the pre-scheduler serialized
+  /// behavior. Results are bitwise identical either way (sessions are
+  /// disjoint); the bench uses this as the comparison baseline.
+  bool serialize_folds = false;
   /// Cap on how many jobs one queue drain hands the aggregation loop
   /// (0 = take everything). Batches are exact admission-order prefixes
   /// (ticket-ordered) across all models, so batching changes snapshot-
@@ -72,14 +82,18 @@ struct RuntimeConfig {
 ///    by ModelId, walking it in global ticket order: each job's
 ///    order-sensitive bookkeeping (staleness against its session's clock,
 ///    dampening, K-boundary, profiler feedback) runs against its own
-///    session, then per-session fold plans execute on the shared span
-///    workers and each dirty session publishes one snapshot. A session's
-///    jobs keep their relative admission order, its clock only moves with
-///    its own updates, and its weights/fold order/staleness are therefore
-///    bitwise identical to a solo single-model server fed the same
-///    sequence — for any shard count and drain-batch size (DESIGN.md §7).
-///    Jobs whose session was retired while they sat in the queue are
-///    dropped and counted (RuntimeStats::retired_drops), never folded.
+///    session. Then every session's fold plan is submitted to the shared
+///    fold scheduler at once — different sessions' spans execute
+///    concurrently on the pool (their arenas are disjoint) — the loop
+///    waits once per batch for all latches, and each dirty session
+///    publishes one snapshot only after its own latch resolved (DESIGN.md
+///    §9). A session's jobs keep their relative admission order, its clock
+///    only moves with its own updates, and its weights/fold order/
+///    staleness are therefore bitwise identical to a solo single-model
+///    server fed the same sequence — for any shard count, drain-batch size
+///    and tenant mix. Jobs whose session was retired while they sat in the
+///    queue are dropped and counted (RuntimeStats::retired_drops), never
+///    folded.
 ///
 /// The single-model API of PR 2/3 (construct with a model, call
 /// handle_request/try_submit/stats() without an id) is preserved as a thin
@@ -217,6 +231,18 @@ class ConcurrentFleetServer {
   nn::TrainableModel& model() { return require_default()->model(); }
 
  private:
+  /// Per-batch demux slot: one per session appearing in the drain batch.
+  /// Slots live in a persistent pool (`slot_pool_`) reused across batches
+  /// — the session handle is released at batch end (holding it across the
+  /// idle wait would pin a retired session's state) but the fold-plan
+  /// buffer keeps its capacity, so a steady-state drain allocates nothing
+  /// (RuntimeStats::fold_buffer_growths counts the warm-up growths).
+  struct SessionSlot {
+    std::shared_ptr<ModelSession> session;
+    std::vector<FoldOp> plan;  // sharded path only
+    FoldLatch latch;           // armed per batch by the fold scheduler
+  };
+
   void aggregation_loop();
   std::shared_ptr<ModelSession> require(core::ModelId id) const;
   std::shared_ptr<ModelSession> require_default() const {
@@ -225,12 +251,20 @@ class ConcurrentFleetServer {
 
   std::size_t trace_capacity_;
   std::size_t max_drain_batch_;
+  bool serialize_folds_;
   ModelRegistry registry_;
   std::atomic<core::ModelId> next_model_id_{core::kDefaultModelId};
   GradientQueue queue_;
-  /// Present when aggregation_shards > 1; shared by all sessions — the
-  /// aggregation loop executes one session's fold plan at a time on it.
+  /// Present when aggregation_shards > 1; the shared fold scheduler — all
+  /// sessions' plans of a drain batch run on it concurrently.
   std::unique_ptr<ShardedAggregator> sharded_;
+  /// Aggregation thread only: the reusable demux slots (deque: slots are
+  /// non-movable because of the latch, and references handed out during a
+  /// batch must survive pool growth).
+  std::deque<SessionSlot> slot_pool_;
+  /// Hot-path allocation events (slot-pool or plan-buffer growth); see
+  /// RuntimeStats::fold_buffer_growths.
+  std::atomic<std::size_t> fold_buffer_growths_{0};
 
   /// Queued jobs dropped because their session was retired before the
   /// aggregation loop reached them.

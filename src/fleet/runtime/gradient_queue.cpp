@@ -37,7 +37,8 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
   // Reserve a slot against the global bound first; undo on failure. The
   // reservation also keeps a consumer from concluding "closed and empty"
   // while this push is mid-flight (wait_drain exits only at size() == 0).
-  if (size_.fetch_add(1, std::memory_order_acq_rel) >= capacity_) {
+  const std::size_t depth = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (depth > capacity_) {
     size_.fetch_sub(1, std::memory_order_acq_rel);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -60,6 +61,17 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
     item.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
     item.job = std::move(job);
     shard.items.push_back(std::move(item));
+  }
+  // High-water mark from the reservation depth, recorded only once the
+  // push actually landed (a closed-race undo never raises the gauge). The
+  // depth may be a transient over-count when a concurrent reserver is
+  // about to bounce off the bound, but it never exceeds capacity and a
+  // real burst reaches the same mark anyway.
+  std::size_t seen = max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_depth_.compare_exchange_weak(seen, depth,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
   }
   // Tap the wake mutex so a consumer that just evaluated "empty" and is
   // about to sleep observes either the new size or the notification.

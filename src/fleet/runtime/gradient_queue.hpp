@@ -95,6 +95,14 @@ class GradientQueue {
   /// surfaces — ConcurrentFleetServer::stats() exports it.
   std::size_t depth() const { return size(); }
 
+  /// High-water-mark gauge: the deepest the queue has ever been (depth
+  /// observed right after a successful push). Monotone; never reset by
+  /// drains, so a monitoring poll after the burst still sees how close the
+  /// backlog came to `capacity()`. At most `capacity()`.
+  std::size_t max_depth_seen() const {
+    return max_depth_.load(std::memory_order_acquire);
+  }
+
   /// Per-shard occupancy, one entry per ingest shard. Each shard is read
   /// under its own lock, shard by shard — a monitoring poll never holds
   /// more than one producer lock at a time — so the entries are each exact
@@ -123,6 +131,7 @@ class GradientQueue {
   std::size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> max_depth_{0};
   std::atomic<std::uint64_t> next_ticket_{0};
   std::atomic<std::size_t> rejected_{0};
   std::atomic<bool> closed_{false};

@@ -1,5 +1,6 @@
 #include "fleet/runtime/model_session.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -8,12 +9,16 @@ namespace fleet::runtime {
 ModelSession::ModelSession(core::ModelId id, nn::TrainableModel& model,
                            std::unique_ptr<profiler::Profiler> profiler,
                            const core::ServerConfig& config,
-                           std::size_t trace_capacity)
+                           std::size_t trace_capacity,
+                           std::size_t fold_shards)
     : id_(id),
       model_(model),
       profiler_(std::move(profiler)),
       config_(config),
       trace_capacity_(trace_capacity),
+      fold_spans_(ShardedAggregator::partition(model.parameter_count(),
+                                               std::max<std::size_t>(
+                                                   fold_shards, 1))),
       controller_(config.controller),
       aggregator_(model.parameter_count(), model.n_classes(),
                   config.aggregator),
@@ -195,6 +200,7 @@ FoldContext ModelSession::fold_context() {
   FoldContext ctx;
   ctx.aggregator = &aggregator_;
   ctx.parameters = model_.parameters_mut();
+  ctx.spans = fold_spans_;
   return ctx;
 }
 

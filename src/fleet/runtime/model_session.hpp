@@ -30,7 +30,19 @@ struct RuntimeStats {
   /// Host-wide ingest-queue occupancy gauges at snapshot time (the queue
   /// is shared by every session on the host; see GradientQueue::depth()).
   std::size_t queue_depth = 0;
+  /// Host-wide high-water mark of the ingest queue (monotone; see
+  /// GradientQueue::max_depth_seen()).
+  std::size_t queue_max_depth_seen = 0;
   std::vector<std::size_t> queue_shard_depths;
+  /// Host-wide fold-scheduler occupancy (zero when the host runs the
+  /// sequential shards=1 path; see ShardedAggregator::pool_stats()).
+  std::size_t fold_tasks_executed = 0;
+  std::size_t fold_peak_pending = 0;
+  /// Host-wide count of aggregation-hot-path buffer growths (a demux slot
+  /// or fold-plan buffer had to allocate during a drain batch). A
+  /// steady-state server stops growing after warm-up — the regression
+  /// gauge for "no per-batch heap allocation on the hot path".
+  std::size_t fold_buffer_growths = 0;
   std::vector<double> staleness_values;  ///< tau per processed gradient
   std::vector<double> weights;           ///< applied dampening weights
   /// True once the traces above hit the trace capacity and stopped
@@ -65,9 +77,14 @@ struct RuntimeStats {
 /// touch owned state after that point.
 class ModelSession {
  public:
+  /// `fold_shards` is the host's fold-pool shard count: the session caches
+  /// its arena's span partition once, here, instead of re-deriving it for
+  /// every drain batch (DESIGN.md §9). 1 (the sequential path) caches the
+  /// single full-arena span.
   ModelSession(core::ModelId id, nn::TrainableModel& model,
                std::unique_ptr<profiler::Profiler> profiler,
-               const core::ServerConfig& config, std::size_t trace_capacity);
+               const core::ServerConfig& config, std::size_t trace_capacity,
+               std::size_t fold_shards = 1);
 
   ModelSession(const ModelSession&) = delete;
   ModelSession& operator=(const ModelSession&) = delete;
@@ -112,12 +129,15 @@ class ModelSession {
 
   /// Sharded-path counterpart of process(): the same central bookkeeping
   /// (clock, staleness, weight, profiler feedback, stats) with the numeric
-  /// fold deferred into `plan` for ShardedAggregator::execute() against
-  /// fold_context().
+  /// fold deferred into `plan` for the shared fold scheduler
+  /// (ShardedAggregator::submit) against fold_context().
   void plan_process(GradientJob& job, std::vector<FoldOp>& plan);
 
-  /// The context the shared fold pool executes this session's plans
-  /// against: its aggregator and its model's mutable arena.
+  /// The context the shared fold scheduler executes this session's plans
+  /// against: its aggregator, its model's mutable arena, and the cached
+  /// span partition (computed once at construction — the partition depends
+  /// only on (parameter count, fold shards), both fixed for the session's
+  /// lifetime, so deriving it per batch was pure hot-path waste).
   FoldContext fold_context();
 
   /// Materialize and publish a snapshot if the clock advanced since the
@@ -159,6 +179,9 @@ class ModelSession {
   std::unique_ptr<profiler::Profiler> profiler_;
   core::ServerConfig config_;
   std::size_t trace_capacity_;
+  /// Cached fold-span partition of the model's arena for the host's pool
+  /// shard count; referenced by every fold_context() (DESIGN.md §9).
+  std::vector<FoldSpan> fold_spans_;
   core::Controller controller_;
   learning::AsyncAggregator aggregator_;
   core::ModelStore store_;

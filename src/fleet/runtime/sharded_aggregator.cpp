@@ -5,16 +5,45 @@
 
 #include "fleet/tensor/ops.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace fleet::runtime {
 
-ShardedAggregator::ShardedAggregator(std::size_t shards) : shards_(shards) {
+namespace {
+
+/// Best-effort CPU pinning for a pool worker; silently a no-op where the
+/// platform (or the cpuset) refuses. Worker threads run spans 1..S-1, so
+/// worker w is placed on CPU w+1, leaving CPU 0 to the coordinator lane.
+/// Oversubscribed pools (cpu beyond the machine) stay unpinned rather
+/// than stacking hard-pinned workers on the coordinator's CPU.
+void pin_to_cpu([[maybe_unused]] std::thread& worker,
+                [[maybe_unused]] std::size_t cpu) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0 || cpu >= hw) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu), &set);
+  pthread_setaffinity_np(worker.native_handle(), sizeof(set), &set);
+#endif
+}
+
+}  // namespace
+
+ShardedAggregator::ShardedAggregator(std::size_t shards, bool pin_workers)
+    : shards_(shards) {
   if (shards == 0) {
     throw std::invalid_argument("ShardedAggregator: shards must be >= 1");
   }
-  // Workers for spans 1..S-1; the coordinator folds span 0 in execute().
+  // Workers for spans 1..S-1; the coordinator is the pool's S-th lane
+  // while it waits (shards == 1 spawns no threads at all).
   workers_.reserve(shards - 1);
   for (std::size_t s = 1; s < shards; ++s) {
-    workers_.emplace_back([this, s] { worker_loop(s); });
+    workers_.emplace_back([this] { worker_loop(); });
+    if (pin_workers) pin_to_cpu(workers_.back(), s);
   }
 }
 
@@ -23,7 +52,7 @@ ShardedAggregator::~ShardedAggregator() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
-  start_cv_.notify_all();
+  work_cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -36,68 +65,155 @@ std::pair<std::size_t, std::size_t> ShardedAggregator::span_of(
   return {begin, std::min(begin + chunk, param_count)};
 }
 
-void ShardedAggregator::run_shard(std::size_t shard_index,
-                                  const FoldContext& ctx,
-                                  std::span<const FoldOp> plan) {
-  const auto [begin, end] = span_of(ctx.parameters.size(), shards_, shard_index);
-  if (begin >= end) return;
-  for (const FoldOp& op : plan) {
+std::vector<FoldSpan> ShardedAggregator::partition(std::size_t param_count,
+                                                   std::size_t shards) {
+  std::vector<FoldSpan> spans;
+  spans.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto [begin, end] = span_of(param_count, shards, s);
+    if (begin < end) spans.push_back(FoldSpan{begin, end});
+  }
+  return spans;
+}
+
+void ShardedAggregator::run_task(const FoldTask& task) {
+  const auto [begin, end] = task.span;
+  for (const FoldOp& op : task.plan) {
     if (op.kind == FoldOp::Kind::kFold) {
-      ctx.aggregator->fold_into(begin, end, op.weight, op.gradient);
+      task.ctx.aggregator->fold_into(begin, end, op.weight, op.gradient);
     } else {
-      const auto flushed = ctx.aggregator->flush_span(begin, end);
+      const auto flushed = task.ctx.aggregator->flush_span(begin, end);
       tensor::axpy(-op.learning_rate, flushed,
-                   ctx.parameters.subspan(begin, end - begin));
+                   task.ctx.parameters.subspan(begin, end - begin));
     }
   }
 }
 
-void ShardedAggregator::worker_loop(std::size_t shard_index) {
-  std::uint64_t seen = 0;
+bool ShardedAggregator::run_one() {
+  FoldTask task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    task = tasks_.front();
+    tasks_.pop_front();
+    ++active_;
+  }
+  run_task(task);
+  bool resolved = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    ++tasks_executed_;
+    // The latch counts down under mu_: a waiter checks the latch under the
+    // same mutex before sleeping on done_cv_, so the final decrement's
+    // notification can never slip between its check and its wait.
+    resolved =
+        task.latch->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+  if (resolved) done_cv_.notify_all();
+  return true;
+}
+
+void ShardedAggregator::worker_loop() {
   while (true) {
-    FoldContext ctx;
-    std::span<const FoldOp> plan;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      work_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_) return;
-      seen = epoch_;
-      ctx = ctx_;
-      plan = plan_;
     }
-    run_shard(shard_index, ctx, plan);
-    bool last = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      last = --outstanding_ == 0;
-    }
-    if (last) done_cv_.notify_one();
+    // The lock was dropped between the wake-up and the pop — run_one()
+    // re-checks and simply finds the queue empty when another lane won.
+    run_one();
   }
 }
 
-void ShardedAggregator::execute(const FoldContext& ctx,
-                                std::span<const FoldOp> plan) {
+void ShardedAggregator::submit(const FoldContext& ctx,
+                               std::span<const FoldOp> plan,
+                               FoldLatch& latch) {
   if (ctx.aggregator == nullptr ||
       ctx.parameters.size() != ctx.aggregator->parameter_count()) {
     throw std::invalid_argument(
         "ShardedAggregator: fold context arena does not match its aggregator");
   }
-  if (plan.empty()) return;
-  if (workers_.empty()) {
-    run_shard(0, ctx, plan);
-    return;
+  if (!ctx.spans.empty()) {
+    // The spans must tile the arena exactly — a gap would silently skip
+    // parameters, an overlap double-fold them. The vector is tenant-count
+    // sized tiny, so the walk is free next to the fold itself.
+    std::size_t cursor = 0;
+    for (const FoldSpan& span : ctx.spans) {
+      if (span.begin != cursor || span.end <= span.begin) {
+        throw std::invalid_argument(
+            "ShardedAggregator: cached span partition does not tile the "
+            "arena");
+      }
+      cursor = span.end;
+    }
+    if (cursor != ctx.parameters.size()) {
+      throw std::invalid_argument(
+          "ShardedAggregator: cached span partition does not cover the arena");
+    }
   }
+  if (!latch.done()) {
+    throw std::invalid_argument(
+        "ShardedAggregator: latch already tracks an in-flight plan");
+  }
+  if (plan.empty()) return;
+
+  std::size_t armed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ctx_ = ctx;
-    plan_ = plan;
-    outstanding_ = workers_.size();
-    ++epoch_;
+    if (!ctx.spans.empty()) {
+      for (const FoldSpan& span : ctx.spans) {
+        tasks_.push_back(FoldTask{ctx, plan, span, &latch});
+        ++armed;
+      }
+    } else {
+      for (std::size_t s = 0; s < shards_; ++s) {
+        const auto [begin, end] = span_of(ctx.parameters.size(), shards_, s);
+        if (begin >= end) continue;
+        tasks_.push_back(FoldTask{ctx, plan, FoldSpan{begin, end}, &latch});
+        ++armed;
+      }
+    }
+    // Armed under mu_, before any lane can pop a task: a task finishing
+    // can therefore never observe a latch it would drive below zero.
+    latch.pending_.fetch_add(armed, std::memory_order_acq_rel);
+    peak_pending_ = std::max(peak_pending_, tasks_.size() + active_);
   }
-  start_cv_.notify_all();
-  run_shard(0, ctx, plan);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  if (armed > 1) {
+    work_cv_.notify_all();
+  } else {
+    work_cv_.notify_one();
+  }
+  // A thread already helping inside wait() sleeps on done_cv_ when the
+  // queue momentarily ran dry — hand it the new work too.
+  done_cv_.notify_all();
+}
+
+void ShardedAggregator::wait(FoldLatch& latch) {
+  // Work-conserving wait: drain queued tasks (any plan's — executing
+  // another session's span can only help resolve the pool sooner) and only
+  // sleep once the queue is empty and our latch is still pending.
+  while (!latch.done()) {
+    if (run_one()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return latch.done() || !tasks_.empty(); });
+  }
+}
+
+void ShardedAggregator::execute(const FoldContext& ctx,
+                                std::span<const FoldOp> plan) {
+  FoldLatch latch;
+  submit(ctx, plan, latch);
+  wait(latch);
+}
+
+ShardedAggregator::PoolStats ShardedAggregator::pool_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolStats stats;
+  stats.tasks_executed = tasks_executed_;
+  stats.peak_pending = peak_pending_;
+  return stats;
 }
 
 }  // namespace fleet::runtime

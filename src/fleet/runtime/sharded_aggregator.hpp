@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -21,7 +23,8 @@ struct FoldOp {
   enum class Kind { kFold, kFlushApply };
   Kind kind = Kind::kFold;
   /// kFold: the worker's full-length gradient (each shard folds its slice).
-  /// Must outlive execute() — the runtime keeps the drained batch alive.
+  /// Must outlive the plan's execution — the runtime keeps the drained
+  /// batch alive until every latch of the drain resolved.
   std::span<const float> gradient;
   /// kFold: the dampened weight, computed centrally by plan_submit().
   double weight = 0.0;
@@ -29,82 +32,155 @@ struct FoldOp {
   float learning_rate = 0.0f;
 };
 
+/// One contiguous [begin, end) slice of a parameter arena — the unit a
+/// fold task owns exclusively.
+struct FoldSpan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
 /// The per-model state one fold plan executes against: the session's
 /// aggregator (accumulator + flushed buffer) and its model's mutable
-/// parameter arena. On a multi-tenant host (DESIGN.md §7) every registered
-/// model has its own context while the span workers below are shared.
+/// parameter arena. On a multi-tenant host (DESIGN.md §7/§9) every
+/// registered model has its own context while the scheduler below is
+/// shared. `spans` optionally carries the arena's cached span partition
+/// (ModelSession computes it once per arena, DESIGN.md §9); when empty the
+/// scheduler derives the partition from (arena size, shard count) per
+/// submission — same slices either way.
 struct FoldContext {
   learning::AsyncAggregator* aggregator = nullptr;
   std::span<float> parameters;
+  std::span<const FoldSpan> spans;
 };
 
-/// Sharded hierarchical aggregation: a parameter arena is partitioned into
-/// contiguous spans, one persistent worker per span, and a whole drain
-/// batch's weighted fold fans out across them with a barrier before the
-/// (single-writer) snapshot publication.
+/// Completion latch for one submitted fold plan: submit() arms it with the
+/// plan's span-task count, every finished task counts it down, and wait()
+/// blocks until it hits zero. Owned by the caller (one per in-flight plan)
+/// and reusable once resolved — the server keeps one per session slot.
+class FoldLatch {
+ public:
+  FoldLatch() = default;
+  FoldLatch(const FoldLatch&) = delete;
+  FoldLatch& operator=(const FoldLatch&) = delete;
+
+  /// True when no armed task is outstanding (trivially true before any
+  /// submit). Safe to poll from the submitting thread; for the full
+  /// happens-before edge on the folded data, go through wait().
+  bool done() const { return pending_.load(std::memory_order_acquire) == 0; }
+
+ private:
+  friend class ShardedAggregator;
+  std::atomic<std::size_t> pending_{0};
+};
+
+/// Sharded fold scheduler (DESIGN.md §9): a parameter arena is partitioned
+/// into contiguous spans and a drain batch's weighted fold fans out across
+/// a persistent worker pool, one task per (plan, span).
 ///
-/// The pool itself is model-agnostic: execute() takes the FoldContext the
-/// plan belongs to, and the span partition is derived from that context's
-/// arena size — so one pool serves every session on a multi-tenant host,
-/// one plan at a time. The partition depends only on (parameter count,
-/// shard count), which is what keeps a session hosted among others bitwise
-/// identical to the same model on a solo server with the same shard count.
+/// Unlike the earlier one-plan-at-a-time barrier, the pool runs a task
+/// *queue*: the coordinator may submit many sessions' (context, plan)
+/// pairs back to back — each armed with its own FoldLatch — and different
+/// sessions' spans execute concurrently. That is legal because sessions'
+/// parameter arenas and aggregator accumulators are disjoint, and it is
+/// deterministic because concurrency never crosses a span boundary: each
+/// task replays its whole plan over its own slice in plan order, so every
+/// element still experiences the identical operation sequence the
+/// sequential fold would apply. Per-session results are bitwise equal to a
+/// solo sequential server for any shard/batch/tenant configuration.
 ///
-/// Determinism: the plan fixes the fold order and every weight before any
-/// arithmetic runs, each parameter index is owned by exactly one span, and
-/// each span replays the plan in order — so every element experiences the
-/// identical operation sequence the sequential fold would apply, and the
-/// result is bitwise identical for any shard count and any batch size.
+/// Threading: `shards - 1` persistent workers (shards == 1 spawns none).
+/// submit() only enqueues; tasks are executed by the workers *and* by any
+/// thread blocked in wait() — a waiter drains queued tasks (any plan's)
+/// instead of idling, which both keeps shards == 1 fully inline on the
+/// caller and makes the coordinator the S-th lane of the pool. Every
+/// submitted plan must be waited on before the pool is destroyed.
 ///
-/// Threading: execute() is single-coordinator (the aggregation thread). The
-/// coordinator folds span 0 itself; spans 1..S-1 run on the persistent
-/// worker threads; execute() returns only after every span finished (the
-/// barrier). Workers touch only AsyncAggregator::fold_into / flush_span and
-/// their parameter slice — all mutually disjoint — so no lock is held
-/// during the fold itself.
+/// Workers touch only AsyncAggregator::fold_into / flush_span and their
+/// parameter slice — mutually disjoint across tasks — so no lock is held
+/// during the fold itself. wait() returning establishes the
+/// happens-before edge from every fold of that latch to the caller
+/// (publication reads the arena only after its session's latch resolved).
 class ShardedAggregator {
  public:
   /// `shards` >= 1; one worker thread is spawned per shard beyond the
-  /// first (shards == 1 folds inline on the caller, no threads at all).
-  explicit ShardedAggregator(std::size_t shards);
+  /// first. `pin_workers` best-effort pins worker s to CPU s
+  /// (Linux only; the first step toward NUMA-aware placement — see
+  /// RuntimeConfig::pin_fold_workers).
+  explicit ShardedAggregator(std::size_t shards, bool pin_workers = false);
   ~ShardedAggregator();
 
   ShardedAggregator(const ShardedAggregator&) = delete;
   ShardedAggregator& operator=(const ShardedAggregator&) = delete;
 
-  /// Run the plan across every shard of `ctx`'s arena and barrier until
-  /// all are done. The spans the plan's gradients point at, and the
-  /// context's aggregator and arena, must stay alive throughout. Throws
-  /// std::invalid_argument when the context's arena size does not match
-  /// its aggregator's parameter count.
+  /// Enqueue one plan: one task per (non-empty) span of `ctx`'s arena,
+  /// armed on `latch`. Returns immediately; the plan's gradients, the
+  /// context's aggregator/arena/spans and the latch must stay alive until
+  /// wait(latch) returned. `latch` must be resolved (done()) on entry —
+  /// one latch tracks one plan at a time. Throws std::invalid_argument
+  /// when the context's arena size does not match its aggregator's
+  /// parameter count. An empty plan is a no-op (the latch stays done).
+  void submit(const FoldContext& ctx, std::span<const FoldOp> plan,
+              FoldLatch& latch);
+
+  /// Block until every task armed on `latch` finished, executing queued
+  /// tasks (any plan's) while work remains instead of sleeping.
+  void wait(FoldLatch& latch);
+
+  /// submit() + wait() in one call — the solo, synchronous path (kept for
+  /// single-plan callers and the pre-scheduler tests).
   void execute(const FoldContext& ctx, std::span<const FoldOp> plan);
 
   std::size_t shard_count() const { return shards_; }
 
   /// The contiguous [begin, end) slice shard `s` owns of an arena with
-  /// `param_count` elements split `shards` ways — the partition execute()
+  /// `param_count` elements split `shards` ways — the partition submit()
   /// uses (trailing spans may be empty when shards > param_count).
   static std::pair<std::size_t, std::size_t> span_of(std::size_t param_count,
                                                      std::size_t shards,
                                                      std::size_t s);
 
+  /// The full partition as FoldContext::spans expects it: every non-empty
+  /// span of an arena with `param_count` elements split `shards` ways, in
+  /// ascending order. ModelSession caches this per arena (DESIGN.md §9).
+  static std::vector<FoldSpan> partition(std::size_t param_count,
+                                         std::size_t shards);
+
+  /// Scheduler occupancy counters (monotone; read anytime).
+  struct PoolStats {
+    /// Span tasks completed since construction.
+    std::size_t tasks_executed = 0;
+    /// High-water mark of tasks in flight at once (queued + running) —
+    /// > shard_count() means cross-session overlap actually happened.
+    std::size_t peak_pending = 0;
+  };
+  PoolStats pool_stats() const;
+
  private:
-  void run_shard(std::size_t shard_index, const FoldContext& ctx,
-                 std::span<const FoldOp> plan);
-  void worker_loop(std::size_t shard_index);
+  struct FoldTask {
+    FoldContext ctx;
+    std::span<const FoldOp> plan;
+    FoldSpan span;
+    FoldLatch* latch = nullptr;
+  };
+
+  /// Pop and run one queued task; false when the queue was empty.
+  bool run_one();
+  static void run_task(const FoldTask& task);
+  void worker_loop();
 
   std::size_t shards_;
 
-  // Plan hand-off: the coordinator bumps epoch_ under mu_ and workers
-  // replay (ctx_, plan_) exactly once per epoch; outstanding_ is the
-  // barrier.
-  std::mutex mu_;
-  std::condition_variable start_cv_;
+  // Task queue: submit() pushes under mu_ and wakes workers (work_cv_) and
+  // helping waiters (done_cv_); run_one() decrements the task's latch
+  // under mu_ before notifying done_cv_, so a waiter's predicate check
+  // can never miss the final count-down.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  FoldContext ctx_;
-  std::span<const FoldOp> plan_;
-  std::uint64_t epoch_ = 0;
-  std::size_t outstanding_ = 0;
+  std::deque<FoldTask> tasks_;
+  std::size_t active_ = 0;  ///< popped but not yet finished
+  std::size_t tasks_executed_ = 0;
+  std::size_t peak_pending_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

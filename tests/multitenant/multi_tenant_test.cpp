@@ -5,8 +5,10 @@
 // session with gradients still queued drops and counts them, never folds.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "../test_util.hpp"
@@ -223,6 +225,169 @@ TEST(MultiTenantTest, RetireWithQueuedGradientsDropsAndCountsThem) {
         << "shards=" << shards;
     host.stop();
   }
+}
+
+/// Solo reference with seeded dropout churn: jobs whose (session_seed, i)
+/// draw says "dropped" are never submitted — the same churn pattern the
+/// stress test applies on the host, so the reference sees the identical
+/// surviving sequence.
+bool churn_drops(std::uint64_t session_seed, std::size_t i) {
+  stats::Rng rng = stats::Rng::stream(session_seed, i);
+  return rng.uniform() < 0.2;
+}
+
+std::vector<float> solo_run_with_churn(std::size_t n_jobs,
+                                       std::uint64_t init_seed,
+                                       std::uint64_t churn_seed,
+                                       const RuntimeConfig& base) {
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(init_seed);
+  RuntimeConfig runtime = base;
+  runtime.start_paused = true;
+  ConcurrentFleetServer server(*model, pretrained_iprof(), server_config(),
+                               runtime);
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    if (churn_drops(churn_seed, i)) continue;
+    GradientJob job = varied_job(*model, core::kDefaultModelId, 0, i);
+    EXPECT_TRUE(server.try_submit(job).accepted);
+  }
+  server.resume();
+  server.drain();
+  server.stop();
+  return params_of(*model);
+}
+
+TEST(MultiTenantTest, ConcurrentFoldStressStaysBitwiseUnderChurnAndRetire) {
+  // Fold-scheduler stress (DESIGN.md §9): four mixed tenants — two sizes
+  // of model — driven by one producer thread each, concurrently, with
+  // dropout churn, while a fifth session is retired mid-drain. The four
+  // surviving sessions' final models must be bitwise identical to their
+  // solo runs; the host's accounting must settle despite the mid-flight
+  // retirement.
+  constexpr std::size_t kJobs = 48;
+  for (const std::size_t shards : {2u, 4u}) {
+    for (const std::size_t batch : {0u, 8u}) {
+      RuntimeConfig base;
+      base.aggregation_shards = shards;
+      base.max_drain_batch = batch;
+
+      std::vector<std::vector<float>> refs;
+      for (std::size_t m = 0; m < 4; ++m) {
+        refs.push_back(solo_run_with_churn(kJobs, 7 + m, 1000 + m, base));
+      }
+
+      std::vector<std::unique_ptr<nn::Sequential>> models;
+      for (std::size_t m = 0; m < 4; ++m) {
+        models.push_back(nn::zoo::mlp(8, 4, 3));
+        models.back()->init(7 + m);
+      }
+      // The doomed tenant is a different shape — retiring it mid-drain
+      // must not disturb the differently-partitioned survivors.
+      auto doomed = nn::zoo::mlp(16, 6, 5);
+      doomed->init(99);
+
+      ConcurrentFleetServer host(base);
+      std::vector<core::ModelId> ids;
+      for (auto& model : models) {
+        ids.push_back(
+            host.register_model(*model, pretrained_iprof(), server_config()));
+      }
+      const core::ModelId doomed_id =
+          host.register_model(*doomed, pretrained_iprof(), server_config());
+
+      // One producer thread per tenant — per-session admission order is
+      // each thread's program order, which is all determinism needs; the
+      // cross-tenant interleaving is whatever the scheduler makes of it.
+      std::vector<std::thread> producers;
+      for (std::size_t m = 0; m < 4; ++m) {
+        producers.emplace_back([&, m] {
+          for (std::size_t i = 0; i < kJobs; ++i) {
+            if (churn_drops(1000 + m, i)) continue;
+            GradientJob job = varied_job(*models[m], ids[m], 0, i);
+            while (!host.try_submit(job).accepted) {
+              std::this_thread::yield();
+            }
+          }
+        });
+      }
+      std::atomic<std::size_t> doomed_accepted{0};
+      producers.emplace_back([&] {
+        for (std::size_t i = 0; i < kJobs; ++i) {
+          GradientJob job = varied_job(*doomed, doomed_id, 0, i);
+          const auto receipt = host.try_submit(job);
+          if (receipt.accepted) {
+            doomed_accepted.fetch_add(1, std::memory_order_relaxed);
+          } else if (!receipt.retryable) {
+            return;  // retired underneath us: permanent reject
+          }
+        }
+      });
+      // Retire the fifth tenant while drains are in full flight.
+      host.retire_model(doomed_id);
+      for (auto& producer : producers) producer.join();
+
+      host.drain();  // settles even though some accepted jobs were dropped
+      for (std::size_t m = 0; m < 4; ++m) {
+        EXPECT_EQ(host.stats(ids[m]).invalid_jobs, 0u);
+      }
+      // The retire cut is batch-granular: accepted doomed jobs either
+      // folded before the cut or were dropped and counted, never lost.
+      EXPECT_EQ(host.session(doomed_id), nullptr);
+      EXPECT_LE(host.host_stats().retired_drops, doomed_accepted.load());
+      host.stop();
+
+      for (std::size_t m = 0; m < 4; ++m) {
+        EXPECT_TRUE(bitwise_equal(refs[m], params_of(*models[m])))
+            << "tenant " << m << " diverged: shards=" << shards
+            << " batch=" << batch;
+      }
+    }
+  }
+}
+
+TEST(MultiTenantTest, SteadyStateDrainsReuseHotPathBuffers) {
+  // The demux slots and fold-plan buffers must stop allocating once
+  // warmed: drive two identical waves and require the growth counter to
+  // hold still across the second (DESIGN.md §9 hot-path contract).
+  RuntimeConfig runtime;
+  runtime.aggregation_shards = 2;
+  runtime.max_drain_batch = 8;
+  runtime.start_paused = true;
+  ConcurrentFleetServer host(runtime);
+
+  auto model_a = nn::zoo::mlp(8, 4, 3);
+  model_a->init(1);
+  auto model_b = nn::zoo::mlp(8, 4, 3);
+  model_b->init(2);
+  const auto id_a =
+      host.register_model(*model_a, pretrained_iprof(), server_config());
+  const auto id_b =
+      host.register_model(*model_b, pretrained_iprof(), server_config());
+
+  const auto wave = [&] {
+    for (std::size_t i = 0; i < 24; ++i) {
+      GradientJob job_a = varied_job(*model_a, id_a, 0, i);
+      ASSERT_TRUE(host.try_submit(job_a).accepted);
+      GradientJob job_b = varied_job(*model_b, id_b, 0, i);
+      ASSERT_TRUE(host.try_submit(job_b).accepted);
+    }
+    host.resume();
+    host.drain();
+    host.pause();
+  };
+
+  wave();
+  const std::size_t after_warmup = host.host_stats().fold_buffer_growths;
+  wave();
+  EXPECT_EQ(host.host_stats().fold_buffer_growths, after_warmup)
+      << "the aggregation hot path allocated during a steady-state wave";
+  // The gauges surface through per-session stats too, and the fold
+  // scheduler's occupancy counters moved.
+  EXPECT_EQ(host.stats(id_a).fold_buffer_growths, after_warmup);
+  EXPECT_GT(host.host_stats().fold_tasks_executed, 0u);
+  EXPECT_GE(host.host_stats().fold_peak_pending, 1u);
+  EXPECT_GE(host.host_stats().queue_max_depth_seen, 8u);
+  host.stop();
 }
 
 /// Mixed-workload fleet fixture: six CNN workers over one host, the first

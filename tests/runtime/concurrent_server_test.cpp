@@ -236,6 +236,7 @@ TEST(ConcurrentServerTest, StatsSurfaceQueueOccupancyGauges) {
   }
   auto stats = env.server->stats();
   EXPECT_EQ(stats.queue_depth, 3u);
+  EXPECT_EQ(stats.queue_max_depth_seen, 3u);
   ASSERT_EQ(stats.queue_shard_depths.size(), 2u);
   EXPECT_EQ(stats.queue_shard_depths[0] + stats.queue_shard_depths[1], 3u);
 
@@ -243,6 +244,10 @@ TEST(ConcurrentServerTest, StatsSurfaceQueueOccupancyGauges) {
   env.server->drain();
   stats = env.server->stats();
   EXPECT_EQ(stats.queue_depth, 0u);
+  // The high-water mark survives the drain — and host_stats() carries it
+  // too, the view that outlives every session.
+  EXPECT_EQ(stats.queue_max_depth_seen, 3u);
+  EXPECT_EQ(env.server->host_stats().queue_max_depth_seen, 3u);
   EXPECT_EQ(stats.queue_shard_depths,
             std::vector<std::size_t>(2, 0u));
   EXPECT_EQ(stats.retired_drops, 0u);

@@ -117,6 +117,49 @@ TEST(GradientQueueTest, DepthGaugesTrackOccupancyPerShard) {
   EXPECT_EQ(queue.depth(), 0u);
 }
 
+TEST(GradientQueueTest, MaxDepthSeenIsAMonotoneHighWaterMark) {
+  GradientQueue queue(8, 2);
+  EXPECT_EQ(queue.max_depth_seen(), 0u);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    GradientJob job = job_with_version(i);
+    ASSERT_TRUE(queue.try_push(job, i));
+  }
+  EXPECT_EQ(queue.max_depth_seen(), 3u);
+
+  // Draining lowers depth() but never the high-water mark.
+  std::vector<GradientJob> out;
+  EXPECT_EQ(queue.drain(out), 3u);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.max_depth_seen(), 3u);
+
+  // A shallower refill leaves the mark where the deepest burst put it; a
+  // deeper one raises it.
+  for (std::size_t i = 0; i < 2; ++i) {
+    GradientJob job = job_with_version(i);
+    ASSERT_TRUE(queue.try_push(job, i));
+  }
+  EXPECT_EQ(queue.max_depth_seen(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    GradientJob job = job_with_version(i);
+    ASSERT_TRUE(queue.try_push(job, i));
+  }
+  EXPECT_EQ(queue.max_depth_seen(), 5u);
+}
+
+TEST(GradientQueueTest, MaxDepthSeenCapsAtCapacityUnderRejection) {
+  GradientQueue queue(2, 1);
+  GradientJob a = job_with_version(1);
+  GradientJob b = job_with_version(2);
+  GradientJob c = job_with_version(3);
+  EXPECT_TRUE(queue.try_push(a));
+  EXPECT_TRUE(queue.try_push(b));
+  EXPECT_FALSE(queue.try_push(c));  // bounced off the bound
+  EXPECT_EQ(queue.rejected(), 1u);
+  // Rejected pushes never raise the gauge past what actually queued.
+  EXPECT_EQ(queue.max_depth_seen(), 2u);
+}
+
 TEST(GradientQueueTest, WaitDrainHonorsTheBatchBound) {
   GradientQueue queue(16, 2);
   for (std::size_t i = 0; i < 6; ++i) {

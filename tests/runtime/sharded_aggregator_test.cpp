@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "../test_util.hpp"
@@ -248,6 +249,172 @@ TEST(ShardedAggregatorTest, WorkerPoolSurvivesManyBarriers) {
   const auto reference = sequential_fold(set, /*k=*/1);
   const auto folded = sharded_fold(set, 1, /*shards=*/4, /*batch=*/1);
   EXPECT_TRUE(bitwise_equal(reference, folded));
+}
+
+TEST(ShardedAggregatorTest, PartitionMatchesSpanOfAndDropsEmptyTails) {
+  for (std::size_t shards : {1u, 2u, 3u, 5u, 16u}) {
+    const auto spans = ShardedAggregator::partition(kParams, shards);
+    std::size_t cursor = 0;
+    for (const FoldSpan& span : spans) {
+      EXPECT_EQ(span.begin, cursor);
+      EXPECT_LT(span.begin, span.end);  // empty tails are dropped
+      cursor = span.end;
+    }
+    EXPECT_EQ(cursor, kParams);
+    EXPECT_LE(spans.size(), shards);
+  }
+  EXPECT_TRUE(ShardedAggregator::partition(0, 4).empty());
+}
+
+TEST(ShardedAggregatorTest, SubmitValidatesContextAndLatch) {
+  learning::AsyncAggregator agg(kParams, kClasses, agg_config(1));
+  std::vector<float> params(kParams, 0.0f);
+  ShardedAggregator pool(2);
+  std::vector<FoldOp> plan(1);
+  FoldLatch latch;
+
+  // A cached partition that does not tile the arena is refused: short
+  // coverage, an interior gap (right edges fine), and an overlap.
+  FoldContext bad = context_of(agg, params);
+  const std::vector<FoldSpan> short_spans = {FoldSpan{0, kParams - 1}};
+  bad.spans = short_spans;
+  EXPECT_THROW(pool.submit(bad, plan, latch), std::invalid_argument);
+  const std::vector<FoldSpan> gap_spans = {FoldSpan{0, 4},
+                                           FoldSpan{5, kParams}};
+  bad.spans = gap_spans;
+  EXPECT_THROW(pool.submit(bad, plan, latch), std::invalid_argument);
+  const std::vector<FoldSpan> overlap_spans = {FoldSpan{0, 5},
+                                               FoldSpan{4, kParams}};
+  bad.spans = overlap_spans;
+  EXPECT_THROW(pool.submit(bad, plan, latch), std::invalid_argument);
+  EXPECT_TRUE(latch.done());
+
+  // An empty plan never arms the latch.
+  pool.submit(context_of(agg, params), {}, latch);
+  EXPECT_TRUE(latch.done());
+  pool.wait(latch);  // trivially returns
+}
+
+/// Scheduler core (DESIGN.md §9): many sessions' plans submitted back to
+/// back on one pool, one latch each, waited only after all were queued —
+/// cross-context concurrency must leave every context bitwise identical
+/// to its dedicated-pool fold.
+TEST(ShardedAggregatorTest, ConcurrentCrossContextSubmissionsStayBitwise) {
+  constexpr std::size_t kContexts = 5;
+  constexpr std::size_t kRounds = 40;
+
+  // References: each context folded alone (the solo sequential path).
+  std::vector<UpdateSet> sets;
+  std::vector<std::vector<float>> references;
+  for (std::size_t c = 0; c < kContexts; ++c) {
+    sets.push_back(make_updates(kRounds, 100 + c));
+    references.push_back(sequential_fold(sets[c], /*k=*/2));
+  }
+
+  // One shared pool, all contexts in flight per round: plan one update
+  // per context, submit all plans, then wait all latches.
+  std::vector<std::unique_ptr<learning::AsyncAggregator>> aggs;
+  std::vector<std::vector<float>> params;
+  for (std::size_t c = 0; c < kContexts; ++c) {
+    aggs.push_back(std::make_unique<learning::AsyncAggregator>(
+        kParams, kClasses, agg_config(2)));
+    params.emplace_back(kParams, 0.25f);
+  }
+  ShardedAggregator pool(3);
+  std::vector<std::vector<FoldOp>> plans(kContexts);
+  std::vector<FoldLatch> latches(kContexts);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    for (std::size_t c = 0; c < kContexts; ++c) {
+      plans[c].clear();
+      const auto& update = sets[c].updates[round];
+      const auto planned = aggs[c]->plan_submit(update);
+      FoldOp fold;
+      fold.gradient = update.gradient;
+      fold.weight = planned.weight;
+      plans[c].push_back(fold);
+      if (planned.flush) {
+        FoldOp apply;
+        apply.kind = FoldOp::Kind::kFlushApply;
+        apply.learning_rate = kLr;
+        plans[c].push_back(apply);
+      }
+    }
+    for (std::size_t c = 0; c < kContexts; ++c) {
+      pool.submit(context_of(*aggs[c], params[c]), plans[c], latches[c]);
+    }
+    for (std::size_t c = 0; c < kContexts; ++c) pool.wait(latches[c]);
+  }
+
+  for (std::size_t c = 0; c < kContexts; ++c) {
+    EXPECT_TRUE(bitwise_equal(references[c], params[c])) << "context " << c;
+  }
+  // Occupancy: every (context, span) task ran — 3 spans per plan — and a
+  // submit instant always has at least its own plan's tasks in flight.
+  const auto stats = pool.pool_stats();
+  EXPECT_EQ(stats.tasks_executed, kContexts * kRounds * 3);
+  EXPECT_GE(stats.peak_pending, 3u);
+}
+
+TEST(ShardedAggregatorTest, CachedSpanPartitionFoldsIdentically) {
+  // A context carrying its cached partition folds exactly like one whose
+  // partition the scheduler derives per submission.
+  const UpdateSet set = make_updates(24, 7);
+  const auto reference = sharded_fold(set, /*k=*/3, /*shards=*/3, /*batch=*/4);
+
+  learning::AsyncAggregator agg(kParams, kClasses, agg_config(3));
+  std::vector<float> params(kParams, 0.25f);
+  const auto spans = ShardedAggregator::partition(kParams, 3);
+  ShardedAggregator pool(3);
+  FoldContext ctx = context_of(agg, params);
+  ctx.spans = spans;
+  std::vector<FoldOp> plan;
+  std::size_t in_batch = 0;
+  for (const auto& update : set.updates) {
+    const auto planned = agg.plan_submit(update);
+    FoldOp fold;
+    fold.gradient = update.gradient;
+    fold.weight = planned.weight;
+    plan.push_back(fold);
+    if (planned.flush) {
+      FoldOp apply;
+      apply.kind = FoldOp::Kind::kFlushApply;
+      apply.learning_rate = kLr;
+      plan.push_back(apply);
+    }
+    if (++in_batch == 4) {
+      pool.execute(ctx, plan);
+      plan.clear();
+      in_batch = 0;
+    }
+  }
+  pool.execute(ctx, plan);
+  EXPECT_TRUE(bitwise_equal(reference, params));
+}
+
+TEST(ShardedAggregatorTest, PinnedWorkersFoldIdentically) {
+  // Pinning is a locality hint only — results must not move by a bit.
+  const UpdateSet set = make_updates(24, 31);
+  const auto reference = sequential_fold(set, /*k=*/2);
+  learning::AsyncAggregator agg(kParams, kClasses, agg_config(2));
+  std::vector<float> params(kParams, 0.25f);
+  ShardedAggregator pool(4, /*pin_workers=*/true);
+  const FoldContext ctx = context_of(agg, params);
+  std::vector<FoldOp> plan;
+  for (const auto& update : set.updates) {
+    const auto planned = agg.plan_submit(update);
+    FoldOp fold;
+    fold.gradient = update.gradient;
+    fold.weight = planned.weight;
+    plan.push_back(fold);
+    if (planned.flush) {
+      FoldOp apply;
+      apply.kind = FoldOp::Kind::kFlushApply;
+      apply.learning_rate = kLr;
+      plan.push_back(apply);
+    }
+  }
+  pool.execute(ctx, plan);
+  EXPECT_TRUE(bitwise_equal(reference, params));
 }
 
 }  // namespace

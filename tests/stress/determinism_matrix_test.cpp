@@ -10,6 +10,10 @@
 
 #include <cstring>
 #include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "../test_util.hpp"
 #include "fleet/data/partition.hpp"
@@ -74,6 +78,139 @@ std::uint64_t run_cell(std::size_t n_threads, std::size_t shards,
   EXPECT_EQ(stats.runtime.processed, stats.gradients_submitted);
   server.stop();
   return param_hash(model->parameters_view());
+}
+
+/// --- Multi-tenant concurrent-fold matrix (DESIGN.md §9) ---------------
+/// {threads} x {shards} x {batches} x {tenants}: every session hosted
+/// among others, folded concurrently on the shared scheduler, must end
+/// bitwise identical to its solo sequential-fold run. Sessions are cheap
+/// MLPs fed staged-value jobs from live producer threads (each session
+/// owned by exactly one thread — per-session admission order is program
+/// order, which is all the determinism argument needs).
+
+GradientJob tenant_job(const nn::TrainableModel& model, core::ModelId id,
+                       std::size_t tenant, std::size_t i) {
+  GradientJob job;
+  job.model_id = id;
+  job.task_version = 0;
+  job.gradient.resize(model.parameter_count());
+  for (std::size_t p = 0; p < job.gradient.size(); ++p) {
+    job.gradient[p] =
+        0.001f * static_cast<float>((p * 7 + tenant * 31 + i * 13) % 23) -
+        0.01f;
+  }
+  job.label_dist = stats::LabelDistribution(model.n_classes());
+  job.label_dist.add(static_cast<int>((tenant + i) % model.n_classes()), 2);
+  job.mini_batch = 4;
+  return job;
+}
+
+core::ServerConfig tenant_server_config() {
+  core::ServerConfig config;
+  config.learning_rate = 0.1f;
+  return config;
+}
+
+constexpr std::size_t kTenantJobs = 24;
+
+/// Solo sequential reference for tenant `m`: shards = 1, unbatched.
+std::vector<float> tenant_solo_reference(std::size_t m) {
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(50 + m);
+  RuntimeConfig runtime;
+  runtime.start_paused = true;
+  ConcurrentFleetServer server(*model, test::pretrained_iprof(),
+                               tenant_server_config(), runtime);
+  for (std::size_t i = 0; i < kTenantJobs; ++i) {
+    GradientJob job = tenant_job(*model, core::kDefaultModelId, m, i);
+    EXPECT_TRUE(server.try_submit(job).accepted);
+  }
+  server.resume();
+  server.drain();
+  server.stop();
+  const auto view = model->parameters_view();
+  return std::vector<float>(view.begin(), view.end());
+}
+
+/// One cell: `tenants` sessions on one host, driven live by `threads`
+/// producer threads (session m belongs to thread m % threads). Returns
+/// per-tenant final parameters.
+std::vector<std::vector<float>> run_tenant_cell(std::size_t tenants,
+                                                std::size_t threads,
+                                                std::size_t shards,
+                                                std::size_t batch) {
+  std::vector<std::unique_ptr<nn::Sequential>> models;
+  for (std::size_t m = 0; m < tenants; ++m) {
+    models.push_back(nn::zoo::mlp(8, 4, 3));
+    models.back()->init(50 + m);
+  }
+  RuntimeConfig runtime;
+  runtime.aggregation_shards = shards;
+  runtime.max_drain_batch = batch;
+  ConcurrentFleetServer host(runtime);
+  std::vector<core::ModelId> ids;
+  for (auto& model : models) {
+    ids.push_back(host.register_model(*model, test::pretrained_iprof(),
+                                      tenant_server_config()));
+  }
+
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < std::min(threads, tenants); ++t) {
+    producers.emplace_back([&, t] {
+      // Round-robin over this thread's sessions so their jobs interleave
+      // in the shared queue; each session's own order stays sequential.
+      for (std::size_t i = 0; i < kTenantJobs; ++i) {
+        for (std::size_t m = t; m < tenants; m += threads) {
+          GradientJob job = tenant_job(*models[m], ids[m], m, i);
+          while (!host.try_submit(job).accepted) {
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  host.drain();
+  host.stop();
+
+  std::vector<std::vector<float>> finals;
+  for (auto& model : models) {
+    const auto view = model->parameters_view();
+    finals.emplace_back(view.begin(), view.end());
+  }
+  return finals;
+}
+
+TEST(DeterminismMatrixTest, TenantMatrixMatchesSoloRunsBitwise) {
+  std::vector<std::vector<float>> references;
+  for (std::size_t m = 0; m < 4; ++m) {
+    references.push_back(tenant_solo_reference(m));
+  }
+
+  std::vector<std::string> mismatches;
+  for (const std::size_t tenants : {1u, 2u, 4u}) {
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      for (const std::size_t shards : {1u, 2u, 4u}) {
+        for (const std::size_t batch : {1u, 8u, 32u}) {
+          const auto finals = run_tenant_cell(tenants, threads, shards, batch);
+          for (std::size_t m = 0; m < tenants; ++m) {
+            if (param_hash(finals[m]) != param_hash(references[m])) {
+              mismatches.push_back(
+                  "tenant " + std::to_string(m) + " of " +
+                  std::to_string(tenants) + ": threads=" +
+                  std::to_string(threads) + " shards=" +
+                  std::to_string(shards) + " batch=" + std::to_string(batch));
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(mismatches.empty()) << [&] {
+    std::string report = "sessions diverging from their solo runs:";
+    for (const auto& cell : mismatches) report += "\n  " + cell;
+    return report;
+  }();
 }
 
 TEST(DeterminismMatrixTest, FinalModelInvariantAcrossThreadsShardsBatches) {
