@@ -1,0 +1,212 @@
+// Per-kernel throughput of the runtime-dispatched arithmetic backends
+// (src/fleet/tensor/kernels/, DESIGN.md §10), measured per *available*
+// backend on this machine: the portable scalar reference (compiled with
+// auto-vectorization disabled — the honest baseline) against whichever
+// SIMD table the CPU supports.
+//
+//  - axpy / scale at an L1-resident and an L2-resident span size, in GB/s
+//    (axpy is THE fold primitive: AsyncAggregator submit/fold_into, the
+//    ShardedAggregator span folds and every model's apply_gradient run on
+//    it, so its ratio is the headline number for the aggregation runtime).
+//  - The three GEMM shapes (matmul, matmul_at_b, matmul_a_bt) at a square
+//    blocked size, in GFLOP/s — the Dense/Conv2d/Rnn forward+backward hot
+//    loops.
+//
+// Emits BENCH_kernels.json: hardware_concurrency, the backend the startup
+// selection chose (and why), per-backend per-kernel throughput, and
+// simd_vs_portable_* ratios when a SIMD backend exists. SIMD speedup is
+// core-count independent (one thread, wider lanes), so the ratios are
+// meaningful even on a 1-core CI runner.
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fleet/stats/rng.hpp"
+#include "fleet/tensor/kernels/kernels.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace kernels = fleet::tensor::kernels;
+
+constexpr std::size_t kL1Elems = 4096;     // 2 x 16 KiB spans: L1-resident
+constexpr std::size_t kL2Elems = 262144;   // 2 x 1 MiB spans: L2/L3
+constexpr std::size_t kGemmDim = 128;      // m = k = n, ~4.2 MFLOP per call
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  fleet::stats::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.gaussian(0.0, 1.0));
+  return v;
+}
+
+/// Best-of-3 trials of `reps` calls; returns mean ns per call of the best
+/// trial (best-of filters scheduler noise on a shared runner).
+template <typename F>
+double best_ns_per_call(F&& fn, std::size_t reps) {
+  double best = 1e300;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    const auto stop = Clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        static_cast<double>(reps);
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+struct BackendNumbers {
+  double axpy_l1_gbps = 0.0;
+  double axpy_l2_gbps = 0.0;
+  double scale_l1_gbps = 0.0;
+  double matmul_gflops = 0.0;
+  double matmul_at_b_gflops = 0.0;
+  double matmul_a_bt_gflops = 0.0;
+};
+
+BackendNumbers measure(const kernels::KernelTable& t) {
+  BackendNumbers out;
+  const std::size_t reps_l1 = fleet::bench::scaled(8000, 500);
+  const std::size_t reps_l2 = fleet::bench::scaled(200, 20);
+  const std::size_t reps_gemm = fleet::bench::scaled(120, 10);
+
+  {
+    const std::vector<float> x = random_floats(kL1Elems, 1);
+    std::vector<float> y = random_floats(kL1Elems, 2);
+    const double ns = best_ns_per_call(
+        [&] { t.axpy(0.5f, x.data(), y.data(), kL1Elems); }, reps_l1);
+    // axpy traffic: read x, read y, write y.
+    out.axpy_l1_gbps = static_cast<double>(kL1Elems) * 12.0 / ns;
+  }
+  {
+    const std::vector<float> x = random_floats(kL2Elems, 3);
+    std::vector<float> y = random_floats(kL2Elems, 4);
+    const double ns = best_ns_per_call(
+        [&] { t.axpy(0.5f, x.data(), y.data(), kL2Elems); }, reps_l2);
+    out.axpy_l2_gbps = static_cast<double>(kL2Elems) * 12.0 / ns;
+  }
+  {
+    std::vector<float> x = random_floats(kL1Elems, 5);
+    // Alternate alpha and 1/alpha so x neither overflows nor denormalizes.
+    bool flip = false;
+    const double ns = best_ns_per_call(
+        [&] {
+          t.scale(x.data(), flip ? 1.25f : 0.8f, kL1Elems);
+          flip = !flip;
+        },
+        reps_l1);
+    out.scale_l1_gbps = static_cast<double>(kL1Elems) * 8.0 / ns;
+  }
+
+  const std::size_t d = kGemmDim;
+  const double gemm_flops = 2.0 * static_cast<double>(d * d * d);
+  const std::vector<float> a = random_floats(d * d, 6);
+  const std::vector<float> b = random_floats(d * d, 7);
+  std::vector<float> c(d * d, 0.0f);
+  {
+    const double ns = best_ns_per_call(
+        [&] { t.matmul(a.data(), b.data(), c.data(), d, d, d); }, reps_gemm);
+    out.matmul_gflops = gemm_flops / ns;
+  }
+  {
+    std::fill(c.begin(), c.end(), 0.0f);
+    const double ns = best_ns_per_call(
+        [&] { t.matmul_at_b(a.data(), b.data(), c.data(), d, d, d); },
+        reps_gemm);
+    out.matmul_at_b_gflops = gemm_flops / ns;
+  }
+  {
+    std::fill(c.begin(), c.end(), 0.0f);
+    const double ns = best_ns_per_call(
+        [&] { t.matmul_a_bt(a.data(), b.data(), c.data(), d, d, d); },
+        reps_gemm);
+    out.matmul_a_bt_gflops = gemm_flops / ns;
+  }
+  return out;
+}
+
+void report_backend(fleet::bench::JsonReport& report, const std::string& key,
+                    const BackendNumbers& n) {
+  report.metric(key + "_axpy_l1_gbps", n.axpy_l1_gbps);
+  report.metric(key + "_axpy_l2_gbps", n.axpy_l2_gbps);
+  report.metric(key + "_scale_l1_gbps", n.scale_l1_gbps);
+  report.metric(key + "_matmul_gflops", n.matmul_gflops);
+  report.metric(key + "_matmul_at_b_gflops", n.matmul_at_b_gflops);
+  report.metric(key + "_matmul_a_bt_gflops", n.matmul_a_bt_gflops);
+}
+
+}  // namespace
+
+int main() {
+  using namespace fleet;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  bench::header("Kernel backend throughput (" + std::to_string(hw) +
+                " hardware threads, active backend '" +
+                std::string(kernels::name(kernels::active_backend())) +
+                "' via " + kernels::selection_source() + ")");
+
+  bench::JsonReport report("kernels");
+  report.metric("hardware_concurrency", static_cast<std::size_t>(hw));
+  report.metric("active_backend",
+                std::string(kernels::name(kernels::active_backend())));
+  report.metric("selection_source", kernels::selection_source());
+  report.metric("axpy_l1_elems", kL1Elems);
+  report.metric("axpy_l2_elems", kL2Elems);
+  report.metric("gemm_dim", kGemmDim);
+
+  const BackendNumbers portable =
+      measure(kernels::table(kernels::Backend::kPortable));
+  bench::row({"portable", "axpy L1 " + bench::fmt(portable.axpy_l1_gbps, 2) +
+                              " GB/s, matmul " +
+                              bench::fmt(portable.matmul_gflops, 2) +
+                              " GFLOP/s"});
+  report_backend(report, "portable", portable);
+
+  // Every compiled-and-usable SIMD backend, compared against portable.
+  const kernels::Backend simd_candidates[] = {kernels::Backend::kAvx2,
+                                              kernels::Backend::kNeon};
+  bool have_simd = false;
+  for (const kernels::Backend backend : simd_candidates) {
+    if (!kernels::available(backend)) continue;
+    const std::string key(kernels::name(backend));
+    const BackendNumbers n = measure(kernels::table(backend));
+    bench::row({key, "axpy L1 " + bench::fmt(n.axpy_l1_gbps, 2) + " GB/s (" +
+                         bench::fmt(n.axpy_l1_gbps / portable.axpy_l1_gbps,
+                                    2) +
+                         "x portable), matmul " +
+                         bench::fmt(n.matmul_gflops, 2) + " GFLOP/s (" +
+                         bench::fmt(n.matmul_gflops / portable.matmul_gflops,
+                                    2) +
+                         "x portable)"});
+    report_backend(report, key, n);
+    if (!have_simd) {
+      // The first available candidate is what auto-detection would pick:
+      // these are the headline acceptance ratios.
+      have_simd = true;
+      report.metric("simd_backend", key);
+      report.metric("simd_vs_portable_axpy",
+                    n.axpy_l1_gbps / portable.axpy_l1_gbps);
+      report.metric("simd_vs_portable_matmul",
+                    n.matmul_gflops / portable.matmul_gflops);
+      report.metric("simd_vs_portable_a_bt",
+                    n.matmul_a_bt_gflops / portable.matmul_a_bt_gflops);
+    }
+  }
+  if (!have_simd) {
+    bench::row({"(no SIMD backend available on this build/CPU — portable "
+                "only)"});
+  }
+
+  report.write("BENCH_kernels.json");
+  std::cout << "\nwrote BENCH_kernels.json\n";
+  return 0;
+}

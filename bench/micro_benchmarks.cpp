@@ -1,6 +1,7 @@
 // google-benchmark microbenchmarks for FLeet's hot paths: gradient
 // computation (the workload I-Prof sizes), aggregation weighting, the
-// profiler prediction path and the similarity computation.
+// profiler prediction path, the similarity computation, and the dispatched
+// arithmetic kernels (per available backend).
 #include <benchmark/benchmark.h>
 
 #include "fleet/data/synthetic_images.hpp"
@@ -10,10 +11,63 @@
 #include "fleet/privacy/gaussian_mechanism.hpp"
 #include "fleet/profiler/iprof.hpp"
 #include "fleet/profiler/training_data.hpp"
+#include "fleet/stats/rng.hpp"
+#include "fleet/tensor/kernels/kernels.hpp"
 
 namespace {
 
 using namespace fleet;
+
+std::vector<float> kernel_bench_data(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.gaussian(0.0, 1.0));
+  return v;
+}
+
+/// range(0) selects the backend (0 = whatever active() dispatched to,
+/// 1 = portable reference) so one run shows the SIMD-vs-scalar gap;
+/// range(1) is the span length.
+const tensor::kernels::KernelTable& kernel_for(std::int64_t which) {
+  return which == 1
+             ? tensor::kernels::table(tensor::kernels::Backend::kPortable)
+             : tensor::kernels::active();
+}
+
+void BM_KernelAxpy(benchmark::State& state) {
+  const auto& kern = kernel_for(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const std::vector<float> x = kernel_bench_data(n, 1);
+  std::vector<float> y = kernel_bench_data(n, 2);
+  for (auto _ : state) {
+    kern.axpy(0.5f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 12);
+  state.SetLabel(kern.name);
+}
+BENCHMARK(BM_KernelAxpy)
+    ->Args({0, 4096})
+    ->Args({1, 4096})
+    ->Args({0, 262144})
+    ->Args({1, 262144});
+
+void BM_KernelMatmul(benchmark::State& state) {
+  const auto& kern = kernel_for(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const std::vector<float> a = kernel_bench_data(d * d, 3);
+  const std::vector<float> b = kernel_bench_data(d * d, 4);
+  std::vector<float> c(d * d, 0.0f);
+  for (auto _ : state) {
+    kern.matmul(a.data(), b.data(), c.data(), d, d, d);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * d * d * d));
+  state.SetLabel(kern.name);
+}
+BENCHMARK(BM_KernelMatmul)->Args({0, 128})->Args({1, 128});
 
 void BM_GradientMnistCnn(benchmark::State& state) {
   const auto batch_size = static_cast<std::size_t>(state.range(0));

@@ -46,6 +46,8 @@
 #include "fleet/profiler/training_data.hpp"
 #include "fleet/runtime/concurrent_server.hpp"
 #include "fleet/stats/rng.hpp"
+#include "fleet/tensor/kernels/kernels.hpp"
+#include "fleet/tensor/kernels/scratch.hpp"
 
 namespace {
 
@@ -339,6 +341,12 @@ int main() {
   report.metric("gradients_per_config", total);
   report.metric("mini_batch", kBatchSize);
   report.metric("hardware_concurrency", static_cast<std::size_t>(hw));
+  // The arithmetic backend every fold and forward/backward ran on — a
+  // throughput number is only comparable across PRs per kernel backend.
+  report.metric("kernel_backend",
+                std::string(tensor::kernels::name(
+                    tensor::kernels::active_backend())));
+  report.metric("kernel_selection_source", tensor::kernels::selection_source());
 
   const double serial = run_serial(total);
   bench::row({"serial FleetServer", bench::fmt(serial, 1) + " grads/s"});
@@ -430,6 +438,12 @@ int main() {
                 serialized.aggregate);
   report.metric("concurrent_vs_serialized_4m4s",
                 concurrent_4m4s / serialized.aggregate);
+
+  // Scratch-arena high-water mark across the whole run: with the slab
+  // arenas warmed up this is flat across PRs unless a hot loop started
+  // asking for more scratch (companion to fold_buffer_growths).
+  report.metric("scratch_bytes_peak",
+                tensor::kernels::ScratchAllocator::global_bytes_peak());
 
   report.write("BENCH_runtime.json");
   std::cout << "\nwrote BENCH_runtime.json\n";

@@ -1,7 +1,11 @@
 #include "fleet/learning/similarity.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "fleet/tensor/kernels/kernels.hpp"
+#include "fleet/tensor/kernels/scratch.hpp"
 
 namespace fleet::learning {
 
@@ -18,10 +22,18 @@ double SimilarityTracker::similarity(
     throw std::invalid_argument("SimilarityTracker: class count mismatch");
   }
   if (total_ <= 0.0) return 0.0;
-  double bc = 0.0;
+  // Stage the local probabilities in per-thread scratch and run the
+  // order-pinned bhattacharyya reduction: sum_c sqrt(p_c * counts_c /
+  // total), sequential ascending-c double accumulation in every kernel
+  // backend — bitwise equal to the original inline loop.
+  auto& scratch = tensor::kernels::ScratchAllocator::tls();
+  tensor::kernels::ScratchAllocator::Scope scope(scratch);
+  std::span<double> p = scratch.doubles(counts_.size());
   for (std::size_t c = 0; c < counts_.size(); ++c) {
-    bc += std::sqrt(local.probability(c) * counts_[c] / total_);
+    p[c] = local.probability(c);
   }
+  const double bc = tensor::kernels::active().bhattacharyya(
+      p.data(), counts_.data(), total_, counts_.size());
   return std::min(1.0, bc);
 }
 

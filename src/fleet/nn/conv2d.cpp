@@ -1,12 +1,76 @@
 #include "fleet/nn/conv2d.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
+#include "fleet/tensor/kernels/kernels.hpp"
+#include "fleet/tensor/kernels/scratch.hpp"
 #include "fleet/tensor/ops.hpp"
 
 namespace fleet::nn {
+
+namespace {
+
+/// im2col: unfold one NCHW image (in_c x h x w) into a (in_c*kh*kw) x
+/// (oh*ow) matrix, row-major, so conv becomes a GEMM against the
+/// (out_c x in_c*kh*kw) weight matrix. Row r = (ic*kh + ky)*kw + kx holds
+/// the input pixel under kernel tap (ic, ky, kx) for every output
+/// position — the same (ic, ky, kx) ascending order the naive loop
+/// accumulated in, which is what keeps the GEMM forward bitwise equal to
+/// the direct convolution.
+void im2col(const float* image, std::size_t in_c, std::size_t h,
+            std::size_t w, std::size_t kh, std::size_t kw, std::size_t sh,
+            std::size_t sw, std::size_t oh, std::size_t ow, float* col) {
+  for (std::size_t ic = 0; ic < in_c; ++ic) {
+    const float* channel = image + ic * h * w;
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        float* crow = col + ((ic * kh + ky) * kw + kx) * (oh * ow);
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const float* in_row = channel + (oy * sh + ky) * w + kx;
+          if (sw == 1) {
+            std::memcpy(crow + oy * ow, in_row, ow * sizeof(float));
+          } else {
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+              crow[oy * ow + ox] = in_row[ox * sw];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// col2im: scatter-add the (in_c*kh*kw) x (oh*ow) gradient matrix back
+/// into an (in_c x h x w) image — the adjoint of im2col. Overlapping
+/// windows (stride < kernel) accumulate in ascending (ic, ky, kx, oy, ox)
+/// order: deterministic, single-threaded per image.
+void col2im_acc(const float* col, std::size_t in_c, std::size_t h,
+                std::size_t w, std::size_t kh, std::size_t kw, std::size_t sh,
+                std::size_t sw, std::size_t oh, std::size_t ow, float* image) {
+  for (std::size_t ic = 0; ic < in_c; ++ic) {
+    float* channel = image + ic * h * w;
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        const float* crow = col + ((ic * kh + ky) * kw + kx) * (oh * ow);
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          float* out_row = channel + (oy * sh + ky) * w + kx;
+          if (sw == 1) {
+            tensor::kernels::active().axpy(1.0f, crow + oy * ow, out_row, ow);
+          } else {
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+              out_row[ox * sw] += crow[oy * ow + ox];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel_h, std::size_t kernel_w,
@@ -60,33 +124,33 @@ Tensor Conv2D::forward(const Tensor& input) {
   const std::size_t ow = (w - kw_) / sw_ + 1;
   Tensor out({batch, out_c_, oh, ow});
 
+  // im2col + GEMM (DESIGN.md §10): per image, unfold the input into a
+  // (K = in_c*kh*kw) x (L = oh*ow) column matrix in per-thread scratch,
+  // pre-fill the output rows with the bias and accumulate W (out_c x K)
+  // times col into them. Each output element sees bias first, then its K
+  // contributions in ascending (ic, ky, kx) order — the exact operation
+  // sequence of the direct convolution, so this path is bitwise identical
+  // to it while running on the vectorized GEMM kernel.
+  const std::size_t cols = in_c_ * kh_ * kw_;
+  const std::size_t out_hw = oh * ow;
   const float* pin = input.data();
   const float* pw = weights_.data();
   const float* pb = bias_.data();
   float* pout = out.data();
+  const auto& kern = tensor::kernels::active();
+
+  auto& scratch = tensor::kernels::ScratchAllocator::tls();
+  tensor::kernels::ScratchAllocator::Scope scope(scratch);
+  float* col = scratch.floats(cols * out_hw).data();
 
   for (std::size_t b = 0; b < batch; ++b) {
+    im2col(pin + b * in_c_ * h * w, in_c_, h, w, kh_, kw_, sh_, sw_, oh, ow,
+           col);
+    float* out_mat = pout + b * out_c_ * out_hw;
     for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          float acc = pb[oc];
-          const std::size_t iy0 = oy * sh_;
-          const std::size_t ix0 = ox * sw_;
-          for (std::size_t ic = 0; ic < in_c_; ++ic) {
-            const float* in_ch = pin + ((b * in_c_ + ic) * h) * w;
-            const float* w_ch = pw + ((oc * in_c_ + ic) * kh_) * kw_;
-            for (std::size_t ky = 0; ky < kh_; ++ky) {
-              const float* in_row = in_ch + (iy0 + ky) * w + ix0;
-              const float* w_row = w_ch + ky * kw_;
-              for (std::size_t kx = 0; kx < kw_; ++kx) {
-                acc += in_row[kx] * w_row[kx];
-              }
-            }
-          }
-          pout[((b * out_c_ + oc) * oh + oy) * ow + ox] = acc;
-        }
-      }
+      for (std::size_t i = 0; i < out_hw; ++i) out_mat[oc * out_hw + i] = pb[oc];
     }
+    kern.matmul(pw, col, out_mat, out_c_, cols, out_hw);
   }
   return out;
 }
@@ -100,41 +164,44 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   }
   Tensor grad_input({batch, in_c_, h, w});
 
+  // im2col-based backward: per image, dW += dY_mat * col^T (the a_bt
+  // kernel accumulates straight into grad_weights_), dcol = W^T * dY_mat
+  // (at_b kernel), then col2im scatters dcol into grad_input. The col and
+  // dcol temporaries live in per-thread scratch — zero steady-state heap
+  // traffic on the training hot loop.
+  const std::size_t cols = in_c_ * kh_ * kw_;
+  const std::size_t out_hw = oh * ow;
   const float* pin = cached_input_.data();
   const float* pw = weights_.data();
   const float* pgo = grad_output.data();
   float* pgw = grad_weights_.data();
   float* pgb = grad_bias_.data();
   float* pgi = grad_input.data();
+  const auto& kern = tensor::kernels::active();
+
+  auto& scratch = tensor::kernels::ScratchAllocator::tls();
+  tensor::kernels::ScratchAllocator::Scope scope(scratch);
+  float* col = scratch.floats(cols * out_hw).data();
+  float* dcol = scratch.floats(cols * out_hw).data();
 
   for (std::size_t b = 0; b < batch; ++b) {
+    const float* dy_mat = pgo + b * out_c_ * out_hw;  // (out_c x out_hw)
+    im2col(pin + b * in_c_ * h * w, in_c_, h, w, kh_, kw_, sh_, sw_, oh, ow,
+           col);
+    // db += row sums of dY.
     for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          const float g = pgo[((b * out_c_ + oc) * oh + oy) * ow + ox];
-          if (g == 0.0f) continue;
-          pgb[oc] += g;
-          const std::size_t iy0 = oy * sh_;
-          const std::size_t ix0 = ox * sw_;
-          for (std::size_t ic = 0; ic < in_c_; ++ic) {
-            const float* in_ch = pin + ((b * in_c_ + ic) * h) * w;
-            float* gi_ch = pgi + ((b * in_c_ + ic) * h) * w;
-            const float* w_ch = pw + ((oc * in_c_ + ic) * kh_) * kw_;
-            float* gw_ch = pgw + ((oc * in_c_ + ic) * kh_) * kw_;
-            for (std::size_t ky = 0; ky < kh_; ++ky) {
-              const float* in_row = in_ch + (iy0 + ky) * w + ix0;
-              float* gi_row = gi_ch + (iy0 + ky) * w + ix0;
-              const float* w_row = w_ch + ky * kw_;
-              float* gw_row = gw_ch + ky * kw_;
-              for (std::size_t kx = 0; kx < kw_; ++kx) {
-                gw_row[kx] += g * in_row[kx];
-                gi_row[kx] += g * w_row[kx];
-              }
-            }
-          }
-        }
-      }
+      const float* row = dy_mat + oc * out_hw;
+      float s = 0.0f;
+      for (std::size_t i = 0; i < out_hw; ++i) s += row[i];
+      pgb[oc] += s;
     }
+    // dW (out_c x cols) += dY (out_c x out_hw) * col^T (out_hw x cols).
+    kern.matmul_a_bt(dy_mat, col, pgw, out_c_, out_hw, cols);
+    // dcol (cols x out_hw) = W^T (cols x out_c) * dY (out_c x out_hw).
+    std::memset(dcol, 0, cols * out_hw * sizeof(float));
+    kern.matmul_at_b(pw, dy_mat, dcol, cols, out_c_, out_hw);
+    col2im_acc(dcol, in_c_, h, w, kh_, kw_, sh_, sw_, oh, ow,
+               pgi + b * in_c_ * h * w);
   }
   return grad_input;
 }

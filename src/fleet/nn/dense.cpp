@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fleet/tensor/kernels/kernels.hpp"
 #include "fleet/tensor/ops.hpp"
 
 namespace fleet::nn {
@@ -40,10 +41,11 @@ Tensor Dense::forward(const Tensor& input) {
   cached_input_ = input;
   cached_input_.reshape({batch, in_});
   Tensor out = tensor::matmul(cached_input_, weights_);
+  // Row-wise vectorized bias add (out[i,:] += bias).
   float* po = out.data();
-  const float* pb = bias_.data();
+  const auto& kern = tensor::kernels::active();
   for (std::size_t i = 0; i < batch; ++i) {
-    for (std::size_t j = 0; j < out_; ++j) po[i * out_ + j] += pb[j];
+    kern.axpy(1.0f, bias_.data(), po + i * out_, out_);
   }
   return out;
 }
@@ -54,12 +56,14 @@ Tensor Dense::backward(const Tensor& grad_output) {
     throw std::invalid_argument("Dense::backward: shape mismatch");
   }
   // dW += x^T dY ; db += column sums of dY ; dX = dY W^T.
-  Tensor dw = tensor::matmul_at_b(cached_input_, grad_output);
-  tensor::axpy(1.0f, dw, grad_weights_);
+  // The at_b kernel accumulates, so dW lands in grad_weights_ directly —
+  // no materialized dw temporary on the backward hot path.
+  const auto& kern = tensor::kernels::active();
+  kern.matmul_at_b(cached_input_.data(), grad_output.data(),
+                   grad_weights_.data(), in_, batch, out_);
   const float* pg = grad_output.data();
-  float* pdb = grad_bias_.data();
   for (std::size_t i = 0; i < batch; ++i) {
-    for (std::size_t j = 0; j < out_; ++j) pdb[j] += pg[i * out_ + j];
+    kern.axpy(1.0f, pg + i * out_, grad_bias_.data(), out_);
   }
   return tensor::matmul_a_bt(grad_output, weights_);
 }

@@ -6,6 +6,7 @@
 
 #include "fleet/nn/loss.hpp"
 #include "fleet/stats/rng.hpp"
+#include "fleet/tensor/kernels/kernels.hpp"
 #include "fleet/tensor/ops.hpp"
 
 namespace fleet::nn {
@@ -101,6 +102,12 @@ void RnnClassifier::forward_sequence(std::span<const int> tokens,
   ws.tokens.assign(tokens.begin() + static_cast<long>(start), tokens.end());
   const std::size_t steps = ws.tokens.size();
 
+  // Each step is two m=1 accumulate-GEMMs on the active kernel backend:
+  // cur = b_h, cur += e_t Wx, cur += h_{t-1} Wh, tanh. Every hidden unit
+  // sees bias first, then its embed contributions in ascending i, then its
+  // recurrent contributions in ascending i — the exact operation sequence
+  // of the scalar per-unit loop, so this path is bitwise identical to it.
+  const auto& kern = tensor::kernels::active();
   ws.hs.assign(steps + 1, std::vector<float>(hidden_, 0.0f));
   for (std::size_t t = 0; t < steps; ++t) {
     check_token(ws.tokens[t]);
@@ -108,22 +115,15 @@ void RnnClassifier::forward_sequence(std::span<const int> tokens,
         embedding_.data() + static_cast<std::size_t>(ws.tokens[t]) * embed_;
     const std::vector<float>& prev = ws.hs[t];
     std::vector<float>& cur = ws.hs[t + 1];
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      float acc = bh_[j];
-      for (std::size_t i = 0; i < embed_; ++i) acc += e[i] * wx_[i * hidden_ + j];
-      for (std::size_t i = 0; i < hidden_; ++i) {
-        acc += prev[i] * wh_[i * hidden_ + j];
-      }
-      cur[j] = std::tanh(acc);
-    }
+    std::copy(bh_.data(), bh_.data() + hidden_, cur.begin());
+    kern.matmul(e, wx_.data(), cur.data(), 1, embed_, hidden_);
+    kern.matmul(prev.data(), wh_.data(), cur.data(), 1, hidden_, hidden_);
+    for (std::size_t j = 0; j < hidden_; ++j) cur[j] = std::tanh(cur[j]);
   }
   ws.logits.assign(n_classes_, 0.0f);
   const std::vector<float>& hT = ws.hs[steps];
-  for (std::size_t c = 0; c < n_classes_; ++c) {
-    float acc = bo_[c];
-    for (std::size_t i = 0; i < hidden_; ++i) acc += hT[i] * wo_[i * n_classes_ + c];
-    ws.logits[c] = acc;
-  }
+  std::copy(bo_.data(), bo_.data() + n_classes_, ws.logits.begin());
+  kern.matmul(hT.data(), wo_.data(), ws.logits.data(), 1, hidden_, n_classes_);
 }
 
 std::vector<float> RnnClassifier::scores(std::span<const int> tokens) {
@@ -148,9 +148,12 @@ double RnnClassifier::gradient(std::span<const SequenceSample> batch,
 
   double total_loss = 0.0;
   const float inv_batch = 1.0f / static_cast<float>(batch.size());
+  const auto& kern = tensor::kernels::active();
   Workspace ws;
   std::vector<float> probs(n_classes_);
-  std::vector<float> dh(hidden_), dpre(hidden_), dh_next(hidden_);
+  std::vector<float> dlogits(n_classes_), dlogits_scaled(n_classes_);
+  std::vector<float> dh(hidden_), dpre(hidden_), dpre_scaled(hidden_),
+      dh_next(hidden_), demb(embed_);
 
   for (const SequenceSample& sample : batch) {
     if (sample.target < 0 ||
@@ -172,26 +175,26 @@ double RnnClassifier::gradient(std::span<const SequenceSample> batch,
     total_loss -= std::log(std::max(probs[target], 1e-12f));
 
     // d logits
-    std::vector<float> dlogits = probs;
+    std::copy(probs.begin(), probs.end(), dlogits.begin());
     dlogits[target] -= 1.0f;
 
-    // Output layer grads + dL/dh_T.
+    // Output layer: db_o += dlogits / B as one axpy; each dW_o row i gets
+    // hT[i] * (dlogits / B) — scaling dlogits once first reproduces the
+    // scalar g = dlogits[c] * inv_batch rounding exactly. dL/dh_T is a
+    // row-dot against W_o: the a_bt kernel with n = 1.
     const std::vector<float>& hT = ws.hs[steps];
-    std::fill(dh.begin(), dh.end(), 0.0f);
     for (std::size_t c = 0; c < n_classes_; ++c) {
-      const float g = dlogits[c] * inv_batch;
-      grad_out[off_bo + c] += g;
-      for (std::size_t i = 0; i < hidden_; ++i) {
-        grad_out[off_wo + i * n_classes_ + c] += g * hT[i];
-      }
+      dlogits_scaled[c] = dlogits[c] * inv_batch;
     }
+    kern.axpy(1.0f, dlogits_scaled.data(), grad_out.data() + off_bo,
+              n_classes_);
     for (std::size_t i = 0; i < hidden_; ++i) {
-      float acc = 0.0f;
-      for (std::size_t c = 0; c < n_classes_; ++c) {
-        acc += dlogits[c] * wo_[i * n_classes_ + c];
-      }
-      dh[i] = acc;  // not yet scaled by inv_batch; applied at write time below
+      kern.axpy(hT[i], dlogits_scaled.data(),
+                grad_out.data() + off_wo + i * n_classes_, n_classes_);
     }
+    std::fill(dh.begin(), dh.end(), 0.0f);
+    kern.matmul_a_bt(wo_.data(), dlogits.data(), dh.data(), hidden_,
+                     n_classes_, 1);
 
     // BPTT.
     for (std::size_t t = steps; t-- > 0;) {
@@ -199,37 +202,30 @@ double RnnClassifier::gradient(std::span<const SequenceSample> batch,
       const std::vector<float>& hprev = ws.hs[t];
       for (std::size_t j = 0; j < hidden_; ++j) {
         dpre[j] = dh[j] * (1.0f - h[j] * h[j]);
+        dpre_scaled[j] = dpre[j] * inv_batch;
       }
       const float* e =
           embedding_.data() + static_cast<std::size_t>(ws.tokens[t]) * embed_;
       float* gemb = grad_out.data() + off_emb +
                     static_cast<std::size_t>(ws.tokens[t]) * embed_;
-      for (std::size_t j = 0; j < hidden_; ++j) {
-        const float g = dpre[j] * inv_batch;
-        grad_out[off_bh + j] += g;
-        for (std::size_t i = 0; i < embed_; ++i) {
-          grad_out[off_wx + i * hidden_ + j] += g * e[i];
-        }
-        for (std::size_t i = 0; i < hidden_; ++i) {
-          grad_out[off_wh + i * hidden_ + j] += g * hprev[i];
-        }
-      }
-      // dL/d e_t  and  dL/d h_{t-1}
+      // db_h and the rank-1 dWx / dWh updates are row axpys over hidden_.
+      kern.axpy(1.0f, dpre_scaled.data(), grad_out.data() + off_bh, hidden_);
       for (std::size_t i = 0; i < embed_; ++i) {
-        float acc = 0.0f;
-        for (std::size_t j = 0; j < hidden_; ++j) {
-          acc += dpre[j] * wx_[i * hidden_ + j];
-        }
-        gemb[i] += acc * inv_batch;
+        kern.axpy(e[i], dpre_scaled.data(),
+                  grad_out.data() + off_wx + i * hidden_, hidden_);
       }
-      std::fill(dh_next.begin(), dh_next.end(), 0.0f);
       for (std::size_t i = 0; i < hidden_; ++i) {
-        float acc = 0.0f;
-        for (std::size_t j = 0; j < hidden_; ++j) {
-          acc += dpre[j] * wh_[i * hidden_ + j];
-        }
-        dh_next[i] = acc;
+        kern.axpy(hprev[i], dpre_scaled.data(),
+                  grad_out.data() + off_wh + i * hidden_, hidden_);
       }
+      // dL/d e_t and dL/d h_{t-1}: row-dots against Wx / Wh (a_bt, n = 1).
+      std::fill(demb.begin(), demb.end(), 0.0f);
+      kern.matmul_a_bt(wx_.data(), dpre.data(), demb.data(), embed_, hidden_,
+                       1);
+      kern.axpy(inv_batch, demb.data(), gemb, embed_);
+      std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+      kern.matmul_a_bt(wh_.data(), dpre.data(), dh_next.data(), hidden_,
+                       hidden_, 1);
       dh.swap(dh_next);
     }
   }

@@ -3,20 +3,21 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fleet/tensor/ops.hpp"
+
 namespace fleet::privacy {
 
 double clip_l2(std::span<float> gradient, double clip_norm) {
   if (clip_norm <= 0.0) {
     throw std::invalid_argument("clip_l2: clip_norm must be > 0");
   }
-  double norm_sq = 0.0;
-  for (float g : gradient) {
-    norm_sq += static_cast<double>(g) * static_cast<double>(g);
-  }
-  const double norm = std::sqrt(norm_sq);
+  // squared_norm is an order-pinned kernel reduction (sequential
+  // ascending-index double accumulation in every backend), so the clip
+  // decision below is bitwise identical to the original inline loop on
+  // any backend; the rescale runs on the vectorized scale kernel.
+  const double norm = std::sqrt(tensor::squared_norm(gradient));
   if (norm > clip_norm) {
-    const auto scale = static_cast<float>(clip_norm / norm);
-    for (float& g : gradient) g *= scale;
+    tensor::scale(gradient, static_cast<float>(clip_norm / norm));
   }
   return norm;
 }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fleet/tensor/kernels/scratch.hpp"
+
 namespace fleet::runtime {
 
 ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
@@ -14,6 +16,12 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
   if (runtime.aggregation_shards == 0) {
     throw std::invalid_argument(
         "ConcurrentFleetServer: aggregation_shards must be >= 1");
+  }
+  // Pin the arithmetic kernel backend before the aggregation thread (or
+  // any fold) runs a single op. kAuto keeps the startup selection; an
+  // unavailable explicit choice throws here, at construction, not mid-fold.
+  if (runtime.kernel_backend != tensor::kernels::Backend::kAuto) {
+    tensor::kernels::pin_backend(runtime.kernel_backend);
   }
   if (runtime.aggregation_shards > 1) {
     sharded_ = std::make_unique<ShardedAggregator>(runtime.aggregation_shards,
@@ -297,6 +305,8 @@ RuntimeStats ConcurrentFleetServer::host_stats() const {
   snapshot.queue_shard_depths = queue_.shard_depths();
   snapshot.fold_buffer_growths =
       fold_buffer_growths_.load(std::memory_order_acquire);
+  snapshot.scratch_bytes_peak =
+      tensor::kernels::ScratchAllocator::global_bytes_peak();
   if (sharded_ != nullptr) {
     const auto pool = sharded_->pool_stats();
     snapshot.fold_tasks_executed = pool.tasks_executed;
@@ -316,6 +326,7 @@ RuntimeStats ConcurrentFleetServer::stats(core::ModelId id) const {
   snapshot.fold_tasks_executed = host.fold_tasks_executed;
   snapshot.fold_peak_pending = host.fold_peak_pending;
   snapshot.fold_buffer_growths = host.fold_buffer_growths;
+  snapshot.scratch_bytes_peak = host.scratch_bytes_peak;
   return snapshot;
 }
 

@@ -13,6 +13,7 @@
 #include "fleet/runtime/model_registry.hpp"
 #include "fleet/runtime/model_session.hpp"
 #include "fleet/runtime/sharded_aggregator.hpp"
+#include "fleet/tensor/kernels/kernels.hpp"
 
 namespace fleet::runtime {
 
@@ -59,6 +60,14 @@ struct RuntimeConfig {
   /// publication cadence and fold fan-out granularity, never any session's
   /// fold sequence or staleness.
   std::size_t max_drain_batch = 0;
+  /// Arithmetic kernel backend for the process (tensor/kernels/,
+  /// DESIGN.md §10). kAuto keeps the startup selection (FLEET_KERNEL env
+  /// var, else the best the CPU supports); pinning a specific backend at
+  /// server construction makes the run's floating-point summation order —
+  /// and therefore its results — bitwise reproducible per kernel choice.
+  /// Note this is process-wide state, not per-host: the last constructed
+  /// server wins, so co-hosted servers should agree on it.
+  tensor::kernels::Backend kernel_backend = tensor::kernels::Backend::kAuto;
 };
 
 /// Multi-tenant serving host (DESIGN.md §7): many learning tasks — each a

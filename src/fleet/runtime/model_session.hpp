@@ -43,6 +43,12 @@ struct RuntimeStats {
   /// steady-state server stops growing after warm-up — the regression
   /// gauge for "no per-batch heap allocation on the hot path".
   std::size_t fold_buffer_growths = 0;
+  /// Host-wide (process-wide) high-water mark of live kernel-scratch bytes
+  /// across all threads' arenas (tensor/kernels/scratch.hpp). Monotone;
+  /// with the slab arenas warmed up it stops moving — the companion gauge
+  /// to fold_buffer_growths for "no per-call heap allocation in the
+  /// arithmetic hot loops".
+  std::size_t scratch_bytes_peak = 0;
   std::vector<double> staleness_values;  ///< tau per processed gradient
   std::vector<double> weights;           ///< applied dampening weights
   /// True once the traces above hit the trace capacity and stopped

@@ -1,0 +1,31 @@
+#pragma once
+
+// Internal registry glue between the dispatch layer (kernels.cpp) and the
+// per-backend translation units. Not part of the public kernel API.
+
+#include <cstddef>
+
+#include "fleet/tensor/kernels/kernels.hpp"
+
+namespace fleet::tensor::kernels::detail {
+
+/// The scalar reference table — always present, defines the numerical
+/// contract every other backend is tested against.
+const KernelTable& portable_table();
+
+/// The AVX2 table, or nullptr when it was not compiled in
+/// (FLEET_ENABLE_AVX2=OFF / non-x86 build) or this CPU lacks AVX2.
+const KernelTable* avx2_table();
+
+/// The NEON table, or nullptr when not compiled in (non-aarch64 build).
+const KernelTable* neon_table();
+
+/// Order-pinned reductions shared by every backend (DESIGN.md §10: the
+/// accumulation order of reductions that feed control decisions is part
+/// of the kernel contract, so these have exactly one definition —
+/// compiled without auto-vectorization in portable.cpp).
+double squared_norm_pinned(const float* x, std::size_t n);
+double bhattacharyya_pinned(const double* p, const double* q, double denom,
+                            std::size_t n);
+
+}  // namespace fleet::tensor::kernels::detail

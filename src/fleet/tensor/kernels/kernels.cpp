@@ -1,0 +1,153 @@
+// Runtime kernel dispatch (DESIGN.md §10). Selection happens once, at
+// first use: an explicit pin (config / tests) wins, else the FLEET_KERNEL
+// environment variable, else the best backend the CPU supports. After
+// that, every op is one atomic acquire-load of the active table — the
+// backend never drifts mid-run, because summation order is part of the
+// determinism contract.
+#include "fleet/tensor/kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "fleet/tensor/kernels/backend_tables.hpp"
+
+namespace fleet::tensor::kernels {
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::mutex g_select_mu;
+// Guarded by g_select_mu for writes; the string is only read through
+// selection_source(), which takes the lock.
+std::string g_source = "detected";
+
+const KernelTable* table_or_null(Backend backend) {
+  switch (backend) {
+    case Backend::kPortable:
+      return &detail::portable_table();
+    case Backend::kAvx2:
+      return detail::avx2_table();
+    case Backend::kNeon:
+      return detail::neon_table();
+    case Backend::kAuto:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+/// Best backend this CPU supports: SIMD when present, scalar otherwise.
+const KernelTable& detect_best() {
+  if (const KernelTable* avx2 = detail::avx2_table()) return *avx2;
+  if (const KernelTable* neon = detail::neon_table()) return *neon;
+  return detail::portable_table();
+}
+
+/// The startup selection: FLEET_KERNEL env override (ignored with a fall
+/// back to detection when it names an unavailable backend — a portable
+/// binary must not crash on a stale env var), else detection.
+const KernelTable& startup_selection(std::string* source) {
+  if (const char* env = std::getenv("FLEET_KERNEL")) {
+    if (const auto parsed = parse_backend(env)) {
+      if (*parsed != Backend::kAuto) {
+        if (const KernelTable* t = table_or_null(*parsed)) {
+          *source = "env";
+          return *t;
+        }
+      }
+    }
+  }
+  *source = "detected";
+  return detect_best();
+}
+
+const KernelTable& select_if_needed() {
+  if (const KernelTable* t = g_active.load(std::memory_order_acquire)) {
+    return *t;
+  }
+  std::lock_guard<std::mutex> lock(g_select_mu);
+  if (const KernelTable* t = g_active.load(std::memory_order_acquire)) {
+    return *t;
+  }
+  std::string source;
+  const KernelTable& chosen = startup_selection(&source);
+  g_source = source;
+  g_active.store(&chosen, std::memory_order_release);
+  return chosen;
+}
+
+}  // namespace
+
+bool available(Backend backend) {
+  return backend != Backend::kAuto && table_or_null(backend) != nullptr;
+}
+
+const KernelTable& table(Backend backend) {
+  if (backend == Backend::kAuto) {
+    throw std::invalid_argument(
+        "kernels::table: kAuto is a selection request, not a backend");
+  }
+  if (const KernelTable* t = table_or_null(backend)) return *t;
+  throw std::invalid_argument("kernels::table: backend '" +
+                              std::string(name(backend)) +
+                              "' is not available on this build/CPU");
+}
+
+const KernelTable& active() { return select_if_needed(); }
+
+Backend active_backend() {
+  const KernelTable& t = active();
+  if (&t == detail::avx2_table()) return Backend::kAvx2;
+  if (&t == detail::neon_table()) return Backend::kNeon;
+  return Backend::kPortable;
+}
+
+void pin_backend(Backend backend) {
+  std::lock_guard<std::mutex> lock(g_select_mu);
+  if (backend == Backend::kAuto) {
+    std::string source;
+    const KernelTable& chosen = startup_selection(&source);
+    g_source = source;
+    g_active.store(&chosen, std::memory_order_release);
+    return;
+  }
+  const KernelTable* t = table_or_null(backend);
+  if (t == nullptr) {
+    throw std::invalid_argument("kernels::pin_backend: backend '" +
+                                std::string(name(backend)) +
+                                "' is not available on this build/CPU");
+  }
+  g_source = "pinned";
+  g_active.store(t, std::memory_order_release);
+}
+
+std::string selection_source() {
+  active();  // force a selection so the source is meaningful
+  std::lock_guard<std::mutex> lock(g_select_mu);
+  return g_source;
+}
+
+std::string_view name(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto:
+      return "auto";
+    case Backend::kPortable:
+      return "portable";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view text) {
+  if (text.empty() || text == "auto") return Backend::kAuto;
+  if (text == "portable" || text == "scalar") return Backend::kPortable;
+  if (text == "avx2") return Backend::kAvx2;
+  if (text == "neon") return Backend::kNeon;
+  return std::nullopt;
+}
+
+}  // namespace fleet::tensor::kernels

@@ -1,0 +1,82 @@
+#include "fleet/tensor/kernels/scratch.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+namespace fleet::tensor::kernels {
+
+namespace {
+
+std::atomic<std::size_t> g_global_bytes_peak{0};
+
+void raise_global_peak(std::size_t candidate) {
+  std::size_t seen = g_global_bytes_peak.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !g_global_bytes_peak.compare_exchange_weak(
+             seen, candidate, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t align_up(std::size_t value, std::size_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+ScratchAllocator& ScratchAllocator::tls() {
+  thread_local ScratchAllocator arena;
+  return arena;
+}
+
+std::size_t ScratchAllocator::global_bytes_peak() {
+  return g_global_bytes_peak.load(std::memory_order_relaxed);
+}
+
+void* ScratchAllocator::raw(std::size_t bytes) {
+  if (current_slab_ < slabs_.size()) {
+    Slab& slab = slabs_[current_slab_];
+    const auto base = reinterpret_cast<std::uintptr_t>(slab.data.get());
+    const std::size_t start =
+        align_up(static_cast<std::size_t>(base) + offset_, kAlignment) -
+        static_cast<std::size_t>(base);
+    if (start + bytes <= slab.capacity) {
+      offset_ = start + bytes;
+      bytes_in_use_ += bytes;
+      if (bytes_in_use_ > bytes_peak_) {
+        bytes_peak_ = bytes_in_use_;
+        raise_global_peak(bytes_peak_);
+      }
+      return slab.data.get() + start;
+    }
+  }
+  return allocate_slow(bytes);
+}
+
+void* ScratchAllocator::allocate_slow(std::size_t bytes) {
+  // Advance through already-owned slabs before growing: a rewound scope
+  // re-walks the same slab sequence, so steady state allocates nothing.
+  std::size_t next = current_slab_ < slabs_.size() ? current_slab_ + 1 : 0;
+  while (next < slabs_.size()) {
+    // A fresh slab bumps from 0; base is 16-byte aligned from new[], the
+    // +kAlignment headroom below guarantees the aligned start still fits.
+    if (align_up(bytes, kAlignment) + kAlignment <= slabs_[next].capacity) {
+      current_slab_ = next;
+      offset_ = 0;
+      return raw(bytes);
+    }
+    ++next;
+  }
+  // Grow: geometric, never moving existing slabs (spans stay valid).
+  std::size_t capacity = kMinSlabBytes;
+  if (!slabs_.empty()) capacity = slabs_.back().capacity * 2;
+  const std::size_t needed = align_up(bytes, kAlignment) + kAlignment;
+  while (capacity < needed) capacity *= 2;
+  slabs_.push_back(Slab{std::make_unique<std::byte[]>(capacity), capacity});
+  ++slab_growths_;
+  bytes_reserved_ += capacity;
+  current_slab_ = slabs_.size() - 1;
+  offset_ = 0;
+  return raw(bytes);
+}
+
+}  // namespace fleet::tensor::kernels

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace fleet::tensor::kernels {
+
+/// Per-thread arena for kernel temporaries (DESIGN.md §10): im2col
+/// matrices, col2im staging, reduction staging — anything a hot loop
+/// needs for the duration of one call. Extends PR 5's no-allocation drain
+/// path down into the arithmetic: after warm-up, matmul/conv temporaries
+/// come out of slabs this arena already owns, so the steady-state hot
+/// loop never touches the heap.
+///
+/// Usage is strictly scoped:
+///
+///   auto& scratch = ScratchAllocator::tls();
+///   ScratchAllocator::Scope scope(scratch);
+///   std::span<float> col = scratch.floats(k * l);
+///   ... use col ...
+///   // scope destructor releases everything allocated inside it
+///
+/// Allocation is a bump pointer over a list of stable slabs: a request
+/// that does not fit the current slab opens a new one (geometric growth,
+/// never moving existing slabs), so spans handed out earlier in the scope
+/// stay valid — unlike a std::vector arena, which would invalidate them
+/// on growth. Scope exit rewinds the bump state; slabs are retained for
+/// reuse. Scopes nest (each rewinds to its own entry point).
+///
+/// Ownership/lifetime rules (the §10 contract):
+///  - a span is valid until its enclosing Scope is destroyed, no longer;
+///  - never hold scratch across a call that may itself take a Scope and
+///    return (re-entrancy is fine — nested scopes — but escaping isn't);
+///  - the arena is thread-local: spans must not cross threads.
+///
+/// Not thread-safe (by design — one arena per thread via tls()); the
+/// global peak gauge below is the only cross-thread state.
+class ScratchAllocator {
+ public:
+  ScratchAllocator() = default;
+  ScratchAllocator(const ScratchAllocator&) = delete;
+  ScratchAllocator& operator=(const ScratchAllocator&) = delete;
+
+  /// This thread's arena.
+  static ScratchAllocator& tls();
+
+  /// RAII rewind point. Every allocation made while a Scope is alive is
+  /// released (for reuse, not to the heap) when it is destroyed.
+  class Scope {
+   public:
+    explicit Scope(ScratchAllocator& arena)
+        : arena_(arena),
+          slab_(arena.current_slab_),
+          offset_(arena.offset_),
+          in_use_(arena.bytes_in_use_) {}
+    ~Scope() {
+      arena_.current_slab_ = slab_;
+      arena_.offset_ = offset_;
+      arena_.bytes_in_use_ = in_use_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchAllocator& arena_;
+    std::size_t slab_;
+    std::size_t offset_;
+    std::size_t in_use_;
+  };
+
+  /// `n` floats, 64-byte aligned, zero-INITIALIZATION NOT performed.
+  std::span<float> floats(std::size_t n) {
+    return {static_cast<float*>(raw(n * sizeof(float))), n};
+  }
+
+  /// `n` doubles, 64-byte aligned, uninitialized.
+  std::span<double> doubles(std::size_t n) {
+    return {static_cast<double*>(raw(n * sizeof(double))), n};
+  }
+
+  /// Monotone gauges for the zero-steady-state-growth regression tests
+  /// (mirrors RuntimeStats::fold_buffer_growths).
+  struct Stats {
+    std::size_t bytes_reserved = 0;  ///< total slab capacity held
+    std::size_t bytes_peak = 0;      ///< high-water mark of live scratch
+    std::size_t slab_growths = 0;    ///< slab allocations since construction
+  };
+  Stats stats() const {
+    return {bytes_reserved_, bytes_peak_, slab_growths_};
+  }
+
+  /// High-water mark of live scratch bytes across ALL threads' arenas —
+  /// the host-wide `scratch_bytes_peak` gauge RuntimeStats surfaces.
+  static std::size_t global_bytes_peak();
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+  };
+
+  void* raw(std::size_t bytes);
+  void* allocate_slow(std::size_t bytes);
+
+  static constexpr std::size_t kAlignment = 64;
+  static constexpr std::size_t kMinSlabBytes = std::size_t{1} << 16;
+
+  std::vector<Slab> slabs_;
+  std::size_t current_slab_ = 0;  ///< index of the slab being bumped
+  std::size_t offset_ = 0;        ///< bump offset within current_slab_
+  std::size_t bytes_in_use_ = 0;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t bytes_peak_ = 0;
+  std::size_t slab_growths_ = 0;
+};
+
+}  // namespace fleet::tensor::kernels

@@ -1,7 +1,8 @@
 #include "fleet/tensor/ops.hpp"
 
-#include <cmath>
 #include <stdexcept>
+
+#include "fleet/tensor/kernels/kernels.hpp"
 
 namespace fleet::tensor {
 
@@ -20,19 +21,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   require_rank2(b, "matmul");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Tensor c({m, n});  // zero-initialized; the kernel accumulates into it
+  kernels::active().matmul(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -44,19 +34,7 @@ Tensor matmul_at_b(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("matmul_at_b: inner dim mismatch");
   }
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * m;
-    const float* brow = pb + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::active().matmul_at_b(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -68,18 +46,7 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("matmul_a_bt: inner dim mismatch");
   }
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float s = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      pc[i * n + j] = s;
-    }
-  }
+  kernels::active().matmul_a_bt(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -90,9 +57,7 @@ void axpy(float alpha, const Tensor& x, Tensor& y) {
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
-  const float* px = x.data();
-  float* py = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+  kernels::active().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(Tensor& x, float alpha) {
@@ -100,26 +65,24 @@ void scale(Tensor& x, float alpha) {
 }
 
 void scale(std::span<float> x, float alpha) {
-  float* p = x.data();
-  for (std::size_t i = 0; i < x.size(); ++i) p[i] *= alpha;
+  kernels::active().scale(x.data(), alpha, x.size());
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
   if (a.shape() != b.shape()) {
     throw std::invalid_argument("add: shape mismatch");
   }
-  Tensor c = a;
-  axpy(1.0f, b, c);
+  Tensor c(a.shape());
+  kernels::active().add(a.data(), b.data(), c.data(), a.size());
   return c;
 }
 
 double squared_norm(const Tensor& x) {
-  double s = 0.0;
-  const float* p = x.data();
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    s += static_cast<double>(p[i]) * static_cast<double>(p[i]);
-  }
-  return s;
+  return squared_norm(x.flat());
+}
+
+double squared_norm(std::span<const float> x) {
+  return kernels::active().squared_norm(x.data(), x.size());
 }
 
 void fill_gaussian(Tensor& x, stats::Rng& rng, float stddev) {
@@ -140,11 +103,7 @@ float max_abs_diff(const Tensor& a, const Tensor& b) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("max_abs_diff: size mismatch");
   }
-  float m = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    m = std::max(m, std::abs(a[i] - b[i]));
-  }
-  return m;
+  return kernels::active().max_abs_diff(a.data(), b.data(), a.size());
 }
 
 }  // namespace fleet::tensor

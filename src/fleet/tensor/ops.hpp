@@ -7,6 +7,12 @@
 
 namespace fleet::tensor {
 
+/// Every op below executes on the process-wide kernel backend
+/// (tensor/kernels/: runtime-dispatched AVX2/NEON with a portable scalar
+/// fallback, DESIGN.md §10). The backend is selected once at startup and
+/// pinned for the run — kernel choice is part of the determinism
+/// contract, so results are bitwise reproducible per pinned backend.
+
 /// C = A (m x k) * B (k x n), row-major.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
@@ -35,8 +41,15 @@ void scale(std::span<float> x, float alpha);
 /// Elementwise sum into a fresh tensor.
 Tensor add(const Tensor& a, const Tensor& b);
 
-/// Sum of squares of all elements.
+/// Sum of squares of all elements, accumulated in double. The
+/// accumulation order is pinned — sequential, ascending index — in EVERY
+/// kernel backend (DESIGN.md §10): this reduction feeds control decisions
+/// (gradient clipping, similarity/dampening bookkeeping), which must not
+/// shift by a ULP when the run is configured onto a different backend.
 double squared_norm(const Tensor& x);
+
+/// squared_norm over a flat span (same pinned accumulation order).
+double squared_norm(std::span<const float> x);
 
 /// Fill with i.i.d. N(0, stddev^2) samples.
 void fill_gaussian(Tensor& x, stats::Rng& rng, float stddev);
