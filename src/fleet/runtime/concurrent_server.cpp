@@ -11,7 +11,10 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
     : trace_capacity_(runtime.trace_capacity),
       max_drain_batch_(runtime.max_drain_batch),
       serialize_folds_(runtime.serialize_folds),
-      queue_(runtime.queue_capacity, runtime.queue_shards),
+      telemetry_(runtime.telemetry.enabled
+                     ? std::make_unique<telemetry::Telemetry>(runtime.telemetry)
+                     : nullptr),
+      queue_(runtime.queue_capacity, runtime.queue_shards, telemetry_.get()),
       paused_(runtime.start_paused) {
   if (runtime.aggregation_shards == 0) {
     throw std::invalid_argument(
@@ -23,9 +26,19 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
   if (runtime.kernel_backend != tensor::kernels::Backend::kAuto) {
     tensor::kernels::pin_backend(runtime.kernel_backend);
   }
+  if (telemetry_ != nullptr) {
+    drain_batch_ = telemetry_->metrics().histogram("server.drain_batch",
+                                                   telemetry::batch_bounds());
+    session_fold_ns_ = telemetry_->metrics().histogram(
+        "server.session_fold_ns", telemetry::latency_bounds_ns());
+    publish_ns_ = telemetry_->metrics().histogram(
+        "server.publish_ns", telemetry::latency_bounds_ns());
+    queue_depth_gauge_ = telemetry_->metrics().gauge("queue.depth");
+  }
   if (runtime.aggregation_shards > 1) {
     sharded_ = std::make_unique<ShardedAggregator>(runtime.aggregation_shards,
-                                                   runtime.pin_fold_workers);
+                                                   runtime.pin_fold_workers,
+                                                   telemetry_.get());
   }
   aggregation_thread_ = std::thread([this] { aggregation_loop(); });
 }
@@ -50,7 +63,7 @@ core::ModelId ConcurrentFleetServer::register_model(
   // span partition here, for the host pool's shard count.
   registry_.add(std::make_shared<ModelSession>(
       id, model, std::move(profiler), config, trace_capacity_,
-      sharded_ != nullptr ? sharded_->shard_count() : 1));
+      sharded_ != nullptr ? sharded_->shard_count() : 1, telemetry_.get()));
   return id;
 }
 
@@ -136,6 +149,36 @@ core::GradientReceipt ConcurrentFleetServer::try_submit(GradientJob& job) {
 
 void ConcurrentFleetServer::aggregation_loop() {
   std::vector<GradientJob> batch;
+  // Telemetry scratch: per-slot fold-submit timestamps (sharded path).
+  // Sized lazily to the slot pool; lives outside the loop so a steady-state
+  // batch allocates nothing.
+  std::vector<std::uint64_t> fold_submit_ns;
+  const auto emit_instant = [&](telemetry::TracePhase phase,
+                                std::uint64_t ticket, core::ModelId model) {
+    telemetry::TraceEvent ev;
+    ev.ts_ns = telemetry_->now_ns();
+    ev.ticket = ticket;
+    ev.model = model;
+    ev.phase = phase;
+    telemetry_->tracer().emit(ev);
+  };
+  // Span of one session's fold, submit -> latch resolution. Called exactly
+  // once per non-empty plan, at the wait that actually resolved it.
+  const auto note_session_fold = [&](std::size_t i) {
+    if (telemetry_ == nullptr) return;
+    SessionSlot& slot = slot_pool_[i];
+    if (slot.plan.empty()) return;
+    const std::uint64_t now = telemetry_->now_ns();
+    const std::uint64_t dur = now - fold_submit_ns[i];
+    session_fold_ns_->record(static_cast<double>(dur));
+    telemetry::TraceEvent ev;
+    ev.ts_ns = fold_submit_ns[i];
+    ev.a = dur;
+    ev.b = slot.plan.size();
+    ev.model = slot.session->id();
+    ev.phase = telemetry::TracePhase::kSessionFold;
+    telemetry_->tracer().emit(ev);
+  };
   // Per-batch demultiplexed state: one slot per session that appears in
   // the batch, in first-appearance order, acquired from the persistent
   // slot pool (`used` of `slot_pool_` are live this batch). The session
@@ -188,6 +231,13 @@ void ConcurrentFleetServer::aggregation_loop() {
         return !paused_.load(std::memory_order_acquire) || queue_.closed();
       });
     }
+    const std::uint64_t batch_t0 =
+        telemetry_ != nullptr ? telemetry_->now_ns() : 0;
+    if (telemetry_ != nullptr) {
+      drain_batch_->record(static_cast<double>(taken));
+      // Depth right after the pop: what is still waiting behind this batch.
+      queue_depth_gauge_->set(queue_.depth());
+    }
     // Demultiplex the batch in global admission-ticket order. Each job's
     // order-sensitive bookkeeping runs against its own session as it is
     // reached, so per session the processing order is exactly the
@@ -206,33 +256,57 @@ void ConcurrentFleetServer::aggregation_loop() {
         SessionSlot* slot = slot_for(job.model_id);
         if (slot == nullptr) {
           retired_drops_.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry_ != nullptr) {
+            emit_instant(telemetry::TracePhase::kDrop, job.ticket,
+                         job.model_id);
+          }
           continue;
         }
         const std::size_t plan_capacity = slot->plan.capacity();
-        slot->session->plan_process(job, slot->plan);
+        const bool folded = slot->session->plan_process(job, slot->plan);
         if (slot->plan.capacity() != plan_capacity) {
           fold_buffer_growths_.fetch_add(1, std::memory_order_relaxed);
         }
+        if (telemetry_ != nullptr && folded) {
+          emit_instant(telemetry::TracePhase::kFold, job.ticket, job.model_id);
+        }
+      }
+      if (telemetry_ != nullptr && fold_submit_ns.size() < slot_pool_.size()) {
+        fold_submit_ns.resize(slot_pool_.size());
       }
       for (std::size_t i = 0; i < used; ++i) {
         SessionSlot& slot = slot_pool_[i];
         if (slot.plan.empty()) continue;
+        if (telemetry_ != nullptr) fold_submit_ns[i] = telemetry_->now_ns();
         sharded_->submit(slot.session->fold_context(), slot.plan, slot.latch);
-        if (serialize_folds_) sharded_->wait(slot.latch);
+        if (serialize_folds_) {
+          sharded_->wait(slot.latch);
+          note_session_fold(i);
+        }
       }
       // One wait per batch; waiting in slot order is work-conserving (the
       // waiter executes queued tasks, any session's, while it waits).
       for (std::size_t i = 0; i < used; ++i) {
         sharded_->wait(slot_pool_[i].latch);
+        if (!serialize_folds_) note_session_fold(i);
       }
     } else {
       for (GradientJob& job : batch) {
         SessionSlot* slot = slot_for(job.model_id);
         if (slot == nullptr) {
           retired_drops_.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry_ != nullptr) {
+            emit_instant(telemetry::TracePhase::kDrop, job.ticket,
+                         job.model_id);
+          }
           continue;
         }
-        slot->session->process(std::move(job));
+        const std::uint64_t ticket = job.ticket;
+        const core::ModelId model_id = job.model_id;
+        const bool folded = slot->session->process(std::move(job));
+        if (telemetry_ != nullptr && folded) {
+          emit_instant(telemetry::TracePhase::kFold, ticket, model_id);
+        }
       }
     }
     // One snapshot materialization per dirty session per drain batch,
@@ -242,12 +316,34 @@ void ConcurrentFleetServer::aggregation_loop() {
     // snapshot always reads a fully-folded arena.
     for (std::size_t i = 0; i < used; ++i) {
       SessionSlot& slot = slot_pool_[i];
-      slot.session->publish_if_dirty();
+      const std::uint64_t p0 =
+          telemetry_ != nullptr ? telemetry_->now_ns() : 0;
+      const bool published = slot.session->publish_if_dirty();
+      if (telemetry_ != nullptr && published) {
+        const std::uint64_t now = telemetry_->now_ns();
+        publish_ns_->record(static_cast<double>(now - p0));
+        telemetry::TraceEvent ev;
+        ev.ts_ns = p0;
+        ev.a = now - p0;
+        ev.b = slot.session->version();
+        ev.model = slot.session->id();
+        ev.phase = telemetry::TracePhase::kPublish;
+        telemetry_->tracer().emit(ev);
+      }
       slot.session.reset();
       slot.plan.clear();  // keeps capacity for the next batch
     }
     used = 0;
     batch.clear();
+    if (telemetry_ != nullptr) {
+      const std::uint64_t now = telemetry_->now_ns();
+      telemetry::TraceEvent ev;
+      ev.ts_ns = batch_t0;
+      ev.a = now - batch_t0;
+      ev.b = taken;
+      ev.phase = telemetry::TracePhase::kDrainBatch;
+      telemetry_->tracer().emit(ev);
+    }
     processed_or_dropped_.fetch_add(taken, std::memory_order_acq_rel);
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
@@ -312,6 +408,9 @@ RuntimeStats ConcurrentFleetServer::host_stats() const {
     snapshot.fold_tasks_executed = pool.tasks_executed;
     snapshot.fold_peak_pending = pool.peak_pending;
   }
+  if (const telemetry::Histogram* wait = queue_.wait_histogram()) {
+    snapshot.queue_wait = wait->snapshot();
+  }
   return snapshot;
 }
 
@@ -327,6 +426,7 @@ RuntimeStats ConcurrentFleetServer::stats(core::ModelId id) const {
   snapshot.fold_peak_pending = host.fold_peak_pending;
   snapshot.fold_buffer_growths = host.fold_buffer_growths;
   snapshot.scratch_bytes_peak = host.scratch_bytes_peak;
+  snapshot.queue_wait = host.queue_wait;
   return snapshot;
 }
 

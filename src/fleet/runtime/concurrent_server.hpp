@@ -68,6 +68,14 @@ struct RuntimeConfig {
   /// Note this is process-wide state, not per-host: the last constructed
   /// server wins, so co-hosted servers should agree on it.
   tensor::kernels::Backend kernel_backend = tensor::kernels::Backend::kAuto;
+  /// Observability (DESIGN.md §11). Off by default: the host then runs
+  /// with no clock reads, no trace rings and no histogram updates — only
+  /// the pre-existing relaxed counters. When enabled, the host owns one
+  /// telemetry::Telemetry (metrics registry + trace collector), every
+  /// layer records into it, and stats()/the exporters surface it. Timing
+  /// is observed, never consulted: on or off, every session's model is
+  /// bitwise identical (the determinism matrix asserts it).
+  telemetry::TelemetryConfig telemetry;
 };
 
 /// Multi-tenant serving host (DESIGN.md §7): many learning tasks — each a
@@ -210,10 +218,12 @@ class ConcurrentFleetServer {
   bool accepting() const { return !queue_.closed(); }
 
   /// One task's stats, with the host-wide fields (backpressure rejects,
-  /// retired drops, queue occupancy gauges) filled in. The counters are
-  /// snapshotted lock-free and the traces copied under a dedicated trace
-  /// mutex, so a monitoring poll can never stall the fold (DESIGN.md §7).
-  /// Throws std::out_of_range for unknown ids.
+  /// retired drops, queue occupancy gauges, queue-wait histogram) filled
+  /// in. The session's processing counters, histograms and traces are one
+  /// consistent cut under a short trace mutex (see RuntimeStats), so a
+  /// monitoring poll can never stall the fold for more than one
+  /// bookkeeping block (DESIGN.md §7, §11). Throws std::out_of_range for
+  /// unknown ids.
   RuntimeStats stats(core::ModelId id) const;
   RuntimeStats stats() const { return stats(core::kDefaultModelId); }
 
@@ -222,6 +232,15 @@ class ConcurrentFleetServer {
   /// available — the view to fall back on when no session id resolves
   /// (e.g. everything driven has been retired).
   RuntimeStats host_stats() const;
+
+  /// The host's telemetry substrate, or nullptr when
+  /// RuntimeConfig::telemetry.enabled was false. Snapshot its metrics()
+  /// and collect its tracer() for the exporters (telemetry/export.hpp);
+  /// collect trace events after drain()/stop() for a complete lifecycle
+  /// picture (collection is safe anytime, but rings only hold what was
+  /// emitted so far).
+  telemetry::Telemetry* telemetry() { return telemetry_.get(); }
+  const telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
 
   /// Single-model-shim accessors for the default session. They throw
   /// std::out_of_range when no session is registered under
@@ -263,6 +282,15 @@ class ConcurrentFleetServer {
   bool serialize_folds_;
   ModelRegistry registry_;
   std::atomic<core::ModelId> next_model_id_{core::kDefaultModelId};
+  /// Host observability substrate; null when disabled. Declared before the
+  /// queue and the fold pool: both hold raw pointers into it, so it must
+  /// outlive them (members destroy in reverse declaration order).
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+  /// Registry handles for the aggregation loop (null when disabled).
+  telemetry::Histogram* drain_batch_ = nullptr;    ///< "server.drain_batch"
+  telemetry::Histogram* session_fold_ns_ = nullptr;  ///< "server.session_fold_ns"
+  telemetry::Histogram* publish_ns_ = nullptr;     ///< "server.publish_ns"
+  telemetry::Gauge* queue_depth_gauge_ = nullptr;  ///< "queue.depth"
   GradientQueue queue_;
   /// Present when aggregation_shards > 1; the shared fold scheduler — all
   /// sessions' plans of a drain batch run on it concurrently.

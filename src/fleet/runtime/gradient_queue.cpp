@@ -7,8 +7,9 @@
 
 namespace fleet::runtime {
 
-GradientQueue::GradientQueue(std::size_t capacity, std::size_t shards)
-    : capacity_(capacity) {
+GradientQueue::GradientQueue(std::size_t capacity, std::size_t shards,
+                             telemetry::Telemetry* telemetry)
+    : capacity_(capacity), telemetry_(telemetry) {
   if (capacity == 0) {
     throw std::invalid_argument("GradientQueue: capacity must be >= 1");
   }
@@ -18,6 +19,14 @@ GradientQueue::GradientQueue(std::size_t capacity, std::size_t shards)
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  if (telemetry_ != nullptr) {
+    admit_ns_ = telemetry_->metrics().histogram(
+        "queue.admit_ns", telemetry::latency_bounds_ns());
+    wait_ns_ = telemetry_->metrics().histogram(
+        "queue.wait_ns", telemetry::latency_bounds_ns());
+    admitted_ctr_ = telemetry_->metrics().counter("queue.admitted");
+    rejected_ctr_ = telemetry_->metrics().counter("queue.rejected");
   }
 }
 
@@ -33,6 +42,10 @@ bool GradientQueue::try_push(GradientJob& job, std::size_t shard_hint) {
 }
 
 bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
+  // Observation only: the timestamps stamp the job and feed histograms;
+  // nothing downstream ever branches on them.
+  const std::uint64_t t0 = telemetry_ != nullptr ? telemetry_->now_ns() : 0;
+  const core::ModelId model = job.model_id;
   if (closed_.load(std::memory_order_acquire)) return false;
   // Reserve a slot against the global bound first; undo on failure. The
   // reservation also keeps a consumer from concluding "closed and empty"
@@ -41,8 +54,17 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
   if (depth > capacity_) {
     size_.fetch_sub(1, std::memory_order_acq_rel);
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) {
+      rejected_ctr_->add(1);
+      telemetry::TraceEvent ev;
+      ev.ts_ns = t0;
+      ev.model = model;
+      ev.phase = telemetry::TracePhase::kReject;
+      telemetry_->tracer().emit(ev);
+    }
     return false;
   }
+  std::uint64_t ticket = 0;
   Shard& shard = *shards_[start_shard];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -58,7 +80,10 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
     // Ticket drawn under the shard lock: jobs pushed sequentially by one
     // producer always carry increasing tickets, so a quiesced drain
     // reproduces push order exactly.
-    item.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    job.ticket = ticket;
+    job.enqueue_ns = t0;
+    item.ticket = ticket;
     item.job = std::move(job);
     shard.items.push_back(std::move(item));
   }
@@ -73,6 +98,16 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
                                            std::memory_order_acq_rel,
                                            std::memory_order_relaxed)) {
   }
+  if (telemetry_ != nullptr) {
+    admitted_ctr_->add(1);
+    admit_ns_->record(static_cast<double>(telemetry_->now_ns() - t0));
+    telemetry::TraceEvent ev;
+    ev.ts_ns = t0;
+    ev.ticket = ticket;
+    ev.model = model;
+    ev.phase = telemetry::TracePhase::kSubmit;
+    telemetry_->tracer().emit(ev);
+  }
   // Tap the wake mutex so a consumer that just evaluated "empty" and is
   // about to sleep observes either the new size or the notification.
   { std::lock_guard<std::mutex> lock(wake_mu_); }
@@ -80,8 +115,31 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
   return true;
 }
 
+void GradientQueue::note_drained(const std::vector<GradientJob>& out,
+                                 std::size_t from) {
+  if (telemetry_ == nullptr || from >= out.size()) return;
+  // One clock read for the whole batch: the per-job wait skew within a
+  // single drain is far below bucket resolution, and the shared timestamp
+  // keeps a drain batch's dequeue events aligned in the trace.
+  const std::uint64_t now = telemetry_->now_ns();
+  for (std::size_t i = from; i < out.size(); ++i) {
+    const GradientJob& job = out[i];
+    const std::uint64_t wait =
+        now > job.enqueue_ns ? now - job.enqueue_ns : 0;
+    wait_ns_->record(static_cast<double>(wait));
+    telemetry::TraceEvent ev;
+    ev.ts_ns = now;
+    ev.ticket = job.ticket;
+    ev.model = job.model_id;
+    ev.b = wait;
+    ev.phase = telemetry::TracePhase::kDequeue;
+    telemetry_->tracer().emit(ev);
+  }
+}
+
 std::size_t GradientQueue::drain(std::vector<GradientJob>& out,
                                  std::size_t max_batch) {
+  const std::size_t out_start = out.size();
   if (max_batch > 0) {
     // Bounded pop: hold every shard lock at once and k-way merge the
     // fronts. Each shard's deque is ticket-sorted (tickets are drawn under
@@ -119,6 +177,8 @@ std::size_t GradientQueue::drain(std::vector<GradientJob>& out,
       // whole merge window.
       size_.fetch_sub(1, std::memory_order_acq_rel);
     }
+    locks.clear();  // telemetry tail runs outside every shard lock
+    note_drained(out, out_start);
     return taken;
   }
   std::vector<Item> taken;
@@ -146,6 +206,7 @@ std::size_t GradientQueue::drain(std::vector<GradientJob>& out,
   for (Item& item : taken) {
     out.push_back(std::move(item.job));
   }
+  note_drained(out, out_start);
   return taken.size();
 }
 

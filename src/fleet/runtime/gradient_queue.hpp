@@ -12,6 +12,7 @@
 #include "fleet/core/server.hpp"
 #include "fleet/profiler/features.hpp"
 #include "fleet/stats/label_distribution.hpp"
+#include "fleet/telemetry/telemetry.hpp"
 
 namespace fleet::runtime {
 
@@ -34,6 +35,16 @@ struct GradientJob {
   stats::LabelDistribution label_dist{1};  // LD of the mini-batch
   std::size_t mini_batch = 0;
   std::optional<profiler::Observation> feedback;  // profiler payload
+  /// Global admission ticket, stamped by the queue when the push lands —
+  /// the key every lifecycle trace event for this gradient carries. 0
+  /// before admission. Not an input: whatever the producer sets is
+  /// overwritten.
+  std::uint64_t ticket = 0;
+  /// Telemetry-only enqueue timestamp (ns on the host telemetry clock),
+  /// stamped at admission when tracing is on; the drain side turns it into
+  /// the queue-wait observation. 0 when telemetry is off. Never consulted
+  /// by any scheduling or learning decision.
+  std::uint64_t enqueue_ns = 0;
 };
 
 /// Bounded, sharded multi-producer single-consumer queue feeding the
@@ -55,7 +66,12 @@ class GradientQueue {
  public:
   /// `capacity`: global bound on queued jobs (>= 1).
   /// `shards`: independently locked sub-queues (>= 1).
-  GradientQueue(std::size_t capacity, std::size_t shards = 8);
+  /// `telemetry`: optional observability sink (owned by the caller,
+  /// outliving the queue). When set, the queue records admission latency
+  /// ("queue.admit_ns") and per-gradient queue wait ("queue.wait_ns")
+  /// histograms and emits submit/reject/dequeue lifecycle trace events.
+  GradientQueue(std::size_t capacity, std::size_t shards = 8,
+                telemetry::Telemetry* telemetry = nullptr);
 
   /// Enqueue, sharded by producer thread hash. Consumes `job` (moves from
   /// it) only on success; on a full or closed queue returns false and
@@ -115,6 +131,11 @@ class GradientQueue {
     return rejected_.load(std::memory_order_relaxed);
   }
 
+  /// The live queue-wait histogram (enqueue -> drain, ns), or nullptr when
+  /// the queue runs without telemetry. ConcurrentFleetServer surfaces its
+  /// snapshot as RuntimeStats::queue_wait.
+  const telemetry::Histogram* wait_histogram() const { return wait_ns_; }
+
  private:
   struct Item {
     std::uint64_t ticket = 0;
@@ -127,8 +148,16 @@ class GradientQueue {
   };
 
   bool push_to_shard(GradientJob& job, std::size_t start_shard);
+  /// Telemetry tail of a drain: queue-wait observations + dequeue events
+  /// for out[from..), stamped against one clock read.
+  void note_drained(const std::vector<GradientJob>& out, std::size_t from);
 
   std::size_t capacity_;
+  telemetry::Telemetry* telemetry_ = nullptr;  // optional, caller-owned
+  telemetry::Histogram* admit_ns_ = nullptr;
+  telemetry::Histogram* wait_ns_ = nullptr;
+  telemetry::Counter* admitted_ctr_ = nullptr;
+  telemetry::Counter* rejected_ctr_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> size_{0};
   std::atomic<std::size_t> max_depth_{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace fleet::runtime {
@@ -10,7 +11,8 @@ ModelSession::ModelSession(core::ModelId id, nn::TrainableModel& model,
                            std::unique_ptr<profiler::Profiler> profiler,
                            const core::ServerConfig& config,
                            std::size_t trace_capacity,
-                           std::size_t fold_shards)
+                           std::size_t fold_shards,
+                           telemetry::Telemetry* telemetry)
     : id_(id),
       model_(model),
       profiler_(std::move(profiler)),
@@ -22,9 +24,18 @@ ModelSession::ModelSession(core::ModelId id, nn::TrainableModel& model,
       controller_(config.controller),
       aggregator_(model.parameter_count(), model.n_classes(),
                   config.aggregator),
-      store_(config.snapshot_window) {
+      store_(config.snapshot_window),
+      staleness_hist_(telemetry::staleness_bounds()),
+      weight_hist_(telemetry::weight_bounds()) {
   if (profiler_ == nullptr) {
     throw std::invalid_argument("ModelSession: null profiler");
+  }
+  if (telemetry != nullptr) {
+    const std::string base = "session." + std::to_string(id_);
+    staleness_metric_ = telemetry->metrics().histogram(
+        base + ".staleness", telemetry::staleness_bounds());
+    weight_metric_ = telemetry->metrics().histogram(
+        base + ".weight", telemetry::weight_bounds());
   }
   // Materialize and publish version 0 before any thread can observe the
   // session, so handle_request never sees an empty store.
@@ -42,12 +53,12 @@ void ModelSession::publish_version(std::size_t version) {
       VersionedSnapshot{version, std::move(snapshot)}));
 }
 
-void ModelSession::publish_if_dirty() {
+bool ModelSession::publish_if_dirty() {
   const std::size_t version = version_.load(std::memory_order_relaxed);
-  if (version != published_version_) {
-    publish_version(version);
-    published_version_ = version;
-  }
+  if (version == published_version_) return false;
+  publish_version(version);
+  published_version_ = version;
+  return true;
 }
 
 ModelSession::VersionedSnapshot ModelSession::current() const {
@@ -105,7 +116,8 @@ std::optional<ModelSession::Admitted> ModelSession::screen(
     // A job can only legitimately carry a version it observed from
     // current(), so a future version is a producer bug; drop it rather
     // than poisoning the logical clock.
-    invalid_jobs_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    ++invalid_jobs_;
     return std::nullopt;
   }
   // tau_i = t - t_i against this session's clock at *processing* time
@@ -137,21 +149,32 @@ void ModelSession::record_processed(const GradientJob& job, double staleness,
     std::lock_guard<std::mutex> lock(profiler_mu_);
     profiler_->observe(*job.feedback);
   }
-  processed_.fetch_add(1, std::memory_order_relaxed);
-  if (updated) model_updates_.fetch_add(1, std::memory_order_relaxed);
+  // Registry mirrors are lock-free striped cells — record them outside
+  // trace_mu_ so the exporter-facing path adds nothing to the lock hold.
+  if (staleness_metric_ != nullptr) {
+    staleness_metric_->record(staleness);
+    weight_metric_->record(weight);
+  }
+  // One consistent cut: counters, histograms and traces move together
+  // under trace_mu_, so stats() can never observe a counter ahead of its
+  // histogram or trace.
   std::lock_guard<std::mutex> lock(trace_mu_);
+  ++processed_;
+  if (updated) ++model_updates_;
+  staleness_hist_.record(staleness);
+  weight_hist_.record(weight);
   if (staleness_trace_.size() < trace_capacity_) {
     staleness_trace_.push_back(staleness);
     weight_trace_.push_back(weight);
   } else {
-    // Counters stay exact past the cap.
-    traces_truncated_.store(true, std::memory_order_relaxed);
+    // Counters and histograms stay exact past the cap.
+    traces_truncated_ = true;
   }
 }
 
-void ModelSession::process(GradientJob&& job) {
+bool ModelSession::process(GradientJob&& job) {
   const auto admitted = screen(job);
-  if (!admitted) return;
+  if (!admitted) return false;
   const learning::SubmitResult result =
       aggregator_.submit(update_from(job, admitted->staleness));
 
@@ -166,11 +189,12 @@ void ModelSession::process(GradientJob&& job) {
     updated = true;
   }
   record_processed(job, admitted->staleness, result.weight, updated);
+  return true;
 }
 
-void ModelSession::plan_process(GradientJob& job, std::vector<FoldOp>& plan) {
+bool ModelSession::plan_process(GradientJob& job, std::vector<FoldOp>& plan) {
   const auto admitted = screen(job);
-  if (!admitted) return;  // dropped jobs never enter the plan
+  if (!admitted) return false;  // dropped jobs never enter the plan
   const learning::PlannedSubmit planned =
       aggregator_.plan_submit(update_from(job, admitted->staleness));
 
@@ -194,6 +218,7 @@ void ModelSession::plan_process(GradientJob& job, std::vector<FoldOp>& plan) {
     updated = true;
   }
   record_processed(job, admitted->staleness, planned.weight, updated);
+  return true;
 }
 
 FoldContext ModelSession::fold_context() {
@@ -201,21 +226,23 @@ FoldContext ModelSession::fold_context() {
   ctx.aggregator = &aggregator_;
   ctx.parameters = model_.parameters_mut();
   ctx.spans = fold_spans_;
+  ctx.model = id_;
   return ctx;
 }
 
 RuntimeStats ModelSession::stats() const {
   RuntimeStats snapshot;
-  // Counters first, lock-free; then the traces under their own mutex. The
-  // fold path only takes trace_mu_ for one push_back per gradient, so a
-  // poll copying megabyte traces stalls at most that append, never the
-  // dampening/feedback/counter work (DESIGN.md §7).
+  // Producer-side counter first (lock-free by design; may run ahead while
+  // jobs queue), then everything aggregation-side under trace_mu_ as one
+  // consistent cut: processed always matches the histograms and traces.
   snapshot.submitted = submitted_.load(std::memory_order_acquire);
-  snapshot.processed = processed_.load(std::memory_order_acquire);
-  snapshot.model_updates = model_updates_.load(std::memory_order_acquire);
-  snapshot.invalid_jobs = invalid_jobs_.load(std::memory_order_acquire);
-  snapshot.traces_truncated = traces_truncated_.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(trace_mu_);
+  snapshot.processed = processed_;
+  snapshot.model_updates = model_updates_;
+  snapshot.invalid_jobs = invalid_jobs_;
+  snapshot.traces_truncated = traces_truncated_;
+  snapshot.staleness_hist = staleness_hist_.snapshot();
+  snapshot.weight_hist = weight_hist_.snapshot();
   snapshot.staleness_values = staleness_trace_;
   snapshot.weights = weight_trace_;
   return snapshot;

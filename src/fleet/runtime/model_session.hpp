@@ -13,13 +13,19 @@
 
 namespace fleet::runtime {
 
-/// Counters and traces for one learning task. Counters are exact at any
-/// time; the trace vectors are copied under a dedicated trace mutex, so a
-/// stats() snapshot never holds any lock the aggregation thread's fold
-/// path needs for longer than one trace append (DESIGN.md §7). Because the
-/// counters are read outside that mutex, a snapshot taken while the
-/// aggregation thread is mid-job may show a counter one ahead of its
-/// trace — quiesce (drain with producers stopped) for an exact cut.
+/// Counters, histograms and traces for one learning task. The aggregation
+/// side updates the processing counters, the per-gradient histograms and
+/// the raw traces under one (short) trace mutex, and stats() reads them
+/// under the same mutex — a snapshot is one consistent cut: `processed`
+/// always equals the histograms' counts plus nothing in flight, never one
+/// ahead of its trace. (`submitted` is the exception by design: it is
+/// producer-side and lock-free, so it may legitimately run ahead of
+/// `processed` while jobs sit in the queue.)
+///
+/// Reporting lives in the bounded histograms; the raw staleness/weight
+/// vectors are kept for exact-sequence tests and debugging but stop
+/// recording at the trace capacity (`traces_truncated`) — the histograms
+/// and counters stay exact past the cap.
 struct RuntimeStats {
   std::size_t submitted = 0;    ///< jobs accepted into the queue
   std::size_t processed = 0;    ///< jobs folded into the aggregator
@@ -49,10 +55,19 @@ struct RuntimeStats {
   /// to fold_buffer_growths for "no per-call heap allocation in the
   /// arithmetic hot loops".
   std::size_t scratch_bytes_peak = 0;
+  /// Staleness (tau) per processed gradient, bucketed — exact for every
+  /// gradient ever processed, unlike the capped raw vector below.
+  telemetry::HistogramSnapshot staleness_hist;
+  /// Applied dampening weight per processed gradient, bucketed.
+  telemetry::HistogramSnapshot weight_hist;
+  /// Host-wide queue wait (enqueue -> drain, ns) when the host runs with
+  /// telemetry enabled; empty otherwise. Filled by
+  /// ConcurrentFleetServer::stats(), zero-count here.
+  telemetry::HistogramSnapshot queue_wait;
   std::vector<double> staleness_values;  ///< tau per processed gradient
   std::vector<double> weights;           ///< applied dampening weights
-  /// True once the traces above hit the trace capacity and stopped
-  /// recording (the counters are still exact).
+  /// True once the raw trace vectors above hit the trace capacity and
+  /// stopped recording (counters and histograms are still exact).
   bool traces_truncated = false;
 };
 
@@ -86,11 +101,16 @@ class ModelSession {
   /// `fold_shards` is the host's fold-pool shard count: the session caches
   /// its arena's span partition once, here, instead of re-deriving it for
   /// every drain batch (DESIGN.md §9). 1 (the sequential path) caches the
-  /// single full-arena span.
+  /// single full-arena span. `telemetry` (optional, caller-owned,
+  /// outliving the session) mirrors the session's staleness/weight
+  /// histograms into the host registry as "session.<id>.staleness" /
+  /// "session.<id>.weight" so the exporters see them; the RuntimeStats
+  /// histograms are maintained either way.
   ModelSession(core::ModelId id, nn::TrainableModel& model,
                std::unique_ptr<profiler::Profiler> profiler,
                const core::ServerConfig& config, std::size_t trace_capacity,
-               std::size_t fold_shards = 1);
+               std::size_t fold_shards = 1,
+               telemetry::Telemetry* telemetry = nullptr);
 
   ModelSession(const ModelSession&) = delete;
   ModelSession& operator=(const ModelSession&) = delete;
@@ -130,14 +150,17 @@ class ModelSession {
 
   /// Sequential fold: screen, dampen, accumulate, maybe update the model
   /// and advance the clock. Snapshot publication is deferred to
-  /// publish_if_dirty() so the host can batch it per drain.
-  void process(GradientJob&& job);
+  /// publish_if_dirty() so the host can batch it per drain. Returns false
+  /// when the job was dropped as invalid (so the host's per-gradient fold
+  /// trace events cover exactly the processed gradients).
+  bool process(GradientJob&& job);
 
   /// Sharded-path counterpart of process(): the same central bookkeeping
   /// (clock, staleness, weight, profiler feedback, stats) with the numeric
   /// fold deferred into `plan` for the shared fold scheduler
-  /// (ShardedAggregator::submit) against fold_context().
-  void plan_process(GradientJob& job, std::vector<FoldOp>& plan);
+  /// (ShardedAggregator::submit) against fold_context(). Returns false
+  /// when the job was dropped as invalid (nothing entered the plan).
+  bool plan_process(GradientJob& job, std::vector<FoldOp>& plan);
 
   /// The context the shared fold scheduler executes this session's plans
   /// against: its aggregator, its model's mutable arena, and the cached
@@ -149,8 +172,9 @@ class ModelSession {
   /// Materialize and publish a snapshot if the clock advanced since the
   /// last publication (one O(|theta|) copy per dirty batch, not per
   /// update). The constructor publishes version 0, so requests never see
-  /// an empty store.
-  void publish_if_dirty();
+  /// an empty store. Returns true when a snapshot was actually published
+  /// (so the host can scope its publish-latency span to real work).
+  bool publish_if_dirty();
 
   /// Session-local stats view. The host-wide fields (backpressure, queue
   /// gauges, retired drops) are zero here; ConcurrentFleetServer::stats()
@@ -201,17 +225,26 @@ class ModelSession {
   std::mutex profiler_mu_;
   std::mutex controller_mu_;
 
-  // Counters are lock-free; only the per-gradient traces share a mutex
-  // with the (short) aggregation-side append, so a monitoring poll copying
-  // long traces can never stall the fold's counter updates or feedback.
+  // The submit counter is producer-side and lock-free. Everything the
+  // aggregation side reports — processing counters, per-gradient
+  // histograms, raw traces — lives under one short mutex, taken once per
+  // gradient, so a stats() snapshot is a single consistent cut and a
+  // monitoring poll copying long traces stalls the fold path for at most
+  // one bookkeeping block (DESIGN.md §7, §11).
   std::atomic<std::size_t> submitted_{0};
-  std::atomic<std::size_t> processed_{0};
-  std::atomic<std::size_t> model_updates_{0};
-  std::atomic<std::size_t> invalid_jobs_{0};
-  std::atomic<bool> traces_truncated_{false};
   mutable std::mutex trace_mu_;
+  std::size_t processed_ = 0;
+  std::size_t model_updates_ = 0;
+  std::size_t invalid_jobs_ = 0;
+  bool traces_truncated_ = false;
+  telemetry::LocalHistogram staleness_hist_;
+  telemetry::LocalHistogram weight_hist_;
   std::vector<double> staleness_trace_;
   std::vector<double> weight_trace_;
+  /// Registry mirrors of the two histograms above (nullptr when the host
+  /// runs without telemetry).
+  telemetry::Histogram* staleness_metric_ = nullptr;
+  telemetry::Histogram* weight_metric_ = nullptr;
 };
 
 }  // namespace fleet::runtime

@@ -33,10 +33,16 @@ void pin_to_cpu([[maybe_unused]] std::thread& worker,
 
 }  // namespace
 
-ShardedAggregator::ShardedAggregator(std::size_t shards, bool pin_workers)
-    : shards_(shards) {
+ShardedAggregator::ShardedAggregator(std::size_t shards, bool pin_workers,
+                                     telemetry::Telemetry* telemetry)
+    : shards_(shards), telemetry_(telemetry) {
   if (shards == 0) {
     throw std::invalid_argument("ShardedAggregator: shards must be >= 1");
+  }
+  if (telemetry_ != nullptr) {
+    task_ns_ = telemetry_->metrics().histogram("pool.task_ns",
+                                               telemetry::latency_bounds_ns());
+    pending_ = telemetry_->metrics().gauge("pool.pending");
   }
   // Workers for spans 1..S-1; the coordinator is the pool's S-th lane
   // while it waits (shards == 1 spawns no threads at all).
@@ -98,7 +104,21 @@ bool ShardedAggregator::run_one() {
     tasks_.pop_front();
     ++active_;
   }
-  run_task(task);
+  if (telemetry_ != nullptr) {
+    const std::uint64_t t0 = telemetry_->now_ns();
+    run_task(task);
+    const std::uint64_t dur = telemetry_->now_ns() - t0;
+    task_ns_->record(static_cast<double>(dur));
+    telemetry::TraceEvent ev;
+    ev.ts_ns = t0;
+    ev.a = dur;
+    ev.b = task.span.begin;
+    ev.model = task.ctx.model;
+    ev.phase = telemetry::TracePhase::kFoldTask;
+    telemetry_->tracer().emit(ev);
+  } else {
+    run_task(task);
+  }
   bool resolved = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -179,6 +199,11 @@ void ShardedAggregator::submit(const FoldContext& ctx,
     // can therefore never observe a latch it would drive below zero.
     latch.pending_.fetch_add(armed, std::memory_order_acq_rel);
     peak_pending_ = std::max(peak_pending_, tasks_.size() + active_);
+    // Occupancy gauge tracks the high-water mark: a point-in-time value
+    // would almost always read 0 by the time anyone snapshots.
+    if (pending_ != nullptr) {
+      pending_->record_max(static_cast<double>(tasks_.size() + active_));
+    }
   }
   if (armed > 1) {
     work_cv_.notify_all();

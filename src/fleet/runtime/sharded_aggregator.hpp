@@ -10,7 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "fleet/core/server.hpp"
 #include "fleet/learning/aggregator.hpp"
+#include "fleet/telemetry/telemetry.hpp"
 
 namespace fleet::runtime {
 
@@ -51,6 +53,9 @@ struct FoldContext {
   learning::AsyncAggregator* aggregator = nullptr;
   std::span<float> parameters;
   std::span<const FoldSpan> spans;
+  /// Which tenant this plan belongs to — carried only so fold-task trace
+  /// spans can be keyed by model; the fold itself never reads it.
+  core::ModelId model = core::kDefaultModelId;
 };
 
 /// Completion latch for one submitted fold plan: submit() arms it with the
@@ -105,8 +110,11 @@ class ShardedAggregator {
   /// `shards` >= 1; one worker thread is spawned per shard beyond the
   /// first. `pin_workers` best-effort pins worker s to CPU s
   /// (Linux only; the first step toward NUMA-aware placement — see
-  /// RuntimeConfig::pin_fold_workers).
-  explicit ShardedAggregator(std::size_t shards, bool pin_workers = false);
+  /// RuntimeConfig::pin_fold_workers). `telemetry` (optional, caller-owned,
+  /// outliving the pool) records per-task fold latency ("pool.task_ns"),
+  /// pool occupancy ("pool.pending" gauge) and per-task trace spans.
+  explicit ShardedAggregator(std::size_t shards, bool pin_workers = false,
+                             telemetry::Telemetry* telemetry = nullptr);
   ~ShardedAggregator();
 
   ShardedAggregator(const ShardedAggregator&) = delete;
@@ -169,6 +177,9 @@ class ShardedAggregator {
   void worker_loop();
 
   std::size_t shards_;
+  telemetry::Telemetry* telemetry_ = nullptr;  // optional, caller-owned
+  telemetry::Histogram* task_ns_ = nullptr;
+  telemetry::Gauge* pending_ = nullptr;
 
   // Task queue: submit() pushes under mu_ and wakes workers (work_cv_) and
   // helping waiters (done_cv_); run_one() decrements the task's latch

@@ -1,0 +1,145 @@
+#include "fleet/telemetry/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace fleet::telemetry {
+
+std::string format_number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  return buf;
+}
+
+namespace {
+
+std::string quote(const std::string& s) {
+  // Metric names are code-chosen identifiers; escape the JSON specials
+  // anyway so a hostile name cannot break the document.
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void append_histogram_json(std::ostringstream& out,
+                           const HistogramSnapshot& hist) {
+  out << "{\"bounds\":[";
+  for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+    if (i > 0) out << ',';
+    out << format_number(hist.bounds[i]);
+  }
+  out << "],\"counts\":[";
+  for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+    if (i > 0) out << ',';
+    out << hist.counts[i];
+  }
+  out << "],\"count\":" << hist.count
+      << ",\"sum\":" << format_number(hist.sum);
+  if (hist.count > 0) {
+    out << ",\"min\":" << format_number(hist.min)
+        << ",\"max\":" << format_number(hist.max);
+  }
+  out << '}';
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out += (c == '.' || c == '-') ? '_' : c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ',';
+    out << quote(snapshot.counters[i].first) << ':'
+        << snapshot.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out << ',';
+    out << quote(snapshot.gauges[i].first) << ':' << snapshot.gauges[i].second;
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i > 0) out << ',';
+    out << quote(snapshot.histograms[i].first) << ':';
+    append_histogram_json(out, snapshot.histograms[i].second);
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string metrics_to_prometheus(const MetricsSnapshot& snapshot,
+                                  const std::string& prefix) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string id = prefix + sanitize(name);
+    out << "# TYPE " << id << "_total counter\n"
+        << id << "_total " << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string id = prefix + sanitize(name);
+    out << "# TYPE " << id << " gauge\n" << id << ' ' << value << '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string id = prefix + sanitize(name);
+    out << "# TYPE " << id << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
+      cumulative += hist.counts[b];
+      out << id << "_bucket{le=\"" << format_number(hist.bounds[b]) << "\"} "
+          << cumulative << '\n';
+    }
+    out << id << "_bucket{le=\"+Inf\"} " << hist.count << '\n'
+        << id << "_sum " << format_number(hist.sum) << '\n'
+        << id << "_count " << hist.count << '\n';
+  }
+  return out.str();
+}
+
+std::string trace_to_chrome_json(const std::vector<TraceRecord>& records) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceRecord& record : records) {
+    const TraceEvent& ev = record.event;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << phase_name(ev.phase) << "\",\"ph\":\""
+        << (is_span(ev.phase) ? 'X' : 'i') << "\",\"ts\":"
+        << format_number(static_cast<double>(ev.ts_ns) / 1000.0)
+        << ",\"pid\":1,\"tid\":" << record.tid;
+    if (is_span(ev.phase)) {
+      out << ",\"dur\":"
+          << format_number(static_cast<double>(ev.a) / 1000.0);
+    } else {
+      out << ",\"s\":\"t\"";
+    }
+    out << ",\"args\":{\"ticket\":" << ev.ticket << ",\"model\":" << ev.model
+        << ",\"b\":" << ev.b << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace fleet::telemetry

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/telemetry/metrics.hpp"
+#include "fleet/telemetry/trace.hpp"
+
+namespace fleet::telemetry {
+
+/// Number formatting shared by every exporter: integral values print
+/// without a fractional part ("42"), everything else round-trips through
+/// max_digits10 ("0.25", "1e+300"). Deterministic for golden tests.
+std::string format_number(double value);
+
+/// One flat JSON object per snapshot:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"bounds": [...], "counts": [...],
+///                            "count": N, "sum": S, "min": m, "max": M}}}
+/// Empty histograms omit min/max (they would be infinities, which JSON
+/// cannot carry). Key order is registry insertion order.
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition (version 0.0.4). Metric names are prefixed
+/// and sanitized ('.' and '-' become '_'): counters gain a _total suffix,
+/// histograms expand into cumulative _bucket{le="..."} series (including
+/// the +Inf bucket), _sum and _count.
+std::string metrics_to_prometheus(const MetricsSnapshot& snapshot,
+                                  const std::string& prefix = "fleet_");
+
+/// Chrome trace-event JSON (the "traceEvents" array form), loadable in
+/// Perfetto / chrome://tracing. Instant phases map to ph:"i" and span
+/// phases to ph:"X" with their duration; each collector ring becomes one
+/// tid lane. Timestamps are microseconds since the collector epoch.
+std::string trace_to_chrome_json(const std::vector<TraceRecord>& records);
+
+}  // namespace fleet::telemetry

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fleet/telemetry/metrics.hpp"
+#include "fleet/telemetry/trace.hpp"
+
+namespace fleet::telemetry {
+
+/// Runtime knob block (RuntimeConfig::telemetry). Off by default: the
+/// serving hot path then pays only the pre-existing relaxed counter
+/// increments — no clock reads, no ring writes, no histogram updates.
+struct TelemetryConfig {
+  bool enabled = false;
+  /// Per-thread trace-ring capacity in events (rounded up to a power of
+  /// two). A full ring drops events and counts the drops; it never blocks.
+  std::size_t trace_ring_capacity = 1u << 15;
+};
+
+/// One serving host's observability substrate: a metrics registry (named
+/// counters / gauges / fixed-bucket histograms, striped cells, no hot-path
+/// locks) plus a trace collector (per-thread bounded SPSC rings of
+/// gradient-lifecycle events). Timing is *observed* here and never
+/// consulted by any scheduling or learning decision — telemetry on/off is
+/// bitwise-invisible in every model (the determinism matrix asserts it).
+class Telemetry {
+ public:
+  explicit Telemetry(const TelemetryConfig& config = {})
+      : tracer_(config.trace_ring_capacity) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceCollector& tracer() { return tracer_; }
+
+  /// steady_clock ns since construction — the shared timestamp base.
+  std::uint64_t now_ns() const { return tracer_.now_ns(); }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceCollector tracer_;
+};
+
+}  // namespace fleet::telemetry

@@ -1,0 +1,141 @@
+#include "fleet/telemetry/trace.hpp"
+
+#include <utility>
+
+namespace fleet::telemetry {
+
+bool is_span(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kDrainBatch:
+    case TracePhase::kSessionFold:
+    case TracePhase::kPublish:
+    case TracePhase::kFoldTask:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* phase_name(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kSubmit:
+      return "submit";
+    case TracePhase::kReject:
+      return "reject";
+    case TracePhase::kDequeue:
+      return "dequeue";
+    case TracePhase::kDrop:
+      return "drop";
+    case TracePhase::kFold:
+      return "fold";
+    case TracePhase::kDrainBatch:
+      return "drain_batch";
+    case TracePhase::kSessionFold:
+      return "session_fold";
+    case TracePhase::kPublish:
+      return "publish";
+    case TracePhase::kFoldTask:
+      return "fold_task";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
+    : slots_(round_up_pow2(capacity)), tid_(tid) {}
+
+bool TraceRing::try_push(const TraceEvent& event) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[tail & (slots_.size() - 1)] = event;
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+std::size_t TraceRing::pop_into(std::vector<TraceRecord>& out) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::size_t taken = static_cast<std::size_t>(tail - head);
+  out.reserve(out.size() + taken);
+  for (std::uint64_t i = head; i != tail; ++i) {
+    out.push_back(TraceRecord{slots_[i & (slots_.size() - 1)], tid_});
+  }
+  head_.store(tail, std::memory_order_release);
+  return taken;
+}
+
+namespace {
+
+std::uint64_t next_collector_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity),
+      collector_id_(next_collector_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRing& TraceCollector::local_ring() {
+  // Keyed by a process-unique collector id, never by address: a cache entry
+  // for a destroyed collector can then never alias a live one that reused
+  // its storage. The cache grows by one entry per (thread, collector) pair
+  // the thread ever emits into — bytes per server, not per event.
+  struct CacheEntry {
+    std::uint64_t collector_id;
+    TraceRing* ring;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.collector_id == collector_id_) return *entry.ring;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<TraceRing>(ring_capacity_, next_tid_++));
+  TraceRing* ring = rings_.back().get();
+  cache.push_back(CacheEntry{collector_id_, ring});
+  return *ring;
+}
+
+std::vector<TraceRecord> TraceCollector::collect() {
+  std::lock_guard<std::mutex> consumer(collect_mu_);
+  std::vector<TraceRecord> out;
+  // Snapshot the ring list under mu_, then drain outside it: a thread
+  // registering a new ring mid-collect is picked up by the next collect.
+  std::vector<TraceRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& ring : rings_) rings.push_back(ring.get());
+  }
+  for (TraceRing* ring : rings) ring->pop_into(out);
+  return out;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+std::size_t TraceCollector::ring_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+}  // namespace fleet::telemetry

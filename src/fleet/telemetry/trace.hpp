@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fleet/core/server.hpp"
+
+namespace fleet::telemetry {
+
+/// Gradient-lifecycle event vocabulary (DESIGN.md §11). A gradient's path
+/// through the runtime is submit -> (reject |) dequeue -> fold -> publish;
+/// the span phases wrap the aggregation loop's batch work and the fold
+/// pool's tasks. Instant phases mark a point in time; complete phases carry
+/// a duration in TraceEvent::a (their ts is the span's start), which maps
+/// one fixed-size record to one Chrome "X" event — no begin/end pairing,
+/// so overlapping sessions' spans on one thread need no nesting discipline.
+enum class TracePhase : std::uint8_t {
+  // instants
+  kSubmit = 0,   ///< job admitted into the ingest queue (producer thread)
+  kReject,       ///< job refused for capacity (backpressure)
+  kDequeue,      ///< job drained by the aggregation thread; b = queue-wait ns
+  kDrop,         ///< queued job dropped: its session was retired
+  kFold,         ///< job's fold accounted against its session's clock
+  // complete spans (a = duration ns, ts = start)
+  kDrainBatch,   ///< one drain batch end to end; b = batch size
+  kSessionFold,  ///< one session's fold plan, submit -> latch; b = plan size
+  kPublish,      ///< one dirty snapshot publication; b = published version
+  kFoldTask,     ///< one (plan, span) task on a pool lane; b = span begin
+};
+
+/// True for span phases (duration in TraceEvent::a).
+bool is_span(TracePhase phase);
+const char* phase_name(TracePhase phase);
+
+/// One fixed-size lifecycle record. 48 bytes, trivially copyable — a ring
+/// slot is one struct assignment, never an allocation.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;   ///< steady_clock ns since the collector's epoch
+  std::uint64_t ticket = 0;  ///< global admission ticket (0 when n/a)
+  std::uint64_t a = 0;       ///< span duration ns (span phases), else free
+  std::uint64_t b = 0;       ///< phase-specific payload (see TracePhase)
+  core::ModelId model = core::kDefaultModelId;
+  TracePhase phase = TracePhase::kSubmit;
+};
+
+/// A collected event plus the ring (thread) it came from.
+struct TraceRecord {
+  TraceEvent event;
+  std::uint32_t tid = 0;
+};
+
+/// Bounded single-producer single-consumer ring of TraceEvents. The
+/// producer is the one thread the ring was handed to; the consumer is the
+/// collector's collect() (serialized there). A full ring drops the event
+/// and counts it — the hot path never blocks on observation.
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (>= 2).
+  TraceRing(std::size_t capacity, std::uint32_t tid);
+
+  /// Producer side. False (and one counted drop) when full.
+  bool try_push(const TraceEvent& event);
+
+  /// Consumer side: append everything currently in the ring to `out`
+  /// (oldest first) and free the slots. Returns the number taken.
+  std::size_t pop_into(std::vector<TraceRecord>& out);
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint32_t tid() const { return tid_; }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::uint32_t tid_;
+  std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  std::atomic<std::uint64_t> tail_{0};  ///< producer cursor
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Owner of the per-thread rings. emit() finds (or lazily registers) the
+/// calling thread's own ring — after the first event a thread's hot path
+/// is one cached pointer plus an SPSC push, no locks. collect() drains
+/// every ring; rings of exited threads stay owned here, so their tail
+/// events are never lost.
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t ring_capacity);
+
+  /// steady_clock ns since this collector's construction — the timestamp
+  /// base every TraceEvent::ts_ns uses.
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Push one event into the calling thread's ring (dropped and counted
+  /// when the ring is full).
+  void emit(const TraceEvent& event) { local_ring().try_push(event); }
+
+  /// Drain every thread's ring into one vector (per-ring chronological
+  /// order preserved; rings appended in registration order). Serialized
+  /// internally — any thread may call it, one at a time.
+  std::vector<TraceRecord> collect();
+
+  /// Total events dropped across all rings so far.
+  std::uint64_t dropped() const;
+
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  std::size_t ring_count() const;
+
+ private:
+  TraceRing& local_ring();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t collector_id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  ///< guards ring registration + the ring list
+  std::deque<std::unique_ptr<TraceRing>> rings_;
+  std::uint32_t next_tid_ = 1;
+  std::mutex collect_mu_;  ///< serializes consumers (SPSC per ring)
+};
+
+}  // namespace fleet::telemetry

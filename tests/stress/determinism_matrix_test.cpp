@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "../test_util.hpp"
@@ -42,9 +43,11 @@ const data::TrainTestSplit& shared_split() {
 }
 
 /// Build a fresh, identically-initialized environment and drive it for a
-/// fixed schedule; returns the final-model bit hash.
+/// fixed schedule; returns the final-model bit hash. `telemetry` turns the
+/// observability substrate on — which must be invisible in the result
+/// (timing is observed, never consulted; DESIGN.md §11).
 std::uint64_t run_cell(std::size_t n_threads, std::size_t shards,
-                       std::size_t max_batch) {
+                       std::size_t max_batch, bool telemetry = false) {
   const auto& split = shared_split();
   auto model = nn::zoo::small_cnn(1, 14, 14, 4);
   model->init(1);
@@ -53,6 +56,7 @@ std::uint64_t run_cell(std::size_t n_threads, std::size_t shards,
   RuntimeConfig runtime;
   runtime.aggregation_shards = shards;
   runtime.max_drain_batch = max_batch;
+  runtime.telemetry.enabled = telemetry;
   ConcurrentFleetServer server(*model, pretrained_iprof(), config, runtime);
 
   stats::Rng rng(2);
@@ -244,6 +248,22 @@ TEST(DeterminismMatrixTest, KernelBackendAxisIsBitwiseStablePerBackend) {
 
   // Restore the startup selection for the rest of the suite.
   kernels::pin_backend(original);
+}
+
+TEST(DeterminismMatrixTest, TelemetryOnOffIsBitwiseIdentical) {
+  // The telemetry axis (DESIGN.md §11): tracing reads clocks and writes
+  // rings, but no scheduling or learning decision ever consults it, so
+  // turning it on cannot move a single ULP — across the sequential path,
+  // the sharded fold and batched drains alike.
+  const std::tuple<std::size_t, std::size_t, std::size_t> cells[] = {
+      {1, 1, 0}, {2, 2, 8}, {4, 4, 32}};
+  for (const auto& [threads, shards, batch] : cells) {
+    const std::uint64_t off = run_cell(threads, shards, batch, false);
+    const std::uint64_t on = run_cell(threads, shards, batch, true);
+    EXPECT_EQ(off, on) << "telemetry perturbed the model at threads="
+                       << threads << " shards=" << shards
+                       << " batch=" << batch;
+  }
 }
 
 TEST(DeterminismMatrixTest, FinalModelInvariantAcrossThreadsShardsBatches) {
