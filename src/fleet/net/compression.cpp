@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace fleet::net {
@@ -11,9 +12,24 @@ QuantizedGradient quantize_gradient(std::span<const float> gradient) {
     throw std::invalid_argument("quantize_gradient: empty gradient");
   }
   float max_abs = 0.0f;
-  for (float g : gradient) max_abs = std::max(max_abs, std::abs(g));
+  for (float g : gradient) {
+    if (!std::isfinite(g)) {
+      // A NaN would propagate through max_abs into the scale and poison
+      // every value; ±Inf would divide to ±Inf; std::lround on either is
+      // undefined behavior. Reject at the boundary instead.
+      throw std::invalid_argument(
+          "quantize_gradient: non-finite gradient element");
+    }
+    max_abs = std::max(max_abs, std::abs(g));
+  }
   QuantizedGradient q;
-  q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  // Clamp up to the smallest normal float: a denormal max|g| could round
+  // max_abs/127 down to zero, and g/0 = Inf hits the lround UB above. With
+  // the clamp the quotient magnitude stays <= 127 (tiny values just round
+  // to 0, still within the scale/2 error bound).
+  q.scale = max_abs > 0.0f
+                ? std::max(max_abs / 127.0f, std::numeric_limits<float>::min())
+                : 1.0f;
   q.values.reserve(gradient.size());
   for (float g : gradient) {
     const float scaled = g / q.scale;
@@ -24,12 +40,25 @@ QuantizedGradient quantize_gradient(std::span<const float> gradient) {
   return q;
 }
 
-std::vector<float> dequantize_gradient(const QuantizedGradient& quantized) {
-  std::vector<float> out;
-  out.reserve(quantized.values.size());
-  for (std::int8_t v : quantized.values) {
-    out.push_back(static_cast<float>(v) * quantized.scale);
+void dequantize_into(std::span<const std::int8_t> values, float scale,
+                     std::span<float> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument("dequantize_into: size mismatch");
   }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<float>(values[i]) * scale;
+  }
+}
+
+void dequantize_into(const QuantizedGradient& quantized,
+                     std::span<float> out) {
+  dequantize_into(std::span<const std::int8_t>(quantized.values),
+                  quantized.scale, out);
+}
+
+std::vector<float> dequantize_gradient(const QuantizedGradient& quantized) {
+  std::vector<float> out(quantized.values.size());
+  dequantize_into(quantized, out);
   return out;
 }
 

@@ -22,10 +22,29 @@ struct QuantizedGradient {
   }
 };
 
-/// Quantize to int8 with a per-tensor scale.
+/// Quantize to int8 with a per-tensor scale. Throws std::invalid_argument
+/// on an empty gradient or any non-finite element (NaN would poison the
+/// scale and feeding NaN/Inf to std::lround is undefined behavior — the
+/// serving path must reject such inputs, never fold them). The scale is
+/// clamped up to the smallest normal float so a denormal max|g| can never
+/// produce a zero scale and an Inf during the divide.
 QuantizedGradient quantize_gradient(std::span<const float> gradient);
 
-/// Reconstruct the float gradient.
+/// Reconstruct into a caller-provided buffer (`out.size()` must equal
+/// `quantized.values.size()`; throws std::invalid_argument otherwise).
+/// This is the serving-path entry point: it never allocates, so a decoder
+/// draining into reusable fold-plan buffers stays within the PR 5
+/// zero-allocation drain contract.
+void dequantize_into(const QuantizedGradient& quantized, std::span<float> out);
+
+/// Raw-span form for wire decoding: reconstruct `values` scaled by `scale`
+/// directly into `out` (sizes must match) without materializing a
+/// QuantizedGradient.
+void dequantize_into(std::span<const std::int8_t> values, float scale,
+                     std::span<float> out);
+
+/// Reconstruct the float gradient (allocating convenience overload;
+/// delegates to dequantize_into).
 std::vector<float> dequantize_gradient(const QuantizedGradient& quantized);
 
 /// Max absolute reconstruction error (= scale/2 bound, for tests/benches).

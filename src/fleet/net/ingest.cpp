@@ -1,0 +1,140 @@
+#include "fleet/net/ingest.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fleet/net/wire.hpp"
+
+namespace fleet::net {
+
+LoopbackIngest::LoopbackIngest(runtime::ConcurrentFleetServer& server,
+                               const Config& config)
+    : server_(server), config_(config) {
+  if (config.injector_threads == 0) {
+    throw std::invalid_argument("LoopbackIngest: need >= 1 injector thread");
+  }
+  if (config.capacity_bytes == 0 || config.max_frames == 0) {
+    throw std::invalid_argument("LoopbackIngest: zero ring capacity");
+  }
+  injectors_.reserve(config.injector_threads);
+  for (std::size_t i = 0; i < config.injector_threads; ++i) {
+    injectors_.emplace_back([this] { injector_loop(); });
+  }
+}
+
+LoopbackIngest::~LoopbackIngest() { close(); }
+
+bool LoopbackIngest::try_send(std::span<const std::uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    if (ring_.size() >= config_.max_frames ||
+        bytes_queued_ + frame.size() > config_.capacity_bytes) {
+      ring_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Frame slot;
+    slot.bytes.assign(frame.begin(), frame.end());  // the copy IS the wire
+    ring_.push_back(std::move(slot));
+    bytes_queued_ += frame.size();
+    ++pending_;
+    // High-water mark under the ring lock: monotone, exact.
+    const std::size_t depth = bytes_queued_;
+    std::size_t seen = ring_max_bytes_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !ring_max_bytes_.compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  ready_.notify_one();
+  return true;
+}
+
+void LoopbackIngest::submit_frame(const std::vector<std::uint8_t>& bytes,
+                                  runtime::GradientJob& scratch) {
+  WireError decode_error = WireError::kOk;
+  core::GradientReceipt receipt =
+      server_.try_submit_wire(bytes, scratch, &decode_error);
+  if (decode_error != WireError::kOk) {
+    // The server already counted it (RuntimeStats::wire_rejects) and
+    // emitted the reject trace; this is the front end's own ledger.
+    wire_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  while (!receipt.accepted && receipt.retryable && config_.retry_backpressure &&
+         server_.accepting()) {
+    // Queue-full backpressure: the decoded job is still intact in
+    // `scratch` (try_submit leaves it so), so resubmit after yielding the
+    // slice to the consumer we are waiting on.
+    backpressure_retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+    receipt = server_.try_submit(scratch);
+  }
+  if (receipt.accepted) {
+    frames_submitted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    server_rejects_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void LoopbackIngest::injector_loop() {
+  // Per-injector scratch: the decode target's gradient buffer keeps its
+  // capacity across rejected frames; accepted jobs hand their buffer into
+  // the queue, as any in-process producer would.
+  runtime::GradientJob scratch;
+  Frame frame;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_.wait(lock, [this] { return closed_ || !ring_.empty(); });
+      if (ring_.empty()) return;  // closed and fully drained
+      frame = std::move(ring_.front());
+      ring_.pop_front();
+      bytes_queued_ -= frame.bytes.size();
+    }
+    submit_frame(frame.bytes, scratch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    settled_.notify_all();
+  }
+}
+
+void LoopbackIngest::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  settled_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void LoopbackIngest::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+  // Serialize joiners so close() is idempotent even under concurrent calls
+  // (a second caller blocks here until the injectors are gone, then sees
+  // every thread already joined).
+  std::lock_guard<std::mutex> join_lock(close_mu_);
+  for (std::thread& t : injectors_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+IngestStats LoopbackIngest::stats() const {
+  IngestStats s;
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.ring_rejects = ring_rejects_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.frames_submitted = frames_submitted_.load(std::memory_order_relaxed);
+  s.wire_rejects = wire_rejects_.load(std::memory_order_relaxed);
+  s.server_rejects = server_rejects_.load(std::memory_order_relaxed);
+  s.backpressure_retries =
+      backpressure_retries_.load(std::memory_order_relaxed);
+  s.ring_max_bytes_seen = ring_max_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fleet::net

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "fleet/runtime/concurrent_server.hpp"
+
+namespace fleet::net {
+
+/// Counters of the loopback ingest front end, one snapshot. Accounting
+/// identity once drained with senders quiesced:
+///   frames_sent == frames_submitted + wire_rejects + server_rejects
+/// and every frame that was ever accepted onto the ring is in one of the
+/// three right-hand buckets — nothing is silently lost.
+struct IngestStats {
+  std::size_t frames_sent = 0;       ///< frames accepted onto the ring
+  std::size_t ring_rejects = 0;      ///< sends refused: ring at capacity
+  std::size_t bytes_sent = 0;        ///< wire bytes accepted onto the ring
+  std::size_t frames_submitted = 0;  ///< decoded and admitted by the server
+  std::size_t wire_rejects = 0;      ///< malformed frames refused at decode
+  std::size_t server_rejects = 0;    ///< well-formed but refused (validation,
+                                     ///< unknown/retired id, closed queue, or
+                                     ///< undrainable backpressure)
+  std::size_t backpressure_retries = 0;  ///< submit retries after queue-full
+  std::size_t ring_max_bytes_seen = 0;   ///< byte-occupancy high-water mark
+};
+
+/// Loopback wire front end (DESIGN.md §12, ROADMAP item 3): the serving
+/// stack's stand-in for a socket listener. Senders copy serialized frames
+/// onto a bounded in-memory byte ring — the copy IS the wire: after
+/// try_send returns, the sender's buffer and the server share nothing —
+/// and N injector threads drain the ring, validate + decode each frame
+/// (ConcurrentFleetServer::try_submit_wire) and submit the resulting jobs
+/// into the real ingest queue. Malformed frames become counted,
+/// telemetry-visible wire rejects; they never reach a fold.
+///
+/// Backpressure exists at two layers, both bounded: the ring refuses
+/// try_send when its byte or frame budget is full (sender sees false), and
+/// the server's gradient queue can refuse a decoded job, which injectors
+/// retry (retryable rejects only) until it lands or the host stops
+/// accepting.
+///
+/// Ordering: the ring is FIFO. With one injector thread, submission order
+/// equals send order, so a single-sender stream reproduces an in-process
+/// submission sequence exactly — the end-to-end bitwise tests run in that
+/// configuration. More injectors trade that total order for parallel
+/// decode (per the §6 contract, any interleaving is still a valid
+/// admission order).
+class LoopbackIngest {
+ public:
+  struct Config {
+    /// Byte budget of the loopback ring — the shared-memory stand-in for a
+    /// socket buffer. Sends that would overflow it are refused.
+    std::size_t capacity_bytes = 1u << 22;
+    /// Frame-slot bound (guards against floods of tiny frames).
+    std::size_t max_frames = 4096;
+    /// Injector threads draining the ring into the server.
+    std::size_t injector_threads = 1;
+    /// Retry submits the server refused as retryable (queue backpressure)
+    /// instead of dropping the frame. Off, a backpressured frame counts as
+    /// a server reject.
+    bool retry_backpressure = true;
+  };
+
+  /// The server must outlive the front end. Injector threads start
+  /// immediately.
+  LoopbackIngest(runtime::ConcurrentFleetServer& server, const Config& config);
+  explicit LoopbackIngest(runtime::ConcurrentFleetServer& server)
+      : LoopbackIngest(server, Config{}) {}
+  ~LoopbackIngest();
+
+  LoopbackIngest(const LoopbackIngest&) = delete;
+  LoopbackIngest& operator=(const LoopbackIngest&) = delete;
+
+  /// Sender side, any thread: copy one serialized frame onto the ring.
+  /// False when the ring is full (counted) or the front end was closed;
+  /// the frame is not taken and the sender may retry.
+  bool try_send(std::span<const std::uint8_t> frame);
+
+  /// Block until every frame accepted so far has left the ring and its
+  /// submit settled (admitted into the server queue or rejected). With
+  /// senders quiesced this is the front half of a full barrier — follow
+  /// with server.drain() for fold-complete.
+  void drain();
+
+  /// Stop accepting sends, drain what remains through the injectors and
+  /// join them. Idempotent; the destructor calls it.
+  void close();
+
+  IngestStats stats() const;
+
+ private:
+  struct Frame {
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void injector_loop();
+  /// Decode + submit one frame, with bounded backpressure retries.
+  void submit_frame(const std::vector<std::uint8_t>& bytes,
+                    runtime::GradientJob& scratch);
+
+  runtime::ConcurrentFleetServer& server_;
+  const Config config_;
+
+  mutable std::mutex mu_;           ///< guards ring_ + bytes_queued_
+  std::condition_variable ready_;   ///< signals injectors: frame or close
+  std::condition_variable settled_; ///< signals drain(): pending_ hit 0
+  std::deque<Frame> ring_;
+  std::size_t bytes_queued_ = 0;
+  /// Frames accepted but not yet settled (on the ring or being submitted).
+  std::size_t pending_ = 0;
+  bool closed_ = false;
+  std::mutex close_mu_;  ///< serializes the join in close()
+
+  std::atomic<std::size_t> frames_sent_{0};
+  std::atomic<std::size_t> ring_rejects_{0};
+  std::atomic<std::size_t> bytes_sent_{0};
+  std::atomic<std::size_t> frames_submitted_{0};
+  std::atomic<std::size_t> wire_rejects_{0};
+  std::atomic<std::size_t> server_rejects_{0};
+  std::atomic<std::size_t> backpressure_retries_{0};
+  std::atomic<std::size_t> ring_max_bytes_{0};
+
+  std::vector<std::thread> injectors_;
+};
+
+}  // namespace fleet::net

@@ -12,6 +12,11 @@ NetworkModel::NetworkModel(const Config& config) : config_(config) {
   if (config.lte_latency_s <= 0.0 || config.hspa_latency_s <= 0.0) {
     throw std::invalid_argument("NetworkModel: non-positive latency");
   }
+  if (!(config.jitter >= 0.0)) {
+    // A negative stddev silently flips the Gaussian draw (and NaN poisons
+    // every transfer-time sample); both skew the latency model unnoticed.
+    throw std::invalid_argument("NetworkModel: negative jitter");
+  }
 }
 
 double NetworkModel::sample_transfer_s(stats::Rng& rng) const {

@@ -22,7 +22,7 @@ class NetworkModel {
     double lte_latency_s = 1.1;    // download+upload, 4G
     double hspa_latency_s = 3.8;   // download+upload, 3G
     double lte_fraction = 0.5;     // share of requests on 4G
-    double jitter = 0.15;          // relative stddev of latency noise
+    double jitter = 0.15;          // relative stddev of latency noise (>= 0)
   };
 
   explicit NetworkModel(const Config& config);

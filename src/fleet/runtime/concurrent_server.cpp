@@ -11,6 +11,7 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
     : trace_capacity_(runtime.trace_capacity),
       max_drain_batch_(runtime.max_drain_batch),
       serialize_folds_(runtime.serialize_folds),
+      wire_decoder_(runtime.wire_limits),
       telemetry_(runtime.telemetry.enabled
                      ? std::make_unique<telemetry::Telemetry>(runtime.telemetry)
                      : nullptr),
@@ -27,6 +28,7 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
     tensor::kernels::pin_backend(runtime.kernel_backend);
   }
   if (telemetry_ != nullptr) {
+    wire_rejects_ctr_ = telemetry_->metrics().counter("wire.rejects");
     drain_batch_ = telemetry_->metrics().histogram("server.drain_batch",
                                                    telemetry::batch_bounds());
     session_fold_ns_ = telemetry_->metrics().histogram(
@@ -145,6 +147,35 @@ core::GradientReceipt ConcurrentFleetServer::try_submit(GradientJob& job) {
   receipt.accepted = true;
   receipt.version = session->version();
   return receipt;
+}
+
+core::GradientReceipt ConcurrentFleetServer::try_submit_wire(
+    std::span<const std::uint8_t> frame, GradientJob& scratch,
+    net::WireError* decode_error) {
+  // Decode strictly before admission: a frame that survives this point is
+  // a plain GradientJob, so ticket order, session demux and the fold path
+  // see nothing wire-specific (DESIGN.md §12).
+  const net::WireError error = wire_decoder_.decode(frame, scratch);
+  if (decode_error != nullptr) *decode_error = error;
+  if (error != net::WireError::kOk) {
+    wire_rejects_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) {
+      wire_rejects_ctr_->add();
+      telemetry::TraceEvent ev;
+      ev.ts_ns = telemetry_->now_ns();
+      ev.b = static_cast<std::uint64_t>(error);
+      ev.model = scratch.model_id;  // kDefaultModelId unless the header parsed
+      ev.phase = telemetry::TracePhase::kWireReject;
+      telemetry_->tracer().emit(ev);
+    }
+    core::GradientReceipt receipt;
+    receipt.accepted = false;
+    receipt.model_id = scratch.model_id;
+    receipt.reject_reason =
+        std::string("wire: ") + net::wire_error_name(error);
+    return receipt;
+  }
+  return try_submit(scratch);
 }
 
 void ConcurrentFleetServer::aggregation_loop() {
@@ -396,6 +427,7 @@ RuntimeStats ConcurrentFleetServer::host_stats() const {
   RuntimeStats snapshot;
   snapshot.backpressure_rejects = queue_.rejected();
   snapshot.retired_drops = retired_drops_.load(std::memory_order_acquire);
+  snapshot.wire_rejects = wire_rejects_.load(std::memory_order_acquire);
   snapshot.queue_depth = queue_.depth();
   snapshot.queue_max_depth_seen = queue_.max_depth_seen();
   snapshot.queue_shard_depths = queue_.shard_depths();
@@ -419,6 +451,7 @@ RuntimeStats ConcurrentFleetServer::stats(core::ModelId id) const {
   const RuntimeStats host = host_stats();
   snapshot.backpressure_rejects = host.backpressure_rejects;
   snapshot.retired_drops = host.retired_drops;
+  snapshot.wire_rejects = host.wire_rejects;
   snapshot.queue_depth = host.queue_depth;
   snapshot.queue_max_depth_seen = host.queue_max_depth_seen;
   snapshot.queue_shard_depths = host.queue_shard_depths;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fleet/core/server.hpp"
+#include "fleet/net/wire.hpp"
 #include "fleet/runtime/gradient_queue.hpp"
 #include "fleet/runtime/model_registry.hpp"
 #include "fleet/runtime/model_session.hpp"
@@ -68,6 +69,11 @@ struct RuntimeConfig {
   /// Note this is process-wide state, not per-host: the last constructed
   /// server wins, so co-hosted servers should agree on it.
   tensor::kernels::Backend kernel_backend = tensor::kernels::Backend::kAuto;
+  /// Decode guards for the wire ingest path (net/wire.hpp, DESIGN.md §12):
+  /// ceilings a frame's claimed value/class counts must stay under before
+  /// the decoder sizes any buffer. Frames past them are counted wire
+  /// rejects, never allocations.
+  net::WireLimits wire_limits;
   /// Observability (DESIGN.md §11). Off by default: the host then runs
   /// with no clock reads, no trace rings and no histogram updates — only
   /// the pre-existing relaxed counters. When enabled, the host owns one
@@ -190,6 +196,28 @@ class ConcurrentFleetServer {
   /// retry); unknown/retired ids and malformed payloads reject permanently.
   core::GradientReceipt try_submit(GradientJob& job);
 
+  /// Step 5 over the wire (DESIGN.md §12): validate and decode one binary
+  /// frame (net/wire.hpp) into `scratch`, then submit it exactly like
+  /// try_submit — decode happens strictly before admission, so a wire job
+  /// is indistinguishable from an in-process one by the time it takes a
+  /// ticket, and the fold path (and the determinism matrix) is untouched.
+  /// Malformed frames are counted (RuntimeStats::wire_rejects, telemetry
+  /// counter "wire.rejects", kWireReject trace instant with the WireError
+  /// in payload b) and rejected non-retryably with reason "wire: ...";
+  /// they never reach a session or a fold. `scratch` is the caller's
+  /// reusable decode buffer (its gradient vector keeps its capacity across
+  /// rejected frames; on success it is consumed like try_submit's job);
+  /// `decode_error` (optional) receives the frame's validation result so
+  /// front ends can tell malformed frames from server-side rejects.
+  core::GradientReceipt try_submit_wire(std::span<const std::uint8_t> frame,
+                                        GradientJob& scratch,
+                                        net::WireError* decode_error = nullptr);
+  /// Convenience overload with a per-call scratch job.
+  core::GradientReceipt try_submit_wire(std::span<const std::uint8_t> frame) {
+    GradientJob scratch;
+    return try_submit_wire(frame, scratch);
+  }
+
   /// Block until every job accepted so far — across all models — has been
   /// processed or dropped. With producers quiesced this is a full barrier:
   /// afterwards stats(), every session's model and version() are stable.
@@ -280,6 +308,9 @@ class ConcurrentFleetServer {
   std::size_t trace_capacity_;
   std::size_t max_drain_batch_;
   bool serialize_folds_;
+  /// Stateless wire-frame validator/decoder shared by every request thread
+  /// calling try_submit_wire (DESIGN.md §12).
+  net::WireDecoder wire_decoder_;
   ModelRegistry registry_;
   std::atomic<core::ModelId> next_model_id_{core::kDefaultModelId};
   /// Host observability substrate; null when disabled. Declared before the
@@ -287,6 +318,7 @@ class ConcurrentFleetServer {
   /// outlive them (members destroy in reverse declaration order).
   std::unique_ptr<telemetry::Telemetry> telemetry_;
   /// Registry handles for the aggregation loop (null when disabled).
+  telemetry::Counter* wire_rejects_ctr_ = nullptr;  ///< "wire.rejects"
   telemetry::Histogram* drain_batch_ = nullptr;    ///< "server.drain_batch"
   telemetry::Histogram* session_fold_ns_ = nullptr;  ///< "server.session_fold_ns"
   telemetry::Histogram* publish_ns_ = nullptr;     ///< "server.publish_ns"
@@ -306,6 +338,9 @@ class ConcurrentFleetServer {
   /// Queued jobs dropped because their session was retired before the
   /// aggregation loop reached them.
   std::atomic<std::size_t> retired_drops_{0};
+  /// Malformed wire frames refused at decode (never admitted, never
+  /// folded); see try_submit_wire and RuntimeStats::wire_rejects.
+  std::atomic<std::size_t> wire_rejects_{0};
 
   // Drain accounting: accepted_ is bumped by producers, processed_ by the
   // aggregation thread; drain() waits until they meet.

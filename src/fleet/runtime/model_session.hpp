@@ -33,6 +33,10 @@ struct RuntimeStats {
   std::size_t backpressure_rejects = 0;  ///< host-wide: submits refused, queue full
   std::size_t invalid_jobs = 0;  ///< task_version from the future (dropped)
   std::size_t retired_drops = 0;  ///< host-wide: queued jobs whose model was retired
+  /// Host-wide: malformed wire frames refused at decode (DESIGN.md §12).
+  /// Counted before admission — a rejected frame never takes a ticket,
+  /// never reaches a session and never folds.
+  std::size_t wire_rejects = 0;
   /// Host-wide ingest-queue occupancy gauges at snapshot time (the queue
   /// is shared by every session on the host; see GradientQueue::depth()).
   std::size_t queue_depth = 0;

@@ -28,6 +28,8 @@ const char* phase_name(TracePhase phase) {
       return "drop";
     case TracePhase::kFold:
       return "fold";
+    case TracePhase::kWireReject:
+      return "wire_reject";
     case TracePhase::kDrainBatch:
       return "drain_batch";
     case TracePhase::kSessionFold:

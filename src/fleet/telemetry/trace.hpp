@@ -26,6 +26,7 @@ enum class TracePhase : std::uint8_t {
   kDequeue,      ///< job drained by the aggregation thread; b = queue-wait ns
   kDrop,         ///< queued job dropped: its session was retired
   kFold,         ///< job's fold accounted against its session's clock
+  kWireReject,   ///< malformed wire frame refused at decode; b = WireError
   // complete spans (a = duration ns, ts = start)
   kDrainBatch,   ///< one drain batch end to end; b = batch size
   kSessionFold,  ///< one session's fold plan, submit -> latch; b = plan size

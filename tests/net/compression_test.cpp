@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "fleet/core/online_trainer.hpp"
 #include "fleet/nn/zoo.hpp"
 #include "fleet/stats/rng.hpp"
@@ -39,6 +42,71 @@ TEST(CompressionTest, AllZeroGradientSurvives) {
   const std::vector<float> gradient(10, 0.0f);
   const QuantizedGradient q = quantize_gradient(gradient);
   for (float v : dequantize_gradient(q)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(CompressionTest, NonFiniteInputThrows) {
+  // Regression: NaN used to propagate through max_abs into the scale and
+  // std::lround(NaN/Inf) is UB — the codec must refuse at the boundary.
+  std::vector<float> gradient(8, 0.25f);
+  gradient[3] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(quantize_gradient(gradient), std::invalid_argument);
+  gradient[3] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(quantize_gradient(gradient), std::invalid_argument);
+  gradient[3] = -std::numeric_limits<float>::infinity();
+  EXPECT_THROW(quantize_gradient(gradient), std::invalid_argument);
+}
+
+TEST(CompressionTest, DenormalGradientNeverDividesByZeroScale) {
+  // Regression: a denormal max|g| could round max_abs/127 down to zero and
+  // g/0 = Inf hits the same lround UB. The scale is clamped to the
+  // smallest normal float; tiny values round to 0, within the error bound.
+  std::vector<float> gradient(4, 0.0f);
+  gradient[1] = std::numeric_limits<float>::denorm_min();
+  gradient[2] = -std::numeric_limits<float>::denorm_min();
+  const QuantizedGradient q = quantize_gradient(gradient);
+  EXPECT_TRUE(std::isfinite(q.scale));
+  EXPECT_GT(q.scale, 0.0f);
+  for (float v : dequantize_gradient(q)) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_LE(quantization_error(gradient, q),
+            static_cast<double>(q.scale) * 0.5 + 1e-9);
+}
+
+TEST(CompressionTest, DequantizeIntoMatchesAllocatingOverload) {
+  stats::Rng rng(11);
+  std::vector<float> gradient(513);
+  for (float& g : gradient) g = static_cast<float>(rng.gaussian(0.0, 0.05));
+  const QuantizedGradient q = quantize_gradient(gradient);
+  const std::vector<float> reference = dequantize_gradient(q);
+
+  std::vector<float> buffer(q.values.size());
+  dequantize_into(q, buffer);
+  EXPECT_EQ(buffer, reference);
+
+  // Raw-span form (the wire decoder's path) produces the same bits.
+  std::vector<float> raw(q.values.size());
+  dequantize_into(std::span<const std::int8_t>(q.values), q.scale, raw);
+  EXPECT_EQ(raw, reference);
+
+  EXPECT_THROW(dequantize_into(q, std::span<float>(buffer.data(), 3)),
+               std::invalid_argument);
+}
+
+TEST(CompressionTest, DequantizeIntoTwoWavesZeroGrowth) {
+  // The no-allocation drain contract (DESIGN.md §9) the wire decoder
+  // relies on: reconstructing into a reused buffer never reallocates.
+  stats::Rng rng(12);
+  std::vector<float> gradient(1024);
+  std::vector<float> buffer(gradient.size());
+  const float* const data_before = buffer.data();
+  for (int wave = 0; wave < 2; ++wave) {
+    for (float& g : gradient) g = static_cast<float>(rng.gaussian(0.0, 0.1));
+    const QuantizedGradient q = quantize_gradient(gradient);
+    dequantize_into(q, buffer);
+    EXPECT_EQ(buffer.data(), data_before) << "wave " << wave << " reallocated";
+    EXPECT_EQ(buffer.capacity(), gradient.size());
+  }
 }
 
 TEST(CompressionTest, EmptyGradientThrows) {

@@ -1,0 +1,337 @@
+// Loopback ingest front end (DESIGN.md §12): serialized frames through the
+// byte ring + injector threads must train the host exactly as in-process
+// submission of the same dequantized gradients would — bitwise — and every
+// frame must land in exactly one accounting bucket.
+#include "fleet/net/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "fleet/net/compression.hpp"
+#include "fleet/net/wire.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/runtime/concurrent_server.hpp"
+
+namespace fleet::net {
+namespace {
+
+using test::bitwise_equal;
+using test::pretrained_iprof;
+
+core::ServerConfig server_config() {
+  core::ServerConfig config;
+  config.learning_rate = 0.1f;
+  return config;
+}
+
+/// Parameter-index-varied gradient (the multitenant suite's idiom) so
+/// fold-order mistakes change the model instead of cancelling out.
+runtime::GradientJob varied_job(const nn::TrainableModel& model,
+                                core::ModelId id, std::size_t salt) {
+  runtime::GradientJob job;
+  job.model_id = id;
+  job.task_version = 0;
+  job.gradient.resize(model.parameter_count());
+  for (std::size_t i = 0; i < job.gradient.size(); ++i) {
+    job.gradient[i] =
+        0.001f * static_cast<float>((i * 7 + salt * 13) % 23) - 0.01f;
+  }
+  job.label_dist = stats::LabelDistribution(model.n_classes());
+  job.label_dist.add(static_cast<int>(salt % model.n_classes()), 2);
+  job.mini_batch = 4;
+  return job;
+}
+
+std::vector<float> params_of(nn::TrainableModel& model) {
+  const auto view = model.parameters_view();
+  return std::vector<float>(view.begin(), view.end());
+}
+
+/// The payload kind frame `salt` uses in the mixed-kind tests: alternate
+/// int8 and the raw-float fallback so both decode paths hit every fold mix.
+PayloadKind kind_of(std::size_t salt) {
+  return (salt % 2 == 0) ? PayloadKind::kInt8 : PayloadKind::kFloat32;
+}
+
+/// What the server folds after frame `salt` crosses the wire: int8 frames
+/// fold the quantize->dequantize image, float32 frames fold the gradient
+/// verbatim.
+runtime::GradientJob post_wire_job(const nn::TrainableModel& model,
+                                   core::ModelId id, std::size_t salt) {
+  runtime::GradientJob job = varied_job(model, id, salt);
+  if (kind_of(salt) == PayloadKind::kInt8) {
+    job.gradient = dequantize_gradient(quantize_gradient(job.gradient));
+  }
+  return job;
+}
+
+/// Solo in-process reference: one model, one server, the post-wire
+/// gradients submitted directly — what loopback ingest must reproduce.
+std::vector<float> solo_reference(std::size_t n_jobs, std::uint64_t init_seed,
+                                  const runtime::RuntimeConfig& base) {
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(init_seed);
+  runtime::RuntimeConfig runtime = base;
+  runtime.start_paused = true;
+  runtime::ConcurrentFleetServer server(*model, pretrained_iprof(),
+                                        server_config(), runtime);
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    runtime::GradientJob job =
+        post_wire_job(*model, core::kDefaultModelId, i);
+    EXPECT_TRUE(server.try_submit(job).accepted);
+  }
+  server.resume();
+  server.drain();
+  server.stop();
+  return params_of(*model);
+}
+
+TEST(LoopbackIngestTest, WireFedHostMatchesInProcessBitwise) {
+  // Two tenants behind one host, fed interleaved A,B,A,B serialized frames
+  // (mixed payload kinds) through the loopback ring with ONE injector —
+  // submission order equals send order, so each session must end bitwise
+  // identical to its solo in-process reference.
+  constexpr std::size_t kJobsA = 12;
+  constexpr std::size_t kJobsB = 9;
+  for (const std::size_t shards : {1u, 4u}) {
+    runtime::RuntimeConfig base;
+    base.aggregation_shards = shards;
+    const auto ref_a = solo_reference(kJobsA, 7, base);
+    const auto ref_b = solo_reference(kJobsB, 19, base);
+
+    auto model_a = nn::zoo::mlp(8, 4, 3);
+    model_a->init(7);
+    auto model_b = nn::zoo::mlp(8, 4, 3);
+    model_b->init(19);
+    runtime::RuntimeConfig runtime = base;
+    runtime.start_paused = true;
+    runtime::ConcurrentFleetServer host(runtime);
+    const core::ModelId id_a =
+        host.register_model(*model_a, pretrained_iprof(), server_config());
+    const core::ModelId id_b =
+        host.register_model(*model_b, pretrained_iprof(), server_config());
+
+    LoopbackIngest::Config cfg;
+    cfg.injector_threads = 1;
+    LoopbackIngest ingest(host, cfg);
+    std::vector<std::uint8_t> frame;
+    for (std::size_t i = 0; i < std::max(kJobsA, kJobsB); ++i) {
+      if (i < kJobsA) {
+        encode_job(varied_job(*model_a, id_a, i), kind_of(i), frame);
+        ASSERT_TRUE(ingest.try_send(frame));
+      }
+      if (i < kJobsB) {
+        encode_job(varied_job(*model_b, id_b, i), kind_of(i), frame);
+        ASSERT_TRUE(ingest.try_send(frame));
+      }
+    }
+    ingest.drain();   // every frame decoded + admitted (host still paused)
+    host.resume();
+    host.drain();
+    ingest.close();
+
+    const auto stats = ingest.stats();
+    EXPECT_EQ(stats.frames_sent, kJobsA + kJobsB);
+    EXPECT_EQ(stats.frames_submitted, kJobsA + kJobsB);
+    EXPECT_EQ(stats.wire_rejects, 0u);
+    EXPECT_EQ(stats.server_rejects, 0u);
+    EXPECT_EQ(stats.ring_rejects, 0u);
+    EXPECT_EQ(host.version(id_a), kJobsA);
+    EXPECT_EQ(host.version(id_b), kJobsB);
+    EXPECT_EQ(host.host_stats().wire_rejects, 0u);
+    host.stop();
+
+    EXPECT_TRUE(bitwise_equal(ref_a, params_of(*model_a)))
+        << "A diverged over the wire: shards=" << shards;
+    EXPECT_TRUE(bitwise_equal(ref_b, params_of(*model_b)))
+        << "B diverged over the wire: shards=" << shards;
+  }
+}
+
+TEST(LoopbackIngestTest, ConcurrentSendersAccountingIdentityHolds) {
+  // 3 sender threads x 40 frames (every 5th malformed) through 4 injector
+  // threads: after the barrier, frames_sent must equal submitted + wire
+  // rejects + server rejects exactly, the server's own reject ledger must
+  // agree, and everything admitted must fold.
+  constexpr std::size_t kSenders = 3;
+  constexpr std::size_t kPerSender = 40;
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(5);
+  runtime::ConcurrentFleetServer server(*model, pretrained_iprof(),
+                                        server_config(),
+                                        runtime::RuntimeConfig{});
+  LoopbackIngest::Config cfg;
+  cfg.injector_threads = 4;
+  LoopbackIngest ingest(server, cfg);
+
+  std::vector<std::thread> senders;
+  for (std::size_t s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      std::vector<std::uint8_t> frame;
+      for (std::size_t i = 0; i < kPerSender; ++i) {
+        encode_job(varied_job(*model, core::kDefaultModelId,
+                              s * kPerSender + i),
+                   kind_of(i), frame);
+        if (i % 5 == 4) frame[0] ^= 0xFF;  // malformed: bad magic
+        while (!ingest.try_send(frame)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  ingest.drain();
+  server.drain();
+  ingest.close();
+
+  const auto stats = ingest.stats();
+  constexpr std::size_t kTotal = kSenders * kPerSender;
+  constexpr std::size_t kMalformed = kSenders * (kPerSender / 5);
+  EXPECT_EQ(stats.frames_sent, kTotal);
+  EXPECT_EQ(stats.wire_rejects, kMalformed);
+  EXPECT_EQ(stats.server_rejects, 0u);
+  EXPECT_EQ(stats.frames_submitted, kTotal - kMalformed);
+  EXPECT_EQ(stats.frames_submitted + stats.wire_rejects + stats.server_rejects,
+            stats.frames_sent);
+  EXPECT_GT(stats.ring_max_bytes_seen, 0u);
+
+  const auto server_stats = server.stats();
+  EXPECT_EQ(server_stats.wire_rejects, kMalformed);
+  EXPECT_EQ(server_stats.submitted, kTotal - kMalformed);
+  EXPECT_EQ(server_stats.processed, kTotal - kMalformed);
+  EXPECT_EQ(server.version(), kTotal - kMalformed);
+  server.stop();
+}
+
+TEST(LoopbackIngestTest, BackpressureWithoutRetryIsADeterministicReject) {
+  // Paused host, queue capacity 2, retries off, one injector: of 5 valid
+  // frames exactly the first 2 are admitted and the rest are counted
+  // server rejects — no frame is silently lost.
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(6);
+  runtime::RuntimeConfig runtime;
+  runtime.start_paused = true;
+  runtime.queue_capacity = 2;
+  runtime.queue_shards = 1;
+  runtime::ConcurrentFleetServer server(*model, pretrained_iprof(),
+                                        server_config(), runtime);
+  LoopbackIngest::Config cfg;
+  cfg.injector_threads = 1;
+  cfg.retry_backpressure = false;
+  LoopbackIngest ingest(server, cfg);
+
+  std::vector<std::uint8_t> frame;
+  for (std::size_t i = 0; i < 5; ++i) {
+    encode_job(varied_job(*model, core::kDefaultModelId, i),
+               PayloadKind::kInt8, frame);
+    ASSERT_TRUE(ingest.try_send(frame));
+  }
+  ingest.drain();
+  const auto stats = ingest.stats();
+  EXPECT_EQ(stats.frames_sent, 5u);
+  EXPECT_EQ(stats.frames_submitted, 2u);
+  EXPECT_EQ(stats.server_rejects, 3u);
+  EXPECT_EQ(stats.wire_rejects, 0u);
+  EXPECT_EQ(stats.backpressure_retries, 0u);
+
+  server.resume();
+  server.drain();
+  EXPECT_EQ(server.stats().processed, 2u);
+  ingest.close();
+  server.stop();
+}
+
+TEST(LoopbackIngestTest, FullRingRefusesSendsAndRetriesDrainAfterResume) {
+  // Queue capacity 1 + paused host wedges the injector in its retry loop;
+  // the 2-slot ring then fills and try_send refuses (counted, frame not
+  // taken). Resuming lets every accepted frame land — retries are loss-free.
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(7);
+  runtime::RuntimeConfig runtime;
+  runtime.start_paused = true;
+  runtime.queue_capacity = 1;
+  runtime.queue_shards = 1;
+  runtime::ConcurrentFleetServer server(*model, pretrained_iprof(),
+                                        server_config(), runtime);
+  LoopbackIngest::Config cfg;
+  cfg.injector_threads = 1;
+  cfg.max_frames = 2;
+  cfg.retry_backpressure = true;
+  LoopbackIngest ingest(server, cfg);
+
+  // Bounded spin on an observable stat — the staging below is what makes
+  // the ring-full refusal deterministic instead of a thread race.
+  const auto wait_until = [&](auto&& predicate) {
+    for (int spin = 0; spin < 10'000'000 && !predicate(); ++spin) {
+      std::this_thread::yield();
+    }
+    return predicate();
+  };
+
+  std::vector<std::uint8_t> frame;
+  // Frame 0 fills the paused server's 1-slot queue...
+  encode_job(varied_job(*model, core::kDefaultModelId, 0),
+             PayloadKind::kInt8, frame);
+  ASSERT_TRUE(ingest.try_send(frame));
+  ASSERT_TRUE(wait_until(
+      [&] { return ingest.stats().frames_submitted == 1; }));
+  // ...frame 1 wedges the injector in its retry loop...
+  encode_job(varied_job(*model, core::kDefaultModelId, 1),
+             PayloadKind::kInt8, frame);
+  ASSERT_TRUE(ingest.try_send(frame));
+  ASSERT_TRUE(wait_until(
+      [&] { return ingest.stats().backpressure_retries >= 1; }));
+  // ...frames 2 and 3 fill the 2-slot ring, and frame 4 must be refused.
+  for (std::size_t salt = 2; salt < 4; ++salt) {
+    encode_job(varied_job(*model, core::kDefaultModelId, salt),
+               PayloadKind::kInt8, frame);
+    ASSERT_TRUE(ingest.try_send(frame));
+  }
+  const std::size_t sent = 4;
+  encode_job(varied_job(*model, core::kDefaultModelId, 4),
+             PayloadKind::kInt8, frame);
+  EXPECT_FALSE(ingest.try_send(frame));
+  EXPECT_EQ(ingest.stats().ring_rejects, 1u);
+
+  server.resume();
+  ingest.drain();
+  server.drain();
+  ingest.close();
+
+  const auto stats = ingest.stats();
+  EXPECT_EQ(stats.frames_sent, sent);
+  EXPECT_EQ(stats.frames_submitted, sent);  // retries lost nothing
+  EXPECT_EQ(stats.server_rejects, 0u);
+  EXPECT_GE(stats.backpressure_retries, 1u);
+  EXPECT_EQ(server.stats().processed, sent);
+  server.stop();
+}
+
+TEST(LoopbackIngestTest, ClosedFrontEndRefusesWithoutCounting) {
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(8);
+  runtime::ConcurrentFleetServer server(*model, pretrained_iprof(),
+                                        server_config(),
+                                        runtime::RuntimeConfig{});
+  LoopbackIngest ingest(server);
+  std::vector<std::uint8_t> frame;
+  encode_job(varied_job(*model, core::kDefaultModelId, 0),
+             PayloadKind::kInt8, frame);
+  ASSERT_TRUE(ingest.try_send(frame));
+  ingest.close();
+  EXPECT_FALSE(ingest.try_send(frame));
+  const auto stats = ingest.stats();
+  EXPECT_EQ(stats.frames_sent, 1u);
+  // A closed-front-end refusal is not a capacity event.
+  EXPECT_EQ(stats.ring_rejects, 0u);
+  server.drain();
+  EXPECT_EQ(server.stats().processed, 1u);
+  server.stop();
+
+  EXPECT_THROW(LoopbackIngest(server, LoopbackIngest::Config{.capacity_bytes = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleet::net

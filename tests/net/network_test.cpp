@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace fleet::net {
 namespace {
 
@@ -50,6 +52,21 @@ TEST(NetworkModelTest, RejectsBadConfig) {
   cfg = NetworkModel::Config{};
   cfg.lte_latency_s = 0.0;
   EXPECT_THROW(NetworkModel{cfg}, std::invalid_argument);
+}
+
+TEST(NetworkModelTest, RejectsNegativeJitter) {
+  // Regression: a negative jitter silently flipped the Gaussian draw and
+  // skewed every transfer-time sample; NaN would poison them outright.
+  NetworkModel::Config cfg;
+  cfg.jitter = -0.15;
+  EXPECT_THROW(NetworkModel{cfg}, std::invalid_argument);
+  cfg.jitter = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(NetworkModel{cfg}, std::invalid_argument);
+  cfg.jitter = 0.0;  // boundary stays legal (deterministic latencies)
+  NetworkModel net(cfg);
+  stats::Rng rng(9);
+  EXPECT_DOUBLE_EQ(net.sample_transfer_s(Technology::kLte4G, rng),
+                   cfg.lte_latency_s);
 }
 
 TEST(RoundTripModelTest, PaperDefaultMatchesSection31) {

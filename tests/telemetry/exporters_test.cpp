@@ -165,8 +165,9 @@ TEST(ExportersTest, EveryPhaseHasANameAndSpanClassification) {
   // would corrupt the JSON. Walk the whole vocabulary.
   const TracePhase all[] = {
       TracePhase::kSubmit,     TracePhase::kReject,  TracePhase::kDequeue,
-      TracePhase::kDrop,       TracePhase::kFold,    TracePhase::kDrainBatch,
-      TracePhase::kSessionFold, TracePhase::kPublish, TracePhase::kFoldTask,
+      TracePhase::kDrop,       TracePhase::kFold,    TracePhase::kWireReject,
+      TracePhase::kDrainBatch, TracePhase::kSessionFold,
+      TracePhase::kPublish,    TracePhase::kFoldTask,
   };
   int spans = 0;
   for (const TracePhase phase : all) {
