@@ -29,7 +29,14 @@
 // occupancy high-water mark, against the serialized-plan baseline
 // (RuntimeConfig::serialize_folds) at 4 models x 4 shards.
 //
-// A fifth section measures the telemetry overhead (DESIGN.md §11): the
+// A fifth section sweeps the planner control plane (DESIGN.md §13):
+// 8 tenants on one host with aggregation_shards = 1, so every session's
+// fold runs inline on its planner thread — the planners are the bottleneck
+// by construction — across {1,2,4} planner threads, plus a pinned-batch vs
+// adaptive-drain-batching comparison at 2 planners (planner_* and
+// adaptive_batch_* metrics).
+//
+// A sixth section measures the telemetry overhead (DESIGN.md §11): the
 // aggregation-bound scenario twice, tracing off and on, best of two runs
 // each — the on/off grads/s ratio is the design's <= 5% overhead budget —
 // plus the traced run's latency histograms (queue wait, session fold,
@@ -331,6 +338,96 @@ MultitenantResult run_multitenant(std::size_t n_models, std::size_t shards,
   return result;
 }
 
+/// Planner-bound scenario (DESIGN.md §13): 8 tenants on one host with
+/// aggregation_shards = 1, so each session's weighted fold and model apply
+/// run INLINE on its planner thread — the planner control plane is the
+/// bottleneck by construction, and the planner count is the variable.
+/// 4 producers replay pre-computed gradients (one memcpy each) at K = 1,
+/// each producer round-robining over its own tenant subset so every
+/// planner group sees steady pressure.
+struct PlannerSweepResult {
+  double aggregate = 0.0;  ///< grads/s across all tenants
+  std::size_t widenings = 0;
+  std::size_t narrowings = 0;
+  std::size_t batch_limit_max = 0;  ///< widest per-planner final limit
+};
+
+PlannerSweepResult run_planner_sweep(std::size_t planners, bool adaptive,
+                                     std::size_t total_gradients) {
+  constexpr std::size_t kTenants = 8;
+  constexpr std::size_t kProducers = 4;
+  fleet::core::ServerConfig config;
+  config.aggregator.aggregation_k = 1;
+  fleet::runtime::RuntimeConfig runtime;
+  runtime.queue_capacity = 1024;
+  runtime.queue_shards = kTenants;
+  runtime.planner_threads = planners;
+  runtime.aggregation_shards = 1;  // folds stay inline on the planners
+  runtime.max_drain_batch = 64;
+  if (adaptive) {
+    runtime.adaptive_batch.enabled = true;
+    runtime.adaptive_batch.min_batch = 8;
+    runtime.adaptive_batch.max_batch = 256;
+    runtime.adaptive_batch.window = 4;
+    runtime.adaptive_batch.hysteresis = 2;
+  }
+  fleet::runtime::ConcurrentFleetServer host(runtime);
+
+  std::vector<std::unique_ptr<fleet::nn::Sequential>> models;
+  std::vector<fleet::core::ModelId> ids;
+  std::vector<std::vector<float>> templates;
+  for (std::size_t m = 0; m < kTenants; ++m) {
+    models.push_back(fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses));
+    models.back()->init(1 + m);
+    ids.push_back(host.register_model(*models.back(), pretrained_iprof(),
+                                      config));
+    auto replica = fleet::nn::zoo::mlp(kInputDim, kHidden, kClasses);
+    replica->init(100 + m);
+    LocalBatch local = make_batch(99, m);
+    auto& gradient = templates.emplace_back();
+    replica->load_parameters(models.back()->parameters_view());
+    replica->gradient(local.batch, gradient);
+  }
+  const LocalBatch label_source = make_batch(99, 0);
+  const std::size_t per_model = total_gradients / kTenants;
+
+  const auto start = Clock::now();
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      fleet::runtime::GradientJob job;
+      for (std::size_t g = 0; g < per_model; ++g) {
+        for (std::size_t m = t; m < kTenants; m += kProducers) {
+          job.model_id = ids[m];
+          job.task_version = host.current(ids[m]).version;
+          job.gradient = templates[m];  // one memcpy
+          job.label_dist = label_source.label_dist;
+          job.mini_batch = kBatchSize;
+          while (!host.try_submit(job).accepted) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  host.drain();
+  const auto stop = Clock::now();
+
+  std::size_t processed = 0;
+  for (const auto id : ids) processed += host.stats(id).processed;
+  PlannerSweepResult result;
+  const auto host_view = host.host_stats();
+  result.widenings = host_view.adaptive_widenings;
+  result.narrowings = host_view.adaptive_narrowings;
+  for (const std::size_t limit : host_view.planner_batch_limits) {
+    result.batch_limit_max = std::max(result.batch_limit_max, limit);
+  }
+  host.stop();
+  result.aggregate = grads_per_second(start, stop, processed);
+  return result;
+}
+
 /// Telemetry-overhead scenario (DESIGN.md §11): the aggregation-bound
 /// regime of run_sharded (2 producers, 2 shards, K = 1, batched drains) —
 /// the configuration where per-gradient instrumentation (submit/dequeue/
@@ -530,6 +627,54 @@ int main() {
                 serialized.aggregate);
   report.metric("concurrent_vs_serialized_4m4s",
                 concurrent_4m4s / serialized.aggregate);
+
+  // Planner control-plane sweep (DESIGN.md §13): folds inline on the
+  // planners (shards = 1), 8 tenants, 4 producers — planner threads are
+  // the bottleneck, so added planners should carry added throughput on
+  // multi-core hosts (CI gates planner_scaling_2v1 >= 1.0 when hw >= 2).
+  bench::header("Planner scaling (K=1, 8 tenants, folds inline, " +
+                std::to_string(total) + " gradients/config)");
+  double planner_at1 = 0.0;
+  double planner_at2 = 0.0;
+  for (const std::size_t planners : {1u, 2u, 4u}) {
+    const auto result = run_planner_sweep(planners, /*adaptive=*/false, total);
+    if (planners == 1) planner_at1 = result.aggregate;
+    if (planners == 2) planner_at2 = result.aggregate;
+    bench::row({"planners x" + std::to_string(planners),
+                bench::fmt(result.aggregate, 1) + " grads/s aggregate  (" +
+                    bench::fmt(planners == 1 ? 1.0
+                                             : result.aggregate / planner_at1,
+                               2) +
+                    "x single-planner)"});
+    report.metric("planner_" + std::to_string(planners) + "_grads_per_s",
+                  result.aggregate);
+  }
+  report.metric("planner_scaling_2v1", planner_at2 / planner_at1);
+
+  // Adaptive drain batching vs the pinned-batch baseline at 2 planners:
+  // same pressure, the controller free to widen/narrow each planner's
+  // limit from its own occupancy counters.
+  bench::header("Adaptive drain batching (2 planners, pinned vs adaptive)");
+  const auto adaptive_result =
+      run_planner_sweep(/*planners=*/2, /*adaptive=*/true, total);
+  const double adaptive_ratio =
+      planner_at2 > 0.0 ? adaptive_result.aggregate / planner_at2 : 0.0;
+  bench::row({"pinned batch (64)", bench::fmt(planner_at2, 1) + " grads/s"});
+  bench::row({"adaptive batch",
+              bench::fmt(adaptive_result.aggregate, 1) + " grads/s  (" +
+                  bench::fmt(adaptive_ratio, 2) + "x pinned), " +
+                  std::to_string(adaptive_result.widenings) + " widenings, " +
+                  std::to_string(adaptive_result.narrowings) +
+                  " narrowings, widest final limit " +
+                  std::to_string(adaptive_result.batch_limit_max)});
+  report.metric("adaptive_batch_pinned_grads_per_s", planner_at2);
+  report.metric("adaptive_batch_adaptive_grads_per_s",
+                adaptive_result.aggregate);
+  report.metric("adaptive_batch_ratio", adaptive_ratio);
+  report.metric("adaptive_batch_widenings", adaptive_result.widenings);
+  report.metric("adaptive_batch_narrowings", adaptive_result.narrowings);
+  report.metric("adaptive_batch_final_limit_max",
+                adaptive_result.batch_limit_max);
 
   // Scratch-arena high-water mark across the whole run: with the slab
   // arenas warmed up this is flat across PRs unless a hot loop started

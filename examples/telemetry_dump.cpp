@@ -4,7 +4,9 @@
 // Prometheus text exposition (metrics.prom) and a Chrome trace-event file
 // (trace.json, loadable in Perfetto / chrome://tracing to see the
 // submit -> dequeue -> fold -> publish lifecycle of every gradient) —
-// and print a latency breakdown table from the same histograms.
+// and print a latency breakdown table from the same histograms, plus the
+// planner control-plane view (drain batch sizes, adaptive batch limits,
+// batch occupancy against those limits).
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -50,15 +52,34 @@ void latency_row(const telemetry::MetricsSnapshot& snapshot,
             << hist->quantile(0.99) / 1e3 << "\n";
 }
 
+/// Row for count/percent-valued histograms (drain batch sizes, planner
+/// occupancy): same columns as latency_row but without the ns -> us scale.
+void value_row(const telemetry::MetricsSnapshot& snapshot,
+               const std::string& name) {
+  const telemetry::HistogramSnapshot* hist = snapshot.histogram(name);
+  if (hist == nullptr || hist->count == 0) return;
+  std::cout << "  " << std::left << std::setw(26) << name << std::right
+            << std::setw(8) << hist->count << std::setw(12) << std::fixed
+            << std::setprecision(1) << hist->mean() << std::setw(12)
+            << hist->quantile(0.5) << std::setw(12) << hist->quantile(0.99)
+            << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t rounds = argc > 1 ? std::stoul(argv[1]) : 6;
 
-  // Two tenants on one concurrent host, telemetry on.
+  // Two tenants on one concurrent host — one planner per tenant with
+  // adaptive drain batching, so the planner occupancy and batch-limit
+  // histograms below have something to show — telemetry on.
   runtime::RuntimeConfig runtime_cfg;
   runtime_cfg.aggregation_shards = 2;
+  runtime_cfg.planner_threads = 2;
   runtime_cfg.max_drain_batch = 16;
+  runtime_cfg.adaptive_batch.enabled = true;
+  runtime_cfg.adaptive_batch.min_batch = 4;
+  runtime_cfg.adaptive_batch.max_batch = 64;
   runtime_cfg.telemetry.enabled = true;
   runtime::ConcurrentFleetServer host(runtime_cfg);
 
@@ -128,5 +149,13 @@ int main(int argc, char** argv) {
   latency_row(snapshot, "server.session_fold_ns");
   latency_row(snapshot, "server.publish_ns");
   latency_row(snapshot, "pool.task_ns");
+
+  std::cout << "\nplanner control plane (counts / percent)\n  " << std::left
+            << std::setw(26) << "histogram" << std::right << std::setw(8)
+            << "count" << std::setw(12) << "mean" << std::setw(12) << "p50"
+            << std::setw(12) << "p99" << "\n";
+  value_row(snapshot, "server.drain_batch");
+  value_row(snapshot, "planner.batch_limit");
+  value_row(snapshot, "planner.occupancy_pct");
   return 0;
 }

@@ -1,0 +1,83 @@
+#include "fleet/runtime/adaptive_batcher.hpp"
+
+#include <algorithm>
+
+namespace fleet::runtime {
+
+namespace {
+
+std::size_t clamp_limit(std::size_t v, const AdaptiveBatchConfig& c) {
+  const std::size_t lo = std::max<std::size_t>(1, c.min_batch);
+  const std::size_t hi = std::max(lo, c.max_batch);
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace
+
+AdaptiveBatcher::AdaptiveBatcher(const AdaptiveBatchConfig& config,
+                                 std::size_t initial)
+    : config_(config), limit_(clamp_limit(initial, config)) {}
+
+void AdaptiveBatcher::observe(std::size_t taken, std::size_t depth_peak) {
+  taken_in_window_ += taken;
+  depth_peak_in_window_ = std::max(depth_peak_in_window_, depth_peak);
+  if (++drains_in_window_ >= std::max<std::size_t>(1, config_.window)) {
+    decide();
+    drains_in_window_ = 0;
+    taken_in_window_ = 0;
+    depth_peak_in_window_ = 0;
+  }
+}
+
+void AdaptiveBatcher::decide() {
+  windows_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t limit = limit_.load(std::memory_order_relaxed);
+  const double peak = static_cast<double>(depth_peak_in_window_);
+  const double mean_fill =
+      static_cast<double>(taken_in_window_) /
+      static_cast<double>(std::max<std::size_t>(1, drains_in_window_));
+
+  int vote = 0;
+  if (peak > config_.widen_depth_ratio * static_cast<double>(limit)) {
+    vote = 1;
+  } else if (peak < config_.narrow_depth_ratio * static_cast<double>(limit) &&
+             mean_fill < config_.narrow_occupancy *
+                             static_cast<double>(limit)) {
+    vote = -1;
+  }
+
+  if (vote == 0) {
+    streak_ = 0;
+    return;
+  }
+  streak_ = (vote > 0) == (streak_ > 0) ? streak_ + vote : vote;
+
+  const int needed = static_cast<int>(std::max<std::size_t>(1,
+                                                            config_.hysteresis));
+  if (streak_ >= needed) {
+    const std::size_t widened = clamp_limit(limit * 2, config_);
+    if (widened != limit) {
+      limit_.store(widened, std::memory_order_relaxed);
+      widenings_.fetch_add(1, std::memory_order_relaxed);
+    }
+    streak_ = 0;
+  } else if (-streak_ >= needed) {
+    const std::size_t narrowed = clamp_limit(limit / 2, config_);
+    if (narrowed != limit) {
+      limit_.store(narrowed, std::memory_order_relaxed);
+      narrowings_.fetch_add(1, std::memory_order_relaxed);
+    }
+    streak_ = 0;
+  }
+}
+
+AdaptiveBatcher::Stats AdaptiveBatcher::stats() const {
+  Stats s;
+  s.limit = limit_.load(std::memory_order_relaxed);
+  s.widenings = widenings_.load(std::memory_order_relaxed);
+  s.narrowings = narrowings_.load(std::memory_order_relaxed);
+  s.windows = windows_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fleet::runtime

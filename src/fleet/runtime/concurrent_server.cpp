@@ -1,48 +1,135 @@
 #include "fleet/runtime/concurrent_server.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "fleet/runtime/topology.hpp"
 #include "fleet/tensor/kernels/scratch.hpp"
 
 namespace fleet::runtime {
+
+namespace {
+
+std::size_t validate_planner_count(std::size_t planners) {
+  if (planners == 0) {
+    throw std::invalid_argument(
+        "ConcurrentFleetServer: planner_threads must be >= 1");
+  }
+  return planners;
+}
+
+}  // namespace
 
 ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
     : trace_capacity_(runtime.trace_capacity),
       max_drain_batch_(runtime.max_drain_batch),
       serialize_folds_(runtime.serialize_folds),
+      planner_count_(validate_planner_count(runtime.planner_threads)),
+      adaptive_(runtime.adaptive_batch),
       wire_decoder_(runtime.wire_limits),
       telemetry_(runtime.telemetry.enabled
                      ? std::make_unique<telemetry::Telemetry>(runtime.telemetry)
                      : nullptr),
-      queue_(runtime.queue_capacity, runtime.queue_shards, telemetry_.get()),
+      queue_(runtime.queue_capacity, runtime.queue_shards, telemetry_.get(),
+             planner_count_),
       paused_(runtime.start_paused) {
   if (runtime.aggregation_shards == 0) {
     throw std::invalid_argument(
         "ConcurrentFleetServer: aggregation_shards must be >= 1");
   }
-  // Pin the arithmetic kernel backend before the aggregation thread (or
-  // any fold) runs a single op. kAuto keeps the startup selection; an
-  // unavailable explicit choice throws here, at construction, not mid-fold.
+  // Pin the arithmetic kernel backend before any planner (or fold) runs a
+  // single op. kAuto keeps the startup selection; an unavailable explicit
+  // choice throws here, at construction, not mid-fold.
   if (runtime.kernel_backend != tensor::kernels::Backend::kAuto) {
     tensor::kernels::pin_backend(runtime.kernel_backend);
   }
   if (telemetry_ != nullptr) {
     wire_rejects_ctr_ = telemetry_->metrics().counter("wire.rejects");
+    pinning_fallback_ctr_ =
+        telemetry_->metrics().counter("server.pinning_fallback");
     drain_batch_ = telemetry_->metrics().histogram("server.drain_batch",
                                                    telemetry::batch_bounds());
     session_fold_ns_ = telemetry_->metrics().histogram(
         "server.session_fold_ns", telemetry::latency_bounds_ns());
     publish_ns_ = telemetry_->metrics().histogram(
         "server.publish_ns", telemetry::latency_bounds_ns());
+    batch_limit_ = telemetry_->metrics().histogram("planner.batch_limit",
+                                                   telemetry::batch_bounds());
+    planner_occupancy_ = telemetry_->metrics().histogram(
+        "planner.occupancy_pct", telemetry::occupancy_bounds());
     queue_depth_gauge_ = telemetry_->metrics().gauge("queue.depth");
+  }
+  // Control-plane placement (DESIGN.md §13): one CPU per planner and per
+  // fold worker, co-placed per NUMA node, from sysfs discovery or the
+  // explicit override. Computed only when pinning was requested — an
+  // unpinned host never reads sysfs.
+  const std::size_t fold_workers =
+      runtime.aggregation_shards > 1 ? runtime.aggregation_shards - 1 : 0;
+  PlacementPlan plan;
+  plan.planner_cpus.assign(planner_count_, -1);
+  plan.fold_worker_cpus.assign(fold_workers, -1);
+  if (runtime.pin_fold_workers) {
+    if (!runtime.placement_override.empty()) {
+      for (std::size_t i = 0; i < runtime.placement_override.size(); ++i) {
+        if (i < planner_count_) {
+          plan.planner_cpus[i] = runtime.placement_override[i];
+        } else if (i - planner_count_ < fold_workers) {
+          plan.fold_worker_cpus[i - planner_count_] =
+              runtime.placement_override[i];
+        }
+      }
+    } else {
+      plan = plan_placement(discover_topology(), planner_count_, fold_workers);
+    }
   }
   if (runtime.aggregation_shards > 1) {
     sharded_ = std::make_unique<ShardedAggregator>(runtime.aggregation_shards,
-                                                   runtime.pin_fold_workers,
+                                                   plan.fold_worker_cpus,
                                                    telemetry_.get());
   }
-  aggregation_thread_ = std::thread([this] { aggregation_loop(); });
+  // One adaptive controller per planner. The starting limit is the pinned
+  // max_drain_batch (clamped into the adaptive range); 0 (= "take
+  // everything") starts at the adaptive ceiling.
+  const std::size_t initial_limit =
+      max_drain_batch_ > 0 ? max_drain_batch_ : adaptive_.max_batch;
+  for (std::size_t p = 0; p < planner_count_; ++p) {
+    batchers_.emplace_back(adaptive_, initial_limit);
+  }
+  planner_threads_.reserve(planner_count_);
+  std::size_t requested_pins = 0;
+  std::size_t applied_pins = 0;
+  for (std::size_t p = 0; p < planner_count_; ++p) {
+    planner_threads_.emplace_back([this, p] { planner_loop(p); });
+    if (runtime.pin_fold_workers && plan.planner_cpus[p] >= 0) {
+      ++requested_pins;
+      if (pin_thread_to_cpu(planner_threads_.back().native_handle(),
+                            plan.planner_cpus[p])) {
+        ++applied_pins;
+      }
+    }
+  }
+  if (runtime.pin_fold_workers) {
+    for (std::size_t w = 0; w < fold_workers; ++w) {
+      if (plan.fold_worker_cpus[w] >= 0) ++requested_pins;
+    }
+    applied_pins += sharded_ != nullptr ? sharded_->pinned_workers() : 0;
+    const bool applied = requested_pins > 0 && applied_pins == requested_pins;
+    pinning_applied_.store(applied, std::memory_order_release);
+    if (!applied) {
+      // Satellite of DESIGN.md §13: pinning was asked for but could not
+      // (fully) apply — unsupported platform, restrictive cpuset, or an
+      // override naming CPUs this machine doesn't have. One warning, one
+      // counter bump; the host runs unpinned, results unaffected.
+      if (pinning_fallback_ctr_ != nullptr) pinning_fallback_ctr_->add(1);
+      std::fprintf(stderr,
+                   "fleet: pin_fold_workers requested but only %zu of %zu "
+                   "control-plane pins applied (%s); continuing unpinned\n",
+                   applied_pins, requested_pins,
+                   affinity_supported() ? "cpuset or cpu refused"
+                                        : "platform unsupported");
+    }
+  }
 }
 
 ConcurrentFleetServer::ConcurrentFleetServer(
@@ -178,8 +265,13 @@ core::GradientReceipt ConcurrentFleetServer::try_submit_wire(
   return try_submit(scratch);
 }
 
-void ConcurrentFleetServer::aggregation_loop() {
+void ConcurrentFleetServer::planner_loop(std::size_t planner) {
   std::vector<GradientJob> batch;
+  // Planner-local demux state: this planner's sessions are disjoint from
+  // every other planner's (id % planner_count_ routing, enforced by the
+  // queue's group demux), so the slot pool needs no sharing or locking.
+  std::deque<SessionSlot> slot_pool;
+  AdaptiveBatcher& batcher = batchers_[planner];
   // Telemetry scratch: per-slot fold-submit timestamps (sharded path).
   // Sized lazily to the slot pool; lives outside the loop so a steady-state
   // batch allocates nothing.
@@ -197,7 +289,7 @@ void ConcurrentFleetServer::aggregation_loop() {
   // once per non-empty plan, at the wait that actually resolved it.
   const auto note_session_fold = [&](std::size_t i) {
     if (telemetry_ == nullptr) return;
-    SessionSlot& slot = slot_pool_[i];
+    SessionSlot& slot = slot_pool[i];
     if (slot.plan.empty()) return;
     const std::uint64_t now = telemetry_->now_ns();
     const std::uint64_t dur = now - fold_submit_ns[i];
@@ -217,11 +309,11 @@ void ConcurrentFleetServer::aggregation_loop() {
   // scan beats a map.
   std::size_t used = 0;
   auto acquire_slot = [&]() -> SessionSlot& {
-    if (used == slot_pool_.size()) {
-      slot_pool_.emplace_back();
+    if (used == slot_pool.size()) {
+      slot_pool.emplace_back();
       fold_buffer_growths_.fetch_add(1, std::memory_order_relaxed);
     }
-    return slot_pool_[used++];
+    return slot_pool[used++];
   };
   // Resolve a job's session via the batch's slots first — one registry
   // lookup per (session, batch), not per job, keeps the fold path off the
@@ -230,7 +322,7 @@ void ConcurrentFleetServer::aggregation_loop() {
   // that only happens on the rare retired-backlog path).
   auto slot_for = [&](core::ModelId id) -> SessionSlot* {
     for (std::size_t i = 0; i < used; ++i) {
-      if (slot_pool_[i].session->id() == id) return &slot_pool_[i];
+      if (slot_pool[i].session->id() == id) return &slot_pool[i];
     }
     auto session = registry_.lookup(id);
     if (session == nullptr) return nullptr;
@@ -251,7 +343,11 @@ void ConcurrentFleetServer::aggregation_loop() {
         return !paused_.load(std::memory_order_acquire) || queue_.closed();
       });
     }
-    const std::size_t taken = queue_.wait_drain(batch, max_drain_batch_);
+    // Adaptive mode consults the controller's current limit; otherwise the
+    // pinned max_drain_batch schedule (the benchmarking baseline).
+    const std::size_t limit =
+        adaptive_.enabled ? batcher.limit() : max_drain_batch_;
+    const std::size_t taken = queue_.wait_drain(batch, limit, planner);
     if (taken == 0) break;  // closed and fully drained
     // Second gate: a pause() issued while this thread was blocked inside
     // wait_drain (past the top gate) must still hold the popped batch
@@ -262,10 +358,22 @@ void ConcurrentFleetServer::aggregation_loop() {
         return !paused_.load(std::memory_order_acquire) || queue_.closed();
       });
     }
+    // Feed the controller the counters it owns — batch occupancy and the
+    // group's windowed depth peak — and nothing else: no telemetry clock
+    // is ever read on this path, so the drain schedule is identical with
+    // telemetry on or off (§11 invariant, checked bitwise by the matrix).
+    if (adaptive_.enabled) {
+      batcher.observe(taken, queue_.take_group_depth_peak(planner));
+    }
     const std::uint64_t batch_t0 =
         telemetry_ != nullptr ? telemetry_->now_ns() : 0;
     if (telemetry_ != nullptr) {
       drain_batch_->record(static_cast<double>(taken));
+      if (limit > 0) {
+        batch_limit_->record(static_cast<double>(limit));
+        planner_occupancy_->record(100.0 * static_cast<double>(taken) /
+                                   static_cast<double>(limit));
+      }
       // Depth right after the pop: what is still waiting behind this batch.
       queue_depth_gauge_->set(queue_.depth());
     }
@@ -302,11 +410,11 @@ void ConcurrentFleetServer::aggregation_loop() {
           emit_instant(telemetry::TracePhase::kFold, job.ticket, job.model_id);
         }
       }
-      if (telemetry_ != nullptr && fold_submit_ns.size() < slot_pool_.size()) {
-        fold_submit_ns.resize(slot_pool_.size());
+      if (telemetry_ != nullptr && fold_submit_ns.size() < slot_pool.size()) {
+        fold_submit_ns.resize(slot_pool.size());
       }
       for (std::size_t i = 0; i < used; ++i) {
-        SessionSlot& slot = slot_pool_[i];
+        SessionSlot& slot = slot_pool[i];
         if (slot.plan.empty()) continue;
         if (telemetry_ != nullptr) fold_submit_ns[i] = telemetry_->now_ns();
         sharded_->submit(slot.session->fold_context(), slot.plan, slot.latch);
@@ -316,9 +424,10 @@ void ConcurrentFleetServer::aggregation_loop() {
         }
       }
       // One wait per batch; waiting in slot order is work-conserving (the
-      // waiter executes queued tasks, any session's, while it waits).
+      // waiter executes queued tasks — any session's, any planner's —
+      // while it waits).
       for (std::size_t i = 0; i < used; ++i) {
-        sharded_->wait(slot_pool_[i].latch);
+        sharded_->wait(slot_pool[i].latch);
         if (!serialize_folds_) note_session_fold(i);
       }
     } else {
@@ -346,7 +455,7 @@ void ConcurrentFleetServer::aggregation_loop() {
     // session publishes only after its own latch resolved above, so the
     // snapshot always reads a fully-folded arena.
     for (std::size_t i = 0; i < used; ++i) {
-      SessionSlot& slot = slot_pool_[i];
+      SessionSlot& slot = slot_pool[i];
       const std::uint64_t p0 =
           telemetry_ != nullptr ? telemetry_->now_ns() : 0;
       const bool published = slot.session->publish_if_dirty();
@@ -415,8 +524,10 @@ void ConcurrentFleetServer::resume() {
 void ConcurrentFleetServer::stop() {
   if (stopped_.exchange(true)) return;
   queue_.close();
-  resume();  // wake a parked aggregation thread so it can drain and exit
-  if (aggregation_thread_.joinable()) aggregation_thread_.join();
+  resume();  // wake parked planner threads so they can drain and exit
+  for (std::thread& planner : planner_threads_) {
+    if (planner.joinable()) planner.join();
+  }
 }
 
 RuntimeStats ConcurrentFleetServer::host_stats() const {
@@ -435,6 +546,17 @@ RuntimeStats ConcurrentFleetServer::host_stats() const {
       fold_buffer_growths_.load(std::memory_order_acquire);
   snapshot.scratch_bytes_peak =
       tensor::kernels::ScratchAllocator::global_bytes_peak();
+  snapshot.planner_threads = planner_count_;
+  snapshot.pinning_applied = pinning_applied_.load(std::memory_order_acquire);
+  if (adaptive_.enabled) {
+    snapshot.planner_batch_limits.reserve(batchers_.size());
+    for (const AdaptiveBatcher& batcher : batchers_) {
+      const AdaptiveBatcher::Stats adaptive = batcher.stats();
+      snapshot.planner_batch_limits.push_back(adaptive.limit);
+      snapshot.adaptive_widenings += adaptive.widenings;
+      snapshot.adaptive_narrowings += adaptive.narrowings;
+    }
+  }
   if (sharded_ != nullptr) {
     const auto pool = sharded_->pool_stats();
     snapshot.fold_tasks_executed = pool.tasks_executed;
@@ -460,6 +582,11 @@ RuntimeStats ConcurrentFleetServer::stats(core::ModelId id) const {
   snapshot.fold_buffer_growths = host.fold_buffer_growths;
   snapshot.scratch_bytes_peak = host.scratch_bytes_peak;
   snapshot.queue_wait = host.queue_wait;
+  snapshot.planner_threads = host.planner_threads;
+  snapshot.pinning_applied = host.pinning_applied;
+  snapshot.planner_batch_limits = host.planner_batch_limits;
+  snapshot.adaptive_widenings = host.adaptive_widenings;
+  snapshot.adaptive_narrowings = host.adaptive_narrowings;
   return snapshot;
 }
 

@@ -10,6 +10,7 @@
 
 #include "fleet/core/server.hpp"
 #include "fleet/net/wire.hpp"
+#include "fleet/runtime/adaptive_batcher.hpp"
 #include "fleet/runtime/gradient_queue.hpp"
 #include "fleet/runtime/model_registry.hpp"
 #include "fleet/runtime/model_session.hpp"
@@ -27,14 +28,37 @@ struct RuntimeConfig {
   /// Once full, submits are rejected (backpressure) instead of growing an
   /// unbounded backlog.
   std::size_t queue_capacity = 4096;
-  /// Independently locked ingest shards (see GradientQueue).
+  /// Independently locked ingest shards (see GradientQueue). Raised to
+  /// `planner_threads` when smaller so every planner group owns at least
+  /// one shard.
   std::size_t queue_shards = 8;
+  /// Planner threads (DESIGN.md §13): sessions are sharded across this
+  /// many planners by `id % planner_threads`, each draining its own
+  /// ticket-ordered queue group and running the plan/fold/publish cycle
+  /// for its disjoint session set. Admission tickets stay host-global, so
+  /// every session still observes the exact admission-order prefix of its
+  /// own jobs — any planner count yields bitwise identical per-session
+  /// results (the determinism matrix asserts {1,2,4}).
+  std::size_t planner_threads = 1;
+  /// Pressure-adaptive drain batching (DESIGN.md §13). Disabled by
+  /// default: planners then drain with the pinned `max_drain_batch`
+  /// schedule (the serialize_folds-style benchmarking baseline). When
+  /// enabled, each planner owns an AdaptiveBatcher that widens/narrows
+  /// its drain limit from counters it owns — windowed group-depth peaks
+  /// and batch occupancy, never the §11 telemetry clocks.
+  AdaptiveBatchConfig adaptive_batch;
+  /// Explicit control-plane CPU placement, overriding sysfs topology
+  /// discovery when `pin_fold_workers` is set: entry i is the CPU for
+  /// planner i, followed by one entry per fold worker; -1 (or a missing
+  /// entry) leaves that thread unpinned. For tests (deterministic
+  /// unsupported-CPU fallback) and operators that know better than sysfs.
+  std::vector<int> placement_override;
   /// Cap on the per-gradient trace vectors in each session's RuntimeStats
   /// (staleness, weights) — a long-lived server must not grow memory per
   /// gradient forever. Counters keep counting past the cap;
   /// RuntimeStats::traces_truncated records that the traces stopped.
   std::size_t trace_capacity = 1u << 16;
-  /// Start with the aggregation thread parked (resume() arms it). Lets
+  /// Start with the planner threads parked (resume() arms them). Lets
   /// tests and benches stage a backlog deterministically.
   bool start_paused = false;
   /// Fold threads for the sharded hierarchical aggregation (DESIGN.md
@@ -46,20 +70,27 @@ struct RuntimeConfig {
   /// identical model per session — weights are computed centrally and
   /// every parameter index sees the same operation sequence.
   std::size_t aggregation_shards = 1;
-  /// Best-effort pin the fold workers to consecutive CPUs (Linux only) —
-  /// the first step toward NUMA-aware span placement (ROADMAP). No effect
-  /// on results, only on locality.
+  /// Best-effort pin the control plane — planner threads AND fold
+  /// workers — per the NUMA placement plan (topology.hpp: sysfs
+  /// discovery, single-node fallback, co-placement of planners, fold
+  /// lanes and their arena spans; override with `placement_override`).
+  /// Linux only. Whether every requested pin actually applied is
+  /// surfaced as RuntimeStats::pinning_applied; a refused or unsupported
+  /// pin logs one warning and bumps the "server.pinning_fallback"
+  /// telemetry counter. No effect on results, only on locality.
   bool pin_fold_workers = false;
   /// Debug/baseline knob: wait for each session's fold to finish before
   /// submitting the next session's plan — the pre-scheduler serialized
   /// behavior. Results are bitwise identical either way (sessions are
   /// disjoint); the bench uses this as the comparison baseline.
   bool serialize_folds = false;
-  /// Cap on how many jobs one queue drain hands the aggregation loop
-  /// (0 = take everything). Batches are exact admission-order prefixes
-  /// (ticket-ordered) across all models, so batching changes snapshot-
+  /// Cap on how many jobs one queue drain hands a planner (0 = take
+  /// everything). Batches are exact admission-order prefixes
+  /// (ticket-ordered) per planner group, so batching changes snapshot-
   /// publication cadence and fold fan-out granularity, never any session's
-  /// fold sequence or staleness.
+  /// fold sequence or staleness. When `adaptive_batch.enabled`, this is
+  /// only each planner's starting limit (clamped into the adaptive
+  /// range); the controller moves it from there.
   std::size_t max_drain_batch = 0;
   /// Arithmetic kernel backend for the process (tensor/kernels/,
   /// DESIGN.md §10). kAuto keeps the startup selection (FLEET_KERNEL env
@@ -87,36 +118,39 @@ struct RuntimeConfig {
 /// Multi-tenant serving host (DESIGN.md §7): many learning tasks — each a
 /// `ModelSession` owning its model, profiler, controller, AdaSGD state,
 /// snapshot cell and logical clock — served behind ONE bounded ingest
-/// queue, ONE aggregation thread and ONE shared sharded fold pool.
-/// Sessions are registered and retired by `core::ModelId`; the id→session
-/// lookup on the request path is a lock-free copy-on-write directory
-/// (ModelRegistry).
+/// queue (partitioned into planner groups), N planner threads and ONE
+/// shared sharded fold pool. Sessions are registered and retired by
+/// `core::ModelId`; the id→session lookup on the request path is a
+/// lock-free copy-on-write directory (ModelRegistry).
 ///
 /// Threading model:
 ///  - `handle_request(id, ...)` may be called from any number of request
 ///    threads: one registry lookup, then the session's own fine-grained
 ///    locks (profiler/controller) and its atomic snapshot record.
-///  - `try_submit` is the MPSC producer side: the job is validated against
-///    its session and moved into the shared GradientQueue under a global
-///    admission ticket, or rejected with backpressure when the queue is
-///    full. Tickets are global across models, so a drain batch is an exact
-///    admission-order prefix of everything submitted.
-///  - One aggregation thread drains the queue and demultiplexes each batch
-///    by ModelId, walking it in global ticket order: each job's
-///    order-sensitive bookkeeping (staleness against its session's clock,
-///    dampening, K-boundary, profiler feedback) runs against its own
-///    session. Then every session's fold plan is submitted to the shared
-///    fold scheduler at once — different sessions' spans execute
-///    concurrently on the pool (their arenas are disjoint) — the loop
-///    waits once per batch for all latches, and each dirty session
-///    publishes one snapshot only after its own latch resolved (DESIGN.md
-///    §9). A session's jobs keep their relative admission order, its clock
-///    only moves with its own updates, and its weights/fold order/
-///    staleness are therefore bitwise identical to a solo single-model
-///    server fed the same sequence — for any shard count, drain-batch size
-///    and tenant mix. Jobs whose session was retired while they sat in the
-///    queue are dropped and counted (RuntimeStats::retired_drops), never
-///    folded.
+///  - `try_submit` is the multi-producer side: the job is validated
+///    against its session and moved into the shared GradientQueue under a
+///    global admission ticket, or rejected with backpressure when the
+///    queue is full. Tickets are global across models, so each planner
+///    group's drain batch is an exact admission-order prefix of
+///    everything submitted to that group.
+///  - `planner_threads` planner threads (DESIGN.md §13) each own the
+///    disjoint session set `id % planner_threads == p` and drain that
+///    group of the queue, demultiplexing each batch by ModelId in global
+///    ticket order: each job's order-sensitive bookkeeping (staleness
+///    against its session's clock, dampening, K-boundary, profiler
+///    feedback) runs against its own session — which exactly one planner
+///    ever touches. Then every session's fold plan is submitted to the
+///    shared fold scheduler at once — different sessions' spans execute
+///    concurrently on the pool (their arenas are disjoint), across
+///    planners too — each planner waits for its own latches, and each
+///    dirty session publishes one snapshot only after its own latch
+///    resolved (DESIGN.md §9). A session's jobs keep their relative
+///    admission order, its clock only moves with its own updates, and its
+///    weights/fold order/staleness are therefore bitwise identical to a
+///    solo single-model server fed the same sequence — for any planner
+///    count, shard count, drain-batch size and tenant mix. Jobs whose
+///    session was retired while they sat in the queue are dropped and
+///    counted (RuntimeStats::retired_drops), never folded.
 ///
 /// The single-model API of PR 2/3 (construct with a model, call
 /// handle_request/try_submit/stats() without an id) is preserved as a thin
@@ -124,7 +158,7 @@ struct RuntimeConfig {
 class ConcurrentFleetServer {
  public:
   /// Multi-tenant host: starts with no sessions; register_model() adds
-  /// them (the aggregation thread idles until jobs arrive).
+  /// them (the planner threads idle until jobs arrive).
   explicit ConcurrentFleetServer(const RuntimeConfig& runtime = {});
 
   /// Single-model shim: a host with `model` registered as
@@ -191,7 +225,7 @@ class ConcurrentFleetServer {
   /// move it into the shared ingest queue. On success `job` is consumed
   /// and the receipt only acknowledges admission (`accepted=true`,
   /// `version` = the session's clock at enqueue); the gradient's actual
-  /// weight/staleness land in stats(id) once the aggregation thread
+  /// weight/staleness land in stats(id) once its planner thread
   /// processes it. On backpressure `job` is left intact (callers may
   /// retry); unknown/retired ids and malformed payloads reject permanently.
   core::GradientReceipt try_submit(GradientJob& job);
@@ -223,17 +257,17 @@ class ConcurrentFleetServer {
   /// afterwards stats(), every session's model and version() are stable.
   void drain();
 
-  /// Park / un-park the aggregation thread (batch-granular, host-wide).
+  /// Park / un-park every planner thread (batch-granular, host-wide).
   /// pause() does not block submits, and takes effect before the next
-  /// batch is *processed*: a batch the thread had already popped when
+  /// batch is *processed*: a batch a planner had already popped when
   /// pause() landed is held unprocessed until resume(), but its jobs no
   /// longer occupy queue capacity. For deterministic backpressure staging
-  /// use RuntimeConfig::start_paused, which parks the thread before it
-  /// pops anything.
+  /// use RuntimeConfig::start_paused, which parks the planners before
+  /// they pop anything.
   void pause();
   void resume();
 
-  /// Close the queue and join the aggregation thread after it drains what
+  /// Close the queue and join the planner threads after they drain what
   /// remains. Further submits are rejected. Idempotent; the destructor
   /// calls it.
   void stop();
@@ -281,14 +315,14 @@ class ConcurrentFleetServer {
   const core::Controller& controller() const {
     return require_default()->controller();
   }
-  /// The default session's model. Owned by the aggregation thread while
+  /// The default session's model. Owned by its planner thread while
   /// running — only touch it after drain() with producers quiesced, or
   /// after stop().
   nn::TrainableModel& model() { return require_default()->model(); }
 
  private:
   /// Per-batch demux slot: one per session appearing in the drain batch.
-  /// Slots live in a persistent pool (`slot_pool_`) reused across batches
+  /// Each planner keeps a persistent pool of these, reused across batches
   /// — the session handle is released at batch end (holding it across the
   /// idle wait would pin a retired session's state) but the fold-plan
   /// buffer keeps its capacity, so a steady-state drain allocates nothing
@@ -299,7 +333,7 @@ class ConcurrentFleetServer {
     FoldLatch latch;           // armed per batch by the fold scheduler
   };
 
-  void aggregation_loop();
+  void planner_loop(std::size_t planner);
   std::shared_ptr<ModelSession> require(core::ModelId id) const;
   std::shared_ptr<ModelSession> require_default() const {
     return require(core::kDefaultModelId);
@@ -308,6 +342,10 @@ class ConcurrentFleetServer {
   std::size_t trace_capacity_;
   std::size_t max_drain_batch_;
   bool serialize_folds_;
+  /// Validated planner count (>= 1); also the queue's group count.
+  std::size_t planner_count_;
+  /// Adaptive drain-batching knobs (enabled flag consulted per drain).
+  AdaptiveBatchConfig adaptive_;
   /// Stateless wire-frame validator/decoder shared by every request thread
   /// calling try_submit_wire (DESIGN.md §12).
   net::WireDecoder wire_decoder_;
@@ -319,21 +357,28 @@ class ConcurrentFleetServer {
   std::unique_ptr<telemetry::Telemetry> telemetry_;
   /// Registry handles for the aggregation loop (null when disabled).
   telemetry::Counter* wire_rejects_ctr_ = nullptr;  ///< "wire.rejects"
+  telemetry::Counter* pinning_fallback_ctr_ = nullptr;  ///< "server.pinning_fallback"
   telemetry::Histogram* drain_batch_ = nullptr;    ///< "server.drain_batch"
   telemetry::Histogram* session_fold_ns_ = nullptr;  ///< "server.session_fold_ns"
   telemetry::Histogram* publish_ns_ = nullptr;     ///< "server.publish_ns"
+  telemetry::Histogram* batch_limit_ = nullptr;    ///< "planner.batch_limit"
+  telemetry::Histogram* planner_occupancy_ = nullptr;  ///< "planner.occupancy_pct"
   telemetry::Gauge* queue_depth_gauge_ = nullptr;  ///< "queue.depth"
   GradientQueue queue_;
   /// Present when aggregation_shards > 1; the shared fold scheduler — all
-  /// sessions' plans of a drain batch run on it concurrently.
+  /// sessions' plans of a drain batch run on it concurrently, across
+  /// planners too (submit/wait are multi-coordinator safe).
   std::unique_ptr<ShardedAggregator> sharded_;
-  /// Aggregation thread only: the reusable demux slots (deque: slots are
-  /// non-movable because of the latch, and references handed out during a
-  /// batch must survive pool growth).
-  std::deque<SessionSlot> slot_pool_;
+  /// One adaptive controller per planner, owned by that planner's drain
+  /// loop; stats readers only touch its relaxed-atomic published fields.
+  /// Deque: AdaptiveBatcher holds atomics and must not move.
+  std::deque<AdaptiveBatcher> batchers_;
   /// Hot-path allocation events (slot-pool or plan-buffer growth); see
   /// RuntimeStats::fold_buffer_growths.
   std::atomic<std::size_t> fold_buffer_growths_{0};
+  /// Whether the requested control-plane pinning fully applied (see
+  /// RuntimeConfig::pin_fold_workers). Set once in the constructor.
+  std::atomic<bool> pinning_applied_{false};
 
   /// Queued jobs dropped because their session was retired before the
   /// aggregation loop reached them.
@@ -354,7 +399,7 @@ class ConcurrentFleetServer {
   std::condition_variable pause_cv_;
 
   std::atomic<bool> stopped_{false};
-  std::thread aggregation_thread_;
+  std::vector<std::thread> planner_threads_;
 };
 
 }  // namespace fleet::runtime

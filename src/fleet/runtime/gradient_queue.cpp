@@ -8,7 +8,8 @@
 namespace fleet::runtime {
 
 GradientQueue::GradientQueue(std::size_t capacity, std::size_t shards,
-                             telemetry::Telemetry* telemetry)
+                             telemetry::Telemetry* telemetry,
+                             std::size_t groups)
     : capacity_(capacity), telemetry_(telemetry) {
   if (capacity == 0) {
     throw std::invalid_argument("GradientQueue: capacity must be >= 1");
@@ -16,9 +17,28 @@ GradientQueue::GradientQueue(std::size_t capacity, std::size_t shards,
   if (shards == 0) {
     throw std::invalid_argument("GradientQueue: shards must be >= 1");
   }
+  if (groups == 0) {
+    throw std::invalid_argument("GradientQueue: groups must be >= 1");
+  }
+  // Every group needs at least one shard of its own.
+  shards = std::max(shards, groups);
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  // Contiguous shard ranges per group; the first `shards % groups` groups
+  // absorb the remainder.
+  const std::size_t base = shards / groups;
+  const std::size_t rem = shards % groups;
+  std::size_t begin = 0;
+  groups_.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    auto group = std::make_unique<GroupState>();
+    group->shard_begin = begin;
+    group->shard_end = begin + base + (g < rem ? 1 : 0);
+    group->staged.resize(group->shard_end - group->shard_begin);
+    begin = group->shard_end;
+    groups_.push_back(std::move(group));
   }
   if (telemetry_ != nullptr) {
     admit_ns_ = telemetry_->metrics().histogram(
@@ -31,17 +51,17 @@ GradientQueue::GradientQueue(std::size_t capacity, std::size_t shards,
 }
 
 bool GradientQueue::try_push(GradientJob& job) {
-  const std::size_t start =
-      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
-      shards_.size();
-  return push_to_shard(job, start);
+  const std::size_t offset =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return push_to_shard(job, group_of(job.model_id), offset);
 }
 
 bool GradientQueue::try_push(GradientJob& job, std::size_t shard_hint) {
-  return push_to_shard(job, shard_hint % shards_.size());
+  return push_to_shard(job, group_of(job.model_id), shard_hint);
 }
 
-bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
+bool GradientQueue::push_to_shard(GradientJob& job, std::size_t group,
+                                  std::size_t group_offset) {
   // Observation only: the timestamps stamp the job and feed histograms;
   // nothing downstream ever branches on them.
   const std::uint64_t t0 = telemetry_ != nullptr ? telemetry_->now_ns() : 0;
@@ -49,7 +69,8 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
   if (closed_.load(std::memory_order_acquire)) return false;
   // Reserve a slot against the global bound first; undo on failure. The
   // reservation also keeps a consumer from concluding "closed and empty"
-  // while this push is mid-flight (wait_drain exits only at size() == 0).
+  // while this push is mid-flight (wait_drain exits only at group depth 0,
+  // so the group counter is reserved pre-land as well).
   const std::size_t depth = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (depth > capacity_) {
     size_.fetch_sub(1, std::memory_order_acq_rel);
@@ -64,8 +85,11 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
     }
     return false;
   }
+  GroupState& gs = *groups_[group];
+  const std::size_t gdepth = gs.size.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const std::size_t group_shards = gs.shard_end - gs.shard_begin;
+  Shard& shard = *shards_[gs.shard_begin + group_offset % group_shards];
   std::uint64_t ticket = 0;
-  Shard& shard = *shards_[start_shard];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     // Re-check under the shard lock: close() fences every shard after
@@ -74,12 +98,14 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
     // no job can be accepted into a queue nobody will ever drain.
     if (closed_.load(std::memory_order_acquire)) {
       size_.fetch_sub(1, std::memory_order_acq_rel);
+      gs.size.fetch_sub(1, std::memory_order_acq_rel);
       return false;
     }
     Item item;
     // Ticket drawn under the shard lock: jobs pushed sequentially by one
     // producer always carry increasing tickets, so a quiesced drain
-    // reproduces push order exactly.
+    // reproduces push order exactly — and each shard's deque stays
+    // ticket-sorted, which the bounded drain's snapshot relies on.
     ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
     job.ticket = ticket;
     job.enqueue_ns = t0;
@@ -98,6 +124,14 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
                                            std::memory_order_acq_rel,
                                            std::memory_order_relaxed)) {
   }
+  // Windowed group peak for the adaptive batcher — same transient
+  // over-count caveat as the global mark, same reasoning.
+  std::size_t gseen = gs.window_peak.load(std::memory_order_relaxed);
+  while (gdepth > gseen &&
+         !gs.window_peak.compare_exchange_weak(gseen, gdepth,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+  }
   if (telemetry_ != nullptr) {
     admitted_ctr_->add(1);
     admit_ns_->record(static_cast<double>(telemetry_->now_ns() - t0));
@@ -109,9 +143,9 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t start_shard) {
     telemetry_->tracer().emit(ev);
   }
   // Tap the wake mutex so a consumer that just evaluated "empty" and is
-  // about to sleep observes either the new size or the notification.
-  { std::lock_guard<std::mutex> lock(wake_mu_); }
-  wake_cv_.notify_one();
+  // about to sleep observes either the new group size or the notification.
+  { std::lock_guard<std::mutex> lock(gs.wake_mu); }
+  gs.wake_cv.notify_one();
   return true;
 }
 
@@ -138,56 +172,97 @@ void GradientQueue::note_drained(const std::vector<GradientJob>& out,
 }
 
 std::size_t GradientQueue::drain(std::vector<GradientJob>& out,
-                                 std::size_t max_batch) {
+                                 std::size_t max_batch, std::size_t group) {
+  GroupState& gs = *groups_[group];
   const std::size_t out_start = out.size();
+  // Ticket fence, read before any shard is sampled: only tickets < fence
+  // are eligible for this drain. A ticket is drawn inside its shard's
+  // critical section, so any draw this load observes belongs to a push
+  // whose critical section completes before we acquire that shard's lock
+  // below (coherence on next_ticket_ plus mutual exclusion) — the item is
+  // guaranteed visible. Conversely every draw after this load returns a
+  // ticket >= fence. Restricting the drain to tickets < fence therefore
+  // yields an exact admission-order prefix of the group while holding
+  // only ONE shard lock at a time — planners in other groups, and
+  // producers on other shards, never wait on this drain (DESIGN.md §13;
+  // the original bounded drain held every shard lock for the full merge).
+  const std::uint64_t fence = next_ticket_.load(std::memory_order_acquire);
   if (max_batch > 0) {
-    // Bounded pop: hold every shard lock at once and k-way merge the
-    // fronts. Each shard's deque is ticket-sorted (tickets are drawn under
-    // the shard lock at push), and with all locks held every drawn ticket
-    // is visible — a push racing with this drain will draw a *later*
-    // ticket once it gets its lock. Taking the `max_batch` smallest fronts
-    // therefore removes an exact admission-order prefix of the queue's
-    // contents, and tickets across successive bounded drains are globally
-    // increasing. The full-lock hold is fine on the consumer side: there
-    // is one consumer, and producers each take a single shard lock, so no
-    // lock-order cycle exists.
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(shards_.size());
-    for (auto& shard_ptr : shards_) locks.emplace_back(shard_ptr->mu);
+    // Phase 1 — snapshot: pop up to max_batch fenced items from each of
+    // the group's shards into consumer-owned staging runs. Deques are
+    // ticket-sorted, so fenced items are a front run.
+    const std::size_t group_shards = gs.shard_end - gs.shard_begin;
+    for (std::size_t i = 0; i < group_shards; ++i) {
+      std::vector<Item>& run = gs.staged[i];
+      run.clear();
+      Shard& shard = *shards_[gs.shard_begin + i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      while (run.size() < max_batch && !shard.items.empty() &&
+             shard.items.front().ticket < fence) {
+        run.push_back(std::move(shard.items.front()));
+        shard.items.pop_front();
+      }
+    }
+    // Phase 2 — merge outside every lock: take the max_batch globally
+    // smallest tickets across the staged runs.
+    std::vector<std::size_t> cursor(group_shards, 0);
     std::size_t taken = 0;
-    out.reserve(out.size() + std::min(max_batch, size()));
+    out.reserve(out.size() + max_batch);
     while (taken < max_batch) {
-      Shard* best = nullptr;
-      for (auto& shard_ptr : shards_) {
-        Shard& shard = *shard_ptr;
-        if (!shard.items.empty() &&
-            (best == nullptr ||
-             shard.items.front().ticket < best->items.front().ticket)) {
-          best = &shard;
+      std::size_t best = group_shards;
+      for (std::size_t i = 0; i < group_shards; ++i) {
+        if (cursor[i] < gs.staged[i].size() &&
+            (best == group_shards ||
+             gs.staged[i][cursor[i]].ticket <
+                 gs.staged[best][cursor[best]].ticket)) {
+          best = i;
         }
       }
-      if (best == nullptr) break;
-      out.push_back(std::move(best->items.front().job));
-      best->items.pop_front();
+      if (best == group_shards) break;
+      out.push_back(std::move(gs.staged[best][cursor[best]].job));
+      ++cursor[best];
       ++taken;
-      // Release capacity per popped item, like the unbounded path: a
-      // producer probing the bound should see space as soon as it exists
-      // (it then queues on its shard lock and lands, with a later ticket,
-      // after this merge) instead of eating spurious rejections for the
-      // whole merge window.
-      size_.fetch_sub(1, std::memory_order_acq_rel);
     }
-    locks.clear();  // telemetry tail runs outside every shard lock
+    // Release capacity for what was actually taken. Staged leftovers are
+    // still queued (returned below), so they keep their reservations.
+    if (taken > 0) {
+      size_.fetch_sub(taken, std::memory_order_acq_rel);
+      gs.size.fetch_sub(taken, std::memory_order_acq_rel);
+    }
+    // Phase 3 — return leftovers to their shard fronts, in reverse so each
+    // deque stays ticket-sorted. Safe against concurrent pushes: every
+    // leftover ticket is < fence, and anything appended since phase 1
+    // carries a ticket >= fence.
+    for (std::size_t i = 0; i < group_shards; ++i) {
+      std::vector<Item>& run = gs.staged[i];
+      if (cursor[i] >= run.size()) {
+        run.clear();
+        continue;
+      }
+      Shard& shard = *shards_[gs.shard_begin + i];
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (std::size_t j = run.size(); j-- > cursor[i];) {
+          shard.items.push_front(std::move(run[j]));
+        }
+      }
+      run.clear();
+    }
     note_drained(out, out_start);
     return taken;
   }
+  // Unbounded sweep: take every fenced item, shard by shard, then restore
+  // global ticket order with one sort. The fence keeps this an exact
+  // admission-order prefix too; anything pushed mid-sweep (ticket >=
+  // fence) is left for the next drain, which wait_drain's loop picks up.
   std::vector<Item> taken;
-  for (auto& shard_ptr : shards_) {
-    Shard& shard = *shard_ptr;
+  std::size_t group_taken = 0;
+  for (std::size_t s = gs.shard_begin; s < gs.shard_end; ++s) {
+    Shard& shard = *shards_[s];
     std::size_t from_shard = 0;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
-      while (!shard.items.empty()) {
+      while (!shard.items.empty() && shard.items.front().ticket < fence) {
         taken.push_back(std::move(shard.items.front()));
         shard.items.pop_front();
         ++from_shard;
@@ -197,9 +272,11 @@ std::size_t GradientQueue::drain(std::vector<GradientJob>& out,
     // producer probing the bound should see space as soon as it exists.
     if (from_shard > 0) {
       size_.fetch_sub(from_shard, std::memory_order_acq_rel);
+      group_taken += from_shard;
     }
   }
   if (taken.empty()) return 0;
+  gs.size.fetch_sub(group_taken, std::memory_order_acq_rel);
   std::sort(taken.begin(), taken.end(),
             [](const Item& a, const Item& b) { return a.ticket < b.ticket; });
   out.reserve(out.size() + taken.size());
@@ -211,22 +288,36 @@ std::size_t GradientQueue::drain(std::vector<GradientJob>& out,
 }
 
 std::size_t GradientQueue::wait_drain(std::vector<GradientJob>& out,
-                                      std::size_t max_batch) {
+                                      std::size_t max_batch,
+                                      std::size_t group) {
+  GroupState& gs = *groups_[group];
   while (true) {
-    const std::size_t taken = drain(out, max_batch);
+    const std::size_t taken = drain(out, max_batch, group);
     if (taken > 0) return taken;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
-      return size_.load(std::memory_order_acquire) > 0 ||
+    std::unique_lock<std::mutex> lock(gs.wake_mu);
+    gs.wake_cv.wait(lock, [this, &gs] {
+      return gs.size.load(std::memory_order_acquire) > 0 ||
              closed_.load(std::memory_order_acquire);
     });
     if (closed_.load(std::memory_order_acquire) &&
-        size_.load(std::memory_order_acquire) == 0) {
-      // Closed and nothing left: one final sweep in case a producer won the
-      // race between our drain and close().
-      return drain(out, max_batch);
+        gs.size.load(std::memory_order_acquire) == 0) {
+      // Closed and nothing left in this group: one final sweep in case a
+      // producer won the race between our drain and close().
+      return drain(out, max_batch, group);
     }
   }
+}
+
+std::size_t GradientQueue::take_group_depth_peak(std::size_t group) {
+  GroupState& gs = *groups_[group];
+  // Re-arm the window at the current depth: a standing backlog keeps the
+  // next window's peak at least that deep, while a fully absorbed burst
+  // resets to zero. The max with `current` covers a drain that emptied the
+  // group between the two loads.
+  const std::size_t current = gs.size.load(std::memory_order_acquire);
+  const std::size_t peak =
+      gs.window_peak.exchange(current, std::memory_order_acq_rel);
+  return std::max(peak, current);
 }
 
 std::vector<std::size_t> GradientQueue::shard_depths() const {
@@ -248,8 +339,10 @@ void GradientQueue::close() {
   for (auto& shard_ptr : shards_) {
     std::lock_guard<std::mutex> lock(shard_ptr->mu);
   }
-  { std::lock_guard<std::mutex> lock(wake_mu_); }
-  wake_cv_.notify_all();
+  for (auto& group_ptr : groups_) {
+    { std::lock_guard<std::mutex> lock(group_ptr->wake_mu); }
+    group_ptr->wake_cv.notify_all();
+  }
 }
 
 }  // namespace fleet::runtime

@@ -16,19 +16,20 @@
 
 namespace fleet::runtime {
 
-/// One gradient in flight from a worker to the aggregation thread (Fig 2,
+/// One gradient in flight from a worker to a planner thread (Fig 2,
 /// step 5, decoupled in time). Unlike the serial path's span-based
 /// `learning::WorkerUpdate`, the job *owns* its gradient buffer: the
 /// producer hands the vector it already computed into (zero extra copies)
-/// and the aggregation thread folds it into the accumulator later, after
+/// and the planner folds it into the accumulator later, after
 /// the producer has moved on. Staleness is deliberately NOT a field — it
-/// is computed by the aggregation thread against the logical clock at
+/// is computed by the planner against the logical clock at
 /// *processing* time, which is what keeps tau exact under queueing
 /// (DESIGN.md §6).
 struct GradientJob {
   /// Learning task this gradient belongs to: the ingest queue is shared by
-  /// every registered model and the aggregation loop demultiplexes each
-  /// drain batch by this id (DESIGN.md §7).
+  /// every registered model and the planner loop demultiplexes each
+  /// drain batch by this id (DESIGN.md §7). It also selects the planner
+  /// group the job is routed to (DESIGN.md §13).
   core::ModelId model_id = core::kDefaultModelId;
   std::size_t task_version = 0;            // t_i the gradient was computed at
   std::vector<float> gradient;             // owned; moved, never copied
@@ -47,16 +48,23 @@ struct GradientJob {
   std::uint64_t enqueue_ns = 0;
 };
 
-/// Bounded, sharded multi-producer single-consumer queue feeding the
-/// aggregation thread (DESIGN.md §6).
+/// Bounded, sharded multi-producer queue feeding the planner threads
+/// (DESIGN.md §6, §13).
 ///
-/// Producers spread across `shards` independently locked rings (selected by
-/// producer thread hash, overridable with a hint), so under N-thread ingest
-/// they contend pairwise instead of on one global lock. Every push takes a
-/// global admission ticket; the consumer's drain merges all shards and
-/// returns jobs in ticket order, so a quiesced queue always drains in exact
-/// push order (what makes `ParallelFleet` runs reproducible) and concurrent
-/// drains are FIFO per producer.
+/// Producers spread across `shards` independently locked rings, so under
+/// N-thread ingest they contend pairwise instead of on one global lock.
+/// The shards are partitioned into `groups` contiguous *planner groups*;
+/// a job routes to group `model_id % groups` (and to a shard within the
+/// group by producer thread hash, overridable with a hint). Each group
+/// has exactly one consumer — its planner thread — so the single-consumer
+/// drain contract of the original design holds per group, while different
+/// groups drain fully in parallel.
+///
+/// Every push takes a host-global admission ticket; a group drain returns
+/// jobs in ticket order and removes an exact admission-order prefix of
+/// the group's contents, so each session (pinned to one group by its id)
+/// still observes the exact host-global admission order of its own jobs —
+/// the invariant the determinism matrix checks bitwise (DESIGN.md §13).
 ///
 /// The bound is global: when `size() == capacity`, try_push refuses and the
 /// caller surfaces backpressure (the runtime turns this into a rejected
@@ -65,37 +73,45 @@ struct GradientJob {
 class GradientQueue {
  public:
   /// `capacity`: global bound on queued jobs (>= 1).
-  /// `shards`: independently locked sub-queues (>= 1).
+  /// `shards`: independently locked sub-queues (>= 1; raised to `groups`
+  /// when smaller so every group owns at least one shard).
   /// `telemetry`: optional observability sink (owned by the caller,
   /// outliving the queue). When set, the queue records admission latency
   /// ("queue.admit_ns") and per-gradient queue wait ("queue.wait_ns")
   /// histograms and emits submit/reject/dequeue lifecycle trace events.
+  /// `groups`: planner groups (>= 1), one consumer thread per group.
   GradientQueue(std::size_t capacity, std::size_t shards = 8,
-                telemetry::Telemetry* telemetry = nullptr);
+                telemetry::Telemetry* telemetry = nullptr,
+                std::size_t groups = 1);
 
-  /// Enqueue, sharded by producer thread hash. Consumes `job` (moves from
-  /// it) only on success; on a full or closed queue returns false and
-  /// leaves `job` intact so the caller can retry or drop it.
+  /// Enqueue, sharded by producer thread hash within the job's planner
+  /// group. Consumes `job` (moves from it) only on success; on a full or
+  /// closed queue returns false and leaves `job` intact so the caller can
+  /// retry or drop it.
   bool try_push(GradientJob& job);
 
-  /// Enqueue into the shard `shard_hint % shards()` — for producers that
-  /// want a stable shard (e.g. one shard per driver thread).
+  /// Enqueue into shard `shard_hint % <group shard count>` of the job's
+  /// group — for producers that want a stable shard (e.g. one shard per
+  /// driver thread).
   bool try_push(GradientJob& job, std::size_t shard_hint);
 
-  /// Consumer side: append queued jobs to `out` in admission-ticket order
-  /// and return how many were taken. `max_batch` bounds one drain (0 =
-  /// take everything): a bounded drain removes exactly the `max_batch`
-  /// globally smallest tickets, so successive bounded drains still consume
-  /// the queue in exact admission order — what keeps staleness and the
-  /// fold sequence deterministic under batched aggregation. Blocks while
-  /// the queue is empty and open; returns 0 only once the queue is closed
-  /// *and* drained.
+  /// Consumer side: append `group`'s queued jobs to `out` in
+  /// admission-ticket order and return how many were taken. At most one
+  /// thread may drain a given group (the group's planner); different
+  /// groups drain concurrently. `max_batch` bounds one drain (0 = take
+  /// everything): a bounded drain removes exactly the `max_batch`
+  /// globally smallest tickets of the group, so successive bounded drains
+  /// still consume the group in exact admission order — what keeps
+  /// staleness and the fold sequence deterministic under batched
+  /// aggregation. Blocks while the group is empty and the queue open;
+  /// returns 0 only once the queue is closed *and* the group drained.
   std::size_t wait_drain(std::vector<GradientJob>& out,
-                         std::size_t max_batch = 0);
+                         std::size_t max_batch = 0, std::size_t group = 0);
 
   /// Non-blocking drain (same ordering and `max_batch` contract); returns
   /// the number taken.
-  std::size_t drain(std::vector<GradientJob>& out, std::size_t max_batch = 0);
+  std::size_t drain(std::vector<GradientJob>& out, std::size_t max_batch = 0,
+                    std::size_t group = 0);
 
   /// Close the queue: further pushes fail, wait_drain() returns what's left
   /// and then 0. Idempotent.
@@ -105,11 +121,23 @@ class GradientQueue {
   std::size_t size() const { return size_.load(std::memory_order_acquire); }
   std::size_t capacity() const { return capacity_; }
   std::size_t shard_count() const { return shards_.size(); }
+  std::size_t group_count() const { return groups_.size(); }
+
+  /// The planner group a model's jobs route to. Sessions map to groups by
+  /// id, so a session's entire stream is consumed by exactly one planner.
+  std::size_t group_of(core::ModelId model_id) const {
+    return static_cast<std::size_t>(model_id) % groups_.size();
+  }
 
   /// Occupancy gauge: queued-but-undrained jobs right now. Same value as
   /// size() (which exists for the capacity check); named for monitoring
   /// surfaces — ConcurrentFleetServer::stats() exports it.
   std::size_t depth() const { return size(); }
+
+  /// One group's occupancy (reservation-counted, like depth()).
+  std::size_t group_depth(std::size_t group) const {
+    return groups_[group]->size.load(std::memory_order_acquire);
+  }
 
   /// High-water-mark gauge: the deepest the queue has ever been (depth
   /// observed right after a successful push). Monotone; never reset by
@@ -118,6 +146,14 @@ class GradientQueue {
   std::size_t max_depth_seen() const {
     return max_depth_.load(std::memory_order_acquire);
   }
+
+  /// Windowed counterpart of max_depth_seen() for one group, owned by the
+  /// adaptive drain batcher (DESIGN.md §13): returns the deepest the group
+  /// has been since the previous take and re-arms the window at the
+  /// group's *current* depth — so a standing backlog keeps reading deep
+  /// while an absorbed burst decays immediately, which a monotone
+  /// high-water mark cannot express. Call from the group's consumer.
+  std::size_t take_group_depth_peak(std::size_t group);
 
   /// Per-shard occupancy, one entry per ingest shard. Each shard is read
   /// under its own lock, shard by shard — a monitoring poll never holds
@@ -146,8 +182,24 @@ class GradientQueue {
     std::mutex mu;
     std::deque<Item> items;
   };
+  /// One planner group: a contiguous shard range plus its consumer wakeup
+  /// channel and occupancy counters. Cache-line separated like shards.
+  struct alignas(64) GroupState {
+    std::size_t shard_begin = 0;
+    std::size_t shard_end = 0;  // exclusive
+    std::atomic<std::size_t> size{0};
+    std::atomic<std::size_t> window_peak{0};
+    // Consumer wakeup. Producers tap the mutex (empty critical section)
+    // before notifying so a sleeping consumer can't miss the signal.
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    /// Consumer-owned staging runs for the snapshot-then-merge bounded
+    /// drain (one per shard of the group, capacity reused across drains).
+    std::vector<std::vector<Item>> staged;
+  };
 
-  bool push_to_shard(GradientJob& job, std::size_t start_shard);
+  bool push_to_shard(GradientJob& job, std::size_t group,
+                     std::size_t group_offset);
   /// Telemetry tail of a drain: queue-wait observations + dequeue events
   /// for out[from..), stamped against one clock read.
   void note_drained(const std::vector<GradientJob>& out, std::size_t from);
@@ -159,15 +211,12 @@ class GradientQueue {
   telemetry::Counter* admitted_ctr_ = nullptr;
   telemetry::Counter* rejected_ctr_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<GroupState>> groups_;
   std::atomic<std::size_t> size_{0};
   std::atomic<std::size_t> max_depth_{0};
   std::atomic<std::uint64_t> next_ticket_{0};
   std::atomic<std::size_t> rejected_{0};
   std::atomic<bool> closed_{false};
-  // Consumer wakeup. Producers tap the mutex (empty critical section)
-  // before notifying so a sleeping consumer can't miss the signal.
-  mutable std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
 };
 
 }  // namespace fleet::runtime

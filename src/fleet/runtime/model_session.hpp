@@ -73,6 +73,20 @@ struct RuntimeStats {
   /// True once the raw trace vectors above hit the trace capacity and
   /// stopped recording (counters and histograms are still exact).
   bool traces_truncated = false;
+  /// Host-wide control plane (DESIGN.md §13): how many planner threads
+  /// drive this host (sessions shard across them by id).
+  std::size_t planner_threads = 1;
+  /// Whether the control-plane pinning requested via
+  /// RuntimeConfig::pin_fold_workers fully applied. False when pinning was
+  /// never requested, the platform doesn't support affinity, or any
+  /// individual pin was refused (the host then logged one warning and
+  /// bumped the "server.pinning_fallback" counter).
+  bool pinning_applied = false;
+  /// Adaptive drain batching (empty/zero while the controller is off):
+  /// each planner's current batch limit, and total controller decisions.
+  std::vector<std::size_t> planner_batch_limits;
+  std::size_t adaptive_widenings = 0;
+  std::size_t adaptive_narrowings = 0;
 };
 
 /// Everything one learning task owns on a multi-tenant serving host

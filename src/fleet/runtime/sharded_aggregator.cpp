@@ -3,37 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fleet/runtime/topology.hpp"
 #include "fleet/tensor/ops.hpp"
-
-#if defined(__linux__)
-#include <pthread.h>
-#include <sched.h>
-#endif
 
 namespace fleet::runtime {
 
-namespace {
-
-/// Best-effort CPU pinning for a pool worker; silently a no-op where the
-/// platform (or the cpuset) refuses. Worker threads run spans 1..S-1, so
-/// worker w is placed on CPU w+1, leaving CPU 0 to the coordinator lane.
-/// Oversubscribed pools (cpu beyond the machine) stay unpinned rather
-/// than stacking hard-pinned workers on the coordinator's CPU.
-void pin_to_cpu([[maybe_unused]] std::thread& worker,
-                [[maybe_unused]] std::size_t cpu) {
-#if defined(__linux__)
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0 || cpu >= hw) return;
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  CPU_SET(static_cast<int>(cpu), &set);
-  pthread_setaffinity_np(worker.native_handle(), sizeof(set), &set);
-#endif
-}
-
-}  // namespace
-
-ShardedAggregator::ShardedAggregator(std::size_t shards, bool pin_workers,
+ShardedAggregator::ShardedAggregator(std::size_t shards,
+                                     std::vector<int> worker_cpus,
                                      telemetry::Telemetry* telemetry)
     : shards_(shards), telemetry_(telemetry) {
   if (shards == 0) {
@@ -45,11 +21,18 @@ ShardedAggregator::ShardedAggregator(std::size_t shards, bool pin_workers,
     pending_ = telemetry_->metrics().gauge("pool.pending");
   }
   // Workers for spans 1..S-1; the coordinator is the pool's S-th lane
-  // while it waits (shards == 1 spawns no threads at all).
+  // while it waits (shards == 1 spawns no threads at all). Worker w is
+  // lane w + 1 for span affinity. Pinning is best-effort per the
+  // placement plan; a refused pin (unsupported platform, CPU outside the
+  // cpuset) leaves the worker where the scheduler puts it.
   workers_.reserve(shards - 1);
   for (std::size_t s = 1; s < shards; ++s) {
-    workers_.emplace_back([this] { worker_loop(); });
-    if (pin_workers) pin_to_cpu(workers_.back(), s);
+    workers_.emplace_back([this, s] { worker_loop(s); });
+    const std::size_t w = s - 1;
+    if (w < worker_cpus.size() && worker_cpus[w] >= 0 &&
+        pin_thread_to_cpu(workers_.back().native_handle(), worker_cpus[w])) {
+      ++pinned_workers_;
+    }
   }
 }
 
@@ -95,13 +78,29 @@ void ShardedAggregator::run_task(const FoldTask& task) {
   }
 }
 
-bool ShardedAggregator::run_one() {
+bool ShardedAggregator::run_one(std::size_t lane) {
   FoldTask task;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (tasks_.empty()) return false;
-    task = tasks_.front();
-    tasks_.pop_front();
+    std::size_t pick = 0;
+    if (lane != kAnyLane) {
+      // Span affinity: prefer a task whose span index maps to this lane,
+      // so each arena slice keeps returning to the same worker (and its
+      // cache / NUMA node under placement pinning). The scan is bounded —
+      // affinity is a hint, not a guarantee — and a lane with no affine
+      // task falls back to the front, which keeps the pool
+      // work-conserving: no task waits for "its" lane while others idle.
+      const std::size_t scan = std::min<std::size_t>(tasks_.size(), 32);
+      for (std::size_t i = 0; i < scan; ++i) {
+        if (tasks_[i].span_index % shards_ == lane) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    task = tasks_[pick];
+    tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(pick));
     ++active_;
   }
   if (telemetry_ != nullptr) {
@@ -134,7 +133,7 @@ bool ShardedAggregator::run_one() {
   return true;
 }
 
-void ShardedAggregator::worker_loop() {
+void ShardedAggregator::worker_loop(std::size_t lane) {
   while (true) {
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -143,7 +142,7 @@ void ShardedAggregator::worker_loop() {
     }
     // The lock was dropped between the wake-up and the pop — run_one()
     // re-checks and simply finds the queue empty when another lane won.
-    run_one();
+    run_one(lane);
   }
 }
 
@@ -183,15 +182,15 @@ void ShardedAggregator::submit(const FoldContext& ctx,
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!ctx.spans.empty()) {
-      for (const FoldSpan& span : ctx.spans) {
-        tasks_.push_back(FoldTask{ctx, plan, span, &latch});
+      for (std::size_t i = 0; i < ctx.spans.size(); ++i) {
+        tasks_.push_back(FoldTask{ctx, plan, ctx.spans[i], i, &latch});
         ++armed;
       }
     } else {
       for (std::size_t s = 0; s < shards_; ++s) {
         const auto [begin, end] = span_of(ctx.parameters.size(), shards_, s);
         if (begin >= end) continue;
-        tasks_.push_back(FoldTask{ctx, plan, FoldSpan{begin, end}, &latch});
+        tasks_.push_back(FoldTask{ctx, plan, FoldSpan{begin, end}, s, &latch});
         ++armed;
       }
     }
@@ -220,7 +219,7 @@ void ShardedAggregator::wait(FoldLatch& latch) {
   // another session's span can only help resolve the pool sooner) and only
   // sleep once the queue is empty and our latch is still pending.
   while (!latch.done()) {
-    if (run_one()) continue;
+    if (run_one(kAnyLane)) continue;
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return latch.done() || !tasks_.empty(); });
   }

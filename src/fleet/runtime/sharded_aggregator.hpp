@@ -108,12 +108,14 @@ class FoldLatch {
 class ShardedAggregator {
  public:
   /// `shards` >= 1; one worker thread is spawned per shard beyond the
-  /// first. `pin_workers` best-effort pins worker s to CPU s
-  /// (Linux only; the first step toward NUMA-aware placement — see
+  /// first. `worker_cpus` is the placement plan for those workers: entry w
+  /// best-effort pins worker w to that CPU (Linux only; -1 or a missing
+  /// entry leaves the worker unpinned — see `plan_placement()` and
   /// RuntimeConfig::pin_fold_workers). `telemetry` (optional, caller-owned,
   /// outliving the pool) records per-task fold latency ("pool.task_ns"),
   /// pool occupancy ("pool.pending" gauge) and per-task trace spans.
-  explicit ShardedAggregator(std::size_t shards, bool pin_workers = false,
+  explicit ShardedAggregator(std::size_t shards,
+                             std::vector<int> worker_cpus = {},
                              telemetry::Telemetry* telemetry = nullptr);
   ~ShardedAggregator();
 
@@ -139,6 +141,15 @@ class ShardedAggregator {
   void execute(const FoldContext& ctx, std::span<const FoldOp> plan);
 
   std::size_t shard_count() const { return shards_; }
+
+  /// How many worker threads the pool runs (shards - 1).
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// How many workers the constructor's placement plan actually pinned.
+  /// Equal to the number of non-negative `worker_cpus` entries only when
+  /// every requested pin succeeded — the server folds this into
+  /// RuntimeStats::pinning_applied (DESIGN.md §13).
+  std::size_t pinned_workers() const { return pinned_workers_; }
 
   /// The contiguous [begin, end) slice shard `s` owns of an arena with
   /// `param_count` elements split `shards` ways — the partition submit()
@@ -168,13 +179,22 @@ class ShardedAggregator {
     FoldContext ctx;
     std::span<const FoldOp> plan;
     FoldSpan span;
+    /// Position of `span` in its plan's partition — the span-affinity key:
+    /// worker lane `l` prefers tasks with span_index % shards == l + 1, so
+    /// a given arena slice is folded by the same (pinned) worker across
+    /// plans and stays hot in that core's cache / NUMA node.
+    std::size_t span_index = 0;
     FoldLatch* latch = nullptr;
   };
 
-  /// Pop and run one queued task; false when the queue was empty.
-  bool run_one();
+  /// Lane id passed by waiters (coordinator lanes): take the queue front.
+  static constexpr std::size_t kAnyLane = static_cast<std::size_t>(-1);
+
+  /// Pop and run one queued task, preferring the lane's affine spans;
+  /// false when the queue was empty.
+  bool run_one(std::size_t lane);
   static void run_task(const FoldTask& task);
-  void worker_loop();
+  void worker_loop(std::size_t lane);
 
   std::size_t shards_;
   telemetry::Telemetry* telemetry_ = nullptr;  // optional, caller-owned
@@ -193,6 +213,7 @@ class ShardedAggregator {
   std::size_t tasks_executed_ = 0;
   std::size_t peak_pending_ = 0;
   bool stopping_ = false;
+  std::size_t pinned_workers_ = 0;
   std::vector<std::thread> workers_;
 };
 

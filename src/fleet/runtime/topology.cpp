@@ -1,0 +1,159 @@
+#include "fleet/runtime/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace fleet::runtime {
+
+namespace {
+
+// Parse a non-negative integer out of [pos, end); returns -1 on no digits
+// or overflow-ish lengths (cpulist entries are small).
+int parse_int(const std::string& s, std::size_t& pos) {
+  std::size_t start = pos;
+  long value = 0;
+  while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    value = value * 10 + (s[pos] - '0');
+    if (value > 1'000'000) return -1;  // no machine has a million CPUs
+    ++pos;
+  }
+  if (pos == start) return -1;
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Skip separators and whitespace between chunks.
+    while (pos < text.size() &&
+           (text[pos] == ',' ||
+            std::isspace(static_cast<unsigned char>(text[pos])))) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    const int lo = parse_int(text, pos);
+    if (lo < 0) {
+      // Malformed chunk: skip to the next comma and keep going.
+      while (pos < text.size() && text[pos] != ',') ++pos;
+      continue;
+    }
+    int hi = lo;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      hi = parse_int(text, pos);
+      if (hi < lo) {
+        while (pos < text.size() && text[pos] != ',') ++pos;
+        continue;
+      }
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+CpuTopology single_node_topology() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  CpuTopology topo;
+  topo.nodes.push_back(TopologyNode{});
+  topo.nodes.back().cpus.reserve(hw);
+  for (unsigned c = 0; c < hw; ++c) {
+    topo.nodes.back().cpus.push_back(static_cast<int>(c));
+  }
+  return topo;
+}
+
+CpuTopology discover_topology(const std::string& node_dir) {
+  CpuTopology topo;
+  // Probe node0, node1, ... until the first gap. Sysfs numbers online
+  // nodes densely enough for placement purposes; a sparse layout just
+  // means we see a prefix, which still beats the single-node fallback.
+  for (int id = 0; id < 4096; ++id) {
+    std::ostringstream path;
+    path << node_dir << "/node" << id << "/cpulist";
+    std::ifstream in(path.str());
+    if (!in.is_open()) break;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::vector<int> cpus = parse_cpulist(text);
+    if (cpus.empty()) continue;  // memory-only node: no CPUs to place on
+    TopologyNode node;
+    node.id = id;
+    node.cpus = std::move(cpus);
+    topo.nodes.push_back(std::move(node));
+  }
+  if (topo.nodes.empty() || topo.cpu_count() == 0) {
+    return single_node_topology();
+  }
+  return topo;
+}
+
+CpuTopology discover_topology() {
+#if defined(__linux__)
+  return discover_topology("/sys/devices/system/node");
+#else
+  return single_node_topology();
+#endif
+}
+
+PlacementPlan plan_placement(const CpuTopology& topo, std::size_t planners,
+                             std::size_t fold_workers) {
+  PlacementPlan plan;
+  plan.planner_cpus.assign(planners, -1);
+  plan.fold_worker_cpus.assign(fold_workers, -1);
+  if (topo.nodes.empty() || topo.cpu_count() == 0) return plan;
+
+  // Round-robin thread k of each kind onto node k % nodes; each node
+  // hands out its CPUs in order, wrapping when oversubscribed. Planners
+  // are placed first so fold workers land after them on each node — on a
+  // single node that is planner 0 → CPU 0, workers → CPU 1.. as before.
+  std::vector<std::size_t> cursor(topo.nodes.size(), 0);
+  auto take = [&](std::size_t node_idx) {
+    const auto& cpus = topo.nodes[node_idx].cpus;
+    const int cpu = cpus[cursor[node_idx] % cpus.size()];
+    ++cursor[node_idx];
+    return cpu;
+  };
+  for (std::size_t p = 0; p < planners; ++p) {
+    plan.planner_cpus[p] = take(p % topo.nodes.size());
+  }
+  for (std::size_t w = 0; w < fold_workers; ++w) {
+    plan.fold_worker_cpus[w] = take(w % topo.nodes.size());
+  }
+  return plan;
+}
+
+bool affinity_supported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool pin_thread_to_cpu(std::thread::native_handle_type handle, int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+#else
+  (void)handle;
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace fleet::runtime

@@ -1,0 +1,79 @@
+#pragma once
+
+// CPU topology discovery and control-plane placement (DESIGN.md §13).
+//
+// The aggregation control plane has three kinds of threads that benefit
+// from staying put: planner threads (drain + plan_submit), fold workers
+// (span-parallel folds), and — implicitly — the arena spans each fold
+// worker keeps hot in its cache. `discover_topology()` reads the NUMA
+// layout from sysfs (with a graceful single-node fallback on non-Linux
+// hosts or restricted containers) and `plan_placement()` turns it into a
+// concrete CPU list that co-places planner p with the fold lanes that
+// serve its sessions on the same node.
+//
+// Everything here is best-effort: a failed pin degrades to the unpinned
+// behavior the runtime always had, never to an error.
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fleet::runtime {
+
+/// One NUMA node's online CPUs, as read from
+/// /sys/devices/system/node/node<id>/cpulist.
+struct TopologyNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+struct CpuTopology {
+  std::vector<TopologyNode> nodes;
+
+  std::size_t cpu_count() const {
+    std::size_t n = 0;
+    for (const auto& node : nodes) n += node.cpus.size();
+    return n;
+  }
+  bool multi_node() const { return nodes.size() > 1; }
+};
+
+/// Parse a sysfs cpulist string ("0-3,8,10-11") into CPU indices.
+/// Malformed or empty chunks are skipped; an unparsable string yields an
+/// empty vector so callers fall back. Exposed for unit tests.
+std::vector<int> parse_cpulist(const std::string& text);
+
+/// One node spanning CPUs 0..hardware_concurrency-1 (at least one CPU).
+CpuTopology single_node_topology();
+
+/// Discover the host topology from `node_dir` (normally
+/// /sys/devices/system/node). Any failure — non-Linux, missing sysfs,
+/// unparsable cpulist files — degrades to `single_node_topology()`.
+CpuTopology discover_topology(const std::string& node_dir);
+CpuTopology discover_topology();
+
+/// Concrete CPU assignment for the control plane. Entry i of
+/// `planner_cpus` is planner i's CPU; entry w of `fold_worker_cpus` is
+/// fold worker w's. -1 means "leave unpinned".
+struct PlacementPlan {
+  std::vector<int> planner_cpus;
+  std::vector<int> fold_worker_cpus;
+};
+
+/// Co-place planners and fold workers: thread k of either kind goes to
+/// node k % nodes, taking the node's next unused CPU (wrapping when the
+/// node is oversubscribed). On a single node this reduces to planners on
+/// CPUs 0..P-1 and fold workers on the CPUs after them — the PR 5
+/// affinity layout, generalized.
+PlacementPlan plan_placement(const CpuTopology& topo, std::size_t planners,
+                             std::size_t fold_workers);
+
+/// True when this build can express CPU affinity at all (Linux).
+bool affinity_supported();
+
+/// Best-effort pin. Returns false when unsupported, when `cpu` is
+/// negative, or when the kernel refuses (e.g. CPU outside the cpuset).
+bool pin_thread_to_cpu(std::thread::native_handle_type handle, int cpu);
+
+}  // namespace fleet::runtime

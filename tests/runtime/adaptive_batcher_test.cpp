@@ -1,0 +1,142 @@
+#include "fleet/runtime/adaptive_batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace fleet::runtime {
+namespace {
+
+AdaptiveBatchConfig small_config() {
+  AdaptiveBatchConfig config;
+  config.enabled = true;
+  config.min_batch = 8;
+  config.max_batch = 32;
+  config.window = 2;
+  config.hysteresis = 2;
+  // Defaults: widen when peak > 1.0x limit; narrow when peak < 0.25x limit
+  // and mean fill < 0.5x limit.
+  return config;
+}
+
+/// Feed one full control window of identical (taken, depth_peak) drains.
+void feed_window(AdaptiveBatcher& batcher, std::size_t taken,
+                 std::size_t depth_peak, std::size_t window = 2) {
+  for (std::size_t d = 0; d < window; ++d) batcher.observe(taken, depth_peak);
+}
+
+TEST(AdaptiveBatcherTest, InitialLimitClampsIntoConfiguredRange) {
+  const AdaptiveBatchConfig config = small_config();
+  EXPECT_EQ(AdaptiveBatcher(config, 1000).limit(), 32u);
+  EXPECT_EQ(AdaptiveBatcher(config, 0).limit(), 8u);
+  EXPECT_EQ(AdaptiveBatcher(config, 16).limit(), 16u);
+}
+
+TEST(AdaptiveBatcherTest, WidensAfterHysteresisWindowsOfBacklog) {
+  AdaptiveBatcher batcher(small_config(), 8);
+
+  // One overloaded window is not enough: hysteresis is 2.
+  feed_window(batcher, 8, 16);
+  EXPECT_EQ(batcher.limit(), 8u);
+  EXPECT_EQ(batcher.stats().widenings, 0u);
+
+  // The second consecutive widen vote doubles the limit.
+  feed_window(batcher, 8, 16);
+  EXPECT_EQ(batcher.limit(), 16u);
+  EXPECT_EQ(batcher.stats().widenings, 1u);
+
+  // Still overloaded relative to the new limit: doubles again, to the cap.
+  feed_window(batcher, 16, 64);
+  feed_window(batcher, 16, 64);
+  EXPECT_EQ(batcher.limit(), 32u);
+  EXPECT_EQ(batcher.stats().widenings, 2u);
+
+  // At max_batch further widen votes are no-ops (and not counted).
+  feed_window(batcher, 32, 128);
+  feed_window(batcher, 32, 128);
+  EXPECT_EQ(batcher.limit(), 32u);
+  EXPECT_EQ(batcher.stats().widenings, 2u);
+}
+
+TEST(AdaptiveBatcherTest, NarrowsWhenQueueStaysShallowAndBatchesRunEmpty) {
+  AdaptiveBatcher batcher(small_config(), 32);
+
+  // Idle host: zero depth peaks and near-empty batches.
+  feed_window(batcher, 1, 0);
+  EXPECT_EQ(batcher.limit(), 32u);
+  feed_window(batcher, 1, 0);
+  EXPECT_EQ(batcher.limit(), 16u);
+  EXPECT_EQ(batcher.stats().narrowings, 1u);
+
+  feed_window(batcher, 1, 0);
+  feed_window(batcher, 1, 0);
+  EXPECT_EQ(batcher.limit(), 8u);
+
+  // Floor: min_batch holds.
+  feed_window(batcher, 0, 0);
+  feed_window(batcher, 0, 0);
+  EXPECT_EQ(batcher.limit(), 8u);
+  EXPECT_EQ(batcher.stats().narrowings, 2u);
+}
+
+TEST(AdaptiveBatcherTest, ShallowQueueWithFullBatchesDoesNotNarrow) {
+  // Depth peak under the narrow threshold, but every drain comes back
+  // full — steady drip exactly keeping up. Narrowing would add latency.
+  AdaptiveBatcher batcher(small_config(), 32);
+  for (int w = 0; w < 6; ++w) feed_window(batcher, 32, 4);
+  EXPECT_EQ(batcher.limit(), 32u);
+  EXPECT_EQ(batcher.stats().narrowings, 0u);
+}
+
+TEST(AdaptiveBatcherTest, HoldWindowResetsTheStreak) {
+  AdaptiveBatcher batcher(small_config(), 8);
+
+  feed_window(batcher, 8, 16);   // widen vote (streak 1)
+  feed_window(batcher, 8, 8);    // peak == limit: hold, streak resets
+  feed_window(batcher, 8, 16);   // widen vote (streak 1 again)
+  EXPECT_EQ(batcher.limit(), 8u);
+  EXPECT_EQ(batcher.stats().widenings, 0u);
+
+  // An opposing vote also restarts the streak in the other direction.
+  feed_window(batcher, 0, 0);    // narrow vote (streak -1)
+  feed_window(batcher, 8, 16);   // widen vote (streak flips to +1)
+  feed_window(batcher, 8, 16);   // second widen in a row: acts
+  EXPECT_EQ(batcher.limit(), 16u);
+}
+
+TEST(AdaptiveBatcherTest, CountsWindowsAndExposesStats) {
+  AdaptiveBatcher batcher(small_config(), 8);
+  feed_window(batcher, 8, 16);
+  feed_window(batcher, 8, 16);
+  feed_window(batcher, 0, 0);
+  const AdaptiveBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.windows, 3u);
+  EXPECT_EQ(stats.limit, 16u);
+  EXPECT_EQ(stats.widenings, 1u);
+  EXPECT_EQ(stats.narrowings, 0u);
+}
+
+TEST(AdaptiveBatcherTest, ScheduleIsAPureFunctionOfTheCounterStream) {
+  // Counters-not-clocks (§11): the same observation sequence must produce
+  // the same limit trace every time — nothing time-dependent feeds the
+  // controller. This is what lets the determinism matrix pin the adaptive
+  // schedule.
+  const std::vector<std::pair<std::size_t, std::size_t>> stream = {
+      {8, 16}, {8, 12}, {8, 20}, {8, 9},  {4, 2}, {1, 0},
+      {0, 0},  {0, 0},  {2, 1},  {8, 40}, {8, 33}, {8, 17},
+  };
+  std::vector<std::size_t> trace_a;
+  std::vector<std::size_t> trace_b;
+  for (std::vector<std::size_t>* trace : {&trace_a, &trace_b}) {
+    AdaptiveBatcher batcher(small_config(), 8);
+    for (const auto& [taken, peak] : stream) {
+      batcher.observe(taken, peak);
+      trace->push_back(batcher.limit());
+    }
+  }
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+}  // namespace
+}  // namespace fleet::runtime

@@ -9,6 +9,7 @@
 
 #include "../test_util.hpp"
 #include "fleet/nn/zoo.hpp"
+#include "fleet/runtime/topology.hpp"
 
 namespace fleet::runtime {
 namespace {
@@ -331,6 +332,220 @@ TEST(ConcurrentServerTest, ConcurrentRequestersAndSubmittersStayConsistent) {
   // K = 1: every processed gradient advanced the clock.
   EXPECT_EQ(env.server->version(), kThreads * kPerThread);
   for (double tau : stats.staleness_values) EXPECT_GE(tau, 0.0);
+  env.server->stop();
+}
+
+/// Multi-tenant host with `tenants` identically shaped sessions.
+struct HostEnv {
+  HostEnv(const RuntimeConfig& runtime, std::size_t tenants) {
+    server = std::make_unique<ConcurrentFleetServer>(runtime);
+    core::ServerConfig config;
+    config.learning_rate = 0.1f;
+    for (std::size_t m = 0; m < tenants; ++m) {
+      models.push_back(nn::zoo::mlp(8, 4, 3));
+      models.back()->init(static_cast<unsigned>(7 + m));
+      ids.push_back(
+          server->register_model(*models.back(), pretrained_iprof(), config));
+    }
+  }
+
+  GradientJob varied_job(core::ModelId id, std::size_t task_version,
+                         std::size_t salt) const {
+    GradientJob job;
+    job.model_id = id;
+    job.task_version = task_version;
+    job.gradient.resize(models[0]->parameter_count());
+    for (std::size_t i = 0; i < job.gradient.size(); ++i) {
+      job.gradient[i] =
+          0.001f * static_cast<float>((i * 7 + salt * 13 + id * 5) % 23) -
+          0.01f;
+    }
+    job.label_dist = stats::LabelDistribution(models[0]->n_classes());
+    job.label_dist.add(static_cast<int>(salt % models[0]->n_classes()), 2);
+    job.mini_batch = 4;
+    return job;
+  }
+
+  std::vector<std::unique_ptr<nn::Sequential>> models;
+  std::vector<core::ModelId> ids;
+  std::unique_ptr<ConcurrentFleetServer> server;
+};
+
+TEST(ConcurrentServerTest, RejectsZeroPlannerThreads) {
+  RuntimeConfig runtime;
+  runtime.planner_threads = 0;
+  EXPECT_THROW(ConcurrentFleetServer{runtime}, std::invalid_argument);
+}
+
+TEST(ConcurrentServerTest, MultiPlannerHostMatchesSinglePlannerBitwise) {
+  // Sessions shard across planners by id; every session's jobs are staged
+  // against version 0 while the planners are parked, so each session's
+  // fold sequence is fully determined — any planner count must reproduce
+  // the single-planner parameters bit for bit, per tenant.
+  constexpr std::size_t kTenants = 4;
+  constexpr std::size_t kJobsPerTenant = 8;
+  auto run = [&](std::size_t planners) {
+    RuntimeConfig runtime;
+    runtime.start_paused = true;
+    runtime.planner_threads = planners;
+    runtime.aggregation_shards = 2;
+    runtime.max_drain_batch = 3;
+    HostEnv env(runtime, kTenants);
+    for (std::size_t i = 0; i < kJobsPerTenant; ++i) {
+      for (const core::ModelId id : env.ids) {
+        GradientJob job = env.varied_job(id, 0, i);
+        EXPECT_TRUE(env.server->try_submit(job).accepted);
+      }
+    }
+    env.server->resume();
+    env.server->drain();
+    for (const core::ModelId id : env.ids) {
+      const auto stats = env.server->stats(id);
+      EXPECT_EQ(stats.processed, kJobsPerTenant) << "session " << id;
+      EXPECT_EQ(stats.planner_threads, planners);
+    }
+    env.server->stop();
+    std::vector<std::vector<float>> params;
+    for (const auto& model : env.models) {
+      const auto view = model->parameters_view();
+      params.emplace_back(view.begin(), view.end());
+    }
+    return params;
+  };
+
+  const auto reference = run(1);
+  for (const std::size_t planners : {2u, 3u, 4u}) {
+    const auto got = run(planners);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t m = 0; m < reference.size(); ++m) {
+      ASSERT_EQ(got[m].size(), reference[m].size());
+      EXPECT_EQ(0, std::memcmp(got[m].data(), reference[m].data(),
+                               reference[m].size() * sizeof(float)))
+          << "planners=" << planners << " tenant=" << m;
+    }
+  }
+}
+
+TEST(ConcurrentServerTest, AdaptiveBatchingIsBitwiseInvisibleAndSurfaced) {
+  // The adaptive controller only moves the drain-batch limit, and batch
+  // size never changes a session's fold sequence — so adaptive mode must
+  // reproduce the pinned-batch parameters exactly while its stats surface
+  // through RuntimeStats.
+  auto run = [](bool adaptive, AdaptiveBatcher::Stats* out_totals,
+                std::size_t* out_limits) {
+    RuntimeConfig runtime;
+    runtime.start_paused = true;
+    runtime.planner_threads = 2;
+    runtime.max_drain_batch = 2;
+    if (adaptive) {
+      runtime.adaptive_batch.enabled = true;
+      runtime.adaptive_batch.min_batch = 2;
+      runtime.adaptive_batch.max_batch = 16;
+      runtime.adaptive_batch.window = 1;
+      runtime.adaptive_batch.hysteresis = 1;
+    }
+    HostEnv env(runtime, 2);
+    for (std::size_t i = 0; i < 24; ++i) {
+      for (const core::ModelId id : env.ids) {
+        GradientJob job = env.varied_job(id, 0, i);
+        EXPECT_TRUE(env.server->try_submit(job).accepted);
+      }
+    }
+    env.server->resume();
+    env.server->drain();
+    const auto stats = env.server->stats(env.ids[0]);
+    if (adaptive) {
+      EXPECT_EQ(stats.planner_batch_limits.size(), 2u);
+      for (const std::size_t limit : stats.planner_batch_limits) {
+        EXPECT_GE(limit, 2u);
+        EXPECT_LE(limit, 16u);
+      }
+      if (out_totals != nullptr) {
+        out_totals->widenings = stats.adaptive_widenings;
+        out_totals->narrowings = stats.adaptive_narrowings;
+      }
+      if (out_limits != nullptr) {
+        *out_limits = stats.planner_batch_limits.size();
+      }
+    } else {
+      EXPECT_TRUE(stats.planner_batch_limits.empty());
+      EXPECT_EQ(stats.adaptive_widenings, 0u);
+    }
+    env.server->stop();
+    std::vector<float> params;
+    for (const auto& model : env.models) {
+      const auto view = model->parameters_view();
+      params.insert(params.end(), view.begin(), view.end());
+    }
+    return params;
+  };
+
+  const auto pinned = run(false, nullptr, nullptr);
+  AdaptiveBatcher::Stats totals;
+  std::size_t limit_count = 0;
+  const auto adapted = run(true, &totals, &limit_count);
+  ASSERT_EQ(adapted.size(), pinned.size());
+  EXPECT_EQ(0, std::memcmp(adapted.data(), pinned.data(),
+                           pinned.size() * sizeof(float)));
+  // A 24-deep staged backlog against a starting limit of 2 with window =
+  // hysteresis = 1 must widen on the first control window.
+  EXPECT_GE(totals.widenings, 1u);
+  EXPECT_EQ(limit_count, 2u);
+}
+
+TEST(ConcurrentServerTest, ImpossiblePinFallsBackUnpinnedAndCountsIt) {
+  RuntimeConfig runtime;
+  runtime.pin_fold_workers = true;
+  runtime.planner_threads = 1;
+  // CPU index no machine has: the pin is refused deterministically, on
+  // every platform, and the host must degrade to unpinned operation.
+  runtime.placement_override = {1 << 20};
+  runtime.telemetry.enabled = true;
+  ServerEnv env(runtime);
+
+  GradientJob job = env.unit_job(0);
+  ASSERT_TRUE(env.server->try_submit(job).accepted);
+  env.server->drain();
+  const auto stats = env.server->stats();
+  EXPECT_EQ(stats.processed, 1u);  // degraded, not broken
+  EXPECT_FALSE(stats.pinning_applied);
+  const auto metrics = env.server->telemetry()->metrics().snapshot();
+  EXPECT_GE(metrics.counter("server.pinning_fallback"), 1u);
+  env.server->stop();
+}
+
+TEST(ConcurrentServerTest, SupportedPinIsAppliedAndReported) {
+  // Probe whether this environment lets us pin to CPU 0 at all (cpusets
+  // and non-Linux hosts legitimately refuse — that path is covered by the
+  // fallback test above).
+  {
+    std::atomic<bool> release{false};
+    std::thread probe([&release] {
+      while (!release.load()) std::this_thread::yield();
+    });
+    const bool can_pin =
+        affinity_supported() && pin_thread_to_cpu(probe.native_handle(), 0);
+    release.store(true);
+    probe.join();
+    if (!can_pin) GTEST_SKIP() << "CPU affinity unavailable here";
+  }
+
+  RuntimeConfig runtime;
+  runtime.pin_fold_workers = true;
+  runtime.planner_threads = 1;
+  runtime.placement_override = {0};
+  runtime.telemetry.enabled = true;
+  ServerEnv env(runtime);
+  EXPECT_TRUE(env.server->stats().pinning_applied);
+  const auto metrics = env.server->telemetry()->metrics().snapshot();
+  EXPECT_EQ(metrics.counter("server.pinning_fallback"), 0u);
+  env.server->stop();
+}
+
+TEST(ConcurrentServerTest, UnpinnedHostReportsPinningNotApplied) {
+  ServerEnv env;  // pin_fold_workers defaults to false
+  EXPECT_FALSE(env.server->stats().pinning_applied);
+  EXPECT_EQ(env.server->stats().planner_threads, 1u);
   env.server->stop();
 }
 

@@ -397,7 +397,7 @@ TEST(ShardedAggregatorTest, PinnedWorkersFoldIdentically) {
   const auto reference = sequential_fold(set, /*k=*/2);
   learning::AsyncAggregator agg(kParams, kClasses, agg_config(2));
   std::vector<float> params(kParams, 0.25f);
-  ShardedAggregator pool(4, /*pin_workers=*/true);
+  ShardedAggregator pool(4, /*worker_cpus=*/{0, 1, 2});
   const FoldContext ctx = context_of(agg, params);
   std::vector<FoldOp> plan;
   for (const auto& update : set.updates) {

@@ -1,0 +1,146 @@
+#include "fleet/runtime/topology.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace fleet::runtime {
+namespace {
+
+TEST(TopologyTest, ParsesCpulistRangesAndSingles) {
+  const auto cpus = parse_cpulist("0-3,8,10-11\n");
+  EXPECT_EQ(cpus, (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(TopologyTest, ParsesSingleCpu) {
+  EXPECT_EQ(parse_cpulist("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpulist("0\n"), (std::vector<int>{0}));
+}
+
+TEST(TopologyTest, SkipsMalformedChunksAndDeduplicates) {
+  // Bad chunks are dropped, good ones kept; duplicates collapse.
+  EXPECT_EQ(parse_cpulist("a-b,2,x,4-3,2"), (std::vector<int>{2}));
+  EXPECT_EQ(parse_cpulist(""), std::vector<int>{});
+  EXPECT_EQ(parse_cpulist("garbage"), std::vector<int>{});
+}
+
+TEST(TopologyTest, SingleNodeFallbackCoversHardwareConcurrency) {
+  const CpuTopology topo = single_node_topology();
+  ASSERT_EQ(topo.nodes.size(), 1u);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(topo.cpu_count(), static_cast<std::size_t>(hw));
+  EXPECT_FALSE(topo.multi_node());
+}
+
+TEST(TopologyTest, MissingSysfsDegradesToSingleNode) {
+  const CpuTopology topo = discover_topology("/definitely/not/a/sysfs");
+  ASSERT_EQ(topo.nodes.size(), 1u);
+  EXPECT_GE(topo.cpu_count(), 1u);
+}
+
+/// Fake sysfs node dir: node<N>/cpulist files under a temp root.
+class FakeSysfs {
+ public:
+  FakeSysfs() {
+    root_ = std::filesystem::temp_directory_path() /
+            ("fleet_topo_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  ~FakeSysfs() { std::filesystem::remove_all(root_); }
+
+  void add_node(int id, const std::string& cpulist) {
+    const auto dir = root_ / ("node" + std::to_string(id));
+    std::filesystem::create_directories(dir);
+    std::ofstream out(dir / "cpulist");
+    out << cpulist;
+  }
+  std::string path() const { return root_.string(); }
+
+ private:
+  std::filesystem::path root_;
+};
+
+TEST(TopologyTest, DiscoversMultiNodeLayoutFromSysfs) {
+  FakeSysfs sysfs;
+  sysfs.add_node(0, "0-1\n");
+  sysfs.add_node(1, "2-3\n");
+  const CpuTopology topo = discover_topology(sysfs.path());
+  ASSERT_EQ(topo.nodes.size(), 2u);
+  EXPECT_TRUE(topo.multi_node());
+  EXPECT_EQ(topo.nodes[0].cpus, (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo.nodes[1].cpus, (std::vector<int>{2, 3}));
+}
+
+TEST(TopologyTest, UnparsableSysfsDegradesToSingleNode) {
+  FakeSysfs sysfs;
+  sysfs.add_node(0, "not a cpulist");
+  const CpuTopology topo = discover_topology(sysfs.path());
+  ASSERT_EQ(topo.nodes.size(), 1u);
+  EXPECT_GE(topo.cpu_count(), 1u);
+}
+
+TEST(TopologyTest, SingleNodePlacementPutsPlannersBeforeWorkers) {
+  CpuTopology topo;
+  topo.nodes.push_back(TopologyNode{0, {0, 1, 2, 3}});
+  const PlacementPlan plan = plan_placement(topo, 1, 3);
+  // The PR-5 layout, generalized: planner on CPU 0, workers after it.
+  EXPECT_EQ(plan.planner_cpus, (std::vector<int>{0}));
+  EXPECT_EQ(plan.fold_worker_cpus, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TopologyTest, MultiNodePlacementCoPlacesAcrossNodes) {
+  CpuTopology topo;
+  topo.nodes.push_back(TopologyNode{0, {0, 1}});
+  topo.nodes.push_back(TopologyNode{1, {2, 3}});
+  const PlacementPlan plan = plan_placement(topo, 2, 2);
+  // Planner p on node p, fold worker w on node w: each node hosts one
+  // planner and one fold worker (co-placement), with distinct CPUs.
+  EXPECT_EQ(plan.planner_cpus, (std::vector<int>{0, 2}));
+  EXPECT_EQ(plan.fold_worker_cpus, (std::vector<int>{1, 3}));
+}
+
+TEST(TopologyTest, OversubscribedPlacementWrapsInsteadOfFailing) {
+  CpuTopology topo;
+  topo.nodes.push_back(TopologyNode{0, {0}});
+  const PlacementPlan plan = plan_placement(topo, 2, 2);
+  EXPECT_EQ(plan.planner_cpus, (std::vector<int>{0, 0}));
+  EXPECT_EQ(plan.fold_worker_cpus, (std::vector<int>{0, 0}));
+}
+
+TEST(TopologyTest, EmptyTopologyYieldsUnpinnedPlan) {
+  const PlacementPlan plan = plan_placement(CpuTopology{}, 2, 1);
+  EXPECT_EQ(plan.planner_cpus, (std::vector<int>{-1, -1}));
+  EXPECT_EQ(plan.fold_worker_cpus, (std::vector<int>{-1}));
+}
+
+TEST(TopologyTest, PinRefusesNegativeAndAbsurdCpus) {
+  std::thread t([] {});
+  // Negative is refused everywhere; a CPU far past the machine is refused
+  // on Linux (EINVAL) and trivially on platforms without affinity.
+  EXPECT_FALSE(pin_thread_to_cpu(t.native_handle(), -1));
+  EXPECT_FALSE(pin_thread_to_cpu(t.native_handle(), 1 << 20));
+  t.join();
+}
+
+TEST(TopologyTest, AffinitySupportMatchesPlatform) {
+#if defined(__linux__)
+  EXPECT_TRUE(affinity_supported());
+  // On a supported platform, pinning a thread to its own first allowed
+  // CPU should succeed — probe with CPU 0 only if the cpuset allows it;
+  // refusal is still a valid (counted) fallback, so just exercise the
+  // call for coverage.
+  std::thread t([] {});
+  (void)pin_thread_to_cpu(t.native_handle(), 0);
+  t.join();
+#else
+  EXPECT_FALSE(affinity_supported());
+#endif
+}
+
+}  // namespace
+}  // namespace fleet::runtime

@@ -46,8 +46,21 @@ const data::TrainTestSplit& shared_split() {
 /// fixed schedule; returns the final-model bit hash. `telemetry` turns the
 /// observability substrate on — which must be invisible in the result
 /// (timing is observed, never consulted; DESIGN.md §11).
+/// An adaptive-batching config that actually moves during a short drive:
+/// tight starting range, one-drain windows, no hysteresis damping.
+AdaptiveBatchConfig live_adaptive_config() {
+  AdaptiveBatchConfig config;
+  config.enabled = true;
+  config.min_batch = 2;
+  config.max_batch = 64;
+  config.window = 1;
+  config.hysteresis = 1;
+  return config;
+}
+
 std::uint64_t run_cell(std::size_t n_threads, std::size_t shards,
-                       std::size_t max_batch, bool telemetry = false) {
+                       std::size_t max_batch, bool telemetry = false,
+                       std::size_t planners = 1, bool adaptive = false) {
   const auto& split = shared_split();
   auto model = nn::zoo::small_cnn(1, 14, 14, 4);
   model->init(1);
@@ -57,6 +70,8 @@ std::uint64_t run_cell(std::size_t n_threads, std::size_t shards,
   runtime.aggregation_shards = shards;
   runtime.max_drain_batch = max_batch;
   runtime.telemetry.enabled = telemetry;
+  runtime.planner_threads = planners;
+  if (adaptive) runtime.adaptive_batch = live_adaptive_config();
   ConcurrentFleetServer server(*model, pretrained_iprof(), config, runtime);
 
   stats::Rng rng(2);
@@ -143,7 +158,9 @@ std::vector<float> tenant_solo_reference(std::size_t m) {
 std::vector<std::vector<float>> run_tenant_cell(std::size_t tenants,
                                                 std::size_t threads,
                                                 std::size_t shards,
-                                                std::size_t batch) {
+                                                std::size_t batch,
+                                                std::size_t planners = 1,
+                                                bool adaptive = false) {
   std::vector<std::unique_ptr<nn::Sequential>> models;
   for (std::size_t m = 0; m < tenants; ++m) {
     models.push_back(nn::zoo::mlp(8, 4, 3));
@@ -152,6 +169,8 @@ std::vector<std::vector<float>> run_tenant_cell(std::size_t tenants,
   RuntimeConfig runtime;
   runtime.aggregation_shards = shards;
   runtime.max_drain_batch = batch;
+  runtime.planner_threads = planners;
+  if (adaptive) runtime.adaptive_batch = live_adaptive_config();
   ConcurrentFleetServer host(runtime);
   std::vector<core::ModelId> ids;
   for (auto& model : models) {
@@ -216,6 +235,74 @@ TEST(DeterminismMatrixTest, TenantMatrixMatchesSoloRunsBitwise) {
     for (const auto& cell : mismatches) report += "\n  " + cell;
     return report;
   }();
+}
+
+TEST(DeterminismMatrixTest, TenantMatrixInvariantAcrossPlannersAndAdaptive) {
+  // The §13 axes: sessions shard across planner threads by id, each
+  // planner drains its own queue group under its own (possibly moving)
+  // batch limit — and every tenant must still end bitwise identical to
+  // its solo single-planner sequential run. Tickets are host-global and
+  // each group's drain is an exact admission-order prefix, so neither the
+  // planner count nor the adaptive schedule may move a ULP.
+  constexpr std::size_t kTenants = 4;
+  std::vector<std::vector<float>> references;
+  for (std::size_t m = 0; m < kTenants; ++m) {
+    references.push_back(tenant_solo_reference(m));
+  }
+
+  std::vector<std::string> mismatches;
+  for (const std::size_t planners : {1u, 2u, 4u}) {
+    for (const bool adaptive : {false, true}) {
+      const auto finals =
+          run_tenant_cell(kTenants, /*threads=*/4, /*shards=*/2, /*batch=*/8,
+                          planners, adaptive);
+      for (std::size_t m = 0; m < kTenants; ++m) {
+        if (param_hash(finals[m]) != param_hash(references[m])) {
+          mismatches.push_back("tenant " + std::to_string(m) +
+                               ": planners=" + std::to_string(planners) +
+                               " adaptive=" + (adaptive ? "on" : "off"));
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(mismatches.empty()) << [&] {
+    std::string report = "sessions diverging from their solo runs:";
+    for (const auto& cell : mismatches) report += "\n  " + cell;
+    return report;
+  }();
+}
+
+TEST(DeterminismMatrixTest, PlannerAndAdaptiveAxesAreBitwiseInvisible) {
+  // Single-model drive through the full ParallelFleet protocol: extra
+  // planners idle (one model maps to one group) and the adaptive
+  // controller only re-times drains — the final model must not notice.
+  const std::uint64_t baseline = run_cell(2, 2, 8);
+  for (const std::size_t planners : {2u, 4u}) {
+    for (const bool adaptive : {false, true}) {
+      EXPECT_EQ(baseline,
+                run_cell(2, 2, 8, /*telemetry=*/false, planners, adaptive))
+          << "planners=" << planners
+          << " adaptive=" << (adaptive ? "on" : "off");
+    }
+  }
+}
+
+TEST(DeterminismMatrixTest, AdaptiveBatcherIsClockFreeUnderTelemetry) {
+  // Acceptance check for the counters-not-clocks invariant: the adaptive
+  // controller feeds on queue-depth and occupancy counters it owns, never
+  // the §11 telemetry clocks — so enabling telemetry under full adaptive
+  // mode cannot perturb the model. If the controller ever consulted a
+  // clock, the extra clock reads telemetry induces would move the drain
+  // schedule; the schedule is result-invisible anyway, but this axis
+  // keeps the dependency structure honest end to end.
+  for (const std::size_t planners : {1u, 2u}) {
+    const std::uint64_t off =
+        run_cell(2, 2, 8, /*telemetry=*/false, planners, /*adaptive=*/true);
+    const std::uint64_t on =
+        run_cell(2, 2, 8, /*telemetry=*/true, planners, /*adaptive=*/true);
+    EXPECT_EQ(off, on) << "telemetry perturbed adaptive mode at planners="
+                       << planners;
+  }
 }
 
 TEST(DeterminismMatrixTest, KernelBackendAxisIsBitwiseStablePerBackend) {
