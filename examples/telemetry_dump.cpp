@@ -6,7 +6,9 @@
 // submit -> dequeue -> fold -> publish lifecycle of every gradient) —
 // and print a latency breakdown table from the same histograms, plus the
 // planner control-plane view (drain batch sizes, adaptive batch limits,
-// batch occupancy against those limits).
+// batch occupancy against those limits) and the host health/degradation
+// view (per-planner progress, degraded sessions, shed/quarantine/restart
+// counters, DESIGN.md §14).
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -122,6 +124,9 @@ int main(int argc, char** argv) {
 
   runtime::ParallelFleet driver(host, workers, drive);
   const auto stats = driver.run();
+  const runtime::HealthSnapshot health = host.health();
+  std::vector<runtime::RuntimeStats> per_session;
+  for (const core::ModelId id : ids) per_session.push_back(host.stats(id));
   host.stop();
   std::cout << "drove " << workers.size() << " workers x " << rounds
             << " rounds across " << ids.size() << " tenants: "
@@ -157,5 +162,33 @@ int main(int argc, char** argv) {
   value_row(snapshot, "server.drain_batch");
   value_row(snapshot, "planner.batch_limit");
   value_row(snapshot, "planner.occupancy_pct");
+
+  // Health / degradation view (DESIGN.md §14): is every planner making
+  // progress, did any session quarantine a fold task, and what has the
+  // overload policy cost so far. All zeros on a healthy faultless drive —
+  // the table is the point: CI greps it, operators read it.
+  std::cout << "\nhost health\n";
+  std::cout << "  planner progress (batches)";
+  for (const std::size_t ticks : health.planner_progress) {
+    std::cout << "  " << ticks;
+  }
+  std::cout << "\n  shed drops                " << health.shed_drops
+            << "\n  fold quarantines          " << health.fold_quarantines
+            << "\n  degraded sessions         ";
+  if (health.degraded_sessions.empty()) {
+    std::cout << "none";
+  } else {
+    for (const core::ModelId id : health.degraded_sessions) {
+      std::cout << id << " ";
+    }
+  }
+  std::cout << "\n";
+  for (std::size_t m = 0; m < ids.size(); ++m) {
+    const runtime::RuntimeStats& session = per_session[m];
+    std::cout << "  session " << ids[m] << ": "
+              << (session.degraded ? "DEGRADED" : "healthy") << ", "
+              << session.processed << " folded, " << session.invalid_jobs
+              << " invalid, " << session.shed_drops << " shed\n";
+  }
   return 0;
 }

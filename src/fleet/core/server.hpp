@@ -53,6 +53,13 @@ struct GradientReceipt {
   /// permanent ones (validation failure, server shut down) where retrying
   /// is futile.
   bool retryable = false;
+  /// True when !accepted because an overload shed policy judged this
+  /// gradient the least valuable in its shard (runtime OverloadPolicy,
+  /// DESIGN.md §14). Non-retryable by design — immediately resubmitting
+  /// the same job under the same pressure would be refused again — and
+  /// counted separately from ordinary rejects so ingest front ends can
+  /// keep their accounting identity exact (IngestStats::shed_drops).
+  bool shed = false;
   bool model_updated = false;
   double weight = 0.0;       // min(1, Lambda(tau)/sim) actually applied
   double staleness = 0.0;    // tau_i in model updates

@@ -1,5 +1,6 @@
 #include "fleet/net/ingest.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -16,13 +17,37 @@ LoopbackIngest::LoopbackIngest(runtime::ConcurrentFleetServer& server,
   if (config.capacity_bytes == 0 || config.max_frames == 0) {
     throw std::invalid_argument("LoopbackIngest: zero ring capacity");
   }
+  if (server_.telemetry() != nullptr) {
+    // Registered unconditionally under telemetry (zero-valued counters
+    // still export), so the exporter check can assert it exists.
+    restart_ctr_ =
+        server_.telemetry()->metrics().counter("ingest.injector_restarts");
+  }
   injectors_.reserve(config.injector_threads);
   for (std::size_t i = 0; i < config.injector_threads; ++i) {
-    injectors_.emplace_back([this] { injector_loop(); });
+    injectors_.push_back(spawn_injector(i));
+  }
+  if (config_.fault != nullptr) {
+    supervisor_ = std::thread([this] { supervisor_loop(); });
   }
 }
 
 LoopbackIngest::~LoopbackIngest() { close(); }
+
+std::thread LoopbackIngest::spawn_injector(std::size_t slot) {
+  return std::thread([this, slot] {
+    if (injector_loop() == InjectorExit::kKilled) {
+      // Report the death under the ring lock so the supervisor can never
+      // miss it, then fall off the thread — the supervisor joins this
+      // thread object before reusing its slot.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        dead_.push_back(slot);
+      }
+      reap_.notify_all();
+    }
+  });
+}
 
 bool LoopbackIngest::try_send(std::span<const std::uint8_t> frame) {
   {
@@ -53,53 +78,124 @@ bool LoopbackIngest::try_send(std::span<const std::uint8_t> frame) {
 }
 
 void LoopbackIngest::submit_frame(const std::vector<std::uint8_t>& bytes,
-                                  runtime::GradientJob& scratch) {
+                                  runtime::GradientJob& scratch,
+                                  std::vector<std::uint8_t>& corrupt) {
+  // Deterministic frame corruption (kWireCorrupt, DESIGN.md §14): flip one
+  // seeded byte before the decoder sees the frame — the decode-side
+  // validation (magic/version/kind/scale/finite-payload guards) then
+  // refuses the frame, or the corrupted payload decodes and submits,
+  // exactly as a bit-flipped datagram would on a real wire. The XOR mask
+  // has bit 0 forced, so the byte always actually changes.
+  const std::vector<std::uint8_t>* payload = &bytes;
+  if (config_.fault != nullptr && !bytes.empty() &&
+      config_.fault->should_fire(runtime::FaultSite::kWireCorrupt)) {
+    const std::uint64_t index =
+        frames_corrupted_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t h =
+        config_.fault->draw(runtime::FaultSite::kWireCorrupt, index);
+    corrupt.assign(bytes.begin(), bytes.end());
+    corrupt[h % corrupt.size()] ^=
+        static_cast<std::uint8_t>((h >> 8) | 1);
+    payload = &corrupt;
+  }
   WireError decode_error = WireError::kOk;
   core::GradientReceipt receipt =
-      server_.try_submit_wire(bytes, scratch, &decode_error);
+      server_.try_submit_wire(*payload, scratch, &decode_error);
   if (decode_error != WireError::kOk) {
     // The server already counted it (RuntimeStats::wire_rejects) and
     // emitted the reject trace; this is the front end's own ledger.
     wire_rejects_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  while (!receipt.accepted && receipt.retryable && config_.retry_backpressure &&
-         server_.accepting()) {
+  std::size_t attempts = 1;  // the decode submit above
+  while (!receipt.accepted && receipt.retryable &&
+         config_.retry_backpressure && server_.accepting()) {
+    if (config_.max_submit_attempts > 0 &&
+        attempts >= config_.max_submit_attempts) {
+      // Budget exhausted: the frame is given up, counted below as a
+      // server reject — bounded backpressure instead of an unbounded spin
+      // against a host that may never drain (DESIGN.md §14).
+      break;
+    }
     // Queue-full backpressure: the decoded job is still intact in
-    // `scratch` (try_submit leaves it so), so resubmit after yielding the
-    // slice to the consumer we are waiting on.
+    // `scratch` (try_submit leaves it so), so resubmit after an
+    // escalating, counted backoff — yields, never a clock (§11), so the
+    // retry schedule is a pure function of the attempt number.
     backpressure_retries_.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::yield();
+    const std::size_t yields =
+        std::size_t{1} << std::min<std::size_t>(attempts, 6);
+    for (std::size_t y = 0; y < yields; ++y) std::this_thread::yield();
+    ++attempts;
     receipt = server_.try_submit(scratch);
   }
   if (receipt.accepted) {
     frames_submitted_.fetch_add(1, std::memory_order_relaxed);
+  } else if (receipt.shed) {
+    // The overload policy refused the frame at admission — a separate
+    // ledger bucket so the accounting identity stays exact (IngestStats).
+    shed_drops_.fetch_add(1, std::memory_order_relaxed);
   } else {
     server_rejects_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void LoopbackIngest::injector_loop() {
+LoopbackIngest::InjectorExit LoopbackIngest::injector_loop() {
   // Per-injector scratch: the decode target's gradient buffer keeps its
   // capacity across rejected frames; accepted jobs hand their buffer into
-  // the queue, as any in-process producer would.
+  // the queue, as any in-process producer would. `corrupt` is the
+  // kWireCorrupt staging buffer (the ring frame stays pristine — senders
+  // may hold views of what they sent).
   runtime::GradientJob scratch;
+  std::vector<std::uint8_t> corrupt;
   Frame frame;
   while (true) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       ready_.wait(lock, [this] { return closed_ || !ring_.empty(); });
-      if (ring_.empty()) return;  // closed and fully drained
+      if (ring_.empty()) return InjectorExit::kClosed;
+      // Injected thread death (kInjectorDeath, DESIGN.md §14): die before
+      // popping, so a death never loses a frame — the work stays on the
+      // ring for the respawned injector (or a sibling). Suppressed once
+      // closed: the post-close sweep must terminate, and a respawn racing
+      // teardown would have nothing left to heal.
+      if (!closed_ && config_.fault != nullptr &&
+          config_.fault->should_fire(runtime::FaultSite::kInjectorDeath)) {
+        return InjectorExit::kKilled;
+      }
       frame = std::move(ring_.front());
       ring_.pop_front();
       bytes_queued_ -= frame.bytes.size();
     }
-    submit_frame(frame.bytes, scratch);
+    submit_frame(frame.bytes, scratch, corrupt);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --pending_;
     }
     settled_.notify_all();
+  }
+}
+
+void LoopbackIngest::supervisor_loop() {
+  while (true) {
+    std::size_t slot = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      reap_.wait(lock, [this] { return closed_ || !dead_.empty(); });
+      if (dead_.empty()) return;  // closed, every death healed
+      slot = dead_.front();
+      dead_.pop_front();
+    }
+    // Join outside mu_: the dying thread's last act (reporting its slot)
+    // is already done or imminent, and it never re-takes mu_ after that.
+    if (injectors_[slot].joinable()) injectors_[slot].join();
+    // Respawn unconditionally, even when closed_ landed meanwhile: the
+    // replacement runs the normal post-close sweep, so frames the dead
+    // injector would have drained are still drained. close() joins the
+    // supervisor before the injectors, so the new thread object is always
+    // visible to the final join loop.
+    injectors_[slot] = spawn_injector(slot);
+    injector_restarts_.fetch_add(1, std::memory_order_relaxed);
+    if (restart_ctr_ != nullptr) restart_ctr_->add(1);
   }
 }
 
@@ -114,10 +210,14 @@ void LoopbackIngest::close() {
     closed_ = true;
   }
   ready_.notify_all();
+  reap_.notify_all();
   // Serialize joiners so close() is idempotent even under concurrent calls
-  // (a second caller blocks here until the injectors are gone, then sees
-  // every thread already joined).
+  // (a second caller blocks here until the threads are gone, then sees
+  // every thread already joined). The supervisor goes first: it heals any
+  // death that raced close(), so the loop below joins the final set of
+  // injector threads.
   std::lock_guard<std::mutex> join_lock(close_mu_);
+  if (supervisor_.joinable()) supervisor_.join();
   for (std::thread& t : injectors_) {
     if (t.joinable()) t.join();
   }
@@ -134,6 +234,9 @@ IngestStats LoopbackIngest::stats() const {
   s.backpressure_retries =
       backpressure_retries_.load(std::memory_order_relaxed);
   s.ring_max_bytes_seen = ring_max_bytes_.load(std::memory_order_relaxed);
+  s.shed_drops = shed_drops_.load(std::memory_order_relaxed);
+  s.injector_restarts = injector_restarts_.load(std::memory_order_relaxed);
+  s.frames_corrupted = frames_corrupted_.load(std::memory_order_relaxed);
   return s;
 }
 

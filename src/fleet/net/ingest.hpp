@@ -11,14 +11,20 @@
 #include <vector>
 
 #include "fleet/runtime/concurrent_server.hpp"
+#include "fleet/runtime/fault.hpp"
 
 namespace fleet::net {
 
 /// Counters of the loopback ingest front end, one snapshot. Accounting
 /// identity once drained with senders quiesced:
 ///   frames_sent == frames_submitted + wire_rejects + server_rejects
+///                  + shed_drops
 /// and every frame that was ever accepted onto the ring is in one of the
-/// three right-hand buckets — nothing is silently lost.
+/// four right-hand buckets — nothing is silently lost, under faults
+/// included (DESIGN.md §14): a corrupted frame rejects at decode or
+/// submits with a corrupted payload, a killed injector dies holding no
+/// frame (and is respawned, counted), an exhausted retry budget counts a
+/// server reject.
 struct IngestStats {
   std::size_t frames_sent = 0;       ///< frames accepted onto the ring
   std::size_t ring_rejects = 0;      ///< sends refused: ring at capacity
@@ -27,9 +33,24 @@ struct IngestStats {
   std::size_t wire_rejects = 0;      ///< malformed frames refused at decode
   std::size_t server_rejects = 0;    ///< well-formed but refused (validation,
                                      ///< unknown/retired id, closed queue, or
-                                     ///< undrainable backpressure)
+                                     ///< exhausted backpressure retry budget)
   std::size_t backpressure_retries = 0;  ///< submit retries after queue-full
   std::size_t ring_max_bytes_seen = 0;   ///< byte-occupancy high-water mark
+  /// Frames the server's overload policy shed at admission (receipt.shed;
+  /// DESIGN.md §14). Counted apart from server_rejects so the identity
+  /// above stays exact under a shed policy. Only refused *incoming* frames
+  /// land here — a queued victim evicted in some later frame's favor was
+  /// already counted into frames_submitted and is accounted host-side
+  /// (RuntimeStats::shed_drops covers both).
+  std::size_t shed_drops = 0;
+  /// Injector threads that died (injected kInjectorDeath) and were
+  /// respawned by the supervisor. Every counted death is followed by a
+  /// counted restart; a dead injector holds no frame, so deaths never
+  /// lose frames.
+  std::size_t injector_restarts = 0;
+  /// Frames deterministically corrupted at decode by the kWireCorrupt
+  /// fault site before reaching the server's decoder.
+  std::size_t frames_corrupted = 0;
 };
 
 /// Loopback wire front end (DESIGN.md §12, ROADMAP item 3): the serving
@@ -44,8 +65,18 @@ struct IngestStats {
 /// Backpressure exists at two layers, both bounded: the ring refuses
 /// try_send when its byte or frame budget is full (sender sees false), and
 /// the server's gradient queue can refuse a decoded job, which injectors
-/// retry (retryable rejects only) until it lands or the host stops
-/// accepting.
+/// retry (retryable rejects only) with a deterministic escalating backoff
+/// up to `max_submit_attempts`, then count the frame a server reject —
+/// the retry loop can no longer spin forever against a paused host.
+///
+/// Self-healing (DESIGN.md §14): when a fault injector is configured, an
+/// injector thread can be killed mid-loop (kInjectorDeath) — it dies
+/// holding no frame, and a supervisor thread joins and respawns it
+/// (IngestStats::injector_restarts, telemetry counter
+/// "ingest.injector_restarts"), so the ring keeps draining. Frames can be
+/// deterministically corrupted before decode (kWireCorrupt) — the wire
+/// decoder's validation then refuses the frame or the corrupted payload
+/// submits, exactly as a real bit-flipped datagram would.
 ///
 /// Ordering: the ring is FIFO. With one injector thread, submission order
 /// equals send order, so a single-sender stream reproduces an in-process
@@ -67,6 +98,21 @@ class LoopbackIngest {
     /// instead of dropping the frame. Off, a backpressured frame counts as
     /// a server reject.
     bool retry_backpressure = true;
+    /// Total submit attempts per frame (first try included) before a
+    /// still-backpressured frame is given up as a server reject. Between
+    /// attempts the injector backs off with counted, escalating yields —
+    /// never a clock (§11). 0 = unbounded, the pre-budget behavior (the
+    /// loop then spins until the submit lands or the host stops
+    /// accepting — it can hang forever against a paused host; only tests
+    /// that resume the host deliberately should use it).
+    std::size_t max_submit_attempts = 512;
+    /// Deterministic fault injector (fault.hpp), optional, caller-owned,
+    /// outliving the front end. Sites consulted here: kWireCorrupt (flip
+    /// one seeded byte of a frame before decode) and kInjectorDeath (kill
+    /// the injector thread; the supervisor respawns it). Typically the
+    /// same injector the server was built with. Null = no supervisor
+    /// thread, bitwise the pre-fault front end.
+    runtime::FaultInjector* fault = nullptr;
   };
 
   /// The server must outlive the front end. Injector threads start
@@ -91,7 +137,9 @@ class LoopbackIngest {
   void drain();
 
   /// Stop accepting sends, drain what remains through the injectors and
-  /// join them. Idempotent; the destructor calls it.
+  /// join them (the supervisor first, so a death racing close() is still
+  /// respawned and its replacement drains the ring). Idempotent; the
+  /// destructor calls it.
   void close();
 
   IngestStats stats() const;
@@ -101,21 +149,34 @@ class LoopbackIngest {
     std::vector<std::uint8_t> bytes;
   };
 
-  void injector_loop();
+  /// Why an injector thread's loop returned.
+  enum class InjectorExit { kClosed, kKilled };
+
+  InjectorExit injector_loop();
+  void supervisor_loop();
+  /// Spawn (or respawn) the injector occupying `slot`; the trampoline
+  /// reports a killed exit to the supervisor.
+  std::thread spawn_injector(std::size_t slot);
   /// Decode + submit one frame, with bounded backpressure retries.
+  /// `corrupt` is the injector's reusable corruption buffer.
   void submit_frame(const std::vector<std::uint8_t>& bytes,
-                    runtime::GradientJob& scratch);
+                    runtime::GradientJob& scratch,
+                    std::vector<std::uint8_t>& corrupt);
 
   runtime::ConcurrentFleetServer& server_;
   const Config config_;
 
-  mutable std::mutex mu_;           ///< guards ring_ + bytes_queued_
+  mutable std::mutex mu_;           ///< guards ring_ + bytes_queued_ + dead_
   std::condition_variable ready_;   ///< signals injectors: frame or close
   std::condition_variable settled_; ///< signals drain(): pending_ hit 0
+  std::condition_variable reap_;    ///< signals supervisor: death or close
   std::deque<Frame> ring_;
   std::size_t bytes_queued_ = 0;
   /// Frames accepted but not yet settled (on the ring or being submitted).
   std::size_t pending_ = 0;
+  /// Slots of injector threads that died and await respawn (guarded by
+  /// mu_; drained by the supervisor).
+  std::deque<std::size_t> dead_;
   bool closed_ = false;
   std::mutex close_mu_;  ///< serializes the join in close()
 
@@ -127,8 +188,16 @@ class LoopbackIngest {
   std::atomic<std::size_t> server_rejects_{0};
   std::atomic<std::size_t> backpressure_retries_{0};
   std::atomic<std::size_t> ring_max_bytes_{0};
+  std::atomic<std::size_t> shed_drops_{0};
+  std::atomic<std::size_t> injector_restarts_{0};
+  std::atomic<std::size_t> frames_corrupted_{0};
+  /// "ingest.injector_restarts" when the server runs with telemetry.
+  telemetry::Counter* restart_ctr_ = nullptr;
 
   std::vector<std::thread> injectors_;
+  /// Joins dead injectors and respawns them; only spawned when a fault
+  /// injector is configured (a fault-free front end runs no extra thread).
+  std::thread supervisor_;
 };
 
 }  // namespace fleet::net

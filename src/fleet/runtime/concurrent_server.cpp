@@ -27,12 +27,14 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
       serialize_folds_(runtime.serialize_folds),
       planner_count_(validate_planner_count(runtime.planner_threads)),
       adaptive_(runtime.adaptive_batch),
+      policy_(runtime.overload_policy),
+      fault_(runtime.fault_injector),
       wire_decoder_(runtime.wire_limits),
       telemetry_(runtime.telemetry.enabled
                      ? std::make_unique<telemetry::Telemetry>(runtime.telemetry)
                      : nullptr),
       queue_(runtime.queue_capacity, runtime.queue_shards, telemetry_.get(),
-             planner_count_),
+             planner_count_, policy_, runtime.shed_watermark),
       paused_(runtime.start_paused) {
   if (runtime.aggregation_shards == 0) {
     throw std::invalid_argument(
@@ -59,6 +61,12 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
     planner_occupancy_ = telemetry_->metrics().histogram(
         "planner.occupancy_pct", telemetry::occupancy_bounds());
     queue_depth_gauge_ = telemetry_->metrics().gauge("queue.depth");
+    // Registered unconditionally (not only when a shed policy or injector
+    // is configured): a zero-valued counter still exports, so dashboards
+    // and the CI exporter check can assert the metric exists on every
+    // telemetry-enabled host.
+    shed_ctr_ = telemetry_->metrics().counter("queue.shed");
+    quarantine_ctr_ = telemetry_->metrics().counter("server.fold_quarantines");
   }
   // Control-plane placement (DESIGN.md §13): one CPU per planner and per
   // fold worker, co-placed per NUMA node, from sysfs discovery or the
@@ -86,7 +94,7 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
   if (runtime.aggregation_shards > 1) {
     sharded_ = std::make_unique<ShardedAggregator>(runtime.aggregation_shards,
                                                    plan.fold_worker_cpus,
-                                                   telemetry_.get());
+                                                   telemetry_.get(), fault_);
   }
   // One adaptive controller per planner. The starting limit is the pinned
   // max_drain_batch (clamped into the adaptive range); 0 (= "take
@@ -95,6 +103,11 @@ ConcurrentFleetServer::ConcurrentFleetServer(const RuntimeConfig& runtime)
       max_drain_batch_ > 0 ? max_drain_batch_ : adaptive_.max_batch;
   for (std::size_t p = 0; p < planner_count_; ++p) {
     batchers_.emplace_back(adaptive_, initial_limit);
+  }
+  // Progress ticks sized before any planner thread exists — the threads
+  // write their own entry from their first batch on.
+  for (std::size_t p = 0; p < planner_count_; ++p) {
+    planner_progress_.emplace_back(0);
   }
   planner_threads_.reserve(planner_count_);
   std::size_t requested_pins = 0;
@@ -219,7 +232,72 @@ core::GradientReceipt ConcurrentFleetServer::try_submit(GradientJob& job) {
     receipt.reject_reason = reason;
     return receipt;
   }
-  if (!queue_.try_push(job)) {
+  // Deterministic transient-backpressure injection (DESIGN.md §14): report
+  // "queue full" without consulting the queue — indistinguishable from the
+  // real condition to the caller, so retry loops exercise their real path.
+  if (fault_ != nullptr && fault_->should_fire(FaultSite::kQueueFull)) {
+    receipt.accepted = false;
+    receipt.reject_reason = "ingest queue full (injected fault)";
+    receipt.retryable = true;
+    return receipt;
+  }
+  if (policy_ != OverloadPolicy::kRejectNewest) {
+    // Shed policies weigh jobs at admission: stamp the estimate on every
+    // admitted job (it may become a later push's victim), then push with
+    // an eviction slot.
+    job.shed_cost = session->shed_cost(job, policy_);
+    GradientJob evicted;
+    switch (queue_.push(job, &evicted)) {
+      case GradientQueue::PushOutcome::kAccepted:
+        break;
+      case GradientQueue::PushOutcome::kAcceptedEvicted: {
+        // The victim was counted into accepted_ when it was admitted; it
+        // will never be drained, so account it processed-or-dropped here —
+        // otherwise drain() waits for it forever.
+        shed_drops_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry_ != nullptr) {
+          shed_ctr_->add(1);
+          telemetry::TraceEvent ev;
+          ev.ts_ns = telemetry_->now_ns();
+          ev.ticket = evicted.ticket;
+          ev.model = evicted.model_id;
+          ev.phase = telemetry::TracePhase::kShedDrop;
+          telemetry_->tracer().emit(ev);
+        }
+        processed_or_dropped_.fetch_add(1, std::memory_order_acq_rel);
+        {
+          std::lock_guard<std::mutex> lock(drain_mu_);
+        }
+        drain_cv_.notify_all();
+        break;
+      }
+      case GradientQueue::PushOutcome::kShedIncoming:
+        // Refused before any ticket was drawn: the job never entered the
+        // accounting, so only the shed counter moves.
+        shed_drops_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry_ != nullptr) {
+          shed_ctr_->add(1);
+          telemetry::TraceEvent ev;
+          ev.ts_ns = telemetry_->now_ns();
+          ev.model = job.model_id;
+          ev.phase = telemetry::TracePhase::kShedDrop;
+          telemetry_->tracer().emit(ev);
+        }
+        receipt.accepted = false;
+        receipt.shed = true;
+        receipt.reject_reason = "shed by overload policy";
+        return receipt;
+      case GradientQueue::PushOutcome::kRejectedFull:
+        receipt.accepted = false;
+        receipt.reject_reason = "ingest queue full (backpressure)";
+        receipt.retryable = true;
+        return receipt;
+      case GradientQueue::PushOutcome::kRejectedClosed:
+        receipt.accepted = false;
+        receipt.reject_reason = "ingest queue closed";
+        return receipt;
+    }
+  } else if (!queue_.try_push(job)) {
     receipt.accepted = false;
     if (queue_.closed()) {
       receipt.reject_reason = "ingest queue closed";
@@ -358,6 +436,15 @@ void ConcurrentFleetServer::planner_loop(std::size_t planner) {
         return !paused_.load(std::memory_order_acquire) || queue_.closed();
       });
     }
+    // Deterministic planner-stall injection (DESIGN.md §14): a bounded
+    // count of yields, never a clock — the batch is merely delayed, and
+    // the other planners' progress ticks keep advancing past this one's.
+    if (fault_ != nullptr && fault_->should_fire(FaultSite::kPlannerStall)) {
+      const std::uint64_t configured =
+          fault_->payload(FaultSite::kPlannerStall);
+      const std::uint64_t spins = configured > 0 ? configured : 1000;
+      for (std::uint64_t i = 0; i < spins; ++i) std::this_thread::yield();
+    }
     // Feed the controller the counters it owns — batch occupancy and the
     // group's windowed depth peak — and nothing else: no telemetry clock
     // is ever read on this path, so the drain schedule is identical with
@@ -429,6 +516,16 @@ void ConcurrentFleetServer::planner_loop(std::size_t planner) {
       for (std::size_t i = 0; i < used; ++i) {
         sharded_->wait(slot_pool[i].latch);
         if (!serialize_folds_) note_session_fold(i);
+        // Fold quarantine (DESIGN.md §14): a span task of this session's
+        // plan threw — the pool caught it and resolved the latch anyway,
+        // so only this session degrades (its arena may hold a partial
+        // fold); every other session's batch, and the host, are unharmed.
+        const std::size_t failures = slot_pool[i].latch.take_failures();
+        if (failures > 0) {
+          fold_quarantines_.fetch_add(failures, std::memory_order_relaxed);
+          if (quarantine_ctr_ != nullptr) quarantine_ctr_->add(failures);
+          slot_pool[i].session->mark_degraded();
+        }
       }
     } else {
       for (GradientJob& job : batch) {
@@ -443,7 +540,16 @@ void ConcurrentFleetServer::planner_loop(std::size_t planner) {
         }
         const std::uint64_t ticket = job.ticket;
         const core::ModelId model_id = job.model_id;
-        const bool folded = slot->session->process(std::move(job));
+        bool folded = false;
+        try {
+          folded = slot->session->process(std::move(job));
+        } catch (...) {
+          // Same quarantine contract as the sharded path: one throwing
+          // fold degrades its own session, never the planner thread.
+          fold_quarantines_.fetch_add(1, std::memory_order_relaxed);
+          if (quarantine_ctr_ != nullptr) quarantine_ctr_->add(1);
+          slot->session->mark_degraded();
+        }
         if (telemetry_ != nullptr && folded) {
           emit_instant(telemetry::TracePhase::kFold, ticket, model_id);
         }
@@ -485,6 +591,9 @@ void ConcurrentFleetServer::planner_loop(std::size_t planner) {
       telemetry_->tracer().emit(ev);
     }
     processed_or_dropped_.fetch_add(taken, std::memory_order_acq_rel);
+    // Liveness tick last: a batch only counts once fully processed, so a
+    // planner stuck anywhere above reads as "not progressing".
+    planner_progress_[planner].fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
     }
@@ -565,6 +674,39 @@ RuntimeStats ConcurrentFleetServer::host_stats() const {
   if (const telemetry::Histogram* wait = queue_.wait_histogram()) {
     snapshot.queue_wait = wait->snapshot();
   }
+  snapshot.shed_drops = shed_drops_.load(std::memory_order_acquire);
+  snapshot.fold_quarantines =
+      fold_quarantines_.load(std::memory_order_acquire);
+  snapshot.planner_progress.reserve(planner_progress_.size());
+  for (const auto& ticks : planner_progress_) {
+    snapshot.planner_progress.push_back(
+        ticks.load(std::memory_order_relaxed));
+  }
+  for (const core::ModelId id : registry_.ids()) {
+    const auto session = registry_.lookup(id);
+    if (session != nullptr && session->degraded()) {
+      ++snapshot.degraded_sessions;
+    }
+  }
+  return snapshot;
+}
+
+HealthSnapshot ConcurrentFleetServer::health() const {
+  HealthSnapshot snapshot;
+  snapshot.planner_progress.reserve(planner_progress_.size());
+  for (const auto& ticks : planner_progress_) {
+    snapshot.planner_progress.push_back(
+        ticks.load(std::memory_order_relaxed));
+  }
+  for (const core::ModelId id : registry_.ids()) {
+    const auto session = registry_.lookup(id);
+    if (session != nullptr && session->degraded()) {
+      snapshot.degraded_sessions.push_back(id);
+    }
+  }
+  snapshot.shed_drops = shed_drops_.load(std::memory_order_acquire);
+  snapshot.fold_quarantines =
+      fold_quarantines_.load(std::memory_order_acquire);
   return snapshot;
 }
 
@@ -587,6 +729,10 @@ RuntimeStats ConcurrentFleetServer::stats(core::ModelId id) const {
   snapshot.planner_batch_limits = host.planner_batch_limits;
   snapshot.adaptive_widenings = host.adaptive_widenings;
   snapshot.adaptive_narrowings = host.adaptive_narrowings;
+  snapshot.shed_drops = host.shed_drops;
+  snapshot.fold_quarantines = host.fold_quarantines;
+  snapshot.degraded_sessions = host.degraded_sessions;
+  snapshot.planner_progress = host.planner_progress;
   return snapshot;
 }
 

@@ -11,6 +11,7 @@
 #include "fleet/core/server.hpp"
 #include "fleet/net/wire.hpp"
 #include "fleet/runtime/adaptive_batcher.hpp"
+#include "fleet/runtime/fault.hpp"
 #include "fleet/runtime/gradient_queue.hpp"
 #include "fleet/runtime/model_registry.hpp"
 #include "fleet/runtime/model_session.hpp"
@@ -113,6 +114,47 @@ struct RuntimeConfig {
   /// is observed, never consulted: on or off, every session's model is
   /// bitwise identical (the determinism matrix asserts it).
   telemetry::TelemetryConfig telemetry;
+  /// What the host does when the ingest queue crosses `shed_watermark`
+  /// (DESIGN.md §14). The default kRejectNewest keeps the pre-policy
+  /// behavior bitwise: incoming jobs bounce at capacity, queued jobs are
+  /// never touched. The shed policies instead weigh the incoming job
+  /// against the cheapest queued job in its target shard — by staleness
+  /// (kShedStalest: AdaSGD's dampening would down-weight the stalest job
+  /// hardest anyway) or by the exact dampened weight the session's
+  /// aggregator would apply (kShedLowestWeight) — and drop the loser,
+  /// counted as RuntimeStats::shed_drops and traced as kShedDrop, never
+  /// silently.
+  OverloadPolicy overload_policy = OverloadPolicy::kRejectNewest;
+  /// Queue depth above which a shed policy starts weighing jobs (0 = only
+  /// at capacity). Ignored under kRejectNewest; clamped to queue_capacity.
+  std::size_t shed_watermark = 0;
+  /// Deterministic fault injector (fault.hpp, DESIGN.md §14), optional and
+  /// caller-owned (must outlive the host). Sites consulted on this host:
+  /// kQueueFull (try_submit reports transient backpressure without
+  /// touching the queue), kFoldTask (a fold span task throws and is
+  /// quarantined — its session is marked degraded) and kPlannerStall (a
+  /// planner spins `payload` yields before processing a batch). Null — or
+  /// an injector with no armed site — leaves every path bitwise identical
+  /// to a host built without one.
+  FaultInjector* fault_injector = nullptr;
+};
+
+/// Point-in-time liveness/degradation view of one host (DESIGN.md §14):
+/// what a supervisor needs to tell "slow" from "stuck" and "exact" from
+/// "degraded" without parsing full RuntimeStats.
+struct HealthSnapshot {
+  /// Drain batches completed per planner, in planner order. Monotone; a
+  /// stalled planner's entry stops advancing while the others keep
+  /// counting.
+  std::vector<std::size_t> planner_progress;
+  /// Ids of registered sessions with at least one quarantined fold task
+  /// (sticky; ascending id order).
+  std::vector<core::ModelId> degraded_sessions;
+  /// Gradients lost to the overload shed policy so far.
+  std::size_t shed_drops = 0;
+  /// Fold span tasks that threw and were quarantined instead of
+  /// terminating the process.
+  std::size_t fold_quarantines = 0;
 };
 
 /// Multi-tenant serving host (DESIGN.md §7): many learning tasks — each a
@@ -295,6 +337,11 @@ class ConcurrentFleetServer {
   /// (e.g. everything driven has been retired).
   RuntimeStats host_stats() const;
 
+  /// Liveness/degradation snapshot (DESIGN.md §14): per-planner progress
+  /// ticks, degraded session ids, shed and quarantine totals. Callable
+  /// from any thread, any time.
+  HealthSnapshot health() const;
+
   /// The host's telemetry substrate, or nullptr when
   /// RuntimeConfig::telemetry.enabled was false. Snapshot its metrics()
   /// and collect its tracer() for the exporters (telemetry/export.hpp);
@@ -346,6 +393,13 @@ class ConcurrentFleetServer {
   std::size_t planner_count_;
   /// Adaptive drain-batching knobs (enabled flag consulted per drain).
   AdaptiveBatchConfig adaptive_;
+  /// Overload policy the shared queue runs (also consulted on the submit
+  /// path: shed policies stamp every admitted job's shed_cost). Declared
+  /// before queue_, which is constructed from it.
+  OverloadPolicy policy_;
+  /// Deterministic fault injector; null for a fault-free host. Caller
+  /// owned (RuntimeConfig::fault_injector), shared with the fold pool.
+  FaultInjector* fault_ = nullptr;
   /// Stateless wire-frame validator/decoder shared by every request thread
   /// calling try_submit_wire (DESIGN.md §12).
   net::WireDecoder wire_decoder_;
@@ -364,6 +418,8 @@ class ConcurrentFleetServer {
   telemetry::Histogram* batch_limit_ = nullptr;    ///< "planner.batch_limit"
   telemetry::Histogram* planner_occupancy_ = nullptr;  ///< "planner.occupancy_pct"
   telemetry::Gauge* queue_depth_gauge_ = nullptr;  ///< "queue.depth"
+  telemetry::Counter* shed_ctr_ = nullptr;         ///< "queue.shed"
+  telemetry::Counter* quarantine_ctr_ = nullptr;   ///< "server.fold_quarantines"
   GradientQueue queue_;
   /// Present when aggregation_shards > 1; the shared fold scheduler — all
   /// sessions' plans of a drain batch run on it concurrently, across
@@ -386,6 +442,16 @@ class ConcurrentFleetServer {
   /// Malformed wire frames refused at decode (never admitted, never
   /// folded); see try_submit_wire and RuntimeStats::wire_rejects.
   std::atomic<std::size_t> wire_rejects_{0};
+  /// Gradients lost to the overload shed policy: refused incoming jobs
+  /// plus queued victims evicted in their favor (DESIGN.md §14).
+  std::atomic<std::size_t> shed_drops_{0};
+  /// Fold span tasks that threw and were quarantined (their sessions are
+  /// marked degraded instead of the process terminating).
+  std::atomic<std::size_t> fold_quarantines_{0};
+  /// Per-planner drain-batch completion ticks (HealthSnapshot). Deque:
+  /// atomics must not move; sized in the constructor before the planner
+  /// threads spawn.
+  std::deque<std::atomic<std::size_t>> planner_progress_;
 
   // Drain accounting: accepted_ is bumped by producers, processed_ by the
   // aggregation thread; drain() waits until they meet.

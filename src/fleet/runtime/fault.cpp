@@ -1,0 +1,93 @@
+#include "fleet/runtime/fault.hpp"
+
+#include "fleet/stats/rng.hpp"
+
+namespace fleet::runtime {
+
+namespace {
+
+/// Site-keyed stream constant (same golden-ratio splitting as
+/// stats::Rng::stream) so two sites polling the same trigger index under
+/// the same seed decide independently.
+std::uint64_t site_key(std::uint64_t seed, std::size_t site) {
+  return stats::mix64(seed + 0x9e3779b97f4a7c15ULL *
+                                 (static_cast<std::uint64_t>(site) + 1));
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kWireCorrupt:
+      return "wire_corrupt";
+    case FaultSite::kInjectorDeath:
+      return "injector_death";
+    case FaultSite::kQueueFull:
+      return "queue_full";
+    case FaultSite::kFoldTask:
+      return "fold_task";
+    case FaultSite::kPlannerStall:
+      return "planner_stall";
+    case FaultSite::kSiteCount:
+      break;
+  }
+  return "unknown";
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  SiteState& state = sites_[index_of(plan.site)];
+  state.plan = plan;
+  state.armed.store(true, std::memory_order_release);
+}
+
+bool FaultInjector::should_fire(FaultSite site) {
+  SiteState& state = sites_[index_of(site)];
+  const std::uint64_t trigger =
+      state.triggers.fetch_add(1, std::memory_order_relaxed);
+  if (!state.armed.load(std::memory_order_acquire)) return false;
+  const FaultPlan& plan = state.plan;
+  if (trigger < plan.after) return false;
+  bool fire = false;
+  if (plan.every > 0 && (trigger - plan.after) % plan.every == 0) {
+    fire = true;
+  }
+  if (!fire && plan.probability > 0.0) {
+    // Decision = pure hash of (seed, site, trigger index); the top 53 bits
+    // give a uniform double in [0, 1).
+    const std::uint64_t h =
+        stats::mix64(site_key(seed_, index_of(site)) ^ trigger);
+    fire = static_cast<double>(h >> 11) * 0x1.0p-53 < plan.probability;
+  }
+  if (!fire) return false;
+  // Respect the fire budget without ever over-counting under concurrency.
+  std::uint64_t fired = state.fires.load(std::memory_order_relaxed);
+  while (fired < plan.max_fires) {
+    if (state.fires.compare_exchange_weak(fired, fired + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::payload(FaultSite site) const {
+  const SiteState& state = sites_[index_of(site)];
+  if (!state.armed.load(std::memory_order_acquire)) return 0;
+  return state.plan.payload;
+}
+
+std::uint64_t FaultInjector::draw(FaultSite site, std::uint64_t salt) const {
+  return stats::mix64(site_key(seed_, index_of(site)) ^
+                      stats::mix64(salt + 1));
+}
+
+std::uint64_t FaultInjector::triggers(FaultSite site) const {
+  return sites_[index_of(site)].triggers.load(std::memory_order_acquire);
+}
+
+std::uint64_t FaultInjector::fires(FaultSite site) const {
+  return sites_[index_of(site)].fires.load(std::memory_order_acquire);
+}
+
+}  // namespace fleet::runtime

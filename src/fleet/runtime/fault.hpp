@@ -1,0 +1,121 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace fleet::runtime {
+
+/// Named places in the serving stack where a FaultInjector may fire
+/// (DESIGN.md §14). Each site is polled by exactly one layer; a site the
+/// stack never reaches simply never triggers.
+enum class FaultSite : std::size_t {
+  /// LoopbackIngest, before decode: flip one byte of the frame copy so the
+  /// wire decoder (or the fold downstream) sees corrupted input.
+  kWireCorrupt = 0,
+  /// LoopbackIngest injector thread, at loop top while holding no frame:
+  /// the thread exits as if it crashed; the supervisor respawns it.
+  kInjectorDeath,
+  /// ConcurrentFleetServer::try_submit, before the queue push: synthesize a
+  /// transient queue-full (retryable backpressure) receipt.
+  kQueueFull,
+  /// ShardedAggregator fold task: throw inside the worker, exercising the
+  /// quarantine path (latch failure -> session degraded).
+  kFoldTask,
+  /// Planner loop, after popping a batch: spin-yield `payload` times,
+  /// simulating a stalled control-plane thread.
+  kPlannerStall,
+  kSiteCount,
+};
+
+const char* fault_site_name(FaultSite site);
+
+/// One site's firing schedule. Decisions are pure functions of
+/// (injector seed, site, trigger index) — a trigger is one poll of the
+/// site — so a fault plan replays identically run to run, independent of
+/// thread interleaving *per site* (each site's trigger counter is its own
+/// atomic sequence). No wall clock is ever consulted (§11/§13
+/// counters-not-clocks invariant).
+struct FaultPlan {
+  FaultSite site = FaultSite::kWireCorrupt;
+  /// Bernoulli fire probability per trigger, decided by a seeded hash of
+  /// the trigger index (0 = only the modular schedule below fires).
+  double probability = 0.0;
+  /// Deterministic schedule: fire when (trigger - after) % every == 0
+  /// (0 disables the modular schedule).
+  std::uint64_t every = 0;
+  /// Triggers before this index never fire.
+  std::uint64_t after = 0;
+  /// Total fire budget for the site.
+  std::uint64_t max_fires = ~0ull;
+  /// Site-specific magnitude: spin-yield iterations for kPlannerStall
+  /// (0 = default 1000); unused elsewhere.
+  std::uint64_t payload = 0;
+};
+
+/// Seeded, counter-driven fault injector threaded through the serving
+/// stack (DESIGN.md §14). A layer holding a FaultInjector* polls
+/// `should_fire(site)` at its site; a null pointer (the default
+/// everywhere) compiles to the current behavior — no counters move, no
+/// branches beyond one null check — which keeps the determinism matrix
+/// bitwise identical to a faults-free build.
+///
+/// Thread safety: should_fire/triggers/fires are safe from any thread.
+/// arm() must complete before the injector is shared with running threads
+/// (arm in the test/bench setup, then construct the server/ingest).
+class FaultInjector {
+ public:
+  /// Thrown by injected kFoldTask faults (and available to tests that want
+  /// to distinguish injected failures from real ones).
+  class InjectedFault : public std::runtime_error {
+   public:
+    explicit InjectedFault(const char* what) : std::runtime_error(what) {}
+  };
+
+  explicit FaultInjector(std::uint64_t seed = 0) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Install (or replace) the site's plan. Call before sharing the
+  /// injector with running threads.
+  void arm(const FaultPlan& plan);
+
+  /// Poll the site: bumps its trigger counter and returns whether this
+  /// trigger fires under the armed plan (always false for unarmed sites —
+  /// the counter still advances, so arming later in a test replays the
+  /// same trigger indices).
+  bool should_fire(FaultSite site);
+
+  /// The armed plan's payload for `site` (0 when unarmed).
+  std::uint64_t payload(FaultSite site) const;
+
+  /// Deterministic per-fire randomness for sites that need a magnitude and
+  /// a position (e.g. which byte kWireCorrupt flips): a pure hash of
+  /// (seed, site, salt).
+  std::uint64_t draw(FaultSite site, std::uint64_t salt) const;
+
+  std::uint64_t triggers(FaultSite site) const;
+  std::uint64_t fires(FaultSite site) const;
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct SiteState {
+    FaultPlan plan{};
+    std::atomic<bool> armed{false};
+    std::atomic<std::uint64_t> triggers{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  static std::size_t index_of(FaultSite site) {
+    return static_cast<std::size_t>(site);
+  }
+
+  std::uint64_t seed_;
+  std::array<SiteState, static_cast<std::size_t>(FaultSite::kSiteCount)>
+      sites_{};
+};
+
+}  // namespace fleet::runtime

@@ -7,10 +7,30 @@
 
 namespace fleet::runtime {
 
+const char* overload_policy_name(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kRejectNewest:
+      return "reject_newest";
+    case OverloadPolicy::kShedStalest:
+      return "shed_stalest";
+    case OverloadPolicy::kShedLowestWeight:
+      return "shed_lowest_weight";
+  }
+  return "unknown";
+}
+
 GradientQueue::GradientQueue(std::size_t capacity, std::size_t shards,
                              telemetry::Telemetry* telemetry,
-                             std::size_t groups)
-    : capacity_(capacity), telemetry_(telemetry) {
+                             std::size_t groups, OverloadPolicy policy,
+                             std::size_t shed_watermark)
+    : capacity_(capacity),
+      policy_(policy),
+      shed_trigger_(policy == OverloadPolicy::kRejectNewest
+                        ? capacity
+                        : std::min(shed_watermark == 0 ? capacity
+                                                       : shed_watermark,
+                                   capacity)),
+      telemetry_(telemetry) {
   if (capacity == 0) {
     throw std::invalid_argument("GradientQueue: capacity must be >= 1");
   }
@@ -53,26 +73,48 @@ GradientQueue::GradientQueue(std::size_t capacity, std::size_t shards,
 bool GradientQueue::try_push(GradientJob& job) {
   const std::size_t offset =
       std::hash<std::thread::id>{}(std::this_thread::get_id());
-  return push_to_shard(job, group_of(job.model_id), offset);
+  const PushOutcome outcome =
+      push_to_shard(job, group_of(job.model_id), offset, nullptr);
+  return outcome == PushOutcome::kAccepted ||
+         outcome == PushOutcome::kAcceptedEvicted;
 }
 
 bool GradientQueue::try_push(GradientJob& job, std::size_t shard_hint) {
-  return push_to_shard(job, group_of(job.model_id), shard_hint);
+  const PushOutcome outcome =
+      push_to_shard(job, group_of(job.model_id), shard_hint, nullptr);
+  return outcome == PushOutcome::kAccepted ||
+         outcome == PushOutcome::kAcceptedEvicted;
 }
 
-bool GradientQueue::push_to_shard(GradientJob& job, std::size_t group,
-                                  std::size_t group_offset) {
+GradientQueue::PushOutcome GradientQueue::push(GradientJob& job,
+                                               GradientJob* evicted) {
+  const std::size_t offset =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return push_to_shard(job, group_of(job.model_id), offset, evicted);
+}
+
+GradientQueue::PushOutcome GradientQueue::push_to_shard(
+    GradientJob& job, std::size_t group, std::size_t group_offset,
+    GradientJob* evicted) {
   // Observation only: the timestamps stamp the job and feed histograms;
   // nothing downstream ever branches on them.
   const std::uint64_t t0 = telemetry_ != nullptr ? telemetry_->now_ns() : 0;
   const core::ModelId model = job.model_id;
-  if (closed_.load(std::memory_order_acquire)) return false;
+  if (closed_.load(std::memory_order_acquire)) {
+    return PushOutcome::kRejectedClosed;
+  }
   // Reserve a slot against the global bound first; undo on failure. The
   // reservation also keeps a consumer from concluding "closed and empty"
   // while this push is mid-flight (wait_drain exits only at group depth 0,
   // so the group counter is reserved pre-land as well).
   const std::size_t depth = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (depth > capacity_) {
+  // Shed path (DESIGN.md §14): above the trigger depth a shed policy weighs
+  // the incoming job against its target shard instead of refusing it
+  // outright. Under kRejectNewest the trigger equals capacity and `shed`
+  // stays false — the path below is exactly the pre-policy queue.
+  const bool shed =
+      policy_ != OverloadPolicy::kRejectNewest && depth > shed_trigger_;
+  if (depth > capacity_ && !shed) {
     size_.fetch_sub(1, std::memory_order_acq_rel);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry_ != nullptr) {
@@ -83,13 +125,18 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t group,
       ev.phase = telemetry::TracePhase::kReject;
       telemetry_->tracer().emit(ev);
     }
-    return false;
+    return PushOutcome::kRejectedFull;
   }
   GroupState& gs = *groups_[group];
-  const std::size_t gdepth = gs.size.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // In the shed-swap case the group's net size is unchanged (the victim
+  // and the incoming job live in the same shard, hence the same group), so
+  // the group counter is only reserved on the plain-insert path.
+  const std::size_t gdepth =
+      shed ? 0 : gs.size.fetch_add(1, std::memory_order_acq_rel) + 1;
   const std::size_t group_shards = gs.shard_end - gs.shard_begin;
   Shard& shard = *shards_[gs.shard_begin + group_offset % group_shards];
   std::uint64_t ticket = 0;
+  bool swapped = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     // Re-check under the shard lock: close() fences every shard after
@@ -98,8 +145,38 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t group,
     // no job can be accepted into a queue nobody will ever drain.
     if (closed_.load(std::memory_order_acquire)) {
       size_.fetch_sub(1, std::memory_order_acq_rel);
-      gs.size.fetch_sub(1, std::memory_order_acq_rel);
-      return false;
+      if (!shed) gs.size.fetch_sub(1, std::memory_order_acq_rel);
+      return PushOutcome::kRejectedClosed;
+    }
+    if (shed) {
+      // Weigh the incoming job against the shard's cheapest queued job.
+      // The scan is shard-local by design: one lock, bounded work, and the
+      // thread-hash sharding spreads comparable jobs across the group —
+      // DESIGN.md §14 documents the approximation.
+      auto victim = shard.items.end();
+      for (auto it = shard.items.begin(); it != shard.items.end(); ++it) {
+        if (victim == shard.items.end() ||
+            it->job.shed_cost < victim->job.shed_cost) {
+          victim = it;
+        }
+      }
+      if (victim == shard.items.end() ||
+          victim->job.shed_cost >= job.shed_cost) {
+        // Nothing cheaper queued here (or nothing at all): the incoming
+        // job is the least valuable. Refuse it — no ticket is drawn, so
+        // admission-order prefixes are untouched.
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        return PushOutcome::kShedIncoming;
+      }
+      // Evict the victim under the same critical section that admits the
+      // incoming job: no consumer can observe the intermediate state, the
+      // deque stays ticket-sorted (a middle erase removes, never reorders)
+      // and the victim's ticket retires with it — it will simply never be
+      // drained, which is why the caller must account the eviction.
+      if (evicted != nullptr) *evicted = std::move(victim->job);
+      shard.items.erase(victim);
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      swapped = true;
     }
     Item item;
     // Ticket drawn under the shard lock: jobs pushed sequentially by one
@@ -117,20 +194,23 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t group,
   // push actually landed (a closed-race undo never raises the gauge). The
   // depth may be a transient over-count when a concurrent reserver is
   // about to bounce off the bound, but it never exceeds capacity and a
-  // real burst reaches the same mark anyway.
-  std::size_t seen = max_depth_.load(std::memory_order_relaxed);
-  while (depth > seen &&
-         !max_depth_.compare_exchange_weak(seen, depth,
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_relaxed)) {
-  }
-  // Windowed group peak for the adaptive batcher — same transient
-  // over-count caveat as the global mark, same reasoning.
-  std::size_t gseen = gs.window_peak.load(std::memory_order_relaxed);
-  while (gdepth > gseen &&
-         !gs.window_peak.compare_exchange_weak(gseen, gdepth,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_relaxed)) {
+  // real burst reaches the same mark anyway. A shed swap leaves the net
+  // depth unchanged, so it never raises either mark.
+  if (!shed) {
+    std::size_t seen = max_depth_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !max_depth_.compare_exchange_weak(seen, depth,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+    }
+    // Windowed group peak for the adaptive batcher — same transient
+    // over-count caveat as the global mark, same reasoning.
+    std::size_t gseen = gs.window_peak.load(std::memory_order_relaxed);
+    while (gdepth > gseen &&
+           !gs.window_peak.compare_exchange_weak(gseen, gdepth,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+    }
   }
   if (telemetry_ != nullptr) {
     admitted_ctr_->add(1);
@@ -146,7 +226,7 @@ bool GradientQueue::push_to_shard(GradientJob& job, std::size_t group,
   // about to sleep observes either the new group size or the notification.
   { std::lock_guard<std::mutex> lock(gs.wake_mu); }
   gs.wake_cv.notify_one();
-  return true;
+  return swapped ? PushOutcome::kAcceptedEvicted : PushOutcome::kAccepted;
 }
 
 void GradientQueue::note_drained(const std::vector<GradientJob>& out,

@@ -16,6 +16,31 @@
 
 namespace fleet::runtime {
 
+/// What the host does with gradients above the ingest queue's shed
+/// watermark (DESIGN.md §14). The baseline refuses the *incoming* job —
+/// the freshest work, which is exactly what AdaSGD's staleness dampening
+/// values most. The shed policies instead compare the incoming job against
+/// the queued jobs of its target shard and drop whichever the dampening
+/// function would down-weight most, so overload sheds the gradients
+/// carrying the least learning signal.
+enum class OverloadPolicy {
+  /// Today's behavior: a full queue rejects the incoming submit with
+  /// retryable backpressure. The default; bitwise identical to pre-policy
+  /// builds.
+  kRejectNewest,
+  /// Evict the stalest queued gradient (largest submit-time staleness)
+  /// when the incoming one is fresher; Lambda(tau) = exp(-beta tau) makes
+  /// the stalest gradient the cheapest possible loss.
+  kShedStalest,
+  /// Evict the queued gradient with the smallest expected dampened weight
+  /// (staleness AND similarity boost folded in) — strictly the least
+  /// signal by the aggregator's own metric, at the cost of a weight query
+  /// per submit.
+  kShedLowestWeight,
+};
+
+const char* overload_policy_name(OverloadPolicy policy);
+
 /// One gradient in flight from a worker to a planner thread (Fig 2,
 /// step 5, decoupled in time). Unlike the serial path's span-based
 /// `learning::WorkerUpdate`, the job *owns* its gradient buffer: the
@@ -46,6 +71,15 @@ struct GradientJob {
   /// the queue-wait observation. 0 when telemetry is off. Never consulted
   /// by any scheduling or learning decision.
   std::uint64_t enqueue_ns = 0;
+  /// Admission-time estimate of the learning signal this job carries,
+  /// stamped by the server when an overload shed policy is active (never
+  /// consulted under kRejectNewest). Higher = keep. kShedStalest: minus
+  /// the staleness at submit; kShedLowestWeight: the dampened weight the
+  /// aggregator would apply if the job were processed now. An estimate —
+  /// staleness keeps growing while the job queues — but the *ordering*
+  /// between queued jobs is all the shed comparison consumes, and queueing
+  /// delay only makes an already-stale job staler (DESIGN.md §14).
+  double shed_cost = 0.0;
 };
 
 /// Bounded, sharded multi-producer queue feeding the planner threads
@@ -80,20 +114,50 @@ class GradientQueue {
   /// ("queue.admit_ns") and per-gradient queue wait ("queue.wait_ns")
   /// histograms and emits submit/reject/dequeue lifecycle trace events.
   /// `groups`: planner groups (>= 1), one consumer thread per group.
+  /// `policy` + `shed_watermark` (DESIGN.md §14): with a shed policy, a
+  /// push that would raise the depth past min(shed_watermark, capacity)
+  /// (watermark 0 = capacity, i.e. shed only when full) compares the
+  /// incoming job's shed_cost against its target shard's queued jobs and
+  /// drops whichever carries the least signal. kRejectNewest (the default)
+  /// never evicts and is bitwise identical to the pre-policy queue.
   GradientQueue(std::size_t capacity, std::size_t shards = 8,
                 telemetry::Telemetry* telemetry = nullptr,
-                std::size_t groups = 1);
+                std::size_t groups = 1,
+                OverloadPolicy policy = OverloadPolicy::kRejectNewest,
+                std::size_t shed_watermark = 0);
 
   /// Enqueue, sharded by producer thread hash within the job's planner
   /// group. Consumes `job` (moves from it) only on success; on a full or
   /// closed queue returns false and leaves `job` intact so the caller can
-  /// retry or drop it.
+  /// retry or drop it. Under a shed policy, shed outcomes also read false
+  /// here — callers that must distinguish (and receive eviction victims)
+  /// go through push().
   bool try_push(GradientJob& job);
 
   /// Enqueue into shard `shard_hint % <group shard count>` of the job's
   /// group — for producers that want a stable shard (e.g. one shard per
   /// driver thread).
   bool try_push(GradientJob& job, std::size_t shard_hint);
+
+  /// Full-fidelity push outcome for the shed-aware runtime (DESIGN.md §14).
+  enum class PushOutcome {
+    kAccepted,        ///< admitted; `job` consumed
+    kAcceptedEvicted, ///< admitted; a lower-cost queued job was evicted
+                      ///< into *evicted (its ticket retires with it — the
+                      ///< caller must account the eviction, see
+                      ///< ConcurrentFleetServer::try_submit)
+    kShedIncoming,    ///< refused by the shed policy: the incoming job was
+                      ///< the least valuable. `job` intact, no ticket drawn
+    kRejectedFull,    ///< capacity backpressure (kRejectNewest only)
+    kRejectedClosed,  ///< queue closed
+  };
+
+  /// try_push with shed-policy fidelity: above the watermark under a shed
+  /// policy the incoming job is weighed against its target shard and either
+  /// admitted (possibly evicting the shard's lowest-shed_cost job into
+  /// *evicted, when non-null) or refused as kShedIncoming. With
+  /// kRejectNewest this is exactly try_push.
+  PushOutcome push(GradientJob& job, GradientJob* evicted);
 
   /// Consumer side: append `group`'s queued jobs to `out` in
   /// admission-ticket order and return how many were taken. At most one
@@ -198,13 +262,18 @@ class GradientQueue {
     std::vector<std::vector<Item>> staged;
   };
 
-  bool push_to_shard(GradientJob& job, std::size_t group,
-                     std::size_t group_offset);
+  PushOutcome push_to_shard(GradientJob& job, std::size_t group,
+                            std::size_t group_offset, GradientJob* evicted);
   /// Telemetry tail of a drain: queue-wait observations + dequeue events
   /// for out[from..), stamped against one clock read.
   void note_drained(const std::vector<GradientJob>& out, std::size_t from);
 
   std::size_t capacity_;
+  OverloadPolicy policy_ = OverloadPolicy::kRejectNewest;
+  /// Depth past which a shed policy starts weighing jobs:
+  /// min(shed_watermark ? shed_watermark : capacity, capacity). Equal to
+  /// capacity_ under kRejectNewest.
+  std::size_t shed_trigger_;
   telemetry::Telemetry* telemetry_ = nullptr;  // optional, caller-owned
   telemetry::Histogram* admit_ns_ = nullptr;
   telemetry::Histogram* wait_ns_ = nullptr;

@@ -95,6 +95,31 @@ core::TaskAssignment ModelSession::handle_request(
   return assignment;
 }
 
+double ModelSession::shed_cost(const GradientJob& job,
+                               OverloadPolicy policy) const {
+  // Estimate against the clock now; the true staleness is fixed only when
+  // a planner processes the job. A job carrying a future version (a
+  // producer bug the aggregation-side screen drops anyway) scores zero.
+  const std::size_t now = version_.load(std::memory_order_acquire);
+  const double staleness =
+      job.task_version <= now
+          ? static_cast<double>(now - job.task_version)
+          : 0.0;
+  if (policy == OverloadPolicy::kShedLowestWeight) {
+    // The session's own aggregator computes the exact dampened weight it
+    // would apply at this staleness — weight_for is a pure, internally
+    // locked query and never reads the gradient payload.
+    learning::WorkerUpdate update;
+    update.staleness = staleness;
+    update.label_dist = job.label_dist;
+    update.mini_batch = job.mini_batch;
+    return aggregator_.weight_for(update);
+  }
+  // kShedStalest: staleness in rounds is the unit commensurate across
+  // tenants; the stalest job (most negative score) sheds first.
+  return -staleness;
+}
+
 const char* ModelSession::validate(const GradientJob& job) const {
   if (job.gradient.size() != model_.parameter_count()) {
     return "gradient size mismatch";
@@ -236,6 +261,7 @@ RuntimeStats ModelSession::stats() const {
   // jobs queue), then everything aggregation-side under trace_mu_ as one
   // consistent cut: processed always matches the histograms and traces.
   snapshot.submitted = submitted_.load(std::memory_order_acquire);
+  snapshot.degraded = degraded_.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(trace_mu_);
   snapshot.processed = processed_;
   snapshot.model_updates = model_updates_;

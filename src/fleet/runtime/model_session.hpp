@@ -87,6 +87,27 @@ struct RuntimeStats {
   std::vector<std::size_t> planner_batch_limits;
   std::size_t adaptive_widenings = 0;
   std::size_t adaptive_narrowings = 0;
+  /// Host-wide: gradients lost to the overload shed policy (DESIGN.md
+  /// §14) — refused incoming jobs plus queued victims evicted in their
+  /// favor. Zero under the default kRejectNewest policy. Part of the
+  /// extended ingest accounting identity: frames_sent == frames_submitted
+  /// + wire_rejects + server_rejects + shed_drops.
+  std::size_t shed_drops = 0;
+  /// Host-wide: fold span tasks that finished by throwing (injected fault
+  /// or real defect) and were quarantined instead of terminating the
+  /// process. Each one marked its session degraded.
+  std::size_t fold_quarantines = 0;
+  /// This session had at least one fold task quarantined: its arena may
+  /// hold a partially-applied fold, so its results are no longer bitwise
+  /// reproducible (availability is preserved — it keeps serving). Sticky
+  /// for the session's lifetime.
+  bool degraded = false;
+  /// Host-wide: how many registered sessions are currently degraded.
+  std::size_t degraded_sessions = 0;
+  /// Host-wide liveness ticks, one entry per planner: drain batches that
+  /// planner completed. A stalled planner's tick stops advancing while the
+  /// others keep counting (HealthSnapshot mirrors this).
+  std::vector<std::size_t> planner_progress;
 };
 
 /// Everything one learning task owns on a multi-tenant serving host
@@ -164,6 +185,30 @@ class ModelSession {
     submitted_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Admission-time estimate of how much signal the host would lose by
+  /// shedding `job` under `policy` (higher = more valuable = keep;
+  /// GradientJob::shed_cost). kShedStalest scores by negated staleness
+  /// against this session's clock *now* — staleness in rounds is the one
+  /// unit commensurate across tenants, and AdaSGD's dampening
+  /// Lambda(tau) makes the stalest job the one the fold would down-weight
+  /// hardest anyway. kShedLowestWeight asks the session's own aggregator
+  /// for the exact dampened weight it would apply at current staleness
+  /// (label-similarity boost included). Both are estimates: the job's
+  /// true staleness is fixed only when a planner reaches it. Never called
+  /// under kRejectNewest. Request-path safe (reads the clock and the
+  /// aggregator's internal lock; never the gradient payload).
+  double shed_cost(const GradientJob& job, OverloadPolicy policy) const;
+
+  /// Record a quarantined fold task against this session (DESIGN.md §14):
+  /// sticky — the session keeps serving, but its arena may hold a
+  /// partially-applied fold, so stats().degraded reads true from now on.
+  /// Returns true the first time (so the host can count distinct degraded
+  /// sessions without walking the registry).
+  bool mark_degraded() {
+    return !degraded_.exchange(true, std::memory_order_acq_rel);
+  }
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
   // --- aggregation-thread side (single caller: the host's loop) ---------
 
   /// Sequential fold: screen, dampen, accumulate, maybe update the model
@@ -235,6 +280,8 @@ class ModelSession {
   core::ModelStore store_;
 
   std::atomic<std::size_t> version_{0};
+  /// Sticky fold-quarantine flag (see mark_degraded()).
+  std::atomic<bool> degraded_{false};
   core::AtomicSharedPtr<const VersionedSnapshot> current_;
   /// Aggregation thread only: the version publish_if_dirty() last wrote.
   std::size_t published_version_ = 0;

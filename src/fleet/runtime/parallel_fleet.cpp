@@ -185,10 +185,14 @@ ParallelFleet::Stats ParallelFleet::run() {
         break;
       }
       if (!receipt.retryable) {
+        // A permanently rejected final-flush gradient is gone for good —
+        // count it in both the drive-wide total and the flush breakdown.
         ++stats.rejected_submissions;
+        ++stats.final_flush_drops;
         break;
       }
       ++stats.backpressure_retries;
+      ++stats.final_flush_retries;
       server_.drain();
     }
   }

@@ -83,6 +83,17 @@ class ParallelFleet {
     /// / shutdown); the job is discarded — retrying an identical submit
     /// cannot succeed.
     std::size_t rejected_submissions = 0;
+    /// Final-flush breakdown (DESIGN.md §14): of the totals above, how
+    /// much came from the post-round delivery of still-in-flight delayed
+    /// gradients. Split out because the final flush retries by draining
+    /// the whole backlog per attempt — conflating its retries with the
+    /// cheap mid-round ones hid how often the flush actually blocked, and
+    /// conflating its drops with mid-round rejects hid gradients lost at
+    /// the very end of a drive. Both are ALSO counted into
+    /// backpressure_retries / rejected_submissions (these are a
+    /// breakdown, not extra events).
+    std::size_t final_flush_retries = 0;
+    std::size_t final_flush_drops = 0;
     /// Aggregate server-side view after drain: per-model counters summed,
     /// traces concatenated in ascending model-id order (for a single-model
     /// drive this is exactly that session's stats).

@@ -10,8 +10,9 @@ namespace fleet::runtime {
 
 ShardedAggregator::ShardedAggregator(std::size_t shards,
                                      std::vector<int> worker_cpus,
-                                     telemetry::Telemetry* telemetry)
-    : shards_(shards), telemetry_(telemetry) {
+                                     telemetry::Telemetry* telemetry,
+                                     FaultInjector* fault)
+    : shards_(shards), telemetry_(telemetry), fault_(fault) {
   if (shards == 0) {
     throw std::invalid_argument("ShardedAggregator: shards must be >= 1");
   }
@@ -103,9 +104,26 @@ bool ShardedAggregator::run_one(std::size_t lane) {
     tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(pick));
     ++active_;
   }
+  // A task that throws — an armed kFoldTask injection or a real defect in
+  // the fold arithmetic — must never escape onto a pool lane: on a worker
+  // thread it would std::terminate the process, and an unresolved latch
+  // would deadlock the coordinator. Catch it, count it on the latch
+  // (FoldLatch::take_failures) and resolve normally; the coordinator
+  // quarantines the owning session (DESIGN.md §14).
+  bool failed = false;
+  const auto guarded_run = [&] {
+    try {
+      if (fault_ != nullptr && fault_->should_fire(FaultSite::kFoldTask)) {
+        throw FaultInjector::InjectedFault("injected fold-task failure");
+      }
+      run_task(task);
+    } catch (...) {
+      failed = true;
+    }
+  };
   if (telemetry_ != nullptr) {
     const std::uint64_t t0 = telemetry_->now_ns();
-    run_task(task);
+    guarded_run();
     const std::uint64_t dur = telemetry_->now_ns() - t0;
     task_ns_->record(static_cast<double>(dur));
     telemetry::TraceEvent ev;
@@ -116,7 +134,10 @@ bool ShardedAggregator::run_one(std::size_t lane) {
     ev.phase = telemetry::TracePhase::kFoldTask;
     telemetry_->tracer().emit(ev);
   } else {
-    run_task(task);
+    guarded_run();
+  }
+  if (failed) {
+    task.latch->failed_.fetch_add(1, std::memory_order_acq_rel);
   }
   bool resolved = false;
   {

@@ -12,6 +12,7 @@
 
 #include "fleet/core/server.hpp"
 #include "fleet/learning/aggregator.hpp"
+#include "fleet/runtime/fault.hpp"
 #include "fleet/telemetry/telemetry.hpp"
 
 namespace fleet::runtime {
@@ -73,9 +74,19 @@ class FoldLatch {
   /// happens-before edge on the folded data, go through wait().
   bool done() const { return pending_.load(std::memory_order_acquire) == 0; }
 
+  /// Tasks of the last plan(s) that finished by throwing instead of
+  /// folding (DESIGN.md §14): the scheduler catches the exception, counts
+  /// it here and still resolves the latch, so the coordinator can never
+  /// deadlock on a failed fold. Reading is destructive — the coordinator
+  /// takes the count once per wait and quarantines the owning session.
+  std::size_t take_failures() {
+    return failed_.exchange(0, std::memory_order_acq_rel);
+  }
+
  private:
   friend class ShardedAggregator;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> failed_{0};
 };
 
 /// Sharded fold scheduler (DESIGN.md §9): a parameter arena is partitioned
@@ -114,9 +125,17 @@ class ShardedAggregator {
   /// RuntimeConfig::pin_fold_workers). `telemetry` (optional, caller-owned,
   /// outliving the pool) records per-task fold latency ("pool.task_ns"),
   /// pool occupancy ("pool.pending" gauge) and per-task trace spans.
+  /// `fault` (optional, caller-owned, outliving the pool) is the host's
+  /// deterministic fault injector: when its kFoldTask site is armed,
+  /// selected span tasks throw instead of folding — the pool catches any
+  /// task exception (injected or real), counts it on the task's latch
+  /// (FoldLatch::take_failures) and keeps the latch resolving, so a
+  /// failed fold degrades exactly one session instead of terminating the
+  /// process (DESIGN.md §14).
   explicit ShardedAggregator(std::size_t shards,
                              std::vector<int> worker_cpus = {},
-                             telemetry::Telemetry* telemetry = nullptr);
+                             telemetry::Telemetry* telemetry = nullptr,
+                             FaultInjector* fault = nullptr);
   ~ShardedAggregator();
 
   ShardedAggregator(const ShardedAggregator&) = delete;
@@ -198,6 +217,7 @@ class ShardedAggregator {
 
   std::size_t shards_;
   telemetry::Telemetry* telemetry_ = nullptr;  // optional, caller-owned
+  FaultInjector* fault_ = nullptr;             // optional, caller-owned
   telemetry::Histogram* task_ns_ = nullptr;
   telemetry::Gauge* pending_ = nullptr;
 

@@ -30,6 +30,8 @@ const char* phase_name(TracePhase phase) {
       return "fold";
     case TracePhase::kWireReject:
       return "wire_reject";
+    case TracePhase::kShedDrop:
+      return "shed_drop";
     case TracePhase::kDrainBatch:
       return "drain_batch";
     case TracePhase::kSessionFold:

@@ -27,6 +27,9 @@ enum class TracePhase : std::uint8_t {
   kDrop,         ///< queued job dropped: its session was retired
   kFold,         ///< job's fold accounted against its session's clock
   kWireReject,   ///< malformed wire frame refused at decode; b = WireError
+  kShedDrop,     ///< job lost to the overload shed policy (DESIGN.md §14):
+                 ///< an evicted queued job (ticket = its retired ticket) or
+                 ///< a refused incoming one (ticket = 0, never admitted)
   // complete spans (a = duration ns, ts = start)
   kDrainBatch,   ///< one drain batch end to end; b = batch size
   kSessionFold,  ///< one session's fold plan, submit -> latch; b = plan size

@@ -1,0 +1,260 @@
+// Capstone chaos matrix (DESIGN.md §14): a two-tenant loopback serving
+// stack driven with EVERY fault site armed at once, across seeds. Whatever
+// the seeded schedule does, the invariants must hold: the ingest ledger is
+// exact to the frame, the host ledger is exact to the gradient, every
+// injector death is healed by a counted respawn, no drain ever deadlocks,
+// and the surviving models stay finite. And with the injector constructed
+// but never armed, the whole stack is bitwise identical to one built
+// without it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "fleet/net/ingest.hpp"
+#include "fleet/net/wire.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/runtime/concurrent_server.hpp"
+#include "fleet/runtime/fault.hpp"
+
+namespace fleet::runtime {
+namespace {
+
+using test::bitwise_equal;
+using test::pretrained_iprof;
+
+core::ServerConfig server_config() {
+  core::ServerConfig config;
+  config.learning_rate = 0.1f;
+  return config;
+}
+
+GradientJob varied_job(const nn::TrainableModel& model, core::ModelId id,
+                       std::size_t salt) {
+  GradientJob job;
+  job.model_id = id;
+  job.task_version = 0;
+  job.gradient.resize(model.parameter_count());
+  for (std::size_t i = 0; i < job.gradient.size(); ++i) {
+    job.gradient[i] =
+        0.001f * static_cast<float>((i * 7 + salt * 13) % 23) - 0.01f;
+  }
+  job.label_dist = stats::LabelDistribution(model.n_classes());
+  job.label_dist.add(static_cast<int>(salt % model.n_classes()), 2);
+  job.mini_batch = 4;
+  return job;
+}
+
+void expect_finite(nn::TrainableModel& model) {
+  for (const float v : model.parameters_view()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+/// Arm every site with a seed-scheduled plan. Budgeted where an unbounded
+/// plan could wedge the stack (a death per poll would outpace the healer,
+/// an injected queue-full on every retry would exhaust any budget).
+void arm_all_sites(FaultInjector& fault) {
+  FaultPlan corrupt;
+  corrupt.site = FaultSite::kWireCorrupt;
+  corrupt.probability = 0.08;
+  fault.arm(corrupt);
+  FaultPlan death;
+  death.site = FaultSite::kInjectorDeath;
+  death.every = 11;
+  death.max_fires = 3;
+  fault.arm(death);
+  FaultPlan full;
+  full.site = FaultSite::kQueueFull;
+  full.probability = 0.05;
+  full.max_fires = 6;
+  fault.arm(full);
+  FaultPlan fold;
+  fold.site = FaultSite::kFoldTask;
+  fold.every = 7;
+  fold.max_fires = 2;
+  fault.arm(fold);
+  FaultPlan stall;
+  stall.site = FaultSite::kPlannerStall;
+  stall.every = 13;
+  stall.payload = 100;
+  fault.arm(stall);
+}
+
+TEST(ChaosMatrixTest, AllSitesArmedEveryLedgerStaysExactAcrossSeeds) {
+  constexpr std::size_t kFramesPerTenant = 60;
+  for (const std::uint64_t seed : {1u, 7u, 13u, 29u, 41u, 57u}) {
+    FaultInjector fault(seed);
+    arm_all_sites(fault);
+    RuntimeConfig runtime;
+    runtime.planner_threads = 2;
+    runtime.aggregation_shards = 2;
+    runtime.queue_capacity = 64;
+    runtime.queue_shards = 2;
+    runtime.overload_policy = OverloadPolicy::kShedStalest;
+    runtime.shed_watermark = 48;
+    runtime.fault_injector = &fault;
+    ConcurrentFleetServer host(runtime);
+    auto model_a = nn::zoo::mlp(8, 4, 3);
+    model_a->init(seed + 1);
+    auto model_b = nn::zoo::mlp(8, 4, 3);
+    model_b->init(seed + 2);
+    const core::ModelId id_a =
+        host.register_model(*model_a, pretrained_iprof(), server_config());
+    const core::ModelId id_b =
+        host.register_model(*model_b, pretrained_iprof(), server_config());
+
+    net::LoopbackIngest::Config cfg;
+    cfg.injector_threads = 2;
+    cfg.max_submit_attempts = 64;
+    cfg.fault = &fault;
+    net::LoopbackIngest ingest(host, cfg);
+    std::vector<std::uint8_t> frame;
+    for (std::size_t i = 0; i < kFramesPerTenant; ++i) {
+      net::encode_job(varied_job(*model_a, id_a, i), net::PayloadKind::kInt8,
+                      frame);
+      while (!ingest.try_send(frame)) std::this_thread::yield();
+      net::encode_job(varied_job(*model_b, id_b, i),
+                      net::PayloadKind::kFloat32, frame);
+      while (!ingest.try_send(frame)) std::this_thread::yield();
+    }
+    // No deadlock under chaos: both drains and the teardown must return.
+    ingest.drain();
+    host.drain();
+    ingest.close();
+
+    const net::IngestStats in = ingest.stats();
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    // Ingest ledger: with senders quiesced, every frame ever sent sits in
+    // exactly one bucket — the extended four-way identity.
+    EXPECT_EQ(in.frames_sent, 2 * kFramesPerTenant);
+    EXPECT_EQ(in.frames_submitted + in.wire_rejects + in.server_rejects +
+                  in.shed_drops,
+              in.frames_sent);
+    // Self-healing: every death was followed by a counted respawn, and no
+    // frame was lost to one (deaths happen before the pop).
+    EXPECT_EQ(in.injector_restarts, fault.fires(FaultSite::kInjectorDeath));
+    EXPECT_EQ(in.frames_corrupted, fault.fires(FaultSite::kWireCorrupt));
+
+    // Host ledger: every admitted gradient was folded, screened invalid
+    // (corrupted-but-decodable frames land there), or evicted by the shed
+    // policy. Evictions = host sheds minus ingest-side refusals.
+    const RuntimeStats host_stats = host.host_stats();
+    ASSERT_GE(host_stats.shed_drops, in.shed_drops);
+    const std::size_t evictions = host_stats.shed_drops - in.shed_drops;
+    const RuntimeStats stats_a = host.stats(id_a);
+    const RuntimeStats stats_b = host.stats(id_b);
+    EXPECT_EQ(stats_a.submitted + stats_b.submitted, in.frames_submitted);
+    EXPECT_EQ(stats_a.processed + stats_b.processed + stats_a.invalid_jobs +
+                  stats_b.invalid_jobs + evictions,
+              stats_a.submitted + stats_b.submitted);
+    EXPECT_EQ(host_stats.retired_drops, 0u);
+
+    // Degradation accounting: quarantines match the injector's own count,
+    // and a quarantine implies a degraded session (never the reverse).
+    const HealthSnapshot health = host.health();
+    EXPECT_EQ(health.fold_quarantines, fault.fires(FaultSite::kFoldTask));
+    if (health.fold_quarantines > 0) {
+      EXPECT_GE(health.degraded_sessions.size(), 1u);
+    } else {
+      EXPECT_TRUE(health.degraded_sessions.empty());
+    }
+    EXPECT_LE(health.degraded_sessions.size(), 2u);
+    // Liveness: both planners kept progressing through stalls.
+    ASSERT_EQ(health.planner_progress.size(), 2u);
+    EXPECT_GT(health.planner_progress[0], 0u);
+    EXPECT_GT(health.planner_progress[1], 0u);
+
+    host.stop();
+    // Whatever was folded — including dequeued corrupted-but-decodable
+    // payloads the wire guards screened finite — left finite parameters.
+    expect_finite(*model_a);
+    expect_finite(*model_b);
+  }
+}
+
+TEST(ChaosMatrixTest, UnarmedInjectorIsBitwiseIdenticalToNoInjector) {
+  constexpr std::size_t kJobsA = 12;
+  constexpr std::size_t kJobsB = 9;
+  struct Outcome {
+    std::vector<float> params_a;
+    std::vector<float> params_b;
+    net::IngestStats ingest;
+  };
+  const auto run = [&](FaultInjector* fault) {
+    RuntimeConfig runtime;
+    runtime.start_paused = true;
+    runtime.planner_threads = 2;
+    runtime.aggregation_shards = 2;
+    if (fault != nullptr) {
+      // The faults-off configuration the acceptance gate names: injector
+      // present but unarmed, and the baseline overload policy.
+      runtime.fault_injector = fault;
+      runtime.overload_policy = OverloadPolicy::kRejectNewest;
+    }
+    auto model_a = nn::zoo::mlp(8, 4, 3);
+    model_a->init(7);
+    auto model_b = nn::zoo::mlp(8, 4, 3);
+    model_b->init(19);
+    ConcurrentFleetServer host(runtime);
+    const core::ModelId id_a =
+        host.register_model(*model_a, pretrained_iprof(), server_config());
+    const core::ModelId id_b =
+        host.register_model(*model_b, pretrained_iprof(), server_config());
+    net::LoopbackIngest::Config cfg;
+    cfg.injector_threads = 1;  // submission order == send order
+    cfg.fault = fault;
+    net::LoopbackIngest ingest(host, cfg);
+    std::vector<std::uint8_t> frame;
+    for (std::size_t i = 0; i < std::max(kJobsA, kJobsB); ++i) {
+      if (i < kJobsA) {
+        net::encode_job(varied_job(*model_a, id_a, i),
+                        net::PayloadKind::kInt8, frame);
+        while (!ingest.try_send(frame)) std::this_thread::yield();
+      }
+      if (i < kJobsB) {
+        net::encode_job(varied_job(*model_b, id_b, i),
+                        net::PayloadKind::kFloat32, frame);
+        while (!ingest.try_send(frame)) std::this_thread::yield();
+      }
+    }
+    ingest.drain();
+    host.resume();
+    host.drain();
+    ingest.close();
+    Outcome out;
+    out.ingest = ingest.stats();
+    host.stop();
+    const auto view_a = model_a->parameters_view();
+    out.params_a.assign(view_a.begin(), view_a.end());
+    const auto view_b = model_b->parameters_view();
+    out.params_b.assign(view_b.begin(), view_b.end());
+    return out;
+  };
+
+  const Outcome plain = run(nullptr);
+  FaultInjector unarmed(123);
+  const Outcome faulted = run(&unarmed);
+  EXPECT_TRUE(bitwise_equal(plain.params_a, faulted.params_a));
+  EXPECT_TRUE(bitwise_equal(plain.params_b, faulted.params_b));
+  EXPECT_EQ(plain.ingest.frames_submitted, faulted.ingest.frames_submitted);
+  EXPECT_EQ(faulted.ingest.frames_submitted, kJobsA + kJobsB);
+  EXPECT_EQ(faulted.ingest.shed_drops, 0u);
+  EXPECT_EQ(faulted.ingest.injector_restarts, 0u);
+  EXPECT_EQ(faulted.ingest.frames_corrupted, 0u);
+  // The unarmed injector's sites were polled (triggers advanced) but none
+  // ever fired — the null-behavior contract.
+  EXPECT_GT(unarmed.triggers(FaultSite::kWireCorrupt), 0u);
+  EXPECT_GT(unarmed.triggers(FaultSite::kQueueFull), 0u);
+  for (const FaultSite site :
+       {FaultSite::kWireCorrupt, FaultSite::kInjectorDeath,
+        FaultSite::kQueueFull, FaultSite::kFoldTask,
+        FaultSite::kPlannerStall}) {
+    EXPECT_EQ(unarmed.fires(site), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fleet::runtime

@@ -1,0 +1,192 @@
+// Deterministic fault-injection engine (DESIGN.md §14): every firing
+// decision is a pure function of (seed, site, trigger index) — no clocks,
+// no global RNG — so a fault schedule replays identically run to run. The
+// 64-seed sweep here is the determinism contract the chaos matrix rests on.
+#include "fleet/runtime/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fleet::runtime {
+namespace {
+
+constexpr FaultSite kAllSites[] = {
+    FaultSite::kWireCorrupt, FaultSite::kInjectorDeath, FaultSite::kQueueFull,
+    FaultSite::kFoldTask, FaultSite::kPlannerStall,
+};
+
+TEST(FaultInjectorTest, SameSeedReplaysTheExactFireSequenceAcross64Seeds) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    FaultInjector a(seed);
+    FaultInjector b(seed);
+    for (const FaultSite site : kAllSites) {
+      FaultPlan plan;
+      plan.site = site;
+      plan.probability = 0.2;
+      a.arm(plan);
+      b.arm(plan);
+    }
+    for (std::size_t trigger = 0; trigger < 200; ++trigger) {
+      for (const FaultSite site : kAllSites) {
+        ASSERT_EQ(a.should_fire(site), b.should_fire(site))
+            << "seed " << seed << " site " << fault_site_name(site)
+            << " trigger " << trigger;
+      }
+    }
+    for (const FaultSite site : kAllSites) {
+      EXPECT_EQ(a.fires(site), b.fires(site));
+      EXPECT_EQ(a.triggers(site), 200u);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, ModularScheduleFiresExactlyOnItsGrid) {
+  FaultInjector injector(7);
+  FaultPlan plan;
+  plan.site = FaultSite::kQueueFull;
+  plan.every = 5;
+  plan.after = 3;
+  injector.arm(plan);
+  for (std::uint64_t trigger = 0; trigger < 40; ++trigger) {
+    const bool expected = trigger >= 3 && (trigger - 3) % 5 == 0;
+    EXPECT_EQ(injector.should_fire(FaultSite::kQueueFull), expected)
+        << "trigger " << trigger;
+  }
+  EXPECT_EQ(injector.fires(FaultSite::kQueueFull), 8u);  // 3, 8, ..., 38
+  EXPECT_EQ(injector.triggers(FaultSite::kQueueFull), 40u);
+}
+
+TEST(FaultInjectorTest, MaxFiresBudgetStopsFurtherFires) {
+  FaultInjector injector(7);
+  FaultPlan plan;
+  plan.site = FaultSite::kFoldTask;
+  plan.every = 1;
+  plan.max_fires = 3;
+  injector.arm(plan);
+  std::size_t fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.should_fire(FaultSite::kFoldTask)) ++fired;
+  }
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(injector.fires(FaultSite::kFoldTask), 3u);
+  EXPECT_EQ(injector.triggers(FaultSite::kFoldTask), 10u);
+}
+
+TEST(FaultInjectorTest, ProbabilityModeFiresAtRoughlyTheConfiguredRate) {
+  FaultInjector injector(42);
+  FaultPlan plan;
+  plan.site = FaultSite::kWireCorrupt;
+  plan.probability = 0.1;
+  injector.arm(plan);
+  std::size_t fired = 0;
+  constexpr std::size_t kTriggers = 20000;
+  for (std::size_t i = 0; i < kTriggers; ++i) {
+    if (injector.should_fire(FaultSite::kWireCorrupt)) ++fired;
+  }
+  // 10% within a generous band; the hash is fixed, so this never flakes.
+  EXPECT_GT(fired, kTriggers / 20);
+  EXPECT_LT(fired, kTriggers / 5);
+}
+
+TEST(FaultInjectorTest, UnarmedSitesCountTriggersButNeverFire) {
+  FaultInjector injector(3);
+  for (int i = 0; i < 50; ++i) {
+    for (const FaultSite site : kAllSites) {
+      EXPECT_FALSE(injector.should_fire(site));
+    }
+  }
+  for (const FaultSite site : kAllSites) {
+    EXPECT_EQ(injector.triggers(site), 50u);
+    EXPECT_EQ(injector.fires(site), 0u);
+    EXPECT_EQ(injector.payload(site), 0u);
+  }
+}
+
+TEST(FaultInjectorTest, ArmingLateReplaysTheSameTriggerIndices) {
+  // Triggers advance even while unarmed, so a plan armed mid-stream sees
+  // the same trigger indices an always-armed injector would — the property
+  // that lets tests stage warm-up traffic before arming.
+  FaultInjector always(5);
+  FaultInjector late(5);
+  FaultPlan plan;
+  plan.site = FaultSite::kQueueFull;
+  plan.probability = 0.25;
+  always.arm(plan);
+  std::vector<bool> head;
+  for (int i = 0; i < 20; ++i) {
+    head.push_back(always.should_fire(FaultSite::kQueueFull));
+    late.should_fire(FaultSite::kQueueFull);  // unarmed warm-up
+  }
+  late.arm(plan);
+  for (int i = 0; i < 80; ++i) {
+    EXPECT_EQ(always.should_fire(FaultSite::kQueueFull),
+              late.should_fire(FaultSite::kQueueFull))
+        << "post-arm trigger " << i;
+  }
+}
+
+TEST(FaultInjectorTest, SitesDecideIndependentlyUnderOneSeed) {
+  // Same seed, same trigger index, different site => independent decision
+  // streams (the site key splits the seed). Identical streams would make
+  // the two fire vectors equal — assert they diverge.
+  FaultInjector injector(9);
+  for (const FaultSite site :
+       {FaultSite::kWireCorrupt, FaultSite::kFoldTask}) {
+    FaultPlan plan;
+    plan.site = site;
+    plan.probability = 0.3;
+    injector.arm(plan);
+  }
+  std::vector<bool> a;
+  std::vector<bool> b;
+  for (int i = 0; i < 256; ++i) {
+    a.push_back(injector.should_fire(FaultSite::kWireCorrupt));
+    b.push_back(injector.should_fire(FaultSite::kFoldTask));
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultInjectorTest, DrawIsPureSeedKeyedAndSiteKeyed) {
+  FaultInjector a(5);
+  FaultInjector b(5);
+  FaultInjector c(6);
+  for (std::uint64_t salt = 0; salt < 32; ++salt) {
+    EXPECT_EQ(a.draw(FaultSite::kWireCorrupt, salt),
+              b.draw(FaultSite::kWireCorrupt, salt));
+  }
+  EXPECT_NE(a.draw(FaultSite::kWireCorrupt, 0),
+            c.draw(FaultSite::kWireCorrupt, 0));
+  EXPECT_NE(a.draw(FaultSite::kWireCorrupt, 0),
+            a.draw(FaultSite::kFoldTask, 0));
+}
+
+TEST(FaultInjectorTest, SiteNamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (const FaultSite site : kAllSites) {
+    names.insert(fault_site_name(site));
+  }
+  EXPECT_EQ(names.size(), std::size(kAllSites));
+  EXPECT_EQ(std::string(fault_site_name(FaultSite::kWireCorrupt)),
+            "wire_corrupt");
+  EXPECT_EQ(std::string(fault_site_name(FaultSite::kInjectorDeath)),
+            "injector_death");
+}
+
+TEST(FaultInjectorTest, PayloadReflectsTheArmedPlan) {
+  FaultInjector injector(1);
+  FaultPlan plan;
+  plan.site = FaultSite::kPlannerStall;
+  plan.every = 1;
+  plan.payload = 1234;
+  injector.arm(plan);
+  EXPECT_EQ(injector.payload(FaultSite::kPlannerStall), 1234u);
+  EXPECT_EQ(injector.payload(FaultSite::kQueueFull), 0u);
+  EXPECT_EQ(injector.seed(), 1u);
+}
+
+}  // namespace
+}  // namespace fleet::runtime

@@ -1,0 +1,367 @@
+// Staleness-aware load shedding (DESIGN.md §14): above the watermark a
+// shed policy evicts the gradients AdaSGD's dampening would down-weight
+// hardest anyway, instead of bouncing fresh work. Evictions and refusals
+// are counted and traced, refusals never draw a ticket, and the default
+// kRejectNewest policy stays bitwise identical to the pre-policy queue.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "fleet/nn/zoo.hpp"
+#include "fleet/runtime/concurrent_server.hpp"
+#include "fleet/runtime/gradient_queue.hpp"
+
+namespace fleet::runtime {
+namespace {
+
+using test::bitwise_equal;
+using test::pretrained_iprof;
+
+core::ServerConfig server_config() {
+  core::ServerConfig config;
+  config.learning_rate = 0.1f;
+  return config;
+}
+
+GradientJob varied_job(const nn::TrainableModel& model, core::ModelId id,
+                       std::size_t salt) {
+  GradientJob job;
+  job.model_id = id;
+  job.task_version = 0;
+  job.gradient.resize(model.parameter_count());
+  for (std::size_t i = 0; i < job.gradient.size(); ++i) {
+    job.gradient[i] =
+        0.001f * static_cast<float>((i * 7 + salt * 13) % 23) - 0.01f;
+  }
+  job.label_dist = stats::LabelDistribution(model.n_classes());
+  job.label_dist.add(static_cast<int>(salt % model.n_classes()), 2);
+  job.mini_batch = 4;
+  return job;
+}
+
+std::vector<float> params_of(nn::TrainableModel& model) {
+  const auto view = model.parameters_view();
+  return std::vector<float>(view.begin(), view.end());
+}
+
+/// A queue-level job carrying only what the shed scan reads: its cost and
+/// a tag (in gradient[0]) identifying it.
+GradientJob tagged(double shed_cost, float tag) {
+  GradientJob job;
+  job.model_id = core::kDefaultModelId;
+  job.shed_cost = shed_cost;
+  job.gradient = {tag};
+  return job;
+}
+
+TEST(ShedPolicyQueueTest, EvictsTheCheapestQueuedJobAndKeepsTicketOrder) {
+  GradientQueue queue(8, 1, nullptr, 1, OverloadPolicy::kShedStalest, 3);
+  GradientJob evicted;
+  for (int i = 0; i < 3; ++i) {
+    // Costs -5, -4, -3: all below the watermark, accepted untouched.
+    GradientJob job = tagged(-5.0 + i, static_cast<float>(i));
+    ASSERT_EQ(queue.push(job, &evicted), GradientQueue::PushOutcome::kAccepted);
+  }
+  // Depth 4 > watermark 3: the cheapest queued job (-5, tag 0) loses to
+  // the incoming cost-0 job.
+  GradientJob fresh = tagged(0.0, 10.0f);
+  ASSERT_EQ(queue.push(fresh, &evicted),
+            GradientQueue::PushOutcome::kAcceptedEvicted);
+  EXPECT_DOUBLE_EQ(evicted.shed_cost, -5.0);
+  EXPECT_EQ(evicted.gradient[0], 0.0f);
+  // Again: now -4 (tag 1) is cheapest.
+  GradientJob fresher = tagged(1.0, 11.0f);
+  ASSERT_EQ(queue.push(fresher, &evicted),
+            GradientQueue::PushOutcome::kAcceptedEvicted);
+  EXPECT_EQ(evicted.gradient[0], 1.0f);
+  // An incoming job cheaper than everything queued is refused — no ticket,
+  // no eviction (kShedIncoming), queue untouched.
+  GradientJob stale = tagged(-9.0, 12.0f);
+  EXPECT_EQ(queue.push(stale, &evicted),
+            GradientQueue::PushOutcome::kShedIncoming);
+  // Equal cost also refuses the incoming side (the queued job is not
+  // strictly cheaper, so the swap would be pure churn).
+  GradientJob tie = tagged(-3.0, 13.0f);
+  EXPECT_EQ(queue.push(tie, &evicted),
+            GradientQueue::PushOutcome::kShedIncoming);
+  // Mid-deque erases preserved ticket-sorted order: drain yields the
+  // survivors in strictly increasing ticket order.
+  std::vector<GradientJob> out;
+  EXPECT_EQ(queue.drain(out, 0, 0), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].gradient[0], 2.0f);    // cost -3, ticket 2
+  EXPECT_EQ(out[1].gradient[0], 10.0f);   // ticket 3
+  EXPECT_EQ(out[2].gradient[0], 11.0f);   // ticket 4
+  EXPECT_LT(out[0].ticket, out[1].ticket);
+  EXPECT_LT(out[1].ticket, out[2].ticket);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(ShedPolicyQueueTest, ShedPolicyAtCapacityEvictsInsteadOfRejecting) {
+  // Watermark 0 clamps to capacity: below capacity the shed path never
+  // runs, at capacity it weighs instead of bouncing.
+  GradientQueue queue(2, 1, nullptr, 1, OverloadPolicy::kShedStalest, 0);
+  GradientJob evicted;
+  GradientJob a = tagged(-2.0, 0.0f);
+  ASSERT_EQ(queue.push(a, &evicted), GradientQueue::PushOutcome::kAccepted);
+  GradientJob b = tagged(-1.0, 1.0f);
+  ASSERT_EQ(queue.push(b, &evicted), GradientQueue::PushOutcome::kAccepted);
+  GradientJob c = tagged(0.0, 2.0f);
+  EXPECT_EQ(queue.push(c, &evicted),
+            GradientQueue::PushOutcome::kAcceptedEvicted);
+  EXPECT_EQ(evicted.gradient[0], 0.0f);
+  EXPECT_EQ(queue.depth(), 2u);  // a swap never grows the queue
+  // The same overflow under kRejectNewest is a plain full-queue reject.
+  GradientQueue baseline(2, 1, nullptr, 1, OverloadPolicy::kRejectNewest, 0);
+  GradientJob x = tagged(0.0, 0.0f);
+  ASSERT_EQ(baseline.push(x, nullptr), GradientQueue::PushOutcome::kAccepted);
+  GradientJob y = tagged(0.0, 1.0f);
+  ASSERT_EQ(baseline.push(y, nullptr), GradientQueue::PushOutcome::kAccepted);
+  GradientJob z = tagged(0.0, 2.0f);
+  EXPECT_EQ(baseline.push(z, nullptr),
+            GradientQueue::PushOutcome::kRejectedFull);
+}
+
+TEST(ShedPolicyQueueTest, ClosedQueueRefusesEitherWay) {
+  GradientQueue queue(4, 1, nullptr, 1, OverloadPolicy::kShedStalest, 1);
+  queue.close();
+  GradientJob job = tagged(0.0, 0.0f);
+  EXPECT_EQ(queue.push(job, nullptr),
+            GradientQueue::PushOutcome::kRejectedClosed);
+}
+
+TEST(ShedPolicyQueueTest, PolicyNamesAreStable) {
+  EXPECT_STREQ(overload_policy_name(OverloadPolicy::kRejectNewest),
+               "reject_newest");
+  EXPECT_STREQ(overload_policy_name(OverloadPolicy::kShedStalest),
+               "shed_stalest");
+  EXPECT_STREQ(overload_policy_name(OverloadPolicy::kShedLowestWeight),
+               "shed_lowest_weight");
+}
+
+/// Deterministically park the host's single planner so staged pushes stay
+/// queued: pause(), feed one sacrificial job, and check whether the
+/// planner picked it up into a held batch (pause is batch-granular). If
+/// the planner instead parked at the pause gate before popping — the other
+/// side of the documented race — resume, let it settle, and try again.
+/// Returns how many sacrificial jobs were fed; after this returns, the
+/// queue is empty, the host is paused and the planner cannot pop anything
+/// until resume().
+std::size_t park_planner(ConcurrentFleetServer& server,
+                         const nn::TrainableModel& model) {
+  std::size_t fed = 0;
+  while (true) {
+    server.pause();
+    GradientJob sacrificial =
+        varied_job(model, core::kDefaultModelId, 90 + fed);
+    sacrificial.task_version = server.version();
+    EXPECT_TRUE(server.try_submit(sacrificial).accepted);
+    ++fed;
+    bool held = false;
+    for (std::size_t i = 0; i < 50000; ++i) {
+      if (server.host_stats().queue_depth == 0) {
+        held = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (held) return fed;
+    server.resume();
+    server.drain();
+  }
+}
+
+TEST(ShedPolicyServerTest, ShedStalestEvictsTheStalestQueuedGradient) {
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(5);
+  RuntimeConfig runtime;
+  runtime.queue_capacity = 8;
+  runtime.queue_shards = 1;
+  runtime.overload_policy = OverloadPolicy::kShedStalest;
+  runtime.shed_watermark = 1;
+  ConcurrentFleetServer server(*model, pretrained_iprof(), server_config(),
+                               runtime);
+  // Advance the clock so staleness can differ between queued jobs. Drain
+  // between submits: with the watermark at 1, two warm-ups racing the
+  // planner could momentarily stack to depth 2 and shed each other.
+  for (std::size_t i = 0; i < 3; ++i) {
+    GradientJob job = varied_job(*model, core::kDefaultModelId, i);
+    ASSERT_TRUE(server.try_submit(job).accepted);
+    server.drain();
+  }
+  const std::size_t fed = park_planner(server, *model);
+  const std::size_t now = server.version();
+  ASSERT_GE(now, 3u);
+
+  // Stage: a stale job (task_version 0 => shed cost -now) sits alone below
+  // the watermark...
+  GradientJob stale = varied_job(*model, core::kDefaultModelId, 20);
+  ASSERT_TRUE(server.try_submit(stale).accepted);
+  EXPECT_EQ(server.host_stats().shed_drops, 0u);
+  // ... until a fresh job (cost 0) crosses it: the stale one is evicted in
+  // its favor, counted, and the fresh submit still succeeds.
+  GradientJob fresh = varied_job(*model, core::kDefaultModelId, 21);
+  fresh.task_version = now;
+  ASSERT_TRUE(server.try_submit(fresh).accepted);
+  EXPECT_EQ(server.host_stats().shed_drops, 1u);
+  // A second stale job is now the cheapest thing in sight: refused as
+  // shed, non-retryably, with no ticket drawn.
+  GradientJob stale2 = varied_job(*model, core::kDefaultModelId, 22);
+  const core::GradientReceipt refusal = server.try_submit(stale2);
+  EXPECT_FALSE(refusal.accepted);
+  EXPECT_TRUE(refusal.shed);
+  EXPECT_FALSE(refusal.retryable);
+  EXPECT_EQ(server.host_stats().shed_drops, 2u);
+
+  server.resume();
+  server.drain();
+  // Folded: 3 warm-ups + the sacrificial batch + the fresh survivor. The
+  // evicted and refused stale jobs never reached the aggregator.
+  EXPECT_EQ(server.stats().processed, 3u + fed + 1u);
+  EXPECT_EQ(server.stats().shed_drops, 2u);
+  server.stop();
+}
+
+TEST(ShedPolicyServerTest, ShedLowestWeightEvictsTheLowestDampenedWeight) {
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(5);
+  core::ServerConfig config = server_config();
+  // Pin tau_thres so the dampening curve (and hence the weight ordering
+  // between stale and fresh) is fixed, not estimated from warm-up traffic.
+  config.aggregator.fixed_tau_thres = 2.0;
+  RuntimeConfig runtime;
+  runtime.queue_capacity = 8;
+  runtime.queue_shards = 1;
+  runtime.overload_policy = OverloadPolicy::kShedLowestWeight;
+  runtime.shed_watermark = 1;
+  ConcurrentFleetServer server(*model, pretrained_iprof(), config, runtime);
+  // Drain between warm-ups: see ShedStalestEvictsTheStalestQueuedGradient.
+  for (std::size_t i = 0; i < 4; ++i) {
+    GradientJob job = varied_job(*model, core::kDefaultModelId, i);
+    ASSERT_TRUE(server.try_submit(job).accepted);
+    server.drain();
+  }
+  const std::size_t fed = park_planner(server, *model);
+  const std::size_t now = server.version();
+  ASSERT_GE(now, 4u);
+
+  GradientJob stale = varied_job(*model, core::kDefaultModelId, 30);
+  ASSERT_TRUE(server.try_submit(stale).accepted);  // heavily dampened
+  GradientJob fresh = varied_job(*model, core::kDefaultModelId, 31);
+  fresh.task_version = now;  // weight ~1
+  ASSERT_TRUE(server.try_submit(fresh).accepted);
+  EXPECT_EQ(server.host_stats().shed_drops, 1u);
+  server.resume();
+  server.drain();
+  EXPECT_EQ(server.stats().processed, 4u + fed + 1u);
+  server.stop();
+}
+
+TEST(ShedPolicyServerTest, RefusalsAreCountedTracedAndNeverTicketBearing) {
+  // All shed costs are equal while the clock sits at zero, so a paused
+  // host refuses every job above the watermark deterministically — and the
+  // survivors train the model exactly as if the refused jobs were never
+  // sent (compared bitwise against that very run).
+  constexpr std::size_t kJobs = 6;
+  constexpr std::size_t kKept = 2;  // watermark
+  auto reference = nn::zoo::mlp(8, 4, 3);
+  reference->init(5);
+  {
+    RuntimeConfig runtime;
+    runtime.start_paused = true;
+    ConcurrentFleetServer server(*reference, pretrained_iprof(),
+                                 server_config(), runtime);
+    for (std::size_t i = 0; i < kKept; ++i) {
+      GradientJob job = varied_job(*reference, core::kDefaultModelId, i);
+      ASSERT_TRUE(server.try_submit(job).accepted);
+    }
+    server.resume();
+    server.drain();
+    server.stop();
+  }
+
+  auto model = nn::zoo::mlp(8, 4, 3);
+  model->init(5);
+  RuntimeConfig runtime;
+  runtime.start_paused = true;
+  runtime.queue_capacity = 8;
+  runtime.queue_shards = 1;
+  runtime.overload_policy = OverloadPolicy::kShedStalest;
+  runtime.shed_watermark = kKept;
+  runtime.telemetry.enabled = true;
+  ConcurrentFleetServer server(*model, pretrained_iprof(), server_config(),
+                               runtime);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    GradientJob job = varied_job(*model, core::kDefaultModelId, i);
+    const core::GradientReceipt receipt = server.try_submit(job);
+    if (i < kKept) {
+      EXPECT_TRUE(receipt.accepted);
+    } else {
+      EXPECT_FALSE(receipt.accepted);
+      EXPECT_TRUE(receipt.shed);
+      EXPECT_FALSE(receipt.retryable);
+    }
+  }
+  server.resume();
+  server.drain();
+  EXPECT_EQ(server.stats().processed, kKept);
+  EXPECT_EQ(server.stats().shed_drops, kJobs - kKept);
+
+  // Every refusal emitted one kShedDrop instant with ticket 0 (a refused
+  // job never draws a ticket), and the "queue.shed" counter matches.
+  const auto records = server.telemetry()->tracer().collect();
+  std::size_t shed_events = 0;
+  for (const auto& record : records) {
+    if (record.event.phase == telemetry::TracePhase::kShedDrop) {
+      ++shed_events;
+      EXPECT_EQ(record.event.ticket, 0u);
+    }
+  }
+  EXPECT_EQ(shed_events, kJobs - kKept);
+  const auto metrics = server.telemetry()->metrics().snapshot();
+  bool found = false;
+  for (const auto& [name, value] : metrics.counters) {
+    if (name == "queue.shed") {
+      found = true;
+      EXPECT_EQ(value, kJobs - kKept);
+    }
+  }
+  EXPECT_TRUE(found);
+  server.stop();
+  EXPECT_TRUE(bitwise_equal(params_of(*model), params_of(*reference)));
+}
+
+TEST(ShedPolicyServerTest, ExplicitRejectNewestIsBitwiseThePrePolicyHost) {
+  // kRejectNewest (+ a watermark, which it ignores, + an unarmed injector)
+  // must leave the determinism matrix untouched: same jobs, same model,
+  // bit for bit, and nothing ever shed.
+  const auto run = [](bool with_policy_knobs) {
+    auto model = nn::zoo::mlp(8, 4, 3);
+    model->init(9);
+    FaultInjector unarmed(99);
+    RuntimeConfig runtime;
+    runtime.start_paused = true;
+    if (with_policy_knobs) {
+      runtime.overload_policy = OverloadPolicy::kRejectNewest;
+      runtime.shed_watermark = 3;
+      runtime.fault_injector = &unarmed;
+    }
+    ConcurrentFleetServer server(*model, pretrained_iprof(), server_config(),
+                                 runtime);
+    for (std::size_t i = 0; i < 6; ++i) {
+      GradientJob job = varied_job(*model, core::kDefaultModelId, i);
+      EXPECT_TRUE(server.try_submit(job).accepted);
+    }
+    server.resume();
+    server.drain();
+    EXPECT_EQ(server.host_stats().shed_drops, 0u);
+    server.stop();
+    return params_of(*model);
+  };
+  EXPECT_TRUE(bitwise_equal(run(false), run(true)));
+}
+
+}  // namespace
+}  // namespace fleet::runtime

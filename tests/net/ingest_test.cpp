@@ -258,6 +258,10 @@ TEST(LoopbackIngestTest, FullRingRefusesSendsAndRetriesDrainAfterResume) {
   cfg.injector_threads = 1;
   cfg.max_frames = 2;
   cfg.retry_backpressure = true;
+  // Unbounded on purpose: this test deliberately wedges the injector
+  // against the paused host and resumes it — a budget would give the
+  // frame up as a server reject before resume() lands.
+  cfg.max_submit_attempts = 0;
   LoopbackIngest ingest(server, cfg);
 
   // Bounded spin on an observable stat — the staging below is what makes

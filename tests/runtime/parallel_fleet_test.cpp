@@ -9,6 +9,7 @@
 #include "fleet/data/synthetic_images.hpp"
 #include "fleet/device/catalog.hpp"
 #include "fleet/nn/zoo.hpp"
+#include "fleet/runtime/fault.hpp"
 
 namespace fleet::runtime {
 namespace {
@@ -128,6 +129,78 @@ TEST(ParallelFleetTest, DropoutLosesGradientsButNotProgress) {
   env.run_and_hash(cfg, &stats);
   EXPECT_GT(stats.dropped, 0u);
   EXPECT_GT(stats.gradients_submitted, 0u);
+  EXPECT_EQ(stats.runtime.processed, stats.gradients_submitted);
+}
+
+TEST(ParallelFleetTest, FinalFlushDropsAreCountedSeparatelyFromRetries) {
+  // A server stopped before the drive rejects every submit permanently
+  // ("ingest queue closed", non-retryable). Mid-round rejections land in
+  // rejected_submissions only; delayed gradients still in flight after the
+  // last round are dropped by the final flush and must ALSO show up in the
+  // final_flush_drops breakdown — the split this regression pins down.
+  FleetEnv env;
+  env.server->stop();
+  auto cfg = base_config();
+  cfg.n_threads = 1;
+  cfg.rounds = 1;
+  cfg.max_arrival_delay = 3;
+  ParallelFleet::Stats stats;
+  env.run_and_hash(cfg, &stats);
+  EXPECT_EQ(stats.gradients_submitted, 0u);
+  EXPECT_GT(stats.rejected_submissions, 0u);
+  EXPECT_GT(stats.final_flush_drops, 0u);
+  EXPECT_LE(stats.final_flush_drops, stats.rejected_submissions);
+  // Non-retryable rejects never loop: no retries anywhere.
+  EXPECT_EQ(stats.backpressure_retries, 0u);
+  EXPECT_EQ(stats.final_flush_retries, 0u);
+  EXPECT_EQ(stats.runtime.processed, 0u);
+}
+
+TEST(ParallelFleetTest, FinalFlushRetriesAreCountedSeparatelyFromDrops) {
+  // Self-calibrating: a probe drive with an UNARMED injector counts the
+  // try_submit calls (the kQueueFull site advances its trigger on every
+  // submit even when unarmed), then a second identical drive arms a
+  // two-fire queue-full plan on the LAST trigger index. The final gradient
+  // is refused retryably twice and must succeed on the third attempt —
+  // with at least one of those retries attributed to the final flush.
+  auto cfg = base_config();
+  cfg.n_threads = 1;
+  cfg.rounds = 1;
+  cfg.max_arrival_delay = 3;
+
+  FaultInjector probe(0);
+  RuntimeConfig probe_runtime;
+  probe_runtime.fault_injector = &probe;
+  FleetEnv probe_env(probe_runtime);
+  ParallelFleet::Stats probe_stats;
+  probe_env.run_and_hash(cfg, &probe_stats);
+  const std::uint64_t submits = probe.triggers(FaultSite::kQueueFull);
+  ASSERT_GT(submits, 0u);
+  ASSERT_EQ(probe.fires(FaultSite::kQueueFull), 0u);
+  ASSERT_EQ(probe_stats.backpressure_retries, 0u);
+
+  FaultInjector fault(0);
+  FaultPlan plan;
+  plan.site = FaultSite::kQueueFull;
+  plan.every = 1;
+  plan.after = submits - 1;  // the probe's last submit call
+  plan.max_fires = 2;
+  fault.arm(plan);
+  RuntimeConfig runtime;
+  runtime.fault_injector = &fault;
+  FleetEnv env(runtime);
+  ParallelFleet::Stats stats;
+  env.run_and_hash(cfg, &stats);
+  EXPECT_EQ(fault.fires(FaultSite::kQueueFull), 2u);
+  EXPECT_EQ(stats.backpressure_retries, 2u);
+  // A mid-round retryable reject parks the job for the flush, so however
+  // the two fires split across phases the flush absorbs the tail.
+  EXPECT_GE(stats.final_flush_retries, 1u);
+  EXPECT_LE(stats.final_flush_retries, 2u);
+  EXPECT_EQ(stats.final_flush_drops, 0u);
+  EXPECT_EQ(stats.rejected_submissions, 0u);
+  // The retried gradient was delivered, not lost: same totals as the probe.
+  EXPECT_EQ(stats.gradients_submitted, probe_stats.gradients_submitted);
   EXPECT_EQ(stats.runtime.processed, stats.gradients_submitted);
 }
 

@@ -166,8 +166,9 @@ TEST(ExportersTest, EveryPhaseHasANameAndSpanClassification) {
   const TracePhase all[] = {
       TracePhase::kSubmit,     TracePhase::kReject,  TracePhase::kDequeue,
       TracePhase::kDrop,       TracePhase::kFold,    TracePhase::kWireReject,
-      TracePhase::kDrainBatch, TracePhase::kSessionFold,
-      TracePhase::kPublish,    TracePhase::kFoldTask,
+      TracePhase::kShedDrop,   TracePhase::kDrainBatch,
+      TracePhase::kSessionFold, TracePhase::kPublish,
+      TracePhase::kFoldTask,
   };
   int spans = 0;
   for (const TracePhase phase : all) {
